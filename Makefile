@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-paper examples clean doc
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# regenerate every table and figure of the paper (quick scale)
+bench:
+	dune exec bench/main.exe
+
+# the full 128-experiment grid of Section 5
+bench-paper:
+	HEXTIME_SCALE=paper dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/heat_diffusion.exe
+	dune exec examples/image_pipeline.exe
+	dune exec examples/custom_stencil.exe
+	dune exec examples/diffusion3d.exe
+	dune exec examples/scheme_comparison.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean

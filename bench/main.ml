@@ -1,0 +1,920 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation section, adds the design-choice ablations called out in
+   DESIGN.md, and micro-benchmarks the library's hot paths with Bechamel.
+
+   Scale is controlled by the HEXTIME_SCALE environment variable
+   (ci | quick | paper, default quick).  The `paper` scale runs the paper's
+   full 128-experiment grid; `quick` runs a representative subset with
+   identical code paths. *)
+
+module Gpu = Hextime_gpu
+module Stencil = Hextime_stencil.Stencil
+module Problem = Hextime_stencil.Problem
+module Reference = Hextime_stencil.Reference
+module Config = Hextime_tiling.Config
+module Exec_cpu = Hextime_tiling.Exec_cpu
+module Lower = Hextime_tiling.Lower
+module Model = Hextime_core.Model
+module Runner = Hextime_tileopt.Runner
+module Optimizer = Hextime_tileopt.Optimizer
+module H = Hextime_harness
+module Stats = Hextime_prelude.Stats
+module Tabulate = Hextime_prelude.Tabulate
+
+let scale =
+  match Sys.getenv_opt "HEXTIME_SCALE" with
+  | None -> H.Experiments.Quick
+  | Some s -> (
+      match H.Experiments.scale_of_string s with
+      | Ok sc -> sc
+      | Error msg ->
+          prerr_endline ("HEXTIME_SCALE: " ^ msg);
+          exit 2)
+
+let section title =
+  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+
+let () =
+  Printf.printf
+    "hextime benchmark harness — PPoPP'17 reproduction (scale: %s)\n"
+    (H.Experiments.scale_to_string scale)
+
+(* --- Tables ------------------------------------------------------------- *)
+
+let () =
+  section "Table 1: model parameters";
+  print_string (Hextime_core.Glossary.render ())
+
+let () =
+  section "Table 2: GPU configuration";
+  Tabulate.print (H.Tables.table2 ());
+  section "Table 3: micro-benchmarked timing constants";
+  Tabulate.print (H.Tables.table3 ());
+  print_endline
+    "(paper, GTX 980 / Titan X: L = 7.36e-3 / 5.42e-3 s/GB; tau_sync = \
+     7.96e-10 / 6.74e-10 s; T_sync = 9.24e-7 / 9.00e-7 s)";
+  section "Table 4: C_iter per benchmark";
+  Tabulate.print (H.Tables.table4 ());
+  print_endline
+    "(paper, GTX 980: jacobi2d 3.39e-8, heat2d 3.68e-8, laplacian2d 3.11e-8, \
+     gradient2d 6.09e-8, heat3d 1.55e-7, laplacian3d 1.36e-7)"
+
+(* --- Figure 3 / Section 5.3 --------------------------------------------- *)
+
+let () =
+  section "Figure 3: model validation (predicted vs measured)";
+  let rows = H.Figures.fig3_data scale in
+  print_string (H.Figures.render_fig3 rows);
+  let tops =
+    List.map (fun r -> r.H.Figures.summary.H.Validation.rmse_top) rows
+  in
+  let alls =
+    List.map (fun r -> r.H.Figures.summary.H.Validation.rmse_all) rows
+  in
+  Printf.printf
+    "summary: RMSE(top 20%% band) %.1f%%-%.1f%% (paper: < 10%%); RMSE(all) \
+     %.0f%%-%.0f%% (paper: 45%%-200%%)\n"
+    (100.0 *. Stats.minimum tops)
+    (100.0 *. Stats.maximum tops)
+    (100.0 *. Stats.minimum alls)
+    (100.0 *. Stats.maximum alls);
+  (* one representative scatter, rendered in ASCII like Figure 3's panels *)
+  let experiment =
+    {
+      H.Experiments.arch = Gpu.Arch.gtx980;
+      problem =
+        Problem.make Stencil.heat2d
+          ~space:(match scale with
+                  | H.Experiments.Ci -> [| 1024; 1024 |]
+                  | _ -> [| 8192; 8192 |])
+          ~time:(match scale with H.Experiments.Ci -> 256 | _ -> 8192);
+    }
+  in
+  let sweep = H.Sweep.baseline experiment in
+  print_newline ();
+  print_string
+    (H.Scatter.render
+       ~title:
+         (Printf.sprintf
+            "heat2d on gtx980 (%s): predicted (x) vs measured (y), log-log"
+            (H.Experiments.id experiment))
+       (H.Validation.scatter sweep));
+  (match
+     H.Export.write_file ~path:"fig3_heat2d_gtx980.csv"
+       (H.Export.sweep_csv sweep)
+   with
+  | Ok () -> print_endline "wrote fig3_heat2d_gtx980.csv"
+  | Error e -> print_endline ("csv export failed: " ^ e))
+
+(* --- Accuracy across problem sizes ----------------------------------------- *)
+
+let () =
+  section "Model accuracy across problem sizes (heat2d on GTX 980)";
+  let sizes =
+    match scale with
+    | H.Experiments.Ci -> [ ([| 1024; 1024 |], 256) ]
+    | H.Experiments.Quick -> H.Experiments.sizes_2d H.Experiments.Quick
+    | H.Experiments.Paper -> Hextime_stencil.Problem.paper_sizes_2d
+  in
+  let t =
+    Tabulate.create
+      [
+        ("problem size", Tabulate.Left);
+        ("RMSE all", Tabulate.Right);
+        ("RMSE top 20%", Tabulate.Right);
+        ("best GF/s", Tabulate.Right);
+      ]
+  in
+  let t =
+    List.fold_left
+      (fun t (space, time) ->
+        let e =
+          {
+            H.Experiments.arch = Gpu.Arch.gtx980;
+            problem = Problem.make Stencil.heat2d ~space ~time;
+          }
+        in
+        match H.Sweep.baseline e with
+        | [] -> t
+        | points ->
+            let s = H.Validation.analyze points in
+            Tabulate.add_row t
+              [
+                Problem.id e.H.Experiments.problem;
+                Printf.sprintf "%.0f%%" (100.0 *. s.H.Validation.rmse_all);
+                Printf.sprintf "%.1f%%" (100.0 *. s.H.Validation.rmse_top);
+                Printf.sprintf "%.1f" s.H.Validation.best_gflops;
+              ])
+      t sizes
+  in
+  Tabulate.print t;
+  print_endline
+    "(the top-band accuracy is stable across the size grid — the model's \
+     per-wavefront structure scales with T and S by construction)"
+
+(* --- Figure 4 ------------------------------------------------------------ *)
+
+let () =
+  section "Figure 4: Talg surface, Heat2D on GTX 980 (tS1 = 8)";
+  let space, time =
+    match scale with
+    | H.Experiments.Ci -> ([| 512; 512 |], 256)
+    | H.Experiments.Quick | H.Experiments.Paper -> ([| 8192; 8192 |], 8192)
+  in
+  print_string (H.Figures.render_fig4 (H.Figures.fig4_data ~space ~time ()))
+
+(* --- Figure 5 ------------------------------------------------------------ *)
+
+let () =
+  section "Figure 5: model-guided candidates vs baseline (Gradient2D)";
+  let f = H.Figures.fig5_data ~scale () in
+  print_string (H.Figures.render_fig5 ~max_rows:12 f);
+  Printf.printf
+    "(paper: baseline best 19.8 s vs model-guided 16.5 s, a 17%% improvement)\n"
+
+(* --- Figure 6 ------------------------------------------------------------ *)
+
+let () =
+  section "Figure 6: average GFLOP/s per tile-size selection strategy";
+  let rows = H.Figures.fig6_data ~max_configs:2000 scale in
+  print_string (H.Figures.render_fig6 rows);
+  (* aggregate improvements in the paper's terms *)
+  let ratios name_a name_b =
+    List.filter_map
+      (fun r ->
+        match
+          ( List.assoc_opt name_a r.H.Figures.per_strategy,
+            List.assoc_opt name_b r.H.Figures.per_strategy )
+        with
+        | Some a, Some b when (not (Float.is_nan a)) && not (Float.is_nan b) ->
+            Some (a /. b)
+        | _ -> None)
+      rows
+  in
+  let top10 = "Within 10% of Talg_min" in
+  match
+    (ratios top10 "HHC", ratios top10 "Baseline", ratios top10 "Talg_min")
+  with
+  | (_ :: _ as vs_hhc), (_ :: _ as vs_base), (_ :: _ as vs_min) ->
+      Printf.printf
+        "model-guided vs HHC default: %+.0f%% (paper: +60%%); vs baseline: \
+         %+.1f%% (paper: +9%%); vs bare Talg_min: %+.1f%%\n"
+        (100.0 *. (Stats.geomean vs_hhc -. 1.0))
+        (100.0 *. (Stats.geomean vs_base -. 1.0))
+        (100.0 *. (Stats.geomean vs_min -. 1.0))
+  | _ -> print_endline "insufficient data for strategy aggregates"
+
+(* --- Section 6: candidate-set sizes -------------------------------------- *)
+
+let () =
+  section "Section 6: size of the within-10% candidate set";
+  let t =
+    Tabulate.create
+      [
+        ("experiment", Tabulate.Left);
+        ("feasible shapes", Tabulate.Right);
+        ("within 10%", Tabulate.Right);
+        ("explored (capped)", Tabulate.Right);
+      ]
+  in
+  let sizes =
+    match scale with
+    | H.Experiments.Ci -> [ ([| 512; 512 |], 128) ]
+    | _ -> [ ([| 4096; 4096 |], 4096); ([| 8192; 8192 |], 8192) ]
+  in
+  let arch = Gpu.Arch.gtx980 in
+  let params = H.Microbench.params arch in
+  let t =
+    List.fold_left
+      (fun t stencil ->
+        List.fold_left
+          (fun t (space, time) ->
+            let problem = Problem.make stencil ~space ~time in
+            let citer = H.Microbench.citer arch stencil in
+            let ev = Optimizer.evaluate_space params ~citer problem in
+            let within = Optimizer.candidate_count ~frac:0.10 ev in
+            Tabulate.add_row t
+              [
+                Problem.id problem;
+                string_of_int (List.length ev);
+                string_of_int within;
+                string_of_int (min 200 within);
+              ])
+          t sizes)
+      t
+      [ Stencil.heat2d; Stencil.gradient2d ]
+  in
+  Tabulate.print t;
+  print_endline
+    "(paper: fewer than 200 points within 10% of Talg_min; our refined round \
+     accounting flattens the landscape on some instances, so exploration is \
+     capped at the 200 best-predicted shapes)"
+
+(* --- Ablation: model variants -------------------------------------------- *)
+
+let () =
+  section "Ablation: refined vs verbatim model (DESIGN.md deviations)";
+  let experiments =
+    match scale with
+    | H.Experiments.Ci -> [ (Stencil.heat2d, [| 1024; 1024 |], 256) ]
+    | _ ->
+        [
+          (Stencil.heat2d, [| 8192; 8192 |], 8192);
+          (Stencil.gradient2d, [| 4096; 4096 |], 4096);
+          (Stencil.heat3d, [| 384; 384; 384 |], 128);
+        ]
+  in
+  let arch = Gpu.Arch.gtx980 in
+  let params = H.Microbench.params arch in
+  let t =
+    Tabulate.create
+      [
+        ("experiment", Tabulate.Left);
+        ("RMSE top, refined", Tabulate.Right);
+        ("RMSE top, verbatim", Tabulate.Right);
+        ("RMSE all, refined", Tabulate.Right);
+        ("RMSE all, verbatim", Tabulate.Right);
+      ]
+  in
+  let t =
+    List.fold_left
+      (fun t (stencil, space, time) ->
+        let problem = Problem.make stencil ~space ~time in
+        let citer = H.Microbench.citer arch stencil in
+        let e = { H.Experiments.arch; problem } in
+        let points = H.Sweep.baseline e in
+        let top = H.Sweep.top_performing ~within:0.2 points in
+        let rmse variant pts =
+          Stats.rmse_relative
+            (List.filter_map
+               (fun (p : H.Sweep.point) ->
+                 match
+                   Model.predict ~variant params ~citer problem p.H.Sweep.config
+                 with
+                 | Ok pr ->
+                     Some (pr.Model.talg, p.H.Sweep.measured.Runner.time_s)
+                 | Error _ -> None)
+               pts)
+        in
+        let pct x = Printf.sprintf "%.1f%%" (100.0 *. x) in
+        Tabulate.add_row t
+          [
+            Problem.id problem;
+            pct (rmse Model.Refined top);
+            pct (rmse Model.Paper_verbatim top);
+            pct (rmse Model.Refined points);
+            pct (rmse Model.Paper_verbatim points);
+          ])
+      t experiments
+  in
+  Tabulate.print t;
+  print_endline
+    "(the two discretisation corrections matter most inside the top band, \
+     where Equation 2's double ceiling overcharges ragged rounds)"
+
+(* --- Time-tiling benefit (Section 1/2 motivation) ------------------------ *)
+
+let () =
+  section "Time-tiling benefit: tuned naive vs model-guided HHC";
+  let cases =
+    match scale with
+    | H.Experiments.Ci -> [ (Stencil.heat2d, [| 1024; 1024 |], 256) ]
+    | _ ->
+        [
+          (Stencil.heat2d, [| 4096; 4096 |], 1024);
+          (Stencil.laplacian3d, [| 384; 384; 384 |], 128);
+        ]
+  in
+  let t =
+    Tabulate.create
+      [
+        ("experiment", Tabulate.Left);
+        ("naive GF/s", Tabulate.Right);
+        ("HHC (model-guided) GF/s", Tabulate.Right);
+        ("speedup", Tabulate.Right);
+      ]
+  in
+  let arch = Gpu.Arch.gtx980 in
+  let params = H.Microbench.params arch in
+  let t =
+    List.fold_left
+      (fun t (stencil, space, time) ->
+        let problem = Problem.make stencil ~space ~time in
+        let citer = H.Microbench.citer arch stencil in
+        let ctx = { Hextime_tileopt.Strategies.arch; params; citer; problem } in
+        match
+          ( Hextime_tiling.Naive.best arch problem,
+            Hextime_tileopt.Strategies.model_top10 ctx )
+        with
+        | Ok naive, Ok hhc ->
+            Tabulate.add_row t
+              [
+                Problem.id problem;
+                Printf.sprintf "%.1f" naive.Hextime_tiling.Naive.gflops;
+                Printf.sprintf "%.1f"
+                  hhc.Hextime_tileopt.Strategies.measurement
+                    .Hextime_tileopt.Runner.gflops;
+                Printf.sprintf "%.1fx"
+                  (naive.Hextime_tiling.Naive.time_s
+                  /. hhc.Hextime_tileopt.Strategies.measurement
+                       .Hextime_tileopt.Runner.time_s);
+              ]
+        | Error e, _ | _, Error e -> Tabulate.add_row t [ Problem.id problem; e; "-"; "-" ])
+      t cases
+  in
+  Tabulate.print t;
+  print_endline
+    "(without reuse along time the kernel re-streams the array every step \
+     and is memory-bound: the motivation for hexagonal time tiling)"
+
+(* --- Solver vs enumeration (Section 6.1) --------------------------------- *)
+
+let () =
+  section "Section 6.1: local non-linear solver vs exhaustive enumeration";
+  let cases =
+    match scale with
+    | H.Experiments.Ci -> [ (Stencil.heat2d, [| 1024; 1024 |], 256) ]
+    | _ ->
+        [
+          (Stencil.heat2d, [| 8192; 8192 |], 8192);
+          (Stencil.gradient2d, [| 4096; 4096 |], 4096);
+          (Stencil.heat3d, [| 384; 384; 384 |], 128);
+        ]
+  in
+  let arch = Gpu.Arch.gtx980 in
+  let params = H.Microbench.params arch in
+  let t =
+    Tabulate.create
+      [
+        ("experiment", Tabulate.Left);
+        ("objective", Tabulate.Left);
+        ("solver gap", Tabulate.Right);
+        ("model evals", Tabulate.Right);
+      ]
+  in
+  let t =
+    List.fold_left
+      (fun t (stencil, space, time) ->
+        let problem = Problem.make stencil ~space ~time in
+        let citer = H.Microbench.citer arch stencil in
+        List.fold_left
+          (fun t (label, variant, restarts) ->
+            match
+              Hextime_tileopt.Descent.solve ~variant ~restarts params ~citer
+                problem
+            with
+            | Error e -> Tabulate.add_row t [ Problem.id problem; label; e; "-" ]
+            | Ok sol ->
+                let gap =
+                  Hextime_tileopt.Descent.optimality_gap ~variant params ~citer
+                    problem sol
+                in
+                Tabulate.add_row t
+                  [
+                    Problem.id problem;
+                    label;
+                    Printf.sprintf "%+.1f%%" (100.0 *. gap);
+                    string_of_int sol.Hextime_tileopt.Descent.evaluations;
+                  ])
+          t
+          [
+            ("refined, 1 start", Model.Refined, 1);
+            ("paper-verbatim, 1 start", Model.Paper_verbatim, 1);
+            ("paper-verbatim, 8 starts", Model.Paper_verbatim, 8);
+          ])
+      t cases
+  in
+  Tabulate.print t;
+  print_endline
+    "(the paper found off-the-shelf NLP solvers 'somewhat disappointing' on \
+     Equation 31; ceiling plateaus trap local search, which the verbatim \
+     objective shows most clearly. Exhaustive enumeration stays the \
+     production path.)"
+
+(* --- Generality (Section 7): 1D and higher-order stencils ----------------- *)
+
+let () =
+  section "Section 7 (generality): validation beyond the paper's benchmarks";
+  let cases =
+    match scale with
+    | H.Experiments.Ci ->
+        [
+          (Stencil.jacobi1d, [| 65536 |], 512);
+          (Stencil.jacobi2d_order2, [| 1024; 1024 |], 256);
+        ]
+    | _ ->
+        [
+          (Stencil.jacobi1d, [| 1 lsl 22 |], 4096);
+          (Stencil.jacobi2d_order2, [| 4096; 4096 |], 1024);
+          (Stencil.heat3d_order2, [| 256; 256; 256 |], 64);
+        ]
+  in
+  let arch = Gpu.Arch.gtx980 in
+  let t =
+    Tabulate.create
+      [
+        ("experiment", Tabulate.Left);
+        ("points", Tabulate.Right);
+        ("RMSE all", Tabulate.Right);
+        ("RMSE top 20%", Tabulate.Right);
+      ]
+  in
+  let t =
+    List.fold_left
+      (fun t (stencil, space, time) ->
+        let problem = Problem.make stencil ~space ~time in
+        let e = { H.Experiments.arch; problem } in
+        match H.Sweep.baseline e with
+        | [] -> Tabulate.add_row t [ Problem.id problem; "0"; "-"; "-" ]
+        | points ->
+            let s = H.Validation.analyze points in
+            Tabulate.add_row t
+              [
+                Problem.id problem;
+                string_of_int s.H.Validation.points;
+                Printf.sprintf "%.0f%%" (100.0 *. s.H.Validation.rmse_all);
+                Printf.sprintf "%.1f%%" (100.0 *. s.H.Validation.rmse_top);
+              ])
+      t cases
+  in
+  Tabulate.print t;
+  print_endline
+    "(the machinery generalises over rank and order; order-2 2D keeps the \
+     top-band signature. 1D rows and order-2 3D tiles are so small that \
+     even their best configurations are barrier- or transfer-latency-bound \
+     — regimes the optimistic model does not price, and which the paper's \
+     order-1 2D/3D evaluation never enters)"
+
+(* --- Campaign cost (Section 8) -------------------------------------------- *)
+
+let () =
+  section "Section 8: cost of the experimental campaign";
+  (* always priced at paper scale: that is the claim being checked *)
+  print_string (H.Campaign.render (H.Campaign.estimate H.Experiments.Paper));
+  print_endline
+    "(paper: 'these took many weeks of dedicated machine time', with \
+     compilation 'a significant fraction of the total')"
+
+(* --- Section 7: threads-per-block is empirically predictable --------------- *)
+
+let () =
+  section "Section 7: best thread count is stable across top shapes";
+  let stencil, space, time =
+    match scale with
+    | H.Experiments.Ci -> (Stencil.heat2d, [| 1024; 1024 |], 256)
+    | _ -> (Stencil.heat2d, [| 4096; 4096 |], 1024)
+  in
+  let arch = Gpu.Arch.gtx980 in
+  let problem = Problem.make stencil ~space ~time in
+  let params = H.Microbench.params arch in
+  let citer = H.Microbench.citer arch stencil in
+  let space_eval = Optimizer.evaluate_space params ~citer problem in
+  let top_shapes =
+    List.filteri (fun i _ -> i < 6) (Optimizer.within_fraction ~frac:0.10 space_eval)
+  in
+  let t =
+    Tabulate.create
+      [
+        ("shape", Tabulate.Left);
+        ("best threads", Tabulate.Right);
+        ("GF/s at best", Tabulate.Right);
+        ("GF/s at 64 threads", Tabulate.Right);
+      ]
+  in
+  let t =
+    List.fold_left
+      (fun t (e : Optimizer.evaluated) ->
+        let measure threads =
+          match
+            Config.make ~t_t:e.Optimizer.shape.Hextime_tileopt.Space.t_t
+              ~t_s:e.Optimizer.shape.Hextime_tileopt.Space.t_s
+              ~threads:[| threads |]
+          with
+          | Error _ -> None
+          | Ok cfg -> (
+              match Runner.measure arch problem cfg with
+              | Ok m -> Some (threads, m.Runner.gflops)
+              | Error _ -> None)
+        in
+        let results =
+          List.filter_map measure Hextime_tileopt.Space.thread_candidates
+        in
+        match results with
+        | [] -> t
+        | first :: rest ->
+            let bt, bg =
+              List.fold_left
+                (fun ((_, bg) as acc) ((_, g) as x) ->
+                  if g > bg then x else acc)
+                first rest
+            in
+            let low = match measure 64 with Some (_, g) -> g | None -> nan in
+            Tabulate.add_row t
+              [
+                Hextime_tileopt.Space.id e.Optimizer.shape;
+                string_of_int bt;
+                Printf.sprintf "%.1f" bg;
+                Printf.sprintf "%.1f" low;
+              ])
+      t top_shapes
+  in
+  Tabulate.print t;
+  print_endline
+    "(the paper: 'the values of this parameter that yielded the locally \
+     best performance was easily predictable — empirically'; the same \
+     256-512-thread plateau wins on every top shape, while small counts \
+     forfeit more than half to exposed latency)"
+
+(* --- Double precision (beyond the paper) ----------------------------------- *)
+
+let () =
+  section "Double precision (beyond the paper): FP32 vs FP64";
+  let stencil = Stencil.heat2d in
+  let space, time =
+    match scale with
+    | H.Experiments.Ci -> ([| 1024; 1024 |], 256)
+    | _ -> ([| 4096; 4096 |], 1024)
+  in
+  let arch = Gpu.Arch.gtx980 in
+  let params = H.Microbench.params arch in
+  let t =
+    Tabulate.create
+      [
+        ("precision", Tabulate.Left);
+        ("C_iter", Tabulate.Right);
+        ("feasible shapes", Tabulate.Right);
+        ("tuned", Tabulate.Left);
+        ("GFLOP/s", Tabulate.Right);
+      ]
+  in
+  let t =
+    List.fold_left
+      (fun t (label, precision) ->
+        let problem =
+          Hextime_stencil.Problem.make ~precision stencil ~space ~time
+        in
+        let citer = H.Microbench.citer ~precision arch stencil in
+        let shapes = Hextime_tileopt.Space.shapes params problem in
+        let ctx = { Hextime_tileopt.Strategies.arch; params; citer; problem } in
+        match Hextime_tileopt.Strategies.model_top10 ctx with
+        | Error e -> Tabulate.add_row t [ label; "-"; "-"; e; "-" ]
+        | Ok o ->
+            Tabulate.add_row t
+              [
+                label;
+                Printf.sprintf "%.2e s" citer;
+                string_of_int (List.length shapes);
+                Config.id o.Hextime_tileopt.Strategies.config;
+                Printf.sprintf "%.1f"
+                  o.Hextime_tileopt.Strategies.measurement
+                    .Hextime_tileopt.Runner.gflops;
+              ])
+      t
+      [
+        ("FP32", Hextime_stencil.Problem.F32);
+        ("FP64", Hextime_stencil.Problem.F64);
+      ]
+  in
+  Tabulate.print t;
+  print_endline
+    "(doubling the word size halves the feasible tile space and Maxwell's \
+     FP64 units run at a fraction of FP32 throughput; the model adapts \
+     through its measured C_iter and the footprint word factor alone)"
+
+(* --- Generic autotuner comparison (Section 6.2 discussion) ---------------- *)
+
+let () =
+  section "Generic autotuner vs model-guided search (Section 6.2 discussion)";
+  let stencil, space, time =
+    match scale with
+    | H.Experiments.Ci -> (Stencil.heat2d, [| 1024; 1024 |], 256)
+    | _ -> (Stencil.heat2d, [| 4096; 4096 |], 4096)
+  in
+  let arch = Gpu.Arch.gtx980 in
+  let problem = Problem.make stencil ~space ~time in
+  let params = H.Microbench.params arch in
+  let citer = H.Microbench.citer arch stencil in
+  let curve =
+    Hextime_tileopt.Autotune.budget_curve
+      ~budgets:[ 25; 50; 100; 200; 400 ]
+      arch params problem
+  in
+  let t =
+    Tabulate.create
+      [ ("searcher", Tabulate.Left); ("measurements", Tabulate.Right);
+        ("best GFLOP/s", Tabulate.Right) ]
+  in
+  let t =
+    List.fold_left
+      (fun t (budget, gflops) ->
+        Tabulate.add_row t
+          [ "generic autotuner"; string_of_int budget;
+            Printf.sprintf "%.1f" gflops ])
+      t curve
+  in
+  let ctx = { Hextime_tileopt.Strategies.arch; params; citer; problem } in
+  let t =
+    match Hextime_tileopt.Strategies.model_optimal ctx with
+    | Ok o ->
+        Tabulate.add_row t
+          [
+            "model-guided (Talg_min + thread sweep)";
+            string_of_int o.Hextime_tileopt.Strategies.explored;
+            Printf.sprintf "%.1f"
+              o.Hextime_tileopt.Strategies.measurement
+                .Hextime_tileopt.Runner.gflops;
+          ]
+    | Error _ -> t
+  in
+  let t =
+    match Hextime_tileopt.Strategies.model_top10 ctx with
+    | Ok o ->
+        Tabulate.add_row t
+          [
+            "model-guided (within-10% exploration)";
+            string_of_int o.Hextime_tileopt.Strategies.explored;
+            Printf.sprintf "%.1f"
+              o.Hextime_tileopt.Strategies.measurement
+                .Hextime_tileopt.Runner.gflops;
+          ]
+    | Error _ -> t
+  in
+  Tabulate.print t;
+  print_endline
+    "(the within-10% exploration matches the tuner's converged best; the \
+     generic tuner needs no model but spends hundreds of executions — each \
+     of which on real hardware is a compile + run cycle of tens of seconds \
+     (Section 8) — while the bare predicted minimum is a mediocre single \
+     point, exactly Figure 6's message)"
+
+(* --- Hexagonal vs classic time skewing ------------------------------------ *)
+
+let () =
+  section "Why hexagonal: hexagonal tiling vs classic time skewing";
+  let cases =
+    match scale with
+    | H.Experiments.Ci -> [ (Stencil.heat2d, [| 1024; 1024 |], 256) ]
+    | _ ->
+        [
+          (Stencil.heat2d, [| 4096; 4096 |], 1024);
+          (Stencil.jacobi2d, [| 8192; 8192 |], 2048);
+        ]
+  in
+  let arch = Gpu.Arch.gtx980 in
+  let params = H.Microbench.params arch in
+  let t =
+    Tabulate.create
+      [
+        ("experiment", Tabulate.Left);
+        ("hexagonal GF/s", Tabulate.Right);
+        ("time-skewed GF/s", Tabulate.Right);
+        ("launches hex/skewed", Tabulate.Right);
+      ]
+  in
+  let t =
+    List.fold_left
+      (fun t (stencil, space, time) ->
+        let problem = Problem.make stencil ~space ~time in
+        let citer = H.Microbench.citer arch stencil in
+        let ctx = { Hextime_tileopt.Strategies.arch; params; citer; problem } in
+        match Hextime_tileopt.Strategies.model_top10 ctx with
+        | Error e -> Tabulate.add_row t [ Problem.id problem; e; "-"; "-" ]
+        | Ok best -> (
+            let cfg = best.Hextime_tileopt.Strategies.config in
+            match Hextime_tiling.Skewed.measure arch problem cfg with
+            | Error e -> Tabulate.add_row t [ Problem.id problem; e; "-"; "-" ]
+            | Ok skew_s ->
+                let hex =
+                  best.Hextime_tileopt.Strategies.measurement
+                    .Hextime_tileopt.Runner.gflops
+                in
+                let order = 1 in
+                let hex_l =
+                  Hextime_tiling.Hexgeom.num_wavefronts ~t_t:cfg.Config.t_t
+                    ~time
+                in
+                let skew_l =
+                  List.length
+                    (Hextime_tiling.Skewed.wavefront_widths ~order
+                       ~t_s:cfg.Config.t_s.(0) ~t_t:cfg.Config.t_t
+                       ~space:space.(0) ~time)
+                in
+                Tabulate.add_row t
+                  [
+                    Problem.id problem;
+                    Printf.sprintf "%.1f" hex;
+                    Printf.sprintf "%.1f" (Problem.total_flops problem /. skew_s /. 1e9);
+                    Printf.sprintf "%d / %d" hex_l skew_l;
+                  ]))
+      t cases
+  in
+  Tabulate.print t;
+  print_endline
+    "(same tile volumes and inner chunking: the difference is schedule \
+     structure — constant-width wavefronts and halo sharing vs ramping \
+     45-degree wavefronts, cf. Section 2's discussion of time tiling)"
+
+(* --- Hexagonal vs overlapped (ghost-zone) tiling --------------------------- *)
+
+let () =
+  section "Hexagonal vs overlapped tiling (redundant computation, Section 2)";
+  let stencil, space, time =
+    match scale with
+    | H.Experiments.Ci -> (Stencil.heat2d, [| 1024; 1024 |], 256)
+    | _ -> (Stencil.heat2d, [| 4096; 4096 |], 1024)
+  in
+  let arch = Gpu.Arch.gtx980 in
+  let problem = Problem.make stencil ~space ~time in
+  let t =
+    Tabulate.create
+      [
+        ("tT", Tabulate.Right);
+        ("redundancy", Tabulate.Right);
+        ("overtile", Tabulate.Right);
+        ("hexagonal", Tabulate.Right);
+      ]
+  in
+  let t =
+    List.fold_left
+      (fun t tt ->
+        let cfg = Config.make_exn ~t_t:tt ~t_s:[| 16; 64 |] ~threads:[| 256 |] in
+        match
+          ( Hextime_tiling.Overtile.measure arch problem cfg,
+            Runner.measure arch problem cfg )
+        with
+        | Ok ot, Ok hex ->
+            Tabulate.add_row t
+              [
+                string_of_int tt;
+                Printf.sprintf "%.2fx"
+                  (Hextime_tiling.Overtile.redundancy_factor ~order:1
+                     ~t_s:[| 16; 64 |] ~t_t:tt);
+                Tabulate.seconds_cell ot;
+                Tabulate.seconds_cell hex.Runner.time_s;
+              ]
+        | Error e, _ | _, Error e ->
+            Tabulate.add_row t [ string_of_int tt; "-"; e; "-" ])
+      t [ 2; 4; 6; 8; 10; 12 ]
+  in
+  Tabulate.print t;
+  print_endline
+    "(shallow time tiles: the ghost-zone scheme's fewer launches win; deep \
+     tiles: its redundant halo computation dominates and the hexagons pull \
+     away — the Section 2 trade-off that motivates hexagonal tiling)"
+
+(* --- Event-level cross-validation of the compute model -------------------- *)
+
+let () =
+  section "Cross-validation: warp-level event simulation vs closed form";
+  let arch = Gpu.Arch.gtx980 in
+  let body =
+    { Gpu.Pointcost.flops = 10; loads = 5; transcendentals = 0; rank = 2; double = false }
+  in
+  let wl ~threads points repeats =
+    Gpu.Workload.v ~label:"xval" ~threads ~shared_words:4000
+      ~regs_per_thread:32 ~body
+      ~rows:[ { Gpu.Workload.points; repeats } ]
+      ~input:{ Gpu.Memory.words = 0; run_length = 32 }
+      ~output:{ Gpu.Memory.words = 0; run_length = 32 }
+      ~row_stride:73 ~chunks:1
+  in
+  let t =
+    Tabulate.create
+      [
+        ("threads", Tabulate.Right);
+        ("row points", Tabulate.Right);
+        ("event / closed-form", Tabulate.Right);
+        ("scheduler stall", Tabulate.Right);
+      ]
+  in
+  let t =
+    List.fold_left
+      (fun t (threads, points) ->
+        let w = wl ~threads points 8 in
+        let st = Gpu.Eventsim.chunk_stats arch w in
+        Tabulate.add_row t
+          [
+            string_of_int threads;
+            string_of_int points;
+            Printf.sprintf "%.2f" (Gpu.Eventsim.agreement arch w);
+            Printf.sprintf "%.0f%%" (100.0 *. st.Gpu.Eventsim.stall_fraction);
+          ])
+      t
+      [ (32, 512); (64, 1024); (128, 1024); (256, 1024); (256, 4096); (512, 2048); (1024, 8192) ]
+  in
+  Tabulate.print t;
+  print_endline
+    "(a cycle-by-cycle warp scheduler — latency hiding and barriers emerge \
+     instead of being closed-form factors — reproduces the block compute \
+     model within ~15%, evidencing the simulator substrate is self-consistent)"
+
+(* --- Bechamel micro-benchmarks ------------------------------------------- *)
+
+let () =
+  section "Hot-path micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let arch = Gpu.Arch.gtx980 in
+  let params = H.Microbench.params arch in
+  let stencil = Stencil.heat2d in
+  let citer = 4.3e-8 in
+  let problem = Problem.make stencil ~space:[| 4096; 4096 |] ~time:1024 in
+  let cfg = Config.make_exn ~t_t:16 ~t_s:[| 16; 64 |] ~threads:[| 256 |] in
+  let compiled =
+    match Lower.compile problem cfg with Ok c -> c | Error e -> failwith e
+  in
+  let kernels = Lower.kernel_sequence compiled in
+  let small = Problem.make stencil ~space:[| 48; 32 |] ~time:8 in
+  let small_cfg = Config.make_exn ~t_t:4 ~t_s:[| 6; 32 |] ~threads:[| 64 |] in
+  let small_init = Reference.default_init small in
+  let tests =
+    Test.make_grouped ~name:"hextime"
+      [
+        Test.make ~name:"model-predict (one config)"
+          (Staged.stage (fun () ->
+               ignore (Model.predict params ~citer problem cfg)));
+        Test.make ~name:"lower (compile to kernels)"
+          (Staged.stage (fun () -> ignore (Lower.compile problem cfg)));
+        Test.make ~name:"simulate (measure, 5 runs)"
+          (Staged.stage (fun () -> ignore (Gpu.Simulator.measure arch kernels)));
+        Test.make ~name:"exec-cpu (48x32, T=8)"
+          (Staged.stage (fun () ->
+               ignore (Exec_cpu.run small small_cfg ~init:small_init)));
+        Test.make ~name:"reference (48x32, T=8)"
+          (Staged.stage (fun () ->
+               ignore (Reference.run small ~init:small_init)));
+      ]
+  in
+  let benchmark_cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:None ()
+  in
+  let raw =
+    Benchmark.all benchmark_cfg [ Toolkit.Instance.monotonic_clock ] tests
+  in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let t =
+    Tabulate.create
+      [ ("benchmark", Tabulate.Left); ("time / run", Tabulate.Right) ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let cell =
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> Tabulate.seconds_cell (est *. 1e-9)
+        | _ -> "-"
+      in
+      rows := (name, cell) :: !rows)
+    results;
+  let t =
+    List.fold_left
+      (fun t (name, cell) -> Tabulate.add_row t [ name; cell ])
+      t
+      (List.sort compare !rows)
+  in
+  Tabulate.print t
+
+let () = print_endline "\nbench: done"

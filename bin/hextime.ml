@@ -1,0 +1,774 @@
+(* hextime: analytical time modeling and tile-size selection for GPGPU
+   stencils (PPoPP'17 reproduction).
+
+   Subcommands map one-to-one onto the paper's artifacts: the tables, the
+   figures, single-configuration prediction, and model-guided tuning. *)
+
+module Gpu = Hextime_gpu
+module Stencil = Hextime_stencil.Stencil
+module Problem = Hextime_stencil.Problem
+module Config = Hextime_tiling.Config
+module Model = Hextime_core.Model
+module Runner = Hextime_tileopt.Runner
+module Optimizer = Hextime_tileopt.Optimizer
+module Strategies = Hextime_tileopt.Strategies
+module Space = Hextime_tileopt.Space
+module Amplgen = Hextime_tileopt.Amplgen
+module H = Hextime_harness
+module Tabulate = Hextime_prelude.Tabulate
+
+open Cmdliner
+
+let die fmt = Printf.ksprintf (fun msg -> `Error (false, msg)) fmt
+
+(* --- shared argument parsing ------------------------------------------- *)
+
+let arch_arg =
+  let parse s =
+    match Gpu.Arch.find s with
+    | a -> Ok a
+    | exception Not_found ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown architecture %S (expected %s)" s
+               (String.concat " | "
+                  (List.map (fun (a : Gpu.Arch.t) -> a.name) Gpu.Arch.presets))))
+  in
+  let print ppf (a : Gpu.Arch.t) = Format.pp_print_string ppf a.name in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Gpu.Arch.gtx980
+    & info [ "a"; "arch" ] ~docv:"ARCH" ~doc:"GPU architecture preset.")
+
+let stencil_arg =
+  let parse s =
+    match Stencil.find s with
+    | st -> Ok st
+    | exception Not_found ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown stencil %S (expected one of: %s)" s
+               (String.concat ", "
+                  (List.map (fun (st : Stencil.t) -> st.name)
+                     Stencil.all_benchmarks))))
+  in
+  let print ppf (st : Stencil.t) = Format.pp_print_string ppf st.name in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Stencil.heat2d
+    & info [ "s"; "stencil" ] ~docv:"STENCIL" ~doc:"Stencil benchmark name.")
+
+let ints_of_string s =
+  try Some (List.map int_of_string (String.split_on_char 'x' s))
+  with Failure _ -> None
+
+let dims_conv what =
+  let parse s =
+    match ints_of_string s with
+    | Some (_ :: _ as xs) -> Ok (Array.of_list xs)
+    | _ -> Error (`Msg (Printf.sprintf "bad %s %S (use e.g. 4096x4096)" what s))
+  in
+  let print ppf a =
+    Format.pp_print_string ppf
+      (String.concat "x" (Array.to_list (Array.map string_of_int a)))
+  in
+  Arg.conv (parse, print)
+
+let space_arg =
+  Arg.(
+    value
+    & opt (dims_conv "space size") [| 4096; 4096 |]
+    & info [ "S"; "space" ] ~docv:"S1xS2[xS3]" ~doc:"Space extents.")
+
+let time_arg =
+  Arg.(
+    value & opt int 1024
+    & info [ "T"; "time" ] ~docv:"T" ~doc:"Number of time steps.")
+
+let scale_arg =
+  let parse s =
+    match H.Experiments.scale_of_string s with
+    | Ok sc -> Ok sc
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf sc =
+    Format.pp_print_string ppf (H.Experiments.scale_to_string sc)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) H.Experiments.Ci
+    & info [ "scale" ] ~docv:"ci|quick|paper"
+        ~doc:"Experiment scale (problem-size grid).")
+
+let problem_of stencil space time =
+  match Problem.make stencil ~space ~time with
+  | p -> Ok p
+  | exception Invalid_argument msg -> Error msg
+
+(* --- predict ------------------------------------------------------------ *)
+
+let predict_cmd =
+  let tile =
+    Arg.(
+      required
+      & opt (some (dims_conv "tile sizes")) None
+      & info [ "tile" ] ~docv:"tTxtS1[xtS2[xtS3]]"
+          ~doc:"Tile sizes: time tile then one per space dimension.")
+  in
+  let threads =
+    Arg.(
+      value & opt int 256
+      & info [ "threads" ] ~docv:"N" ~doc:"Threads per block.")
+  in
+  let explain =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Print the full derivation.")
+  in
+  let run arch stencil space time tile threads explain_flag =
+    match problem_of stencil space time with
+    | Error msg -> die "%s" msg
+    | Ok problem -> (
+        if Array.length tile < 2 then die "tile needs at least tT and tS1"
+        else
+          let t_t = tile.(0) in
+          let t_s = Array.sub tile 1 (Array.length tile - 1) in
+          match Config.make ~t_t ~t_s ~threads:[| threads |] with
+          | Error msg -> die "invalid configuration: %s" msg
+          | Ok cfg -> (
+              let params = H.Microbench.params arch in
+              let citer = H.Microbench.citer arch stencil in
+              match Model.predict params ~citer problem cfg with
+              | Error msg -> die "model: %s" msg
+              | Ok pr ->
+                  Format.printf "problem:    %a on %s@." Problem.pp problem
+                    arch.Gpu.Arch.name;
+                  Format.printf "config:     %a@." Config.pp cfg;
+                  Format.printf "model:      %a@." Model.pp_prediction pr;
+                  (if explain_flag then
+                     match Model.explain params ~citer problem cfg with
+                     | Ok text -> print_string text
+                     | Error msg -> Format.printf "explain failed: %s@." msg);
+                  (match Runner.measure arch problem cfg with
+                  | Ok m ->
+                      Format.printf
+                        "simulated:  %.4e s (%.1f GFLOP/s, k=%d, %d regs \
+                         spilled)@."
+                        m.Runner.time_s m.Runner.gflops m.Runner.resident_blocks
+                        m.Runner.spilled_regs;
+                      Format.printf "model/simulated: %.2f@."
+                        (pr.Model.talg /. m.Runner.time_s)
+                  | Error msg ->
+                      Format.printf "simulated:  rejected (%s)@." msg);
+                  `Ok ()))
+  in
+  let term =
+    Term.(
+      ret (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ tile
+           $ threads $ explain))
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:
+         "Evaluate the analytical model on one configuration and compare \
+          against the simulator.")
+    term
+
+(* --- tune --------------------------------------------------------------- *)
+
+let tune_cmd =
+  let frac =
+    Arg.(
+      value & opt float 0.10
+      & info [ "frac" ] ~docv:"F"
+          ~doc:"Keep shapes within F of the predicted minimum (paper: 0.10).")
+  in
+  let run arch stencil space time frac =
+    match problem_of stencil space time with
+    | Error msg -> die "%s" msg
+    | Ok problem ->
+        let params = H.Microbench.params arch in
+        let citer = H.Microbench.citer arch stencil in
+        let space_eval = Optimizer.evaluate_space params ~citer problem in
+        if space_eval = [] then die "empty feasible space"
+        else begin
+          let best = Optimizer.best space_eval in
+          let cands = Optimizer.within_fraction ~frac space_eval in
+          Format.printf "feasible shapes: %d; Talg_min = %.4e s at %a@."
+            (List.length space_eval) best.Optimizer.prediction.Model.talg
+            Space.pp best.Optimizer.shape;
+          Format.printf "candidates within %.0f%%: %d@." (100.0 *. frac)
+            (List.length cands);
+          let ctx = { Strategies.arch; params; citer; problem } in
+          match Strategies.model_top10 ctx with
+          | Error msg -> die "tuning failed: %s" msg
+          | Ok o ->
+              Format.printf
+                "recommended: %a  (%.4e s simulated, %.1f GFLOP/s, %d \
+                 configurations executed)@."
+                Config.pp o.Strategies.config
+                o.Strategies.measurement.Runner.time_s
+                o.Strategies.measurement.Runner.gflops o.Strategies.explored;
+              `Ok ()
+        end
+  in
+  let term =
+    Term.(ret (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ frac))
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Model-guided tile-size selection (Section 6): enumerate the \
+          feasible space, keep the within-10% candidates, explore them \
+          empirically.")
+    term
+
+(* --- strategies ---------------------------------------------------------- *)
+
+let strategies_cmd =
+  let run arch stencil space time =
+    match problem_of stencil space time with
+    | Error msg -> die "%s" msg
+    | Ok problem ->
+        let params = H.Microbench.params arch in
+        let citer = H.Microbench.citer arch stencil in
+        let ctx = { Strategies.arch; params; citer; problem } in
+        let t =
+          Tabulate.create
+            ~title:(Printf.sprintf "Strategies for %s on %s" (Problem.id problem) arch.Gpu.Arch.name)
+            [
+              ("strategy", Tabulate.Left);
+              ("configuration", Tabulate.Left);
+              ("time", Tabulate.Right);
+              ("GFLOP/s", Tabulate.Right);
+              ("explored", Tabulate.Right);
+            ]
+        in
+        let t =
+          List.fold_left
+            (fun t (name, outcome) ->
+              match outcome with
+              | Ok (o : Strategies.outcome) ->
+                  Tabulate.add_row t
+                    [
+                      name;
+                      Config.id o.Strategies.config;
+                      Tabulate.seconds_cell o.Strategies.measurement.Runner.time_s;
+                      Printf.sprintf "%.1f" o.Strategies.measurement.Runner.gflops;
+                      string_of_int o.Strategies.explored;
+                    ]
+              | Error msg -> Tabulate.add_row t [ name; "failed: " ^ msg; "-"; "-"; "-" ])
+            t
+            (Strategies.all ~max_configs:2000 ctx)
+        in
+        Tabulate.print t;
+        `Ok ()
+  in
+  let term =
+    Term.(ret (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg))
+  in
+  Cmd.v
+    (Cmd.info "strategies"
+       ~doc:"Compare the tile-size selection strategies of Figure 6 on one instance.")
+    term
+
+(* --- tables / figures ---------------------------------------------------- *)
+
+let tables_cmd =
+  let run () =
+    print_string (Hextime_core.Glossary.render ());
+    print_newline ();
+    Tabulate.print (H.Tables.table2 ());
+    print_newline ();
+    Tabulate.print (H.Tables.table3 ());
+    print_newline ();
+    Tabulate.print (H.Tables.table4 ());
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Print the reproductions of Tables 2, 3 and 4.")
+    Term.(ret (const run $ const ()))
+
+let fig3_cmd =
+  let limit =
+    Arg.(
+      value & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"Subsample each sweep to N points.")
+  in
+  let run scale limit =
+    print_string (H.Figures.render_fig3 (H.Figures.fig3_data ?limit scale));
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "fig3" ~doc:"Model validation (Figure 3 / Section 5.3).")
+    Term.(ret (const run $ scale_arg $ limit))
+
+let fig4_cmd =
+  let run space time =
+    print_string (H.Figures.render_fig4 (H.Figures.fig4_data ~space ~time ()));
+    `Ok ()
+  in
+  let space =
+    Arg.(
+      value
+      & opt (dims_conv "space size") [| 8192; 8192 |]
+      & info [ "S"; "space" ] ~docv:"S1xS2" ~doc:"Space extents.")
+  in
+  let time =
+    Arg.(value & opt int 8192 & info [ "T"; "time" ] ~docv:"T" ~doc:"Time steps.")
+  in
+  Cmd.v
+    (Cmd.info "fig4" ~doc:"Talg surface for Heat2D on GTX 980 (Figure 4).")
+    Term.(ret (const run $ space $ time))
+
+let fig5_cmd =
+  let run scale =
+    print_string (H.Figures.render_fig5 (H.Figures.fig5_data ~scale ()));
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "fig5"
+       ~doc:"Model-guided candidates vs the baseline for Gradient2D (Figure 5).")
+    Term.(ret (const run $ scale_arg))
+
+let fig6_cmd =
+  let max_configs =
+    Arg.(
+      value & opt int 2000
+      & info [ "max-configs" ] ~docv:"N"
+          ~doc:"Stride-sample cap for the exhaustive strategy.")
+  in
+  let run scale max_configs =
+    print_string (H.Figures.render_fig6 (H.Figures.fig6_data ~max_configs scale));
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "fig6"
+       ~doc:"Average GFLOP/s per tile-size selection strategy (Figure 6).")
+    Term.(ret (const run $ scale_arg $ max_configs))
+
+(* --- validate ------------------------------------------------------------ *)
+
+let validate_cmd =
+  let csv =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the sweep as CSV.")
+  in
+  let plot =
+    Arg.(value & flag & info [ "plot" ] ~doc:"Render the ASCII scatter plot.")
+  in
+  let run arch stencil space time csv plot =
+    match problem_of stencil space time with
+    | Error msg -> die "%s" msg
+    | Ok problem ->
+        let e = { H.Experiments.arch; problem } in
+        let sweep = H.Sweep.baseline e in
+        if sweep = [] then die "no data point survived"
+        else begin
+          let s = H.Validation.analyze sweep in
+          Format.printf "%s: %a@." (H.Experiments.id e) H.Validation.pp_summary s;
+          if plot then
+            print_string
+              (H.Scatter.render ~title:"predicted (x) vs measured (y)"
+                 (H.Validation.scatter sweep));
+          match csv with
+          | None -> `Ok ()
+          | Some path -> (
+              match H.Export.write_file ~path (H.Export.sweep_csv sweep) with
+              | Ok () ->
+                  Format.printf "wrote %s@." path;
+                  `Ok ()
+              | Error msg -> die "csv: %s" msg)
+        end
+  in
+  let term =
+    Term.(
+      ret (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ csv $ plot))
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Run the 850-point baseline sweep for one experiment and report \
+             the RMSE bands of Section 5.3.")
+    term
+
+(* --- sensitivity -------------------------------------------------------------- *)
+
+let sensitivity_cmd =
+  let tile =
+    Arg.(
+      required
+      & opt (some (dims_conv "tile sizes")) None
+      & info [ "tile" ] ~docv:"tTxtS1[xtS2[xtS3]]" ~doc:"Tile sizes.")
+  in
+  let threads =
+    Arg.(value & opt int 256 & info [ "threads" ] ~docv:"N" ~doc:"Threads per block.")
+  in
+  let run arch stencil space time tile threads =
+    match problem_of stencil space time with
+    | Error msg -> die "%s" msg
+    | Ok problem ->
+        if Array.length tile < 2 then die "tile needs at least tT and tS1"
+        else
+          let t_t = tile.(0) in
+          let t_s = Array.sub tile 1 (Array.length tile - 1) in
+          (match Config.make ~t_t ~t_s ~threads:[| threads |] with
+          | Error msg -> die "invalid configuration: %s" msg
+          | Ok cfg -> (
+              let params = H.Microbench.params arch in
+              let citer = H.Microbench.citer arch stencil in
+              match Hextime_core.Sensitivity.analyze params ~citer problem cfg with
+              | Error msg -> die "sensitivity: %s" msg
+              | Ok rows ->
+                  let t =
+                    Tabulate.create
+                      ~title:
+                        (Printf.sprintf "Talg sensitivity for %s / %s"
+                           (Problem.id problem) (Config.id cfg))
+                      [ ("parameter", Tabulate.Left); ("elasticity", Tabulate.Right) ]
+                  in
+                  Tabulate.print
+                    (List.fold_left
+                       (fun t (r : Hextime_core.Sensitivity.row) ->
+                         Tabulate.add_row t
+                           [
+                             Hextime_core.Sensitivity.factor_name
+                               r.Hextime_core.Sensitivity.factor;
+                             Printf.sprintf "%+.2f"
+                               r.Hextime_core.Sensitivity.elasticity;
+                           ])
+                       t rows);
+                  `Ok ()))
+  in
+  let term =
+    Term.(
+      ret (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ tile
+           $ threads))
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Which model parameter the prediction hinges on for a \
+             configuration (elasticities of Talg).")
+    term
+
+(* --- trace ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let tile =
+    Arg.(
+      required
+      & opt (some (dims_conv "tile sizes")) None
+      & info [ "tile" ] ~docv:"tTxtS1[xtS2[xtS3]]" ~doc:"Tile sizes.")
+  in
+  let threads =
+    Arg.(value & opt int 256 & info [ "threads" ] ~docv:"N" ~doc:"Threads per block.")
+  in
+  let run arch stencil space time tile threads =
+    match problem_of stencil space time with
+    | Error msg -> die "%s" msg
+    | Ok problem ->
+        if Array.length tile < 2 then die "tile needs at least tT and tS1"
+        else
+          let t_t = tile.(0) in
+          let t_s = Array.sub tile 1 (Array.length tile - 1) in
+          (match Config.make ~t_t ~t_s ~threads:[| threads |] with
+          | Error msg -> die "invalid configuration: %s" msg
+          | Ok cfg -> (
+              match Hextime_tiling.Lower.compile problem cfg with
+              | Error msg -> die "compile: %s" msg
+              | Ok compiled -> (
+                  match
+                    Gpu.Timeline.of_kernel arch
+                      compiled.Hextime_tiling.Lower.green
+                  with
+                  | Error msg -> die "trace: %s" msg
+                  | Ok timeline ->
+                      Format.printf
+                        "one green wavefront kernel (%d blocks) on %s:@."
+                        compiled.Hextime_tiling.Lower.blocks_per_wavefront
+                        arch.Gpu.Arch.name;
+                      print_string (Gpu.Timeline.render timeline);
+                      `Ok ())))
+  in
+  let term =
+    Term.(
+      ret (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ tile
+           $ threads))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Render the per-SM execution timeline of one wavefront kernel.")
+    term
+
+(* --- codegen --------------------------------------------------------------- *)
+
+let codegen_cmd =
+  let tile =
+    Arg.(
+      required
+      & opt (some (dims_conv "tile sizes")) None
+      & info [ "tile" ] ~docv:"tTxtS1[xtS2[xtS3]]" ~doc:"Tile sizes.")
+  in
+  let threads =
+    Arg.(value & opt int 256 & info [ "threads" ] ~docv:"N" ~doc:"Threads per block.")
+  in
+  let run stencil space time tile threads =
+    match problem_of stencil space time with
+    | Error msg -> die "%s" msg
+    | Ok problem ->
+        if Array.length tile < 2 then die "tile needs at least tT and tS1"
+        else
+          let t_t = tile.(0) in
+          let t_s = Array.sub tile 1 (Array.length tile - 1) in
+          (match Config.make ~t_t ~t_s ~threads:[| threads |] with
+          | Error msg -> die "invalid configuration: %s" msg
+          | Ok cfg -> (
+              match Hextime_tiling.Codegen.program problem cfg with
+              | Ok text ->
+                  print_string text;
+                  `Ok ()
+              | Error msg -> die "codegen: %s" msg))
+  in
+  let term =
+    Term.(ret (const run $ stencil_arg $ space_arg $ time_arg $ tile $ threads))
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:"Emit the CUDA-like pseudo-code of a tiled schedule (what the \
+             HHC compiler would generate).")
+    term
+
+(* --- naive ------------------------------------------------------------------ *)
+
+let naive_cmd =
+  let run arch stencil space time =
+    match problem_of stencil space time with
+    | Error msg -> die "%s" msg
+    | Ok problem -> (
+        match Hextime_tiling.Naive.best arch problem with
+        | Error msg -> die "naive: %s" msg
+        | Ok t ->
+            Format.printf
+              "tuned naive (no time tiling): block %s, %d threads -> %.4e s \
+               = %.1f GFLOP/s@."
+              (String.concat "x"
+                 (Array.to_list
+                    (Array.map string_of_int t.Hextime_tiling.Naive.block)))
+              t.Hextime_tiling.Naive.threads t.Hextime_tiling.Naive.time_s
+              t.Hextime_tiling.Naive.gflops;
+            let params = H.Microbench.params arch in
+            let citer = H.Microbench.citer arch stencil in
+            let ctx = { Strategies.arch; params; citer; problem } in
+            (match Strategies.model_top10 ctx with
+            | Ok o ->
+                Format.printf
+                  "model-guided HHC:            %s -> %.4e s = %.1f GFLOP/s \
+                   (%.1fx faster)@."
+                  (Config.id o.Strategies.config)
+                  o.Strategies.measurement.Runner.time_s
+                  o.Strategies.measurement.Runner.gflops
+                  (t.Hextime_tiling.Naive.time_s
+                  /. o.Strategies.measurement.Runner.time_s)
+            | Error msg -> Format.printf "model-guided HHC failed: %s@." msg);
+            `Ok ())
+  in
+  let term =
+    Term.(ret (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg))
+  in
+  Cmd.v
+    (Cmd.info "naive"
+       ~doc:"Price a tuned naive (one-kernel-per-time-step) implementation \
+             and compare with time-tiled HHC: the motivation of Section 1.")
+    term
+
+(* --- solve ------------------------------------------------------------------ *)
+
+let solve_cmd =
+  let restarts =
+    Arg.(value & opt int 8 & info [ "restarts" ] ~docv:"N" ~doc:"Solver restarts.")
+  in
+  let run arch stencil space time restarts =
+    match problem_of stencil space time with
+    | Error msg -> die "%s" msg
+    | Ok problem -> (
+        let params = H.Microbench.params arch in
+        let citer = H.Microbench.citer arch stencil in
+        match Hextime_tileopt.Descent.solve ~restarts params ~citer problem with
+        | Error msg -> die "solver: %s" msg
+        | Ok sol ->
+            let gap =
+              Hextime_tileopt.Descent.optimality_gap params ~citer problem sol
+            in
+            Format.printf
+              "local solver: %s predicted %.4e s (%d evaluations, %d \
+               restarts); gap to exhaustive enumeration: %+.1f%%@."
+              (Space.id sol.Hextime_tileopt.Descent.shape)
+              sol.Hextime_tileopt.Descent.talg
+              sol.Hextime_tileopt.Descent.evaluations restarts
+              (100.0 *. gap);
+            `Ok ())
+  in
+  let term =
+    Term.(
+      ret (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ restarts))
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Minimise Equation 31 with a multi-start local solver (the \
+             Bonmin experiment of Section 6.1) and report its optimality gap.")
+    term
+
+(* --- ampl ----------------------------------------------------------------- *)
+
+let ampl_cmd =
+  let run arch stencil space time =
+    match problem_of stencil space time with
+    | Error msg -> die "%s" msg
+    | Ok problem ->
+        let params = H.Microbench.params arch in
+        let citer = H.Microbench.citer arch stencil in
+        print_string (Amplgen.emit params ~citer problem);
+        `Ok ()
+  in
+  let term =
+    Term.(ret (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg))
+  in
+  Cmd.v
+    (Cmd.info "ampl"
+       ~doc:"Emit Equation 31 as an AMPL model for external solvers (Section 6.1).")
+    term
+
+let doctor_cmd =
+  let run () =
+    let checks = ref [] in
+    let check name f =
+      let outcome = try f () with e -> Error (Printexc.to_string e) in
+      checks := (name, outcome) :: !checks
+    in
+    check "hexagonal lattice partitions the plane" (fun () ->
+        Hextime_tiling.Exec_cpu.coverage_check ~order:1 ~t_s:5 ~t_t:6
+          ~space:64 ~time:13);
+    check "hexagonal schedule is exact (heat2d)" (fun () ->
+        let p = Problem.make Stencil.heat2d ~space:[| 24; 32 |] ~time:6 in
+        Hextime_tiling.Exec_cpu.verify p
+          (Config.make_exn ~t_t:2 ~t_s:[| 4; 32 |] ~threads:[| 32 |])
+          ~init:(Hextime_stencil.Reference.default_init p));
+    check "skewed schedule is exact" (fun () ->
+        let p = Problem.make Stencil.heat2d ~space:[| 24; 32 |] ~time:6 in
+        Hextime_tiling.Skewed.verify p
+          (Config.make_exn ~t_t:2 ~t_s:[| 4; 32 |] ~threads:[| 32 |])
+          ~init:(Hextime_stencil.Reference.default_init p));
+    check "overtile schedule is exact" (fun () ->
+        let p = Problem.make Stencil.heat2d ~space:[| 24; 32 |] ~time:6 in
+        Hextime_tiling.Overtile.verify p
+          (Config.make_exn ~t_t:2 ~t_s:[| 4; 32 |] ~threads:[| 32 |])
+          ~init:(Hextime_stencil.Reference.default_init p));
+    check "micro-benchmarks in range" (fun () ->
+        let p = H.Microbench.params Gpu.Arch.gtx980 in
+        if
+          Hextime_core.Params.l_per_gb p > 1e-3
+          && Hextime_core.Params.l_per_gb p < 5e-2
+        then Ok ()
+        else Error "L out of expected range");
+    check "event simulation agrees with closed form" (fun () ->
+        let body =
+          {
+            Gpu.Pointcost.flops = 10; loads = 5; transcendentals = 0;
+            rank = 2; double = false;
+          }
+        in
+        let w =
+          Gpu.Workload.v ~label:"doctor" ~threads:256 ~shared_words:4000
+            ~regs_per_thread:32 ~body
+            ~rows:[ { Gpu.Workload.points = 1024; repeats = 4 } ]
+            ~input:{ Gpu.Memory.words = 0; run_length = 32 }
+            ~output:{ Gpu.Memory.words = 0; run_length = 32 }
+            ~row_stride:73 ~chunks:1
+        in
+        let r = Gpu.Eventsim.agreement Gpu.Arch.gtx980 w in
+        if r > 0.7 && r < 1.5 then Ok ()
+        else Error (Printf.sprintf "agreement ratio %.2f" r));
+    check "model/simulator top-band coherence" (fun () ->
+        let p = Problem.make Stencil.heat2d ~space:[| 2048; 2048 |] ~time:256 in
+        let params = H.Microbench.params Gpu.Arch.gtx980 in
+        let citer = H.Microbench.citer Gpu.Arch.gtx980 Stencil.heat2d in
+        let cfg = Config.make_exn ~t_t:16 ~t_s:[| 16; 64 |] ~threads:[| 256 |] in
+        match
+          ( Model.predict params ~citer p cfg,
+            Runner.measure Gpu.Arch.gtx980 p cfg )
+        with
+        | Ok pr, Ok m ->
+            let ratio = pr.Model.talg /. m.Runner.time_s in
+            if ratio > 0.7 && ratio < 1.4 then Ok ()
+            else Error (Printf.sprintf "model/simulated = %.2f" ratio)
+        | Error e, _ | _, Error e -> Error e);
+    let failures = ref 0 in
+    List.iter
+      (fun (name, outcome) ->
+        match outcome with
+        | Ok () -> Printf.printf "  [ok]   %s\n" name
+        | Error e ->
+            incr failures;
+            Printf.printf "  [FAIL] %s: %s\n" name e)
+      (List.rev !checks);
+    if !failures = 0 then begin
+      print_endline "doctor: all checks passed";
+      `Ok ()
+    end
+    else die "doctor: %d check(s) failed" !failures
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:"Run fast end-to-end self-checks of the geometry, executors, \
+             micro-benchmarks, event simulation and model coherence.")
+    Term.(ret (const run $ const ()))
+
+let report_cmd =
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  let run scale out =
+    match out with
+    | None ->
+        print_string (H.Report.markdown scale);
+        `Ok ()
+    | Some path -> (
+        match H.Report.write ~path scale with
+        | Ok () ->
+            Format.printf "wrote %s@." path;
+            `Ok ()
+        | Error msg -> die "report: %s" msg)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Generate the markdown paper-vs-measured reproduction report.")
+    Term.(ret (const run $ scale_arg $ out))
+
+let main_cmd =
+  let doc =
+    "analytical time modeling and optimal tile-size selection for GPGPU \
+     stencils (PPoPP'17 reproduction)"
+  in
+  Cmd.group
+    (Cmd.info "hextime" ~version:"1.0.0" ~doc)
+    [
+      predict_cmd;
+      tune_cmd;
+      strategies_cmd;
+      sensitivity_cmd;
+      trace_cmd;
+      codegen_cmd;
+      naive_cmd;
+      solve_cmd;
+      tables_cmd;
+      fig3_cmd;
+      fig4_cmd;
+      fig5_cmd;
+      fig6_cmd;
+      validate_cmd;
+      doctor_cmd;
+      report_cmd;
+      ampl_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,73 @@
+(* 3D diffusion: the volumetric workload class (materials modelling,
+   computational physics) from the paper's introduction.
+
+   3D stencils are where tile-size selection gets genuinely hard: the
+   shared-memory footprint 2*(tS1+tT+1)(tS2+tT+1)(tS3+tT+1) explodes with
+   the time-tile depth, so the feasible region is a narrow sliver and the
+   compute cost per point is ~4x the 2D case (Table 4).  This example
+   integrates a small 3D heat problem exactly through the tiled executor,
+   then lets the model navigate that sliver for a production-size volume on
+   both machines and shows what the footprint constraint does to the chosen
+   tiles.
+
+   Run with: dune exec examples/diffusion3d.exe *)
+
+module Stencil = Hextime_stencil.Stencil
+module Problem = Hextime_stencil.Problem
+module Grid = Hextime_stencil.Grid
+module Reference = Hextime_stencil.Reference
+module Exec_cpu = Hextime_tiling.Exec_cpu
+module Footprint = Hextime_tiling.Footprint
+module Config = Hextime_tiling.Config
+module Gpu = Hextime_gpu
+module Model = Hextime_core.Model
+module Space = Hextime_tileopt.Space
+module Optimizer = Hextime_tileopt.Optimizer
+module Strategies = Hextime_tileopt.Strategies
+module Runner = Hextime_tileopt.Runner
+module Microbench = Hextime_harness.Microbench
+
+let () =
+  let stencil = Stencil.heat3d in
+
+  (* --- exactness on a small volume -------------------------------------- *)
+  let demo = Problem.make stencil ~space:[| 14; 12; 32 |] ~time:6 in
+  let init = Reference.default_init demo in
+  let cfg = Config.make_exn ~t_t:2 ~t_s:[| 4; 4; 32 |] ~threads:[| 64 |] in
+  (match Exec_cpu.verify demo cfg ~init with
+  | Ok () -> print_endline "3D tiled execution: bit-identical to the reference"
+  | Error e -> failwith e);
+
+  (* --- the footprint wall ------------------------------------------------ *)
+  let production = Problem.make stencil ~space:[| 384; 384; 384 |] ~time:256 in
+  print_endline "\nshared-memory footprint vs time-tile depth (tS = 4x8x32):";
+  List.iter
+    (fun t_t ->
+      let cfg = Config.make_exn ~t_t ~t_s:[| 4; 8; 32 |] ~threads:[| 256 |] in
+      let fp = Footprint.of_config ~order:1 ~space:production.Problem.space cfg in
+      Printf.printf "  tT = %2d -> M_tile = %5d words (%5.1f KB) %s\n" t_t
+        fp.Footprint.shared_words
+        (float_of_int fp.Footprint.shared_words *. 4.0 /. 1024.0)
+        (if fp.Footprint.shared_words > 12288 then "  [over the 48 KB cap]"
+         else ""))
+    [ 2; 4; 6; 8; 10; 12 ];
+
+  (* --- model-guided selection on both machines --------------------------- *)
+  print_endline "\nmodel-guided tile selection, 384^3 volume, T = 256:";
+  List.iter
+    (fun arch ->
+      let params = Microbench.params arch in
+      let citer = Microbench.citer arch stencil in
+      let shapes = Space.shapes params production in
+      let ctx = { Strategies.arch; params; citer; problem = production } in
+      match Strategies.model_top10 ctx with
+      | Error e -> failwith e
+      | Ok o ->
+          Printf.printf
+            "  %-7s %4d feasible shapes -> %s: %.3f s = %.1f GFLOP/s (k = %d)\n"
+            arch.Gpu.Arch.name (List.length shapes)
+            (Config.id o.Strategies.config)
+            o.Strategies.measurement.Runner.time_s
+            o.Strategies.measurement.Runner.gflops
+            o.Strategies.measurement.Runner.resident_blocks)
+    Gpu.Arch.presets

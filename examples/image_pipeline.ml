@@ -1,0 +1,88 @@
+(* Image-processing pipeline: iterative smoothing followed by gradient
+   (edge) extraction — the signal/image workload family from the paper's
+   introduction, and a case where two different stencils run back to back.
+
+   The pipeline smooths a noisy synthetic "image" with a few Jacobi
+   iterations, then computes the gradient magnitude, all through the tiled
+   executor.  For deployment we let the model plan each stage separately:
+   the gradient kernel's sqrt roughly doubles C_iter (Table 4), which the
+   model picks up from the micro-benchmark and folds into its per-stage
+   predictions and tile-size choices.
+
+   Run with: dune exec examples/image_pipeline.exe *)
+
+module Stencil = Hextime_stencil.Stencil
+module Problem = Hextime_stencil.Problem
+module Grid = Hextime_stencil.Grid
+module Exec_cpu = Hextime_tiling.Exec_cpu
+module Config = Hextime_tiling.Config
+module Gpu = Hextime_gpu
+module Model = Hextime_core.Model
+module Optimizer = Hextime_tileopt.Optimizer
+module Space = Hextime_tileopt.Space
+module Microbench = Hextime_harness.Microbench
+
+(* deterministic "noise" from the point's coordinates *)
+let synthetic_image n =
+  let img = Grid.create [| n; n |] in
+  let h = Hextime_prelude.Det_hash.create "image" in
+  Grid.fill img (fun idx ->
+      let base = if idx.(1) > n / 2 then 0.8 else 0.2 in
+      let hh =
+        Hextime_prelude.Det_hash.mix_int
+          (Hextime_prelude.Det_hash.mix_int h idx.(0))
+          idx.(1)
+      in
+      base +. (0.2 *. (Hextime_prelude.Det_hash.uniform hh -. 0.5)));
+  img
+
+let roughness g =
+  (* mean absolute difference between horizontal neighbours *)
+  let dims = Grid.dims g in
+  let acc = ref 0.0 and cnt = ref 0 in
+  for i = 0 to dims.(0) - 1 do
+    for j = 0 to dims.(1) - 2 do
+      acc := !acc +. abs_float (Grid.get2 g i j -. Grid.get2 g i (j + 1));
+      incr cnt
+    done
+  done;
+  !acc /. float_of_int !cnt
+
+let () =
+  let n = 64 in
+  let image = synthetic_image n in
+  Format.printf "input roughness:    %.4f@." (roughness image);
+
+  (* stage 1: 8 Jacobi smoothing iterations, tiled *)
+  let smooth_problem = Problem.make Stencil.jacobi2d ~space:[| n; n |] ~time:8 in
+  let cfg = Config.make_exn ~t_t:4 ~t_s:[| 6; 32 |] ~threads:[| 64 |] in
+  let smoothed = Exec_cpu.run smooth_problem cfg ~init:image in
+  Format.printf "smoothed roughness: %.4f@." (roughness smoothed);
+  assert (roughness smoothed < roughness image);
+
+  (* stage 2: one gradient pass extracts the edge between the two halves *)
+  let edge_problem = Problem.make Stencil.gradient2d ~space:[| n; n |] ~time:1 in
+  let edges = Exec_cpu.run edge_problem cfg ~init:smoothed in
+  let mid_edge = Grid.get2 edges (n / 2) (n / 2) in
+  let flat = Grid.get2 edges (n / 2) (n / 4) in
+  Format.printf "gradient at edge %.4f vs flat region %.4f@." mid_edge flat;
+  assert (mid_edge > flat);
+
+  (* deployment: per-stage tile-size selection at production resolution *)
+  let arch = Gpu.Arch.titanx in
+  let params = Microbench.params arch in
+  Format.printf "@.per-stage predicted optima on %s (8192^2, T = 1024):@."
+    arch.Gpu.Arch.name;
+  List.iter
+    (fun stencil ->
+      let problem =
+        Problem.make stencil ~space:[| 8192; 8192 |] ~time:1024
+      in
+      let citer = Microbench.citer arch stencil in
+      let space_eval = Optimizer.evaluate_space params ~citer problem in
+      let best = Optimizer.best space_eval in
+      Format.printf "  %-12s C_iter = %.2e s -> %s (predicted %.3f s)@."
+        stencil.Stencil.name citer
+        (Space.id best.Optimizer.shape)
+        best.Optimizer.prediction.Model.talg)
+    [ Stencil.jacobi2d; Stencil.gradient2d ]

@@ -1,0 +1,61 @@
+(* Quickstart: the five-minute tour of the library.
+
+   1. pick a stencil benchmark and a problem size;
+   2. check that hexagonally tiled execution is exact (CPU executor);
+   3. ask the analytical model for the execution time of a configuration;
+   4. "measure" the same configuration on the GPU simulator;
+   5. let the optimizer pick tile sizes.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Stencil = Hextime_stencil.Stencil
+module Problem = Hextime_stencil.Problem
+module Reference = Hextime_stencil.Reference
+module Exec_cpu = Hextime_tiling.Exec_cpu
+module Config = Hextime_tiling.Config
+module Gpu = Hextime_gpu
+module Model = Hextime_core.Model
+module Runner = Hextime_tileopt.Runner
+module Strategies = Hextime_tileopt.Strategies
+module Microbench = Hextime_harness.Microbench
+
+let () =
+  (* 1. a small heat-equation problem for the correctness demo *)
+  let stencil = Stencil.heat2d in
+  let demo = Problem.make stencil ~space:[| 64; 64 |] ~time:16 in
+  let init = Reference.default_init demo in
+
+  (* 2. execute the HHC tile schedule on the CPU and compare with the naive
+     reference — the executor also checks every dependence *)
+  let cfg = Config.make_exn ~t_t:4 ~t_s:[| 6; 32 |] ~threads:[| 64 |] in
+  (match Exec_cpu.verify demo cfg ~init with
+  | Ok () -> print_endline "tiled execution: bit-identical to the reference"
+  | Error e -> failwith ("tiled execution diverged: " ^ e));
+
+  (* 3 + 4. model vs simulator on a production-size instance *)
+  let arch = Gpu.Arch.gtx980 in
+  let production = Problem.make stencil ~space:[| 4096; 4096 |] ~time:2048 in
+  let params = Microbench.params arch in
+  let citer = Microbench.citer arch stencil in
+  let cfg = Config.make_exn ~t_t:16 ~t_s:[| 16; 64 |] ~threads:[| 256 |] in
+  (match Model.predict params ~citer production cfg with
+  | Ok pr ->
+      Format.printf "model:     Talg = %.4f s (k = %d, %d wavefronts)@."
+        pr.Model.talg pr.Model.k pr.Model.n_wavefronts
+  | Error e -> failwith e);
+  (match Runner.measure arch production cfg with
+  | Ok m ->
+      Format.printf "simulator: %.4f s = %.1f GFLOP/s@." m.Runner.time_s
+        m.Runner.gflops
+  | Error e -> failwith e);
+
+  (* 5. model-guided tile-size selection (the paper's Section 6 procedure) *)
+  let ctx = { Strategies.arch; params; citer; problem = production } in
+  match Strategies.model_top10 ctx with
+  | Ok o ->
+      Format.printf
+        "tuned:     %s -> %.4f s = %.1f GFLOP/s (after executing %d \
+         candidate configurations)@."
+        (Config.id o.Strategies.config) o.Strategies.measurement.Runner.time_s
+        o.Strategies.measurement.Runner.gflops o.Strategies.explored
+  | Error e -> failwith e

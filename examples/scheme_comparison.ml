@@ -1,0 +1,90 @@
+(* Why hybrid-hexagonal tiling?  Four GPU schedules for the same stencil,
+   priced on the same simulated machine (Section 2's design space):
+
+   - naive:      one kernel per time step, no reuse along time;
+   - skewed:     classic time skewing, 45-degree wavefronts of rectangles;
+   - overtile:   overlapped tiles with ghost-zone redundant computation;
+   - hexagonal:  the HHC scheme the paper models, with model-guided tiles.
+
+   All four are executed/verified on the CPU against the same reference
+   (naive trivially; the other three through their dependence-checked
+   executors) before being priced.
+
+   Run with: dune exec examples/scheme_comparison.exe *)
+
+module Stencil = Hextime_stencil.Stencil
+module Problem = Hextime_stencil.Problem
+module Reference = Hextime_stencil.Reference
+module Config = Hextime_tiling.Config
+module Exec_cpu = Hextime_tiling.Exec_cpu
+module Skewed = Hextime_tiling.Skewed
+module Overtile = Hextime_tiling.Overtile
+module Naive = Hextime_tiling.Naive
+module Gpu = Hextime_gpu
+module Runner = Hextime_tileopt.Runner
+module Strategies = Hextime_tileopt.Strategies
+module Microbench = Hextime_harness.Microbench
+module Tabulate = Hextime_prelude.Tabulate
+
+let () =
+  let stencil = Stencil.heat2d in
+
+  (* --- all schemes agree with the reference on a small instance --------- *)
+  let demo = Problem.make stencil ~space:[| 32; 32 |] ~time:8 in
+  let init = Reference.default_init demo in
+  let cfg = Config.make_exn ~t_t:4 ~t_s:[| 6; 32 |] ~threads:[| 64 |] in
+  let check name = function
+    | Ok () -> Printf.printf "  %-10s exact\n" name
+    | Error e -> failwith (name ^ ": " ^ e)
+  in
+  print_endline "correctness (vs naive reference, dependence-checked):";
+  check "hexagonal" (Exec_cpu.verify demo cfg ~init);
+  check "skewed" (Skewed.verify demo cfg ~init);
+  check "overtile" (Overtile.verify demo cfg ~init);
+
+  (* --- performance at production size ------------------------------------ *)
+  let arch = Gpu.Arch.gtx980 in
+  let problem = Problem.make stencil ~space:[| 4096; 4096 |] ~time:1024 in
+  let params = Microbench.params arch in
+  let citer = Microbench.citer arch stencil in
+  let gflops t = Problem.total_flops problem /. t /. 1e9 in
+
+  let hex =
+    let ctx = { Strategies.arch; params; citer; problem } in
+    match Strategies.model_top10 ctx with
+    | Ok o -> (Config.id o.Strategies.config, o.Strategies.measurement.Runner.time_s)
+    | Error e -> failwith e
+  in
+  (* give the other schemes the same tuned tile sizes where applicable *)
+  let tuned = Config.make_exn ~t_t:8 ~t_s:[| 16; 64 |] ~threads:[| 256 |] in
+  let skewed_t =
+    match Skewed.measure arch problem tuned with Ok t -> t | Error e -> failwith e
+  in
+  let overtile_t =
+    match Overtile.measure arch problem tuned with Ok t -> t | Error e -> failwith e
+  in
+  let naive =
+    match Naive.best arch problem with Ok t -> t | Error e -> failwith e
+  in
+  Printf.printf "\nheat2d 4096^2, T = 1024, on %s:\n" arch.Gpu.Arch.name;
+  let table =
+    Tabulate.create
+      [
+        ("scheme", Tabulate.Left);
+        ("configuration", Tabulate.Left);
+        ("time", Tabulate.Right);
+        ("GFLOP/s", Tabulate.Right);
+      ]
+  in
+  let row name cfg t = [ name; cfg; Tabulate.seconds_cell t; Printf.sprintf "%.1f" (gflops t) ] in
+  Tabulate.print
+    (Tabulate.add_rows table
+       [
+         row "naive (no time tiling)"
+           (String.concat "x"
+              (Array.to_list (Array.map string_of_int naive.Naive.block)))
+           naive.Naive.time_s;
+         row "classic time skewing" (Config.id tuned) skewed_t;
+         row "overtile (ghost zones)" (Config.id tuned) overtile_t;
+         row "hexagonal (model-tuned)" (fst hex) (snd hex);
+       ])

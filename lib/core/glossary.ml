@@ -1,0 +1,105 @@
+type origin = Software | Hardware | Problem_class
+type kind = Elementary | Composite
+
+type entry = {
+  name : string;
+  kind : kind;
+  origin : origin list;
+  description : string;
+  where : string;
+}
+
+let e name origin description where =
+  { name; kind = Elementary; origin; description; where }
+
+let c name origin description where =
+  { name; kind = Composite; origin; description; where }
+
+let table1 =
+  [
+    e "S_i" [ Problem_class ] "i-th space dimension" "Problem.space";
+    e "T" [ Problem_class ] "time dimension" "Problem.time";
+    e "t_Si" [ Software ] "tile size along the i-th space dimension"
+      "Config.t_s";
+    e "t_T" [ Software ] "tile size along the time dimension" "Config.t_t";
+    e "n_thr,i" [ Software ]
+      "number of threads per threadblock in the i-th dimension"
+      "Config.threads";
+    e "n_SM" [ Hardware ] "number of SMs in the device" "Arch.n_sm";
+    e "n_V" [ Hardware ] "number of vector units per SM" "Arch.n_vector";
+    e "R_SM" [ Hardware ] "number of registers per SM" "Arch.registers_per_sm";
+    e "M_SM" [ Hardware ] "size of shared memory per SM"
+      "Arch.shared_mem_per_sm";
+    e "MTB_SM" [ Hardware ] "max threadblocks per SM" "Arch.max_blocks_per_sm";
+    e "L" [ Hardware ] "time per word of global memory access"
+      "Params.l_word (micro-benchmarked)";
+    e "tau_sync" [ Hardware ] "time for a single synchronization"
+      "Params.tau_sync (micro-benchmarked)";
+    e "T_sync" [ Hardware ] "time for a host-GPU synchronization"
+      "Params.t_sync (micro-benchmarked)";
+    c "N_w" [ Software ] "number of wavefronts" "Hexgeom.num_wavefronts";
+    c "m_i" [ Software ]
+      "input memory footprint of a tile (read from global memory)"
+      "Footprint.input_words";
+    c "m_o" [ Software ]
+      "output memory footprint of a tile (written to global memory)"
+      "Footprint.output_words";
+    c "m'" [ Software ] "time for global<->shared data transfer for a tile"
+      "Model.prediction.m_transfer";
+    c "c" [ Software ] "time to perform the computation in a tile"
+      "Model.prediction.c_compute";
+    c "k" [ Software ] "hyper-threading factor (threadblocks per SM)"
+      "Model.hyperthreading_factor";
+    c "T_tile(k)" [ Software ] "time to compute a tile with k-way hyper-threading"
+      "Model.prediction.t_tile";
+    c "w(i)" [ Software ] "width of the i-th wavefront (threadblocks per call)"
+      "Hexgeom.wavefront_width";
+    c "w_tile" [ Software ] "width of (number of iterations in) a tile"
+      "Hexgeom.width_of_tile";
+    c "R_tile" [ Software ]
+      "registers needed per tile (unknowable pre-compilation; the model \
+       omits it, the simulator estimates it)"
+      "Regalloc.per_thread";
+    c "M_tile" [ Software ] "shared memory needed per tile"
+      "Footprint.shared_words";
+    c "M_io" [ Software ] "I/O volume per tile (global<->shared)"
+      "Footprint.io_words_per_tile";
+    c "C_iter" [ Software; Hardware ]
+      "(optimized) execution time of one iteration"
+      "Microbench.citer (micro-benchmarked)";
+    c "T_alg" [ Software; Hardware; Problem_class ]
+      "total execution time of the stencil" "Model.prediction.talg";
+  ]
+
+let find name = List.find_opt (fun entry -> entry.name = name) table1
+
+let origin_string origin =
+  String.concat "+"
+    (List.map
+       (function Software -> "S" | Hardware -> "H" | Problem_class -> "P")
+       origin)
+
+let kind_string = function Elementary -> "E" | Composite -> "C"
+
+let render () =
+  let open Hextime_prelude.Tabulate in
+  let t =
+    create ~title:"Table 1: the execution time model parameters"
+      [
+        ("Name", Left);
+        ("Type", Left);
+        ("Description", Left);
+        ("Implemented by", Left);
+      ]
+  in
+  render
+    (add_rows t
+       (List.map
+          (fun entry ->
+            [
+              entry.name;
+              kind_string entry.kind ^ origin_string entry.origin;
+              entry.description;
+              entry.where;
+            ])
+          table1))

@@ -1,0 +1,26 @@
+(** Table 1 of the paper: the execution-time model's parameters, their
+    classification and where each one lives in this code base.
+
+    Parameters are Elementary (measured or chosen) or Composite (functions
+    of others), and come from the Software (compiler/user choices), Hardware
+    (machine) or Problem (stencil/size) domains. *)
+
+type origin = Software | Hardware | Problem_class
+type kind = Elementary | Composite
+
+type entry = {
+  name : string;  (** the paper's symbol, e.g. "tau_sync" *)
+  kind : kind;
+  origin : origin list;  (** C_iter is software+hardware, hence a list *)
+  description : string;
+  where : string;  (** module/field implementing it *)
+}
+
+val table1 : entry list
+(** All rows of Table 1, in the paper's order. *)
+
+val find : string -> entry option
+(** Look up a parameter by symbol. *)
+
+val render : unit -> string
+(** Plain-text rendering in the style of the other table reproductions. *)

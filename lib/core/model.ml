@@ -1,0 +1,201 @@
+module Ints = Hextime_prelude.Ints
+module Problem = Hextime_stencil.Problem
+module Stencil = Hextime_stencil.Stencil
+module Config = Hextime_tiling.Config
+module Footprint = Hextime_tiling.Footprint
+module Hexgeom = Hextime_tiling.Hexgeom
+
+type prediction = {
+  talg : float;
+  t_tile : float;
+  m_transfer : float;
+  c_compute : float;
+  k : int;
+  n_wavefronts : int;
+  wavefront_blocks : int;
+  sm_rounds : int;
+  shared_words : int;
+  io_words : int;
+  chunks : int;
+}
+
+let hyperthreading_factor (p : Params.t) ~shared_words =
+  if shared_words <= 0 then p.max_blocks_per_sm
+  else min p.max_blocks_per_sm (p.shared_mem_per_sm / shared_words)
+
+let footprint_of (problem : Problem.t) (cfg : Config.t) =
+  Footprint.of_problem problem cfg
+
+let feasible (p : Params.t) (problem : Problem.t) (cfg : Config.t) =
+  if Config.rank cfg <> problem.stencil.Stencil.rank then
+    Error "configuration rank /= problem rank"
+  else
+    let fp = footprint_of problem cfg in
+    if fp.Footprint.shared_words > p.shared_mem_per_block then
+      Error
+        (Printf.sprintf "M_tile = %d words exceeds per-block cap of %d"
+           fp.Footprint.shared_words p.shared_mem_per_block)
+    else if Array.exists2 (fun ts s -> ts > s) cfg.t_s problem.space then
+      Error "tile size exceeds problem extent"
+    else Ok ()
+
+type variant = Refined | Paper_verbatim
+
+(* c: Equations 9 / 15 / 27.  The hexagon rows come in equal-width pairs
+   (factor 2); each row of x points over the inner extents costs
+   ceil(x * inner / nV) * C_iter, plus one synchronisation per row.
+
+   [Paper_verbatim] sums the widths of Equation 4's idealised hexagon,
+   starting at x = t_s.  The two staggered tile families are not congruent
+   in the exact lattice: one family's base is wider by 2*order, so the
+   verbatim sum undercounts the computation by a factor (pitch - 2*order) /
+   pitch — negligible for realistic tiles but a spurious 2x at degenerate
+   shapes (t_s = 1, t_t = 2), which would hand the optimizer a false
+   minimum.  [Family_averaged] (the default) therefore uses the mean width
+   of the two families, x + order. *)
+let compute_time ?(variant = Refined) (p : Params.t) ~citer ~order
+    (cfg : Config.t) =
+  let rank = Config.rank cfg in
+  let inner = Array.fold_left ( * ) 1 (Array.sub cfg.t_s 1 (rank - 1)) in
+  let base =
+    match variant with
+    | Paper_verbatim -> cfg.t_s.(0)
+    | Refined -> cfg.t_s.(0) + order
+  in
+  let sum =
+    List.fold_left
+      (fun acc d ->
+        let x = base + (2 * order * d) in
+        acc + Ints.ceil_div (x * inner) p.n_vector)
+      0
+      (Ints.range 0 ((cfg.t_t / 2) - 1))
+  in
+  (2.0 *. citer *. float_of_int sum)
+  +. (float_of_int cfg.t_t *. p.tau_sync)
+
+let predict ?variant (p : Params.t) ~citer (problem : Problem.t) (cfg : Config.t) =
+  match feasible p problem cfg with
+  | Error _ as e -> e
+  | Ok () ->
+      if citer <= 0.0 then Error "citer must be positive"
+      else
+        let order = problem.stencil.Stencil.order in
+        let fp = footprint_of problem cfg in
+        let mio = fp.Footprint.input_words + fp.Footprint.output_words in
+        (* m': Equations 8 / 14 / 25 *)
+        let m_transfer =
+          (float_of_int mio *. p.l_word) +. (2.0 *. p.tau_sync)
+        in
+        let c_compute = compute_time ?variant:(Option.map Fun.id variant) p ~citer ~order cfg in
+        let wavefront_blocks =
+          Hexgeom.wavefront_width ~order ~t_s:cfg.t_s.(0) ~t_t:cfg.t_t
+            ~space:problem.space.(0)
+        in
+        (* Equation 11 bounds k by resources; a wavefront of w blocks can
+           additionally keep at most ceil(w / nSM) blocks per SM resident
+           (the paper's derivation assumes w >> k * nSM, where the clamp is
+           inactive) *)
+        let k =
+          max 1
+            (min
+               (hyperthreading_factor p ~shared_words:fp.Footprint.shared_words)
+               (Ints.ceil_div wavefront_blocks p.n_sm))
+        in
+        let chunks = fp.Footprint.chunks in
+        (* T_tile(j): Equations 10/12 (1D) and 16/28/29 (2D/3D) at
+           hyper-threading factor j *)
+        let t_tile_at j =
+          let cf = float_of_int chunks in
+          match (Config.rank cfg, j) with
+          | 1, 1 -> m_transfer +. c_compute (* Equation 10 *)
+          | 1, _ ->
+              (* Equation 12 *)
+              m_transfer +. c_compute
+              +. (float_of_int (j - 1) *. max m_transfer c_compute)
+          | _, 1 -> (m_transfer +. c_compute) *. cf (* Equations 16 / 28 *)
+          | _, _ ->
+              (* Equations 16 / 29 *)
+              m_transfer
+              +. (float_of_int j *. max m_transfer c_compute *. cf)
+        in
+        let t_tile = t_tile_at k in
+        let n_wavefronts =
+          Hexgeom.num_wavefronts ~t_t:cfg.t_t ~time:problem.time
+        in
+        let sm_rounds =
+          Ints.ceil_div (Ints.ceil_div wavefront_blocks k) p.n_sm
+        in
+        (* Per-wavefront tile time.  Paper_verbatim applies Equation 2's
+           double ceiling, which charges the ragged final round as a full
+           k-deep round; Refined charges the final round at its actual
+           depth, which matters once k exceeds 2 (see the bench ablation). *)
+        let per_wavefront =
+          match Option.value variant ~default:Refined with
+          | Paper_verbatim -> t_tile *. float_of_int sm_rounds
+          | Refined ->
+              let capacity = k * p.n_sm in
+              let full = wavefront_blocks / capacity in
+              let remainder = wavefront_blocks mod capacity in
+              let last =
+                if remainder = 0 then 0.0
+                else t_tile_at (Ints.ceil_div remainder p.n_sm)
+              in
+              (float_of_int full *. t_tile) +. last
+        in
+        (* Equations 6 / 17 / 30 *)
+        let talg =
+          float_of_int n_wavefronts *. (per_wavefront +. p.t_sync)
+        in
+        Ok
+          {
+            talg;
+            t_tile;
+            m_transfer;
+            c_compute;
+            k;
+            n_wavefronts;
+            wavefront_blocks;
+            sm_rounds;
+            shared_words = fp.Footprint.shared_words;
+            io_words = mio;
+            chunks;
+          }
+
+let pp_prediction ppf pr =
+  Format.fprintf ppf
+    "Talg=%.4es (Ttile=%.3es, m'=%.3es, c=%.3es, k=%d, Nw=%d, w=%d, rounds=%d, \
+     Mtile=%dw, mio=%dw, chunks=%d)"
+    pr.talg pr.t_tile pr.m_transfer pr.c_compute pr.k pr.n_wavefronts
+    pr.wavefront_blocks pr.sm_rounds pr.shared_words pr.io_words pr.chunks
+
+let explain (p : Params.t) ~citer (problem : Problem.t) (cfg : Config.t) =
+  match predict p ~citer problem cfg with
+  | Error _ as e -> e
+  | Ok pr ->
+      let order = problem.stencil.Stencil.order in
+      let b = Buffer.create 1024 in
+      let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+      pf "T_alg derivation for %s, %s on %s\n" (Problem.id problem)
+        (Config.id cfg) p.arch_name;
+      pf "  eq 3   N_w   = 2 * ceil(T / t_T) = 2 * ceil(%d / %d) = %d\n"
+        problem.time cfg.t_t pr.n_wavefronts;
+      pf "  eq 5   w     = ceil(S1 / (2 t_S1 + %d t_T)) = ceil(%d / %d) = %d\n"
+        order problem.space.(0)
+        ((2 * cfg.t_s.(0)) + (order * cfg.t_t))
+        pr.wavefront_blocks;
+      pf "  eq 7+  m_io  = %d words  ->  m' = m_io L + 2 tau = %.3e s\n"
+        pr.io_words pr.m_transfer;
+      pf "  eq 9+  c     = 2 C_iter sum ceil(x_r * inner / n_V) + t_T tau = %.3e s\n"
+        pr.c_compute;
+      pf "         M_tile = %d words (cap %d); chunks = %d\n" pr.shared_words
+        p.shared_mem_per_block pr.chunks;
+      pf "  eq 11  k     = min(MTB_SM, M_SM / M_tile, ceil(w / n_SM)) = %d\n"
+        pr.k;
+      pf "  eq 12/16/29  T_tile(k) = %.3e s\n" pr.t_tile;
+      pf "  eq 2   rounds = ceil(ceil(w / k) / n_SM) = %d\n" pr.sm_rounds;
+      pf "  eq 6/17/30   T_alg = N_w (per-wavefront + T_sync) = %.4e s\n"
+        pr.talg;
+      pf "  dominant term: %s-bound (m' %s c)\n"
+        (if pr.m_transfer > pr.c_compute then "transfer" else "compute")
+        (if pr.m_transfer > pr.c_compute then ">" else "<=");
+      Ok (Buffer.contents b)

@@ -1,0 +1,80 @@
+(** The paper's analytical execution-time model (Section 4).
+
+    Given the machine parameters, the stencil's per-iteration compute time
+    C_iter, a problem instance and a tiling configuration, {!predict}
+    evaluates the closed-form T_alg of Equations 6 (1D), 17 (2D) and 30
+    (3D), built from:
+
+    - N_w, the number of wavefronts (Equation 3);
+    - w, the number of blocks per wavefront (Equation 5);
+    - m', the per-chunk global-traffic time (Equations 8, 14, 25);
+    - c, the per-chunk compute time (Equations 9, 15, 27);
+    - k, the hyper-threading factor, bounded by shared memory (Equation 11 —
+      the register term is deliberately absent: it is unknowable before the
+      backend compiler runs, see Section 6.1);
+    - the per-tile combinators of Equations 10/12 (1D), 16 (2D), 28/29 (3D).
+
+    The model is *deliberately optimistic* (Section 1): it assumes full lane
+    utilisation, free overlap up to the max(m', c) bound, no divergence, no
+    bank conflicts, no spills.  Its contract is accuracy on well-performing
+    configurations, not on the whole space (Section 5.3). *)
+
+type prediction = {
+  talg : float;  (** predicted total execution time, seconds *)
+  t_tile : float;  (** time of one tile / prism / slab (T_tile, T_prism) *)
+  m_transfer : float;  (** m': per-chunk global-traffic time *)
+  c_compute : float;  (** c: per-chunk compute time *)
+  k : int;  (** hyper-threading factor used *)
+  n_wavefronts : int;  (** N_w *)
+  wavefront_blocks : int;  (** w *)
+  sm_rounds : int;  (** ceil(ceil(w/k) / nSM) *)
+  shared_words : int;  (** M_tile *)
+  io_words : int;  (** m_i + m_o per chunk *)
+  chunks : int;  (** sub-prisms / sub-slabs per block *)
+}
+
+val feasible :
+  Params.t -> Hextime_stencil.Problem.t -> Hextime_tiling.Config.t -> (unit, string) result
+(** The feasibility constraints of Equation 31 that the model can see:
+    M_tile within the per-block shared-memory cap and the structural tile
+    constraints (checked at {!Hextime_tiling.Config.make} time). *)
+
+type variant = Refined | Paper_verbatim
+(** [Paper_verbatim] evaluates the printed equations exactly: the idealised
+    hexagon widths of Equation 4 and the double-ceiling round count of
+    Equation 2.  [Refined] (the default) applies two discretisation-honest
+    corrections that matter only in corners of the space: (a) it uses the
+    mean row width of the two staggered tile families (the exact lattice
+    shows one family's base is wider by [2 * order], so the verbatim widths
+    undercount work — a spurious 2x at degenerate shapes like t_s = 1,
+    t_t = 2); and (b) it charges the ragged final scheduling round at its
+    actual depth instead of a full k-deep round (the verbatim form
+    overcounts by up to 2x when k is large and w mod (k * nSM) is small).
+    The bench's ablation quantifies both. *)
+
+val predict :
+  ?variant:variant ->
+  Params.t ->
+  citer:float ->
+  Hextime_stencil.Problem.t ->
+  Hextime_tiling.Config.t ->
+  (prediction, string) result
+(** Evaluate the model.  Fails on rank mismatch or infeasible configuration.
+    [citer] is the measured C_iter for this stencil on this machine
+    (Table 4). *)
+
+val hyperthreading_factor : Params.t -> shared_words:int -> int
+(** k from Equation 11 restricted to the shared-memory and MTB_SM terms:
+    [min MTB_SM (M_SM / M_tile)]. *)
+
+val pp_prediction : Format.formatter -> prediction -> unit
+
+val explain :
+  Params.t ->
+  citer:float ->
+  Hextime_stencil.Problem.t ->
+  Hextime_tiling.Config.t ->
+  (string, string) result
+(** A step-by-step rendering of the prediction: each of the paper's
+    equations with this configuration's numbers substituted — the
+    derivation a reader would do by hand to audit a data point. *)

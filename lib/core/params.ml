@@ -1,0 +1,33 @@
+type t = {
+  arch_name : string;
+  n_sm : int;
+  n_vector : int;
+  shared_mem_per_sm : int;
+  shared_mem_per_block : int;
+  max_blocks_per_sm : int;
+  l_word : float;
+  tau_sync : float;
+  t_sync : float;
+}
+
+let of_microbenchmarks (arch : Hextime_gpu.Arch.t) ~l_word ~tau_sync ~t_sync =
+  if l_word <= 0.0 || tau_sync <= 0.0 || t_sync <= 0.0 then
+    invalid_arg "Params.of_microbenchmarks: non-positive constant";
+  {
+    arch_name = arch.name;
+    n_sm = arch.n_sm;
+    n_vector = arch.n_vector;
+    shared_mem_per_sm = arch.shared_mem_per_sm;
+    shared_mem_per_block = arch.shared_mem_per_block;
+    max_blocks_per_sm = arch.max_blocks_per_sm;
+    l_word;
+    tau_sync;
+    t_sync;
+  }
+
+let l_per_gb t = t.l_word *. 1e9 /. 4.0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: L=%.3e s/word, tau_sync=%.3e s, T_sync=%.3e s (%d SMs, nV=%d)"
+    t.arch_name t.l_word t.tau_sync t.t_sync t.n_sm t.n_vector

@@ -1,0 +1,84 @@
+module Problem = Hextime_stencil.Problem
+module Config = Hextime_tiling.Config
+module Arch = Hextime_gpu.Arch
+
+type factor = L | Tau_sync | T_sync | C_iter | N_sm | N_vector
+
+let factor_name = function
+  | L -> "L"
+  | Tau_sync -> "tau_sync"
+  | T_sync -> "T_sync"
+  | C_iter -> "C_iter"
+  | N_sm -> "n_SM"
+  | N_vector -> "n_V"
+
+type row = { factor : factor; elasticity : float }
+
+let all_factors = [ C_iter; L; T_sync; Tau_sync; N_sm; N_vector ]
+
+let predict_with (p : Params.t) ~citer problem cfg =
+  match Model.predict p ~citer problem cfg with
+  | Ok pr -> Some pr.Model.talg
+  | Error _ -> None
+
+(* rebuild the parameter set with one constant scaled; the integer machine
+   parameters go through a scaled architecture copy *)
+let scaled (p : Params.t) factor s =
+  let arch = Arch.find p.Params.arch_name in
+  let rebuilt ?(arch = arch) ?(l = p.Params.l_word) ?(tau = p.Params.tau_sync)
+      ?(tsync = p.Params.t_sync) () =
+    Params.of_microbenchmarks arch ~l_word:l ~tau_sync:tau ~t_sync:tsync
+  in
+  match factor with
+  | L -> rebuilt ~l:(p.Params.l_word *. s) ()
+  | Tau_sync -> rebuilt ~tau:(p.Params.tau_sync *. s) ()
+  | T_sync -> rebuilt ~tsync:(p.Params.t_sync *. s) ()
+  | C_iter -> rebuilt () (* handled through the citer argument *)
+  | N_sm ->
+      rebuilt
+        ~arch:
+          { arch with Arch.n_sm = max 1 (int_of_float (float_of_int arch.Arch.n_sm *. s)) }
+        ()
+  | N_vector ->
+      rebuilt
+        ~arch:
+          {
+            arch with
+            Arch.n_vector =
+              max 32 (32 * (int_of_float (float_of_int arch.Arch.n_vector *. s) / 32));
+          }
+        ()
+
+let analyze ?(epsilon = 0.05) (p : Params.t) ~citer problem cfg =
+  if epsilon <= 0.0 || epsilon >= 0.5 then
+    Error "epsilon must be in (0, 0.5)"
+  else
+    match predict_with p ~citer problem cfg with
+    | None -> Error "configuration rejected by the model"
+    | Some base ->
+        let elasticity factor =
+          let up_scale = 1.0 +. epsilon and down_scale = 1.0 -. epsilon in
+          let evaluate s =
+            match factor with
+            | C_iter -> predict_with p ~citer:(citer *. s) problem cfg
+            | _ -> predict_with (scaled p factor s) ~citer problem cfg
+          in
+          match (evaluate up_scale, evaluate down_scale) with
+          | Some up, Some down ->
+              Some
+                {
+                  factor;
+                  elasticity = (up -. down) /. base /. (2.0 *. epsilon);
+                }
+          | _ -> None
+        in
+        let rows = List.filter_map elasticity all_factors in
+        Ok
+          (List.sort
+             (fun a b ->
+               Float.compare (abs_float b.elasticity) (abs_float a.elasticity))
+             rows)
+
+let dominant = function
+  | [] -> invalid_arg "Sensitivity.dominant: empty"
+  | r :: _ -> r.factor

@@ -1,0 +1,40 @@
+(** Sensitivity of the predicted time to each model parameter.
+
+    The paper argues (Sections 1 and 7) that a small set of parameters
+    captures first-order behaviour while others can be safely ignored.
+    This module makes that quantitative for any configuration: it perturbs
+    each measured constant and machine parameter by a relative epsilon and
+    reports the induced relative change of T_alg — which parameter the
+    prediction actually hinges on (C_iter for compute-bound tiles, L for
+    transfer-bound ones, T_sync for launch-bound degenerate tilings). *)
+
+type factor =
+  | L  (** global-memory word cost *)
+  | Tau_sync
+  | T_sync
+  | C_iter
+  | N_sm
+  | N_vector
+
+val factor_name : factor -> string
+
+type row = {
+  factor : factor;
+  elasticity : float;
+      (** d(log T_alg) / d(log parameter): +1.0 means a 1% increase of the
+          parameter grows the prediction by 1% *)
+}
+
+val analyze :
+  ?epsilon:float ->
+  Params.t ->
+  citer:float ->
+  Hextime_stencil.Problem.t ->
+  Hextime_tiling.Config.t ->
+  (row list, string) result
+(** Central finite differences with relative [epsilon] (default 0.05) on
+    the continuous parameters, one-step perturbation on the integer ones.
+    Rows are sorted by decreasing |elasticity|. *)
+
+val dominant : row list -> factor
+(** The factor with the largest |elasticity|; raises on empty. *)

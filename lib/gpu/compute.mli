@@ -1,0 +1,34 @@
+(** Timing of the compute phase of a chunk.
+
+    The paper's optimistic model (Equations 9, 15, 27) assumes every row
+    costs [ceil(points / nV) * C_iter + tau_sync] — full lane utilisation,
+    no divergence, no conflicts, perfect latency hiding.  The simulator's
+    ground truth here charges for what real code pays:
+
+    - a block can use at most [min(threads, nV)] lanes per issue round;
+    - threads are scheduled warp-granular, so a thread count that is not a
+      multiple of the warp size wastes lanes;
+    - too few resident warps fail to hide pipeline latency;
+    - shared-memory bank conflicts scale with the tile's inner stride;
+    - registers spilled by the compiler add DRAM-backed traffic per point. *)
+
+val row_seconds :
+  Arch.t -> Workload.t -> spilled_regs:int -> resident:int -> points:int -> float
+(** Time for one compute row of [points] points, including the trailing
+    intra-block synchronisation.  [resident] is the number of co-resident
+    blocks on the SM: the barrier's pipeline-drain bubble is filled by other
+    blocks when there are any, so low residency pays more per row — one of
+    the reasons Section 7 finds footprint-maximising (low-k) tiles
+    suboptimal. *)
+
+val chunk_seconds :
+  Arch.t -> Workload.t -> spilled_regs:int -> resident:int -> float
+(** Time for all rows of one chunk (no global traffic). *)
+
+val lane_iterations : Arch.t -> threads:int -> points:int -> int
+(** Number of issue rounds needed for a row: [ceil (points / usable_lanes)].
+    Exposed for tests. *)
+
+val latency_hiding_factor : Arch.t -> threads:int -> float
+(** Penalty ([>= 1.0]) applied when a block has too few warps to hide
+    arithmetic and shared-memory latency.  Exposed for tests. *)

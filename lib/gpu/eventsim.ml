@@ -1,0 +1,90 @@
+module Ints = Hextime_prelude.Ints
+
+type stats = { cycles : float; issued : int; stall_fraction : float }
+
+(* micro-architecture constants of the event model: a warp may issue [chain]
+   consecutive independent instructions, then stalls [dep_latency] cycles on
+   the dependency; chosen so that the canonical 8 warps saturate the 4
+   schedulers (mirroring Compute.warps_for_full_hiding) *)
+let chain = 8
+let dep_latency = 8
+let barrier_cycles = 41 (* sync + drain at residency 1, cf. Compute *)
+
+type warp = {
+  mutable instrs_left : int;  (** in the current row *)
+  mutable ready_at : int;  (** cycle when it may issue again *)
+  mutable run : int;  (** instructions issued since the last stall *)
+}
+
+let chunk_stats (arch : Arch.t) (w : Workload.t) =
+  let schedulers = max 1 (arch.n_vector / arch.warp_size) in
+  let warps_n = Ints.ceil_div w.threads arch.warp_size in
+  let instrs_per_point =
+    max 1 (int_of_float (Float.round (Pointcost.cycles w.body)))
+  in
+  let warps = Array.init warps_n (fun _ -> { instrs_left = 0; ready_at = 0; run = 0 }) in
+  let clock = ref 0 in
+  let issued = ref 0 in
+  let slots = ref 0 in
+  let run_row points =
+    (* distribute the row's points warp-granularly: each warp-iteration
+       covers up to warp_size points and costs instrs_per_point slots *)
+    let warp_iterations = Ints.ceil_div points arch.warp_size in
+    Array.iteri
+      (fun i warp ->
+        let mine =
+          (warp_iterations / warps_n)
+          + (if i < warp_iterations mod warps_n then 1 else 0)
+        in
+        warp.instrs_left <- mine * instrs_per_point;
+        warp.ready_at <- !clock;
+        warp.run <- 0)
+      warps;
+    let remaining () =
+      Array.exists (fun warp -> warp.instrs_left > 0) warps
+    in
+    let rr = ref 0 in
+    while remaining () do
+      let issued_now = ref 0 in
+      (* each scheduler picks one ready warp, round-robin start point *)
+      let tried = ref 0 in
+      while !issued_now < schedulers && !tried < warps_n do
+        let warp = warps.((!rr + !tried) mod warps_n) in
+        incr tried;
+        if warp.instrs_left > 0 && warp.ready_at <= !clock then begin
+          warp.instrs_left <- warp.instrs_left - 1;
+          warp.run <- warp.run + 1;
+          if warp.run >= chain then begin
+            warp.run <- 0;
+            warp.ready_at <- !clock + dep_latency
+          end;
+          incr issued_now;
+          incr issued
+        end
+      done;
+      rr := !rr + 1;
+      slots := !slots + schedulers;
+      clock := !clock + 1
+    done;
+    (* row barrier *)
+    clock := !clock + barrier_cycles
+  in
+  List.iter
+    (fun (row : Workload.row) ->
+      for _ = 1 to row.repeats do
+        run_row row.points
+      done)
+    w.rows;
+  {
+    cycles = float_of_int !clock;
+    issued = !issued;
+    stall_fraction =
+      (if !slots = 0 then 0.0
+       else 1.0 -. (float_of_int !issued /. float_of_int !slots));
+  }
+
+let chunk_seconds arch w =
+  Arch.seconds_of_cycles arch (chunk_stats arch w).cycles
+
+let agreement arch w =
+  chunk_seconds arch w /. Compute.chunk_seconds arch w ~spilled_regs:0 ~resident:1

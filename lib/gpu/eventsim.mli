@@ -1,0 +1,33 @@
+(** A warp-level discrete-event simulation of one thread block's compute
+    phase — an *independent* estimator used to validate the closed-form
+    timing in {!Compute}.
+
+    Where {!Compute} prices a row as [ceil(points/lanes) * per_point *
+    penalties], this module actually schedules warps cycle by cycle: each
+    warp owns a share of the row's points, turns them into an instruction
+    stream (the per-point issue-slot count comes from {!Pointcost}), issues
+    at most one instruction per scheduler per cycle, stalls on a dependency
+    latency after every chain of independent instructions, and meets the
+    whole block at a barrier after every row.  Latency hiding, warp
+    granularity and barrier costs *emerge* from the event loop instead of
+    being closed-form factors, so agreement between the two estimators is
+    meaningful evidence that the closed form (and hence the simulator that
+    the paper's claims are validated against) is self-consistent. *)
+
+type stats = {
+  cycles : float;  (** simulated cycles for one chunk's compute phase *)
+  issued : int;  (** total warp-instructions issued *)
+  stall_fraction : float;  (** scheduler slots idle / total slots *)
+}
+
+val chunk_stats : Arch.t -> Workload.t -> stats
+(** Event-simulate one chunk of the workload with a single resident block.
+    Intended for moderate workloads (the loop is per-cycle); tests keep rows
+    in the thousands of points. *)
+
+val chunk_seconds : Arch.t -> Workload.t -> float
+(** [chunk_stats] converted at the architecture's clock. *)
+
+val agreement : Arch.t -> Workload.t -> float
+(** Ratio of the event-simulated chunk time to {!Compute.chunk_seconds} at
+    residency 1 — close to 1.0 when the closed form is faithful. *)

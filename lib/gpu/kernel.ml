@@ -1,0 +1,30 @@
+type t = { label : string; blocks : (Workload.t * int) list }
+
+let v ~label ~blocks =
+  if blocks = [] then invalid_arg "Kernel.v: no blocks";
+  List.iter
+    (fun (_, count) -> if count <= 0 then invalid_arg "Kernel.v: count <= 0")
+    blocks;
+  { label; blocks }
+
+let total_blocks k = List.fold_left (fun acc (_, c) -> acc + c) 0 k.blocks
+
+let total_points k =
+  List.fold_left
+    (fun acc (w, c) -> acc + (Workload.total_points w * c))
+    0 k.blocks
+
+let max_request k =
+  List.fold_left
+    (fun (acc : Occupancy.request) ((w : Workload.t), _) ->
+      {
+        Occupancy.threads = max acc.threads w.threads;
+        shared_words = max acc.shared_words w.shared_words;
+        regs_per_thread = max acc.regs_per_thread w.regs_per_thread;
+      })
+    { Occupancy.threads = 1; shared_words = 0; regs_per_thread = 0 }
+    k.blocks
+
+let pp ppf k =
+  Format.fprintf ppf "kernel %s: %d blocks (%d shapes)" k.label
+    (total_blocks k) (List.length k.blocks)

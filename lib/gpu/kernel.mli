@@ -1,0 +1,21 @@
+(** A kernel call: a population of thread blocks launched together.
+
+    One kernel executes one wavefront of tiles (Section 3.1): all blocks are
+    independent and the GPU schedules them freely over the SMs.  Blocks with
+    identical shape are grouped with a count so a kernel's cost can be
+    computed without materialising every block. *)
+
+type t = private { label : string; blocks : (Workload.t * int) list }
+
+val v : label:string -> blocks:(Workload.t * int) list -> t
+(** Validates that at least one block is present and counts are positive. *)
+
+val total_blocks : t -> int
+val total_points : t -> int
+
+val max_request : t -> Occupancy.request
+(** The most demanding resource request across block shapes; residency on an
+    SM is limited by it (the HHC runtime launches one grid, so all blocks
+    reserve identical resources). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+(** Global-memory (DRAM) timing for thread-block transfers.
+
+    The paper's model charges [m_io * L] per tile with a single constant L
+    measured by micro-benchmark.  The simulator's ground truth is richer:
+    a fixed first-word latency, bandwidth shared across the SMs that are
+    actively loading, a coalescing efficiency that depends on the contiguous
+    run length of the accesses, and congestion when many resident blocks per
+    SM stream at once. *)
+
+type transfer = {
+  words : int;  (** words moved (read or write) *)
+  run_length : int;  (** contiguous words per access run (coalescing) *)
+}
+
+val coalescing_factor : Arch.t -> run_length:int -> float
+(** Multiplicative traffic expansion ([>= 1.0]): short runs waste part of
+    each 32-word transaction. A run length that is a multiple of the warp
+    size is perfectly coalesced. *)
+
+val block_transfer_s :
+  Arch.t -> concurrent_blocks:int -> transfer -> float
+(** Time for one thread block to move [transfer] when [concurrent_blocks]
+    blocks per SM are streaming on every SM (>= 1).  Includes the first-word
+    latency once per transfer. *)
+
+val spill_traffic_s : Arch.t -> words:float -> float
+(** Time cost of register-spill traffic (local memory), charged at a
+    cache-unfriendly fraction of streaming bandwidth. *)

@@ -1,0 +1,42 @@
+type request = { threads : int; shared_words : int; regs_per_thread : int }
+type limit = Threads | Blocks | Shared_memory | Registers
+
+type result = {
+  blocks_per_sm : int;
+  limiting : limit;
+  regs_spilled_per_thread : int;
+}
+
+let calculate (arch : Arch.t) req =
+  if req.threads <= 0 then invalid_arg "Occupancy: threads must be positive";
+  if req.shared_words < 0 || req.regs_per_thread < 0 then
+    invalid_arg "Occupancy: negative resource request";
+  (* nvcc caps the registers a thread may keep; the excess is spilled and the
+     capped value is what occupancy is computed from. *)
+  let spilled = max 0 (req.regs_per_thread - arch.max_regs_per_thread) in
+  let regs_held = min req.regs_per_thread arch.max_regs_per_thread in
+  let candidates =
+    [
+      (Threads, arch.max_threads_per_sm / req.threads);
+      (Blocks, arch.max_blocks_per_sm);
+      ( Shared_memory,
+        if req.shared_words = 0 then arch.max_blocks_per_sm
+        else if req.shared_words > arch.shared_mem_per_block then 0
+        else arch.shared_mem_per_sm / req.shared_words );
+      ( Registers,
+        if regs_held = 0 then arch.max_blocks_per_sm
+        else arch.registers_per_sm / (regs_held * req.threads) );
+    ]
+  in
+  let candidates =
+    if req.threads > arch.max_threads_per_block then [ (Threads, 0) ]
+    else candidates
+  in
+  let limiting, blocks =
+    List.fold_left
+      (fun (bl, bb) (l, b) -> if b < bb then (l, b) else (bl, bb))
+      (Blocks, max_int) candidates
+  in
+  { blocks_per_sm = max 0 blocks; limiting; regs_spilled_per_thread = spilled }
+
+let fits arch req = (calculate arch req).blocks_per_sm >= 1

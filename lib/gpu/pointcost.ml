@@ -1,0 +1,42 @@
+type body = {
+  flops : int;
+  loads : int;
+  transcendentals : int;
+  rank : int;
+  double : bool;
+}
+
+(* Calibration constants, in cycles.  Chosen so that the simulator's C_iter
+   micro-benchmark lands in the regime of Table 4: ~30-45 cycles/point for
+   first-order 2D stencils, ~1.8x that for the sqrt-based Gradient, and
+   ~150-180 cycles/point for 3D stencils (whose unrolled shared-memory
+   addressing and control overhead dominate). *)
+let issue_base = 3.0
+let cycles_per_flop = 3.2
+let cycles_per_load = 1.2
+let cycles_per_transcendental = 10.0
+
+(* Maxwell executes FP64 at 1/32 the FP32 rate; amortised against the
+   non-arithmetic work we charge a 16x multiplier on the arithmetic terms
+   and 2x on loads (two words per element through the banks). *)
+let double_flop_multiplier = 16.0
+let double_load_multiplier = 2.0
+
+let addressing_overhead = function
+  | 1 -> 0.0
+  | 2 -> 2.0
+  | 3 -> 100.0
+  | _ -> invalid_arg "Pointcost: rank must be 1..3"
+
+let cycles b =
+  if b.flops < 0 || b.loads < 0 || b.transcendentals < 0 then
+    invalid_arg "Pointcost.cycles: negative operation count";
+  let fmul = if b.double then double_flop_multiplier else 1.0 in
+  let lmul = if b.double then double_load_multiplier else 1.0 in
+  issue_base
+  +. (float_of_int b.flops *. cycles_per_flop *. fmul)
+  +. (float_of_int b.loads *. cycles_per_load *. lmul)
+  +. (float_of_int b.transcendentals *. cycles_per_transcendental *. fmul)
+  +. addressing_overhead b.rank
+
+let seconds arch b = Arch.seconds_of_cycles arch (cycles b)

@@ -1,0 +1,28 @@
+(** Intrinsic per-point compute cost.
+
+    This is the simulator's ground-truth counterpart of the paper's C_iter:
+    the pipelined time, per vector lane, to produce one stencil point when
+    all inputs are in shared memory.  The paper measures C_iter empirically
+    (Section 5.2, Table 4) because it folds together issue latency, pipeline
+    structure, addressing and bank behaviour; here we *define* the truth with
+    an explicit linear cost model over the loop-body facts, and the harness's
+    micro-benchmark then re-measures it through the simulator exactly as the
+    paper does on hardware. *)
+
+type body = {
+  flops : int;  (** arithmetic operations per point *)
+  loads : int;  (** shared-memory reads per point *)
+  transcendentals : int;  (** sqrt/div-class operations per point *)
+  rank : int;  (** space dimensionality of the stencil (1, 2 or 3) *)
+  double : bool;  (** double precision: Maxwell-class GPUs execute FP64
+                      arithmetic at a small fraction of FP32 throughput *)
+}
+
+val cycles : body -> float
+(** Per-point pipelined cost in SM cycles, excluding bank conflicts and
+    divergence (charged separately by {!Compute}).  Includes the heavy
+    addressing/control overhead of 3D tiles that makes the paper's 3D C_iter
+    values roughly four times the 2D ones (Table 4). *)
+
+val seconds : Arch.t -> body -> float
+(** [cycles] converted at the architecture's clock. *)

@@ -1,0 +1,212 @@
+module Ints = Hextime_prelude.Ints
+module Det_hash = Hextime_prelude.Det_hash
+
+type kernel_stats = {
+  time_s : float;
+  blocks : int;
+  resident_blocks : int;
+  limiting : Occupancy.limit;
+  spilled_regs : int;
+  io_s : float;
+  compute_s : float;
+}
+
+type run_stats = {
+  total_s : float;
+  kernel_launches : int;
+  kernels : kernel_stats list;
+}
+
+let jitter_amplitude = 0.015
+
+let jitter_factor (arch : Arch.t) label ~salt =
+  Det_hash.create arch.name
+  |> fun h ->
+  Det_hash.mix_string h label
+  |> fun h -> Det_hash.mix_int h salt |> Det_hash.jitter ~amplitude:jitter_amplitude
+
+let block_cost arch ~resident (w : Workload.t) ~spilled_regs =
+  let io =
+    Memory.block_transfer_s arch ~concurrent_blocks:resident w.input
+    +. Memory.block_transfer_s arch ~concurrent_blocks:resident w.output
+  in
+  let compute = Compute.chunk_seconds arch w ~spilled_regs ~resident in
+  (io, compute)
+
+(* Wall time for one SM to retire a queue of blocks.  The GPU's block
+   scheduler streams blocks: as soon as a resident block retires the next
+   one launches, so with k >= 2 resident blocks the IO of one chunk overlaps
+   the compute of another and the SM's steady-state period per chunk is
+   max(io, compute); the first chunk's transfer is exposed as pipeline fill.
+   Without hyper-threading (k = 1) the phases of the block serialise — the
+   truthful counterpart of Equations 10/12 and 16/28/29. *)
+let queue_time ~resident costs =
+  match costs with
+  | [] -> 0.0
+  | _ ->
+      let total_io =
+        List.fold_left
+          (fun a ((io, _), chunks) -> a +. (io *. float_of_int chunks))
+          0.0 costs
+      in
+      let total_comp =
+        List.fold_left
+          (fun a ((_, c), chunks) -> a +. (c *. float_of_int chunks))
+          0.0 costs
+      in
+      if resident = 1 then total_io +. total_comp
+      else
+        let (io1, c1), _ = List.hd costs in
+        max total_io total_comp +. min io1 c1
+
+let infeasible (occ : Occupancy.result) (req : Occupancy.request) =
+  let what =
+    match occ.limiting with
+    | Occupancy.Shared_memory ->
+        Printf.sprintf "shared memory: block needs %d words" req.shared_words
+    | Occupancy.Threads ->
+        Printf.sprintf "threads: block needs %d threads" req.threads
+    | Occupancy.Registers ->
+        Printf.sprintf "registers: %d per thread" req.regs_per_thread
+    | Occupancy.Blocks -> "block slots"
+  in
+  Printf.sprintf "no block fits on an SM (limited by %s)" what
+
+let kernel_setup arch (k : Kernel.t) =
+  let req = Kernel.max_request k in
+  let occ = Occupancy.calculate arch req in
+  if occ.blocks_per_sm = 0 then Error (infeasible occ req)
+  else Ok (req, occ)
+
+(* Average per-chunk (io, compute) over the kernel's block population, and
+   the average chunk count; kernels are overwhelmingly uniform so this loses
+   almost nothing and keeps the cost independent of block count. *)
+let average_costs arch ~resident ~spilled (k : Kernel.t) =
+  let total = float_of_int (Kernel.total_blocks k) in
+  List.fold_left
+    (fun (aio, acomp, achunks) ((w : Workload.t), count) ->
+      let io, comp = block_cost arch ~resident w ~spilled_regs:spilled in
+      let f = float_of_int count /. total in
+      ( aio +. (io *. f),
+        acomp +. (comp *. f),
+        achunks +. (float_of_int w.chunks *. f) ))
+    (0.0, 0.0, 0.0) k.blocks
+
+let stats_of_time (k : Kernel.t) (occ : Occupancy.result) ~io ~comp
+    ~chunks time_s =
+  {
+    time_s;
+    blocks = Kernel.total_blocks k;
+    resident_blocks = occ.blocks_per_sm;
+    limiting = occ.limiting;
+    spilled_regs = occ.regs_spilled_per_thread;
+    io_s = io *. chunks;
+    compute_s = comp *. chunks;
+  }
+
+let run_kernel_salted ?(jitter = true) ~salt arch (k : Kernel.t) =
+  match kernel_setup arch k with
+  | Error _ as e -> e
+  | Ok (_req, occ) ->
+      let resident = occ.blocks_per_sm in
+      let spilled = occ.regs_spilled_per_thread in
+      let io, comp, chunks = average_costs arch ~resident ~spilled k in
+      let blocks = Kernel.total_blocks k in
+      (* Stencil blocks are near-uniform and the warp scheduler shares the
+         SM fairly, so the [resident] co-resident blocks of a round finish
+         together and the next round starts together: execution is
+         round-synchronised.  The last round holds whatever is left. *)
+      let cost j = ((io, comp), int_of_float (Float.round chunks) * j) in
+      let round_time j =
+        if j = 0 then 0.0 else queue_time ~resident:j [ cost j ]
+      in
+      let capacity = arch.n_sm * resident in
+      let full_rounds = blocks / capacity in
+      let remainder = blocks mod capacity in
+      let body =
+        (float_of_int full_rounds *. round_time resident)
+        +. round_time (Ints.ceil_div remainder arch.n_sm)
+      in
+      let j = if jitter then jitter_factor arch k.label ~salt else 1.0 in
+      let time = (arch.launch_overhead_s +. body) *. j in
+      Ok (stats_of_time k occ ~io ~comp ~chunks time)
+
+let run_kernel ?jitter arch k = run_kernel_salted ?jitter ~salt:0 arch k
+
+let run_kernel_exact ?(jitter = true) arch (k : Kernel.t) =
+  match kernel_setup arch k with
+  | Error _ as e -> e
+  | Ok (_req, occ) ->
+      let resident = occ.blocks_per_sm in
+      let spilled = occ.regs_spilled_per_thread in
+      (* materialise per-block (cost, chunks) pairs *)
+      let blocks =
+        List.concat_map
+          (fun ((w : Workload.t), count) ->
+            let cost = block_cost arch ~resident w ~spilled_regs:spilled in
+            List.init count (fun _ -> (cost, w.chunks)))
+          k.blocks
+      in
+      (* greedy dispatch: each block goes to the least-loaded SM and retires
+         at the SM's steady-state rate *)
+      let service ((io, comp), chunks) =
+        let per_chunk = if resident = 1 then io +. comp else max io comp in
+        per_chunk *. float_of_int chunks
+      in
+      let sm_clock = Array.make arch.n_sm 0.0 in
+      List.iter
+        (fun b ->
+          let best = ref 0 in
+          for i = 1 to arch.n_sm - 1 do
+            if sm_clock.(i) < sm_clock.(!best) then best := i
+          done;
+          sm_clock.(!best) <- sm_clock.(!best) +. service b)
+        blocks;
+      let fill =
+        match (blocks, resident) with
+        | _, 1 | [], _ -> 0.0
+        | ((io, comp), _) :: _, _ -> min io comp
+      in
+      let makespan = Array.fold_left max 0.0 sm_clock +. fill in
+      let io, comp, chunks = average_costs arch ~resident ~spilled k in
+      let j = if jitter then jitter_factor arch k.label ~salt:0 else 1.0 in
+      let time = (arch.launch_overhead_s +. makespan) *. j in
+      Ok (stats_of_time k occ ~io ~comp ~chunks time)
+
+let run_sequence_salted ?(jitter = true) ~salt arch kernels =
+  if kernels = [] then Error "empty kernel sequence"
+  else if List.exists (fun (_, n) -> n <= 0) kernels then
+    Error "non-positive kernel repeat count"
+  else
+    let rec go acc_time acc_stats launches = function
+      | [] ->
+          Ok
+            {
+              total_s = acc_time;
+              kernel_launches = launches;
+              kernels = List.rev acc_stats;
+            }
+      | (k, count) :: rest -> (
+          match run_kernel_salted ~jitter ~salt arch k with
+          | Error _ as e -> e
+          | Ok st ->
+              go
+                (acc_time +. (st.time_s *. float_of_int count))
+                (st :: acc_stats) (launches + count) rest)
+    in
+    go 0.0 [] 0 kernels
+
+let run_sequence ?jitter arch kernels =
+  run_sequence_salted ?jitter ~salt:0 arch kernels
+
+let measure ?(runs = 5) arch kernels =
+  if runs <= 0 then Error "measure: runs must be positive"
+  else
+    let rec go best salt =
+      if salt >= runs then Ok best
+      else
+        match run_sequence_salted ~jitter:true ~salt arch kernels with
+        | Error _ as e -> e
+        | Ok st -> go (min best st.total_s) (salt + 1)
+    in
+    go infinity 0

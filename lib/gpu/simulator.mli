@@ -1,0 +1,69 @@
+(** The execution simulator: prices kernel sequences on an architecture.
+
+    This stands in for the physical GTX 980 / Titan X of the paper's
+    evaluation.  It shares the first-order cost structure of the analytical
+    model (wavefront kernels -> rounds of resident blocks per SM -> per-chunk
+    global traffic + row-by-row compute) but additionally charges for the
+    second-order effects the model is deliberately optimistic about:
+    occupancy limits, register spills, bank conflicts, warp-granularity,
+    latency hiding, DRAM congestion and per-kernel launch overhead, plus a
+    deterministic sub-2% timing jitter derived from the workload identity
+    (real measurements are noisy; Section 5.1 takes the minimum of five
+    runs, and so does our measurement harness).
+
+    Two paths are provided: a closed-form steady-state path whose cost is
+    independent of the block count, and an exact list-scheduling path used
+    to validate the closed form on small kernels. *)
+
+type kernel_stats = {
+  time_s : float;
+  blocks : int;
+  resident_blocks : int;  (** the achieved hyper-threading factor k *)
+  limiting : Occupancy.limit;
+  spilled_regs : int;  (** per-thread registers spilled, worst shape *)
+  io_s : float;  (** aggregate per-block global-traffic time *)
+  compute_s : float;  (** aggregate per-block compute time *)
+}
+
+type run_stats = {
+  total_s : float;
+  kernel_launches : int;
+  kernels : kernel_stats list;  (** one entry per distinct kernel *)
+}
+
+val block_cost :
+  Arch.t -> resident:int -> Workload.t -> spilled_regs:int -> float * float
+(** [(io_s, compute_s)] for one chunk of one block when [resident] blocks
+    per SM are active. Exposed for tests. *)
+
+val run_kernel :
+  ?jitter:bool -> Arch.t -> Kernel.t -> (kernel_stats, string) result
+(** Price one kernel call (including launch overhead).  [Error] is returned
+    when no block fits on an SM (infeasible configuration).  [jitter]
+    defaults to [true]. *)
+
+val run_kernel_exact :
+  ?jitter:bool ->
+  Arch.t ->
+  Kernel.t ->
+  (kernel_stats, string) result
+(** Alternative scheduling policy: materialises every block and dispatches
+    each to the least-loaded SM as slots free up (pure streaming, no round
+    synchronisation).  Because real blocks are near-uniform this brackets
+    the round-synchronised closed form from below; the tests assert the two
+    agree within a round's slack.  Intended for kernels with at most a few
+    thousand blocks. *)
+
+val run_sequence :
+  ?jitter:bool ->
+  Arch.t ->
+  (Kernel.t * int) list ->
+  (run_stats, string) result
+(** Price a program: each kernel is launched [count] times (the wavefronts
+    of Equation 2; all launches of one kernel cost the same, so the cost is
+    computed once and scaled). *)
+
+val measure :
+  ?runs:int -> Arch.t -> (Kernel.t * int) list -> (float, string) result
+(** The paper's measurement protocol (Section 5.1): execute [runs] times
+    (default 5) with run-dependent jitter and report the minimum time. *)

@@ -1,0 +1,14 @@
+let conflict_factor (arch : Arch.t) ~row_stride =
+  if row_stride <= 0 then invalid_arg "Smem.conflict_factor: stride <= 0";
+  let banks = arch.shared_banks in
+  (* Column accesses with stride s touch banks {i*s mod banks}; the conflict
+     degree is banks / gcd-period of that orbit = gcd(s, banks). The row-major
+     streaming accesses are conflict-free, and columns are only a fraction of
+     traffic, so we damp the raw degree. *)
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  let degree = gcd row_stride banks in
+  if degree = 1 then 1.0
+  else
+    (* a conflict of degree d serialises d ways on roughly a quarter of the
+       stencil's shared accesses *)
+    1.0 +. (0.25 *. float_of_int (degree - 1))

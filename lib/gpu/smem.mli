@@ -1,0 +1,17 @@
+(** Shared-memory bank behaviour.
+
+    Shared memory is divided into [Arch.shared_banks] word-wide banks; a warp
+    whose lanes hit the same bank at different addresses serialises.  For the
+    row-parallel stencil code HHC emits, the access pattern per warp is a
+    contiguous run of words starting at the row offset, so the conflict
+    degree is governed by the shared-array row stride modulo the bank count.
+    The paper's model deliberately ignores this (Section 7); the simulator
+    charges for it, which is one of the reasons tile sizes whose inner extent
+    is not a multiple of 32 underperform their prediction. *)
+
+val conflict_factor : Arch.t -> row_stride:int -> float
+(** Multiplicative slowdown ([>= 1.0]) on shared-memory access for a 2D/3D
+    shared array with the given row stride in words.  Strides that are
+    multiples of the bank count are worst (all lanes of a column access
+    collide); odd strides are conflict-free. Raises [Invalid_argument] if the
+    stride is not positive. *)

@@ -1,0 +1,127 @@
+type span = { sm : int; start_s : float; finish_s : float; blocks : int }
+
+type t = {
+  spans : span list;
+  makespan_s : float;
+  resident : int;
+  idle_fraction : float;
+}
+
+let of_kernel (arch : Arch.t) (kernel : Kernel.t) =
+  let req = Kernel.max_request kernel in
+  let occ = Occupancy.calculate arch req in
+  if occ.Occupancy.blocks_per_sm = 0 then
+    Error "no block fits on an SM (infeasible configuration)"
+  else
+    let resident = occ.Occupancy.blocks_per_sm in
+    let spilled = occ.Occupancy.regs_spilled_per_thread in
+    (* per-block chunk costs, expanded in kernel order *)
+    let blocks =
+      List.concat_map
+        (fun ((w : Workload.t), count) ->
+          let io, comp =
+            Simulator.block_cost arch ~resident w ~spilled_regs:spilled
+          in
+          List.init count (fun _ -> (io, comp, w.Workload.chunks)))
+        kernel.Kernel.blocks
+    in
+    (* round-synchronised dispatch, mirroring the fast path: rounds of up to
+       [resident] blocks per SM, all SMs in lockstep per round *)
+    let sm_clock = Array.make arch.n_sm 0.0 in
+    let spans = ref [] in
+    let rec rounds remaining =
+      match remaining with
+      | [] -> ()
+      | _ ->
+          let per_round = arch.n_sm * resident in
+          let rec take n acc rest =
+            if n = 0 then (List.rev acc, rest)
+            else
+              match rest with
+              | [] -> (List.rev acc, [])
+              | x :: tl -> take (n - 1) (x :: acc) tl
+          in
+          let this_round, rest = take per_round [] remaining in
+          (* distribute the round's blocks over SMs round-robin *)
+          let per_sm = Array.make arch.n_sm [] in
+          List.iteri
+            (fun i b -> per_sm.(i mod arch.n_sm) <- b :: per_sm.(i mod arch.n_sm))
+            this_round;
+          let round_start = Array.fold_left max 0.0 sm_clock in
+          Array.iteri
+            (fun sm bs ->
+              match bs with
+              | [] -> ()
+              | _ ->
+                  let j = List.length bs in
+                  let io_tot =
+                    List.fold_left
+                      (fun a (io, _, ch) -> a +. (io *. float_of_int ch))
+                      0.0 bs
+                  in
+                  let comp_tot =
+                    List.fold_left
+                      (fun a (_, c, ch) -> a +. (c *. float_of_int ch))
+                      0.0 bs
+                  in
+                  let duration =
+                    if j = 1 && resident = 1 then io_tot +. comp_tot
+                    else if j = 1 then io_tot +. comp_tot
+                    else
+                      let io1, c1, _ = List.hd bs in
+                      max io_tot comp_tot +. min io1 c1
+                  in
+                  let finish = round_start +. duration in
+                  spans :=
+                    { sm; start_s = round_start; finish_s = finish; blocks = j }
+                    :: !spans;
+                  sm_clock.(sm) <- finish)
+            per_sm;
+          rounds rest
+    in
+    rounds blocks;
+    let makespan = Array.fold_left max 0.0 sm_clock in
+    let busy =
+      List.fold_left (fun a s -> a +. (s.finish_s -. s.start_s)) 0.0 !spans
+    in
+    let idle_fraction =
+      if makespan <= 0.0 then 0.0
+      else 1.0 -. (busy /. (float_of_int arch.n_sm *. makespan))
+    in
+    Ok
+      {
+        spans = List.rev !spans;
+        makespan_s = makespan;
+        resident;
+        idle_fraction;
+      }
+
+let render ?(width = 64) t =
+  if width < 8 then invalid_arg "Timeline.render: width too small";
+  let b = Buffer.create 2048 in
+  let sms =
+    List.sort_uniq compare (List.map (fun s -> s.sm) t.spans)
+  in
+  Printf.ksprintf (Buffer.add_string b)
+    "kernel timeline: makespan %.3e s, k = %d resident, %.1f%% SM idle\n"
+    t.makespan_s t.resident (100.0 *. t.idle_fraction);
+  let cell time =
+    if t.makespan_s <= 0.0 then 0
+    else
+      min (width - 1)
+        (int_of_float (time /. t.makespan_s *. float_of_int (width - 1)))
+  in
+  List.iter
+    (fun sm ->
+      let lane = Bytes.make width '.' in
+      List.iter
+        (fun s ->
+          if s.sm = sm then
+            for i = cell s.start_s to cell s.finish_s do
+              Bytes.set lane i '#'
+            done)
+        t.spans;
+      Printf.ksprintf (Buffer.add_string b) "  SM%-3d |%s|\n" sm
+        (Bytes.to_string lane))
+    sms;
+  Buffer.contents b

@@ -1,0 +1,28 @@
+(** Execution timelines: what the simulator's scheduler actually did with a
+    kernel, per SM, rendered as an ASCII Gantt chart.
+
+    Useful for inspecting why a configuration behaves as it does — e.g.
+    seeing the ragged final round that Equation 2's double ceiling
+    overcharges, or an SM left idle by a wavefront narrower than the
+    machine. *)
+
+type span = {
+  sm : int;
+  start_s : float;
+  finish_s : float;
+  blocks : int;  (** blocks retired in this residency round *)
+}
+
+type t = {
+  spans : span list;
+  makespan_s : float;
+  resident : int;  (** hyper-threading factor used *)
+  idle_fraction : float;  (** aggregate SM idle time / (nSM * makespan) *)
+}
+
+val of_kernel : Arch.t -> Kernel.t -> (t, string) result
+(** Replay the round-synchronised schedule of one kernel (without jitter or
+    launch overhead) and record each SM's rounds. *)
+
+val render : ?width:int -> t -> string
+(** ASCII Gantt: one lane per SM, `#` busy, `.` idle (default width 64). *)

@@ -1,0 +1,61 @@
+type row = { points : int; repeats : int }
+
+type t = {
+  label : string;
+  threads : int;
+  shared_words : int;
+  regs_per_thread : int;
+  body : Pointcost.body;
+  rows : row list;
+  input : Memory.transfer;
+  output : Memory.transfer;
+  row_stride : int;
+  chunks : int;
+}
+
+let v ~label ~threads ~shared_words ~regs_per_thread ~body ~rows ~input ~output
+    ~row_stride ~chunks =
+  if threads <= 0 then invalid_arg "Workload.v: threads <= 0";
+  if shared_words < 0 then invalid_arg "Workload.v: shared_words < 0";
+  if regs_per_thread < 0 then invalid_arg "Workload.v: regs_per_thread < 0";
+  if chunks <= 0 then invalid_arg "Workload.v: chunks <= 0";
+  if row_stride <= 0 then invalid_arg "Workload.v: row_stride <= 0";
+  if rows = [] then invalid_arg "Workload.v: no rows";
+  List.iter
+    (fun r ->
+      if r.points <= 0 || r.repeats <= 0 then
+        invalid_arg "Workload.v: non-positive row")
+    rows;
+  if input.Memory.words < 0 || output.Memory.words < 0 then
+    invalid_arg "Workload.v: negative transfer";
+  {
+    label;
+    threads;
+    shared_words;
+    regs_per_thread;
+    body;
+    rows;
+    input;
+    output;
+    row_stride;
+    chunks;
+  }
+
+let points_per_chunk t =
+  List.fold_left (fun acc r -> acc + (r.points * r.repeats)) 0 t.rows
+
+let total_points t = points_per_chunk t * t.chunks
+let row_count t = List.fold_left (fun acc r -> acc + r.repeats) 0 t.rows
+
+let occupancy_request t =
+  {
+    Occupancy.threads = t.threads;
+    shared_words = t.shared_words;
+    regs_per_thread = t.regs_per_thread;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: %d thr, %d smem words, %d regs, %d rows x %d chunks, io %d+%d"
+    t.label t.threads t.shared_words t.regs_per_thread (row_count t) t.chunks
+    t.input.Memory.words t.output.Memory.words

@@ -1,0 +1,50 @@
+(** The work one thread block performs, as handed to the simulator.
+
+    This is the meeting point between the tiling engine and the GPU
+    simulator: the tiling engine lowers a tile (hexagon, prism slice or slab
+    slice) into a [t]; the simulator prices it.  A block executes [chunks]
+    identical chunks in sequence (the sub-prisms / sub-slabs of Sections 4.2
+    and 4.3); each chunk loads [input], computes the [rows] in order with a
+    barrier after each, and stores [output]. *)
+
+type row = {
+  points : int;  (** stencil points computed in parallel in this row *)
+  repeats : int;  (** how many consecutive rows share this width *)
+}
+
+type t = {
+  label : string;  (** for traces and deterministic jitter *)
+  threads : int;  (** threads per block (the n_thr compiler parameter) *)
+  shared_words : int;  (** shared-memory footprint per block (M_tile) *)
+  regs_per_thread : int;  (** estimated register demand per thread *)
+  body : Pointcost.body;  (** per-point loop-body facts *)
+  rows : row list;  (** one chunk's compute rows, in dependence order *)
+  input : Memory.transfer;  (** global->shared traffic per chunk *)
+  output : Memory.transfer;  (** shared->global traffic per chunk *)
+  row_stride : int;  (** shared-array inner stride (bank behaviour) *)
+  chunks : int;  (** sequential chunks executed by this block *)
+}
+
+val v :
+  label:string ->
+  threads:int ->
+  shared_words:int ->
+  regs_per_thread:int ->
+  body:Pointcost.body ->
+  rows:row list ->
+  input:Memory.transfer ->
+  output:Memory.transfer ->
+  row_stride:int ->
+  chunks:int ->
+  t
+(** Smart constructor; validates positivity of all counts. *)
+
+val points_per_chunk : t -> int
+(** Total stencil points computed in one chunk. *)
+
+val total_points : t -> int
+val row_count : t -> int
+
+val occupancy_request : t -> Occupancy.request
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+module Runner = Hextime_tileopt.Runner
+module Baseline = Hextime_tileopt.Baseline
+
+type estimate = {
+  experiments : int;
+  data_points : int;
+  compile_hours : float;
+  run_hours : float;
+  total_days : float;
+}
+
+let estimate ?(compile_seconds_per_point = 20.0) ?(runs_per_point = 5) scale =
+  if compile_seconds_per_point < 0.0 then
+    invalid_arg "Campaign.estimate: negative compile cost";
+  if runs_per_point < 1 then invalid_arg "Campaign.estimate: runs < 1";
+  let experiments = Experiments.all scale in
+  let points = ref 0 in
+  let run_seconds = ref 0.0 in
+  List.iter
+    (fun (e : Experiments.t) ->
+      let params = Microbench.params e.arch in
+      List.iter
+        (fun config ->
+          incr points;
+          match Runner.measure e.arch e.problem config with
+          | Ok m ->
+              run_seconds :=
+                !run_seconds +. (float_of_int runs_per_point *. m.Runner.time_s)
+          | Error _ -> ())
+        (Baseline.data_points params e.problem))
+    experiments;
+  let compile_hours =
+    float_of_int !points *. compile_seconds_per_point /. 3600.0
+  in
+  let run_hours = !run_seconds /. 3600.0 in
+  {
+    experiments = List.length experiments;
+    data_points = !points;
+    compile_hours;
+    run_hours;
+    total_days = (compile_hours +. run_hours) /. 24.0;
+  }
+
+let render e =
+  Printf.sprintf
+    "campaign: %d experiments, %d data points\n\
+    \  compilation (one HHC+nvcc invocation per point): %.0f hours\n\
+    \  execution   (five measured runs per point):      %.0f hours\n\
+    \  total: %.1f days of dedicated machine time\n\
+    \  (parametric tile code generation, Section 8's proposal, would remove \
+     the first line entirely)\n"
+    e.experiments e.data_points e.compile_hours e.run_hours e.total_days

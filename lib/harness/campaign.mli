@@ -1,0 +1,32 @@
+(** Cost accounting for the paper's experimental campaign (Section 8).
+
+    The authors note that "a large part of the time and effort of conducting
+    our experiments was the code generation effort": HHC fixes tile sizes at
+    compile time, so every one of the 108,800 data points is a separate
+    compiler + nvcc invocation of tens of seconds, plus five measured runs —
+    "many weeks of dedicated machine time" in total.  This module prices a
+    campaign from this repository's own data: the measured (simulated)
+    execution time of every data point, and a parameterised per-point
+    compilation cost, quantifying both the paper's figure and the appeal of
+    the parametric code generation it proposes as future work. *)
+
+type estimate = {
+  experiments : int;
+  data_points : int;
+  compile_hours : float;  (** one compiler+nvcc invocation per point *)
+  run_hours : float;  (** five measured runs per point *)
+  total_days : float;
+}
+
+val estimate :
+  ?compile_seconds_per_point:float ->
+  ?runs_per_point:int ->
+  Experiments.scale ->
+  estimate
+(** Price the campaign at the given scale.  [compile_seconds_per_point]
+    defaults to 20 s (the paper says compilation "ran into several tens of
+    seconds" for some points); [runs_per_point] defaults to the paper's 5.
+    Execution times come from the simulator; infeasible points are skipped
+    (they cost a compile but no run). *)
+
+val render : estimate -> string

@@ -1,0 +1,44 @@
+module Gpu = Hextime_gpu
+module Stencil = Hextime_stencil.Stencil
+module Problem = Hextime_stencil.Problem
+
+type scale = Ci | Quick | Paper
+
+type t = { arch : Gpu.Arch.t; problem : Problem.t }
+
+let scale_of_string = function
+  | "ci" -> Ok Ci
+  | "quick" -> Ok Quick
+  | "paper" -> Ok Paper
+  | s -> Error (Printf.sprintf "unknown scale %S (expected ci|quick|paper)" s)
+
+let scale_to_string = function Ci -> "ci" | Quick -> "quick" | Paper -> "paper"
+
+let sizes_2d = function
+  | Ci -> [ ([| 512; 512 |], 128) ]
+  | Quick ->
+      [ ([| 4096; 4096 |], 1024); ([| 4096; 4096 |], 4096); ([| 8192; 8192 |], 8192) ]
+  | Paper -> Problem.paper_sizes_2d
+
+let sizes_3d = function
+  | Ci -> [ ([| 96; 96; 96 |], 32) ]
+  | Quick -> [ ([| 384; 384; 384 |], 128); ([| 512; 512; 512 |], 256) ]
+  | Paper -> Problem.paper_sizes_3d
+
+let cross stencils sizes =
+  List.concat_map
+    (fun arch ->
+      List.concat_map
+        (fun stencil ->
+          List.map
+            (fun (space, time) ->
+              { arch; problem = Problem.make stencil ~space ~time })
+            sizes)
+        stencils)
+    Gpu.Arch.presets
+
+let all_2d scale = cross Stencil.benchmarks_2d (sizes_2d scale)
+let all_3d scale = cross Stencil.benchmarks_3d (sizes_3d scale)
+let all scale = all_2d scale @ all_3d scale
+
+let id e = Printf.sprintf "%s/%s" e.arch.Gpu.Arch.name (Problem.id e.problem)

@@ -1,0 +1,30 @@
+(** The experiment grid of Section 5: benchmark stencils crossed with
+    problem sizes and the two machines — 80 two-dimensional and 48
+    three-dimensional experiments at paper scale.
+
+    Because the full grid exists to stress a physical machine for weeks, the
+    harness also provides reduced scales that exercise identical code paths:
+    [Ci] for the test suite and [Quick] for the default bench run. *)
+
+type scale = Ci | Quick | Paper
+
+type t = {
+  arch : Hextime_gpu.Arch.t;
+  problem : Hextime_stencil.Problem.t;
+}
+
+val scale_of_string : string -> (scale, string) result
+val scale_to_string : scale -> string
+
+val sizes_2d : scale -> (int array * int) list
+val sizes_3d : scale -> (int array * int) list
+
+val all_2d : scale -> t list
+(** The four 2D stencils x sizes x both machines (80 at [Paper] scale). *)
+
+val all_3d : scale -> t list
+(** The two 3D stencils x sizes x both machines (48 at [Paper] scale). *)
+
+val all : scale -> t list
+
+val id : t -> string

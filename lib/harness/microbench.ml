@@ -1,0 +1,207 @@
+module Gpu = Hextime_gpu
+module Ints = Hextime_prelude.Ints
+module Det_hash = Hextime_prelude.Det_hash
+module Stencil = Hextime_stencil.Stencil
+module Problem = Hextime_stencil.Problem
+module Config = Hextime_tiling.Config
+module Params = Hextime_core.Params
+
+let empty_body =
+  { Gpu.Pointcost.flops = 0; loads = 0; transcendentals = 0; rank = 1;
+    double = false }
+
+let kernel_time arch kernel =
+  match Gpu.Simulator.run_kernel ~jitter:false arch kernel with
+  | Ok st -> st.Gpu.Simulator.time_s
+  | Error msg -> invalid_arg ("Microbench: infeasible micro-kernel: " ^ msg)
+
+(* one block per SM, no hyper-threading: reserve the whole per-block cap *)
+let micro_workload (arch : Gpu.Arch.t) ~label ~threads ~rows ~in_words ~run_length =
+  Gpu.Workload.v ~label ~threads ~shared_words:arch.shared_mem_per_block
+    ~regs_per_thread:24 ~body:empty_body ~rows
+    ~input:{ Gpu.Memory.words = in_words; run_length }
+    ~output:{ Gpu.Memory.words = 0; run_length }
+    ~row_stride:1 ~chunks:1
+
+let micro_kernel arch ~label ~threads ~rows ~in_words ~run_length =
+  let w = micro_workload arch ~label ~threads ~rows ~in_words ~run_length in
+  Gpu.Kernel.v ~label ~blocks:[ (w, arch.Gpu.Arch.n_sm) ]
+
+let one_row = [ { Gpu.Workload.points = 1; repeats = 1 } ]
+
+let measure_l (arch : Gpu.Arch.t) =
+  let time w =
+    kernel_time arch
+      (micro_kernel arch
+         ~label:(Printf.sprintf "ubench-L-%d" w)
+         ~threads:256 ~rows:one_row ~in_words:w ~run_length:256)
+  in
+  let w1 = 1 lsl 20 and w2 = 1 lsl 22 in
+  (* slope over transfer size cancels launch overhead and DRAM latency;
+     every SM streams concurrently, so the slope is the device-level cost
+     per word — the quantity the paper's Table 3 reports *)
+  (time w2 -. time w1) /. float_of_int ((w2 - w1) * arch.n_sm)
+
+let measure_t_sync (arch : Gpu.Arch.t) =
+  let nearly_empty =
+    micro_kernel arch ~label:"ubench-Tsync" ~threads:256 ~rows:one_row
+      ~in_words:0 ~run_length:32
+  in
+  let time n =
+    match Gpu.Simulator.run_sequence ~jitter:false arch [ (nearly_empty, n) ] with
+    | Ok st -> st.Gpu.Simulator.total_s
+    | Error msg -> invalid_arg ("Microbench: " ^ msg)
+  in
+  (time 101 -. time 1) /. 100.0
+
+let measure_tau_sync (arch : Gpu.Arch.t) =
+  let repeats = 1_000_000 in
+  (* saturate the SMs with resident blocks so the barrier's pipeline bubble
+     is overlap-filled and the timing isolates the issue cost itself *)
+  let resident = 8 in
+  let time points =
+    let w =
+      Gpu.Workload.v
+        ~label:(Printf.sprintf "ubench-tau-%d" points)
+        ~threads:256
+        ~shared_words:(arch.shared_mem_per_sm / resident)
+        ~regs_per_thread:24 ~body:empty_body
+        ~rows:[ { Gpu.Workload.points; repeats } ]
+        ~input:{ Gpu.Memory.words = 0; run_length = 32 }
+        ~output:{ Gpu.Memory.words = 0; run_length = 32 }
+        ~row_stride:1 ~chunks:1
+    in
+    kernel_time arch
+      (Gpu.Kernel.v
+         ~label:(Printf.sprintf "ubench-tau-%d" points)
+         ~blocks:[ (w, resident * arch.Gpu.Arch.n_sm) ])
+    /. float_of_int resident
+  in
+  (* rows of nV points need one issue round; rows of 2*nV need two; the
+     difference isolates the per-round cost, and subtracting it from the
+     one-round row leaves the synchronisation *)
+  let t1 = time arch.n_vector and t2 = time (2 * arch.n_vector) in
+  ((2.0 *. t1) -. t2) /. float_of_int repeats
+
+let params_cache : (string, Params.t) Hashtbl.t = Hashtbl.create 4
+
+let params arch =
+  let key = arch.Gpu.Arch.name in
+  match Hashtbl.find_opt params_cache key with
+  | Some p -> p
+  | None ->
+      let p =
+        Params.of_microbenchmarks arch ~l_word:(measure_l arch)
+          ~tau_sync:(measure_tau_sync arch) ~t_sync:(measure_t_sync arch)
+      in
+      Hashtbl.add params_cache key p;
+      p
+
+let citer_samples = 70
+
+(* a deterministic pseudo-random pick from a list *)
+let pick h xs =
+  let n = List.length xs in
+  List.nth xs (Int64.to_int (Int64.rem (Det_hash.to_int64 h) (Int64.of_int n)) |> abs)
+
+let citer_problem ~precision (stencil : Stencil.t) =
+  let space =
+    match stencil.Stencil.rank with
+    | 1 -> [| 65536 |]
+    | 2 -> [| 2048; 2048 |]
+    | _ -> [| 256; 256; 256 |]
+  in
+  Problem.make ~precision stencil ~space ~time:64
+
+let random_shape h (stencil : Stencil.t) =
+  let t_t = pick (Det_hash.mix_int h 1) [ 4; 8; 12; 16; 20 ] in
+  let t_s =
+    match stencil.Stencil.rank with
+    | 1 -> [| pick (Det_hash.mix_int h 2) [ 16; 32; 64; 128 ] |]
+    | 2 ->
+        [|
+          pick (Det_hash.mix_int h 2) [ 8; 12; 16; 24 ];
+          pick (Det_hash.mix_int h 3) [ 64; 96; 128 ];
+        |]
+    | _ ->
+        [|
+          pick (Det_hash.mix_int h 2) [ 2; 4; 8 ];
+          pick (Det_hash.mix_int h 3) [ 4; 8; 16 ];
+          pick (Det_hash.mix_int h 4) [ 32; 64 ];
+        |]
+  in
+  let threads = pick (Det_hash.mix_int h 5) [ 256; 384; 512 ] in
+  Config.make ~t_t ~t_s ~threads:[| threads |]
+
+(* iterations in the Section 5.2 sense: issue rounds per vector unit *)
+let iterations (arch : Gpu.Arch.t) (w : Gpu.Workload.t) =
+  w.Gpu.Workload.chunks
+  * List.fold_left
+      (fun acc (r : Gpu.Workload.row) ->
+        acc + (r.repeats * Ints.ceil_div r.points arch.n_vector))
+      0 w.Gpu.Workload.rows
+
+let citer_once ~precision arch stencil ~sample =
+  let h =
+    Det_hash.create "citer"
+    |> fun h ->
+    Det_hash.mix_string h arch.Gpu.Arch.name
+    |> fun h ->
+    Det_hash.mix_string h stencil.Stencil.name
+    |> fun h -> Det_hash.mix_int h sample
+  in
+  match random_shape h stencil with
+  | Error _ -> None
+  | Ok cfg -> (
+      let problem = citer_problem ~precision stencil in
+      match Hextime_tiling.Lower.workload problem cfg ~family:Hextime_tiling.Hexgeom.Green with
+      | Error _ -> None
+      | Ok w ->
+          (* strip the global traffic and pin one block per SM, as the paper
+             does when timing the loop body *)
+          (* run at a representative residency (4 blocks/SM): generated
+             codes execute hyper-threaded, so the timing should amortise the
+             barrier bubbles the same way *)
+          let resident = 4 in
+          let stripped =
+            Gpu.Workload.v
+              ~label:(Printf.sprintf "ubench-citer-%d" sample)
+              ~threads:w.Gpu.Workload.threads
+              ~shared_words:(arch.shared_mem_per_sm / resident)
+              ~regs_per_thread:24 ~body:w.Gpu.Workload.body
+              ~rows:w.Gpu.Workload.rows
+              ~input:{ Gpu.Memory.words = 0; run_length = 32 }
+              ~output:{ Gpu.Memory.words = 0; run_length = 32 }
+              ~row_stride:w.Gpu.Workload.row_stride
+              ~chunks:w.Gpu.Workload.chunks
+          in
+          let kernel =
+            Gpu.Kernel.v
+              ~label:stripped.Gpu.Workload.label
+              ~blocks:[ (stripped, resident * arch.n_sm) ]
+          in
+          let total = kernel_time arch kernel in
+          let body_time =
+            (total -. arch.launch_overhead_s) /. float_of_int resident
+          in
+          Some (body_time /. float_of_int (iterations arch stripped)))
+
+let citer_cache : (string * string * bool, float) Hashtbl.t = Hashtbl.create 16
+
+let citer ?(precision = Problem.F32) arch stencil =
+  let key =
+    (arch.Gpu.Arch.name, stencil.Stencil.name, precision = Problem.F64)
+  in
+  match Hashtbl.find_opt citer_cache key with
+  | Some c -> c
+  | None ->
+      let samples =
+        List.filter_map
+          (fun i -> citer_once ~precision arch stencil ~sample:i)
+          (Ints.range 0 (citer_samples - 1))
+      in
+      if samples = [] then
+        invalid_arg "Microbench.citer: no feasible random instance";
+      let c = Hextime_prelude.Stats.mean samples in
+      Hashtbl.add citer_cache key c;
+      c

@@ -1,0 +1,12 @@
+(** Markdown reproduction report: the paper-vs-measured comparison of
+    EXPERIMENTS.md, regenerated from live runs.
+
+    [markdown scale] runs the micro-benchmarks, the validation sweeps and
+    the strategy comparison at the given scale and renders one document
+    with the paper's reference numbers inlined next to the measured ones —
+    the artifact a reader needs to audit the reproduction. *)
+
+val markdown : Experiments.scale -> string
+
+val write : path:string -> Experiments.scale -> (unit, string) result
+(** Render and write to [path]. *)

@@ -1,0 +1,58 @@
+let render ?(width = 64) ?(height = 24) ?title pairs =
+  if pairs = [] then invalid_arg "Scatter.render: no points";
+  if width < 8 || height < 4 then invalid_arg "Scatter.render: canvas too small";
+  List.iter
+    (fun (p, m) ->
+      if p <= 0.0 || m <= 0.0 then
+        invalid_arg "Scatter.render: non-positive coordinate")
+    pairs;
+  let logs = List.map (fun (p, m) -> (log10 p, log10 m)) pairs in
+  let xs = List.map fst logs and ys = List.map snd logs in
+  let lo = min (List.fold_left min infinity xs) (List.fold_left min infinity ys) in
+  let hi = max (List.fold_left max neg_infinity xs) (List.fold_left max neg_infinity ys) in
+  let span = if hi > lo then hi -. lo else 1.0 in
+  let cell v = int_of_float ((v -. lo) /. span *. float_of_int (width - 1)) in
+  let cell_y v =
+    (height - 1) - int_of_float ((v -. lo) /. span *. float_of_int (height - 1))
+  in
+  let counts = Array.make_matrix height width 0 in
+  List.iter
+    (fun (x, y) ->
+      let cx = min (width - 1) (max 0 (cell x)) in
+      let cy = min (height - 1) (max 0 (cell_y y)) in
+      counts.(cy).(cx) <- counts.(cy).(cx) + 1)
+    logs;
+  let glyph n =
+    if n = 0 then None
+    else if n <= 1 then Some '.'
+    else if n <= 4 then Some ':'
+    else if n <= 16 then Some '*'
+    else Some '#'
+  in
+  let b = Buffer.create ((width + 4) * (height + 4)) in
+  (match title with
+  | Some t ->
+      Buffer.add_string b t;
+      Buffer.add_char b '\n'
+  | None -> ());
+  for row = 0 to height - 1 do
+    Buffer.add_string b "  |";
+    for col = 0 to width - 1 do
+      (* the y = x diagonal runs from bottom-left to top-right *)
+      let on_diagonal =
+        let drow = (height - 1) - row in
+        abs ((drow * (width - 1)) - (col * (height - 1))) * 2
+        < max (width - 1) (height - 1)
+      in
+      match glyph counts.(row).(col) with
+      | Some c -> Buffer.add_char b c
+      | None -> Buffer.add_char b (if on_diagonal then '/' else ' ')
+    done;
+    Buffer.add_string b "|\n"
+  done;
+  Buffer.add_string b
+    (Printf.sprintf
+       "   log10(time/s): %.2f .. %.2f on both axes; '/' marks predicted = \
+        measured; . : * # = 1/4/16/more points\n"
+       lo hi);
+  Buffer.contents b

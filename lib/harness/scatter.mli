@@ -1,0 +1,14 @@
+(** ASCII rendering of the Figure 3 scatter: predicted vs measured execution
+    time on log-log axes, with the identity diagonal marked.  Dense cells
+    darken through [. : * #]. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  (float * float) list ->
+  string
+(** [render pairs] plots (predicted, measured) pairs; both coordinates must
+    be positive.  Default canvas 64x24.  Returns the multi-line plot
+    (including axes annotation); raises [Invalid_argument] on an empty list
+    or non-positive values. *)

@@ -1,0 +1,52 @@
+module Model = Hextime_core.Model
+module Runner = Hextime_tileopt.Runner
+module Baseline = Hextime_tileopt.Baseline
+
+type point = {
+  config : Hextime_tiling.Config.t;
+  predicted : Model.prediction;
+  measured : Runner.measurement;
+}
+
+let subsample limit xs =
+  match limit with
+  | None -> xs
+  | Some n ->
+      let len = List.length xs in
+      if len <= n then xs
+      else
+        let arr = Array.of_list xs in
+        List.init n (fun i -> arr.(i * len / n))
+
+let baseline ?limit (e : Experiments.t) =
+  let params = Microbench.params e.arch in
+  let citer =
+    Microbench.citer e.arch e.problem.Hextime_stencil.Problem.stencil
+  in
+  Baseline.data_points params e.problem
+  |> subsample limit
+  |> List.filter_map (fun config ->
+         match Model.predict params ~citer e.problem config with
+         | Error _ -> None
+         | Ok predicted -> (
+             match Runner.measure e.arch e.problem config with
+             | Error _ -> None
+             | Ok measured -> Some { config; predicted; measured }))
+
+let best_gflops = function
+  | [] -> invalid_arg "Sweep.best_gflops: empty sweep"
+  | points ->
+      List.fold_left
+        (fun acc p -> max acc p.measured.Runner.gflops)
+        0.0 points
+
+let top_performing ~within points =
+  if within < 0.0 || within >= 1.0 then
+    invalid_arg "Sweep.top_performing: within must be in [0, 1)";
+  match points with
+  | [] -> []
+  | _ ->
+      let best = best_gflops points in
+      List.filter
+        (fun p -> p.measured.Runner.gflops >= (1.0 -. within) *. best)
+        points

@@ -1,0 +1,22 @@
+(** Running the baseline data-point sweep of one experiment: every
+    configuration is both predicted by the model and "measured" on the
+    simulator, producing the paired data behind Figure 3 and Section 5.3. *)
+
+type point = {
+  config : Hextime_tiling.Config.t;
+  predicted : Hextime_core.Model.prediction;
+  measured : Hextime_tileopt.Runner.measurement;
+}
+
+val baseline : ?limit:int -> Experiments.t -> point list
+(** Predict and measure the experiment's baseline data points (about 850 at
+    full size; [limit] deterministically subsamples for quick runs).
+    Points that either the model or the compiler/device rejects are
+    dropped, mirroring failed runs in the paper's sweep. *)
+
+val best_gflops : point list -> float
+(** Highest measured throughput in the sweep; raises on empty. *)
+
+val top_performing : within:float -> point list -> point list
+(** Points whose measured GFLOP/s is within [within] (e.g. 0.2) of the best
+    (the paper's "top performing" subset). *)

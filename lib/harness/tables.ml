@@ -1,0 +1,72 @@
+module Gpu = Hextime_gpu
+module Tabulate = Hextime_prelude.Tabulate
+module Params = Hextime_core.Params
+module Stencil = Hextime_stencil.Stencil
+
+let archs = Gpu.Arch.presets
+
+let table2 () =
+  let open Tabulate in
+  let t =
+    create ~title:"Table 2: GPU configuration"
+      (( "Architecture Parameters", Left)
+       :: List.map (fun (a : Gpu.Arch.t) -> (a.name, Right)) archs)
+  in
+  let row name f = name :: List.map f archs in
+  add_rows t
+    [
+      row "nSM" (fun a -> string_of_int a.Gpu.Arch.n_sm);
+      row "nV" (fun a -> string_of_int a.Gpu.Arch.n_vector);
+      row "MSM [KB]" (fun a -> string_of_int (a.Gpu.Arch.shared_mem_per_sm * 4 / 1024));
+      row "RSM" (fun a -> string_of_int a.Gpu.Arch.registers_per_sm);
+      row "shared memory banks" (fun a -> string_of_int a.Gpu.Arch.shared_banks);
+      row "max threadblocks per SM" (fun a -> string_of_int a.Gpu.Arch.max_blocks_per_sm);
+    ]
+
+let table3_data () =
+  List.map
+    (fun arch ->
+      let p = Microbench.params arch in
+      ( arch.Gpu.Arch.name,
+        Params.l_per_gb p,
+        p.Params.tau_sync,
+        p.Params.t_sync ))
+    archs
+
+let table3 () =
+  let open Tabulate in
+  let t =
+    create ~title:"Table 3: micro-benchmarked parameter values"
+      (( "Parameter [unit]", Left)
+       :: List.map (fun (a : Gpu.Arch.t) -> (a.name, Right)) archs)
+  in
+  let data = table3_data () in
+  add_rows t
+    [
+      "L [s/GB]" :: List.map (fun (_, l, _, _) -> float_cell l) data;
+      "tau_sync [s]" :: List.map (fun (_, _, tau, _) -> float_cell tau) data;
+      "T_sync [s]" :: List.map (fun (_, _, _, ts) -> float_cell ts) data;
+    ]
+
+let table4_data () =
+  List.map
+    (fun stencil ->
+      ( stencil.Stencil.name,
+        List.map
+          (fun arch ->
+            (arch.Gpu.Arch.name, Microbench.citer arch stencil))
+          archs ))
+    (Stencil.benchmarks_2d @ Stencil.benchmarks_3d)
+
+let table4 () =
+  let open Tabulate in
+  let t =
+    create ~title:"Table 4: values of C_iter in seconds"
+      (( "Benchmark", Left)
+       :: List.map (fun (a : Gpu.Arch.t) -> (a.name, Right)) archs)
+  in
+  add_rows t
+    (List.map
+       (fun (name, per_arch) ->
+         name :: List.map (fun (_, c) -> float_cell c) per_arch)
+       (table4_data ()))

@@ -1,0 +1,42 @@
+module Stats = Hextime_prelude.Stats
+module Model = Hextime_core.Model
+module Runner = Hextime_tileopt.Runner
+
+type summary = {
+  points : int;
+  rmse_all : float;
+  top_points : int;
+  rmse_top : float;
+  correlation_top : float;
+  best_gflops : float;
+}
+
+let scatter points =
+  List.map
+    (fun (p : Sweep.point) ->
+      (p.predicted.Model.talg, p.measured.Runner.time_s))
+    points
+
+let analyze ?(top_within = 0.2) points =
+  if points = [] then invalid_arg "Validation.analyze: empty sweep";
+  let top = Sweep.top_performing ~within:top_within points in
+  let pairs_all = scatter points in
+  let pairs_top = scatter top in
+  {
+    points = List.length points;
+    rmse_all = Stats.rmse_relative pairs_all;
+    top_points = List.length top;
+    rmse_top = Stats.rmse_relative pairs_top;
+    correlation_top =
+      (if List.length pairs_top >= 2 then
+         try Stats.pearson pairs_top with Invalid_argument _ -> nan
+       else nan);
+    best_gflops = Sweep.best_gflops points;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d points, RMSE(all)=%.1f%%, top band: %d points, RMSE(top)=%.1f%%, \
+     r(top)=%.3f, best=%.1f GF/s"
+    s.points (100.0 *. s.rmse_all) s.top_points (100.0 *. s.rmse_top)
+    s.correlation_top s.best_gflops

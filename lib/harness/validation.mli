@@ -1,0 +1,24 @@
+(** Model validation analysis (Section 5.3 and Figure 3).
+
+    The paper's headline numbers: RMSE of 45-200% over a whole sweep, but
+    below 10% when restricted to the data points whose measured throughput
+    is within 20% of the best.  [analyze] computes both, plus the
+    predicted/measured correlation of the top band. *)
+
+type summary = {
+  points : int;
+  rmse_all : float;  (** relative RMSE over every data point *)
+  top_points : int;
+  rmse_top : float;  (** relative RMSE over the top-performing band *)
+  correlation_top : float;  (** Pearson r of (predicted, measured), top band *)
+  best_gflops : float;
+}
+
+val analyze : ?top_within:float -> Sweep.point list -> summary
+(** [top_within] defaults to 0.2 (the paper's 20% band).  Raises
+    [Invalid_argument] on an empty sweep. *)
+
+val scatter : Sweep.point list -> (float * float) list
+(** (predicted, measured) execution-time pairs — Figure 3's coordinates. *)
+
+val pp_summary : Format.formatter -> summary -> unit

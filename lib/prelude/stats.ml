@@ -1,0 +1,95 @@
+let require_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | xs -> xs
+
+let mean xs =
+  let xs = require_nonempty "Stats.mean" xs in
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean xs =
+  let xs = require_nonempty "Stats.geomean" xs in
+  let log_sum =
+    List.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive element"
+        else acc +. log x)
+      0.0 xs
+  in
+  exp (log_sum /. float_of_int (List.length xs))
+
+let stddev xs =
+  let xs = require_nonempty "Stats.stddev" xs in
+  let m = mean xs in
+  let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+  sqrt var
+
+let minimum xs =
+  let xs = require_nonempty "Stats.minimum" xs in
+  List.fold_left min infinity xs
+
+let maximum xs =
+  let xs = require_nonempty "Stats.maximum" xs in
+  List.fold_left max neg_infinity xs
+
+let percentile p xs =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let xs = require_nonempty "Stats.percentile" xs in
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let rel_errors pairs =
+  List.map
+    (fun (pred, meas) ->
+      if meas <= 0.0 then invalid_arg "Stats: non-positive measured value";
+      (pred -. meas) /. meas)
+    pairs
+
+let rmse_relative pairs =
+  match pairs with
+  | [] -> invalid_arg "Stats.rmse_relative: empty list"
+  | _ ->
+      let errs = rel_errors pairs in
+      sqrt (mean (List.map (fun e -> e *. e) errs))
+
+let mean_abs_relative_error pairs =
+  match pairs with
+  | [] -> invalid_arg "Stats.mean_abs_relative_error: empty list"
+  | _ -> mean (List.map abs_float (rel_errors pairs))
+
+let pearson pairs =
+  if List.length pairs < 2 then invalid_arg "Stats.pearson: need >= 2 pairs";
+  let xs = List.map fst pairs and ys = List.map snd pairs in
+  let mx = mean xs and my = mean ys in
+  let cov =
+    mean (List.map (fun (x, y) -> (x -. mx) *. (y -. my)) pairs)
+  in
+  let sx = stddev xs and sy = stddev ys in
+  if sx = 0.0 || sy = 0.0 then invalid_arg "Stats.pearson: zero variance";
+  cov /. (sx *. sy)
+
+let histogram ~bins xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let xs = require_nonempty "Stats.histogram" xs in
+  let lo = minimum xs and hi = maximum xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+  let cells =
+    Array.init bins (fun i ->
+        (lo +. (float_of_int i *. width), lo +. (float_of_int (i + 1) *. width), 0))
+  in
+  List.iter
+    (fun x ->
+      let i =
+        Ints.clamp ~lo:0 ~hi:(bins - 1) (int_of_float ((x -. lo) /. width))
+      in
+      let blo, bhi, c = cells.(i) in
+      cells.(i) <- (blo, bhi, c + 1))
+    xs;
+  cells

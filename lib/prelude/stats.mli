@@ -1,0 +1,39 @@
+(** Summary statistics used by the validation harness (Section 5.3 of the
+    paper): root-mean-square error between predicted and measured times,
+    correlation of the scatter in Figure 3, and simple aggregates. *)
+
+val mean : float list -> float
+(** Arithmetic mean; raises [Invalid_argument] on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; raises [Invalid_argument] on the empty
+    list or any non-positive element. *)
+
+val stddev : float list -> float
+(** Population standard deviation; raises [Invalid_argument] on empty. *)
+
+val minimum : float list -> float
+(** Smallest element; raises [Invalid_argument] on empty. *)
+
+val maximum : float list -> float
+(** Largest element; raises [Invalid_argument] on empty. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] is the [p]-th percentile ([0 <= p <= 100]) using linear
+    interpolation between closest ranks. Raises [Invalid_argument] on empty. *)
+
+val rmse_relative : (float * float) list -> float
+(** [rmse_relative pairs] where each pair is (predicted, measured) is the
+    root mean square of the relative errors (pred - meas) / meas, as used in
+    the paper's "RMSE below 10%" claim. Measured values must be positive. *)
+
+val mean_abs_relative_error : (float * float) list -> float
+(** Mean of |pred - meas| / meas over the pairs. *)
+
+val pearson : (float * float) list -> float
+(** Pearson correlation coefficient of the pairs; requires at least two
+    pairs with non-zero variance in each coordinate. *)
+
+val histogram : bins:int -> float list -> (float * float * int) array
+(** [histogram ~bins xs] buckets [xs] into [bins] equal-width bins over
+    [min, max]; each cell is (lo, hi, count). *)

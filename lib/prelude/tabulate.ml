@@ -1,0 +1,80 @@
+type align = Left | Right
+
+type t = {
+  title : string option;
+  headers : (string * align) list;
+  rows : string list list; (* stored reversed *)
+}
+
+let create ?title headers = { title; headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Tabulate.add_row: arity mismatch";
+  { t with rows = row :: t.rows }
+
+let add_rows t rows = List.fold_left add_row t rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let headers = List.map fst t.headers in
+  let aligns = List.map snd t.headers in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let render_cells cells =
+    let padded =
+      List.map2
+        (fun (cell, align) width -> pad align width cell)
+        (List.combine cells aligns)
+        widths
+    in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let rule =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf (render_cells headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_cells row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let float_cell ?(digits = 4) x =
+  let a = abs_float x in
+  if x = 0.0 then "0"
+  else if a >= 1e6 || a < 1e-3 then Printf.sprintf "%.*e" (digits - 1) x
+  else Printf.sprintf "%.*g" digits x
+
+let seconds_cell s =
+  let a = abs_float s in
+  if a >= 1.0 then Printf.sprintf "%.3f s" s
+  else if a >= 1e-3 then Printf.sprintf "%.3f ms" (s *. 1e3)
+  else if a >= 1e-6 then Printf.sprintf "%.3f us" (s *. 1e6)
+  else Printf.sprintf "%.3f ns" (s *. 1e9)

@@ -1,0 +1,32 @@
+(** Plain-text table rendering for experiment reports.
+
+    Every table and figure reproduction prints through this module so the
+    bench output has one consistent look. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ?title columns] starts a table with the given column headers and
+    alignments. *)
+
+val add_row : t -> string list -> t
+(** Append a row; raises [Invalid_argument] if the arity differs from the
+    header. *)
+
+val add_rows : t -> string list list -> t
+
+val render : t -> string
+(** Render with column separators and a header rule. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout followed by a newline. *)
+
+val float_cell : ?digits:int -> float -> string
+(** Format a float for a cell, defaulting to 4 significant digits, with
+    scientific notation for very small/large magnitudes. *)
+
+val seconds_cell : float -> string
+(** Format a duration in seconds with an adaptive unit (s, ms, us, ns). *)

@@ -1,0 +1,123 @@
+type t = { dims : int array; data : float array }
+
+let create dims =
+  let rank = Array.length dims in
+  if rank < 1 || rank > 3 then invalid_arg "Grid.create: rank must be 1..3";
+  Array.iter
+    (fun d -> if d <= 0 then invalid_arg "Grid.create: non-positive extent")
+    dims;
+  let size = Array.fold_left ( * ) 1 dims in
+  { dims = Array.copy dims; data = Array.make size 0.0 }
+
+let dims g = Array.copy g.dims
+let rank g = Array.length g.dims
+let size g = Array.length g.data
+
+let require_rank g r op =
+  if Array.length g.dims <> r then
+    invalid_arg (Printf.sprintf "Grid.%s: grid has rank %d" op (Array.length g.dims))
+
+let in_bounds g idx =
+  Array.length idx = Array.length g.dims
+  && Array.for_all2 (fun i d -> i >= 0 && i < d) idx g.dims
+  [@@warning "-32"]
+
+(* Array.for_all2 needs OCaml >= 4.11; fine on 5.1. *)
+
+let linear_of_index g idx =
+  if not (in_bounds g idx) then invalid_arg "Grid: index out of bounds";
+  match g.dims, idx with
+  | [| _ |], [| i |] -> i
+  | [| _; n1 |], [| i0; i1 |] -> (i0 * n1) + i1
+  | [| _; n1; n2 |], [| i0; i1; i2 |] -> (((i0 * n1) + i1) * n2) + i2
+  | _ -> assert false
+
+let get g idx = g.data.(linear_of_index g idx)
+let set g idx v = g.data.(linear_of_index g idx) <- v
+
+let get1 g i =
+  require_rank g 1 "get1";
+  g.data.(i)
+
+let set1 g i v =
+  require_rank g 1 "set1";
+  g.data.(i) <- v
+
+let get2 g i j =
+  require_rank g 2 "get2";
+  let n1 = g.dims.(1) in
+  if i < 0 || i >= g.dims.(0) || j < 0 || j >= n1 then
+    invalid_arg "Grid.get2: out of bounds";
+  Array.unsafe_get g.data ((i * n1) + j)
+
+let set2 g i j v =
+  require_rank g 2 "set2";
+  let n1 = g.dims.(1) in
+  if i < 0 || i >= g.dims.(0) || j < 0 || j >= n1 then
+    invalid_arg "Grid.set2: out of bounds";
+  Array.unsafe_set g.data ((i * n1) + j) v
+
+let get3 g i j k =
+  require_rank g 3 "get3";
+  let n1 = g.dims.(1) and n2 = g.dims.(2) in
+  if
+    i < 0 || i >= g.dims.(0) || j < 0 || j >= n1 || k < 0 || k >= n2
+  then invalid_arg "Grid.get3: out of bounds";
+  Array.unsafe_get g.data ((((i * n1) + j) * n2) + k)
+
+let set3 g i j k v =
+  require_rank g 3 "set3";
+  let n1 = g.dims.(1) and n2 = g.dims.(2) in
+  if
+    i < 0 || i >= g.dims.(0) || j < 0 || j >= n1 || k < 0 || k >= n2
+  then invalid_arg "Grid.set3: out of bounds";
+  Array.unsafe_set g.data ((((i * n1) + j) * n2) + k) v
+
+let iter_indices g f =
+  match g.dims with
+  | [| n |] ->
+      for i = 0 to n - 1 do
+        f [| i |]
+      done
+  | [| n0; n1 |] ->
+      for i = 0 to n0 - 1 do
+        for j = 0 to n1 - 1 do
+          f [| i; j |]
+        done
+      done
+  | [| n0; n1; n2 |] ->
+      for i = 0 to n0 - 1 do
+        for j = 0 to n1 - 1 do
+          for k = 0 to n2 - 1 do
+            f [| i; j; k |]
+          done
+        done
+      done
+  | _ -> assert false
+
+let fill g f = iter_indices g (fun idx -> set g idx (f idx))
+let copy g = { dims = Array.copy g.dims; data = Array.copy g.data }
+
+let require_same_dims a b op =
+  if a.dims <> b.dims then invalid_arg ("Grid." ^ op ^ ": extent mismatch")
+
+let blit ~src ~dst =
+  require_same_dims src dst "blit";
+  Array.blit src.data 0 dst.data 0 (Array.length src.data)
+
+let map2 f a b =
+  require_same_dims a b "map2";
+  { dims = Array.copy a.dims; data = Array.map2 f a.data b.data }
+
+let max_abs_diff a b =
+  require_same_dims a b "max_abs_diff";
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let d = abs_float (x -. b.data.(i)) in
+      if d > !worst then worst := d)
+    a.data;
+  !worst
+
+let equal ?(eps = 0.0) a b = a.dims = b.dims && max_abs_diff a b <= eps
+let unsafe_data g = g.data

@@ -1,0 +1,85 @@
+let step stencil ~src ~dst =
+  let rank = Stencil.(stencil.rank) in
+  if Grid.rank src <> rank || Grid.rank dst <> rank then
+    invalid_arg "Reference.step: rank mismatch";
+  if Grid.dims src <> Grid.dims dst then
+    invalid_arg "Reference.step: extent mismatch";
+  let order = Stencil.(stencil.order) in
+  let dims = Grid.dims src in
+  (* boundary points keep their previous value *)
+  Grid.blit ~src ~dst;
+  match rank with
+  | 1 ->
+      let n = dims.(0) in
+      for i = order to n - 1 - order do
+        let read off = Grid.get1 src (i + off.(0)) in
+        Grid.set1 dst i (Stencil.apply stencil read)
+      done
+  | 2 ->
+      let n0 = dims.(0) and n1 = dims.(1) in
+      for i = order to n0 - 1 - order do
+        for j = order to n1 - 1 - order do
+          let read off = Grid.get2 src (i + off.(0)) (j + off.(1)) in
+          Grid.set2 dst i j (Stencil.apply stencil read)
+        done
+      done
+  | 3 ->
+      let n0 = dims.(0) and n1 = dims.(1) and n2 = dims.(2) in
+      for i = order to n0 - 1 - order do
+        for j = order to n1 - 1 - order do
+          for k = order to n2 - 1 - order do
+            let read off =
+              Grid.get3 src (i + off.(0)) (j + off.(1)) (k + off.(2))
+            in
+            Grid.set3 dst i j k (Stencil.apply stencil read)
+          done
+        done
+      done
+  | _ -> assert false
+
+let check_init problem init =
+  if Grid.dims init <> Problem.(problem.space) then
+    invalid_arg "Reference: init extents do not match problem"
+
+let run problem ~init =
+  check_init problem init;
+  let src = ref (Grid.copy init) in
+  let dst = ref (Grid.create (Grid.dims init)) in
+  for _ = 1 to Problem.(problem.time) do
+    step Problem.(problem.stencil) ~src:!src ~dst:!dst;
+    let tmp = !src in
+    src := !dst;
+    dst := tmp
+  done;
+  !src
+
+let run_history problem ~init =
+  check_init problem init;
+  let time = Problem.(problem.time) in
+  let states = Array.make (time + 1) init in
+  states.(0) <- Grid.copy init;
+  for t = 1 to time do
+    let dst = Grid.create (Grid.dims init) in
+    step Problem.(problem.stencil) ~src:states.(t - 1) ~dst;
+    states.(t) <- dst
+  done;
+  states
+
+let default_init problem =
+  let g = Grid.create Problem.(problem.space) in
+  let dims = Grid.dims g in
+  let rank = Array.length dims in
+  Grid.fill g (fun idx ->
+      let wave =
+        let acc = ref 0.0 in
+        for d = 0 to rank - 1 do
+          let x = float_of_int idx.(d) /. float_of_int dims.(d) in
+          acc := !acc +. sin ((6.28318530717958648 *. x) +. float_of_int d)
+        done;
+        !acc
+      in
+      let centred =
+        Array.for_all2 (fun i n -> i = n / 2) idx dims
+      in
+      (0.5 *. wave) +. (if centred then 10.0 else 0.0));
+  g

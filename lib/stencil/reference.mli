@@ -1,0 +1,23 @@
+(** Naive double-buffered reference executor.
+
+    This is the semantic ground truth: every tiled execution schedule must
+    produce bit-identical results (the update expression is evaluated with
+    the same operation order, so exact equality is the right check). *)
+
+val step : Stencil.t -> src:Grid.t -> dst:Grid.t -> unit
+(** Apply one time step: interior points of [dst] receive the stencil update
+    read from [src]; boundary points (within [order] of an edge) are copied
+    unchanged (Dirichlet boundary). Extents of [src] and [dst] must match the
+    stencil rank. *)
+
+val run : Problem.t -> init:Grid.t -> Grid.t
+(** Execute the whole problem from initial state [init] (extents must equal
+    the problem's space extents) and return the final grid. *)
+
+val run_history : Problem.t -> init:Grid.t -> Grid.t array
+(** Like {!run} but returns all [time + 1] states, index 0 being [init].
+    Intended for small correctness tests only. *)
+
+val default_init : Problem.t -> Grid.t
+(** A deterministic, non-trivial initial state (a mix of smooth waves and a
+    point impulse) used across tests, examples and benchmarks. *)

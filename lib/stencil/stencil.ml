@@ -1,0 +1,204 @@
+type tap = { offset : int array; weight : float }
+
+type rule =
+  | Linear of { taps : tap list; constant : float }
+  | Nonlinear of {
+      offsets : int array list;
+      eval : (int array -> float) -> float;
+    }
+
+type t = {
+  name : string;
+  rank : int;
+  order : int;
+  rule : rule;
+  flops : int;
+  loads : int;
+  transcendentals : int;
+}
+
+let rule_offsets = function
+  | Linear { taps; _ } -> List.map (fun tap -> tap.offset) taps
+  | Nonlinear { offsets; _ } -> offsets
+
+let natural_flops = function
+  | Linear { taps; constant } ->
+      (* one multiply and one add per tap, minus the first add, plus the
+         trailing constant add when present *)
+      (2 * List.length taps) - 1 + (if constant <> 0.0 then 1 else 0)
+  | Nonlinear { offsets; _ } ->
+      (* conservative default; nonlinear stencils normally pass ~flops *)
+      2 * List.length offsets
+
+let make ~name ~rank ?(transcendentals = 0) ?flops rule =
+  let offsets = rule_offsets rule in
+  if offsets = [] then invalid_arg "Stencil.make: rule reads no points";
+  List.iter
+    (fun off ->
+      if Array.length off <> rank then
+        invalid_arg "Stencil.make: offset rank mismatch")
+    offsets;
+  let order =
+    List.fold_left
+      (fun acc off -> Array.fold_left (fun a c -> max a (abs c)) acc off)
+      0 offsets
+  in
+  if order = 0 then invalid_arg "Stencil.make: pointwise rule is not a stencil";
+  let flops = match flops with Some f -> f | None -> natural_flops rule in
+  {
+    name;
+    rank;
+    order;
+    rule;
+    flops;
+    loads = List.length offsets;
+    transcendentals;
+  }
+
+let offsets s = rule_offsets s.rule
+
+let apply s read =
+  match s.rule with
+  | Linear { taps; constant } ->
+      List.fold_left
+        (fun acc { offset; weight } -> acc +. (weight *. read offset))
+        constant taps
+  | Nonlinear { eval; _ } -> eval read
+
+(* --- benchmark definitions ------------------------------------------- *)
+
+let tap offset weight = { offset; weight }
+
+let star1d w_center w_side =
+  [ tap [| -1 |] w_side; tap [| 0 |] w_center; tap [| 1 |] w_side ]
+
+let star2d w_center w_side =
+  [
+    tap [| 0; 0 |] w_center;
+    tap [| -1; 0 |] w_side;
+    tap [| 1; 0 |] w_side;
+    tap [| 0; -1 |] w_side;
+    tap [| 0; 1 |] w_side;
+  ]
+
+let star3d w_center w_side =
+  [
+    tap [| 0; 0; 0 |] w_center;
+    tap [| -1; 0; 0 |] w_side;
+    tap [| 1; 0; 0 |] w_side;
+    tap [| 0; -1; 0 |] w_side;
+    tap [| 0; 1; 0 |] w_side;
+    tap [| 0; 0; -1 |] w_side;
+    tap [| 0; 0; 1 |] w_side;
+  ]
+
+let jacobi1d =
+  make ~name:"jacobi1d" ~rank:1
+    (Linear { taps = star1d (1.0 /. 3.0) (1.0 /. 3.0); constant = 0.0 })
+
+let jacobi2d =
+  make ~name:"jacobi2d" ~rank:2
+    (Linear { taps = star2d 0.2 0.2; constant = 0.0 })
+
+(* Explicit heat equation: u + alpha * (laplacian u).  Slightly more work
+   than Jacobi because the coefficients differ between centre and sides. *)
+let heat_alpha = 0.125
+
+let heat2d =
+  make ~name:"heat2d" ~rank:2 ~flops:10
+    (Linear
+       { taps = star2d (1.0 -. (4.0 *. heat_alpha)) heat_alpha; constant = 0.0 })
+
+let laplacian2d =
+  make ~name:"laplacian2d" ~rank:2 ~flops:8
+    (Linear { taps = star2d (-4.0) 1.0; constant = 0.0 })
+
+let gradient2d =
+  let offsets = [ [| -1; 0 |]; [| 1; 0 |]; [| 0; -1 |]; [| 0; 1 |] ] in
+  let eval read =
+    let dx = read [| 1; 0 |] -. read [| -1; 0 |] in
+    let dy = read [| 0; 1 |] -. read [| 0; -1 |] in
+    sqrt ((dx *. dx) +. (dy *. dy) +. 1e-12)
+  in
+  make ~name:"gradient2d" ~rank:2 ~flops:16 ~transcendentals:1
+    (Nonlinear { offsets; eval })
+
+let jacobi3d =
+  make ~name:"jacobi3d" ~rank:3
+    (Linear { taps = star3d (1.0 /. 7.0) (1.0 /. 7.0); constant = 0.0 })
+
+let heat3d =
+  make ~name:"heat3d" ~rank:3 ~flops:14
+    (Linear
+       { taps = star3d (1.0 -. (6.0 *. heat_alpha)) heat_alpha; constant = 0.0 })
+
+let laplacian3d =
+  make ~name:"laplacian3d" ~rank:3 ~flops:12
+    (Linear { taps = star3d (-6.0) 1.0; constant = 0.0 })
+
+let jacobi2d_order2 =
+  let taps =
+    [
+      tap [| 0; 0 |] (1.0 /. 9.0);
+      tap [| -1; 0 |] (1.0 /. 9.0);
+      tap [| 1; 0 |] (1.0 /. 9.0);
+      tap [| 0; -1 |] (1.0 /. 9.0);
+      tap [| 0; 1 |] (1.0 /. 9.0);
+      tap [| -2; 0 |] (1.0 /. 9.0);
+      tap [| 2; 0 |] (1.0 /. 9.0);
+      tap [| 0; -2 |] (1.0 /. 9.0);
+      tap [| 0; 2 |] (1.0 /. 9.0);
+    ]
+  in
+  make ~name:"jacobi2d_order2" ~rank:2 (Linear { taps; constant = 0.0 })
+
+let heat3d_order2 =
+  let a = heat_alpha /. 2.0 in
+  let axis i sign dist =
+    let off = [| 0; 0; 0 |] in
+    off.(i) <- sign * dist;
+    off
+  in
+  let taps =
+    tap [| 0; 0; 0 |] (1.0 -. (12.0 *. a))
+    :: List.concat_map
+         (fun i ->
+           [
+             tap (axis i (-1) 1) a;
+             tap (axis i 1 1) a;
+             tap (axis i (-1) 2) a;
+             tap (axis i 1 2) a;
+           ])
+         [ 0; 1; 2 ]
+  in
+  make ~name:"heat3d_order2" ~rank:3 ~flops:28 (Linear { taps; constant = 0.0 })
+
+(* First-order upwind advection: an asymmetric neighbourhood (the wind blows
+   from the low-index side).  Exercises the tiling engine's conservatism:
+   the dependence radius is still 1, but only half the cone is used. *)
+let advection2d =
+  let cx = 0.4 and cy = 0.3 in
+  let taps =
+    [
+      tap [| 0; 0 |] (1.0 -. cx -. cy);
+      tap [| -1; 0 |] cx;
+      tap [| 0; -1 |] cy;
+    ]
+  in
+  make ~name:"advection2d" ~rank:2 ~flops:6 (Linear { taps; constant = 0.0 })
+
+let benchmarks_2d = [ jacobi2d; heat2d; laplacian2d; gradient2d ]
+let benchmarks_3d = [ heat3d; laplacian3d ]
+
+let all_benchmarks =
+  [ jacobi1d; jacobi3d; jacobi2d_order2; heat3d_order2; advection2d ]
+  @ benchmarks_2d @ benchmarks_3d
+
+let find name =
+  match List.find_opt (fun s -> s.name = name) all_benchmarks with
+  | Some s -> s
+  | None -> raise Not_found
+
+let pp ppf s =
+  Format.fprintf ppf "%s (%dD, order %d, %d taps, %d flops/pt)" s.name s.rank
+    s.order s.loads s.flops

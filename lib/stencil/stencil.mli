@@ -1,0 +1,82 @@
+(** Stencil definitions: the update rule applied at every space point and
+    time step (Equation 1 of the paper), together with the static facts the
+    tiling engine, the analytical model and the GPU simulator need about it
+    (dependence footprint, arithmetic cost, load count).
+
+    All stencils here are Jacobi-style: the value at time [t] depends only on
+    values at time [t - 1], which is the class the HHC compiler handles. *)
+
+type tap = { offset : int array; weight : float }
+(** One neighbourhood point: a relative space offset (length = rank) and its
+    coefficient. *)
+
+type rule =
+  | Linear of { taps : tap list; constant : float }
+      (** The convolutional form of Equation 1. *)
+  | Nonlinear of {
+      offsets : int array list;
+      eval : (int array -> float) -> float;
+          (** [eval read] computes the new value; [read off] returns the
+              neighbour at relative offset [off] and time [t - 1].  [eval]
+              must only read offsets listed in [offsets]. *)
+    }
+      (** Non-convolutional bodies such as the Gradient benchmark, whose
+          update involves squares and a square root. *)
+
+type t = private {
+  name : string;
+  rank : int;  (** number of space dimensions: 1, 2 or 3 *)
+  order : int;  (** dependence radius: max |offset component| *)
+  rule : rule;
+  flops : int;  (** floating point operations per updated point *)
+  loads : int;  (** distinct values read per updated point *)
+  transcendentals : int;  (** sqrt/div-class operations per point (cost extra) *)
+}
+
+val make :
+  name:string -> rank:int -> ?transcendentals:int -> ?flops:int -> rule -> t
+(** Build a stencil; [order] and [loads] are derived from the rule, and
+    [flops] defaults to the natural operation count of the rule (one multiply
+    and one add per tap, plus the constant add if non-zero).  Raises
+    [Invalid_argument] if any offset rank differs from [rank] or if the rule
+    reads no points. *)
+
+val offsets : t -> int array list
+(** The dependence footprint (relative offsets read at time [t-1]). *)
+
+val apply : t -> (int array -> float) -> float
+(** [apply s read] evaluates the update rule given a neighbour reader. *)
+
+(** {1 The paper's benchmarks (Section 5)} *)
+
+val jacobi1d : t
+val jacobi2d : t
+val heat2d : t
+val laplacian2d : t
+val gradient2d : t
+val jacobi3d : t
+val heat3d : t
+val laplacian3d : t
+
+(** {1 Higher-order extensions (Section 7, "Generality")} *)
+
+val jacobi2d_order2 : t
+val heat3d_order2 : t
+
+val advection2d : t
+(** First-order upwind advection: an asymmetric (half-cone) neighbourhood;
+    the tiling treats it with its full dependence radius, which the
+    executor's dependence checker confirms is safe. *)
+
+val benchmarks_2d : t list
+(** The four 2D benchmarks used in the paper's evaluation. *)
+
+val benchmarks_3d : t list
+(** The two 3D benchmarks used in the paper's evaluation. *)
+
+val all_benchmarks : t list
+
+val find : string -> t
+(** Look up any built-in stencil by name; raises [Not_found]. *)
+
+val pp : Format.formatter -> t -> unit

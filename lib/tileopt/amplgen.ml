@@ -1,0 +1,83 @@
+module Params = Hextime_core.Params
+module Problem = Hextime_stencil.Problem
+module Stencil = Hextime_stencil.Stencil
+
+let emit (p : Params.t) ~citer (problem : Problem.t) =
+  if citer <= 0.0 then invalid_arg "Amplgen.emit: citer must be positive";
+  let stencil = problem.Problem.stencil in
+  let rank = stencil.Stencil.rank in
+  let order = stencil.Stencil.order in
+  let b = Buffer.create 2048 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "# Tile-size selection for %s (Equation 31, PPoPP'17)\n"
+    (Problem.id problem);
+  pf "# machine: %s\n\n" p.Params.arch_name;
+  pf "param nSM := %d;\n" p.Params.n_sm;
+  pf "param nV := %d;\n" p.Params.n_vector;
+  pf "param MSM := %d;        # words per SM\n" p.Params.shared_mem_per_sm;
+  pf "param Mblock := %d;     # per-block cap, words\n"
+    p.Params.shared_mem_per_block;
+  pf "param MTBSM := %d;\n" p.Params.max_blocks_per_sm;
+  pf "param L := %.6e;        # s per word\n" p.Params.l_word;
+  pf "param tau := %.6e;      # tau_sync, s\n" p.Params.tau_sync;
+  pf "param Tsync := %.6e;\n" p.Params.t_sync;
+  pf "param Citer := %.6e;\n" citer;
+  pf "param T := %d;\n" problem.Problem.time;
+  Array.iteri (fun i s -> pf "param S%d := %d;\n" (i + 1) s) problem.Problem.space;
+  pf "param order := %d;\n\n" order;
+  pf "var tT integer >= 2;       # even: tT = 2 * tTh\n";
+  pf "var tTh integer >= 1;\n";
+  pf "var tS1 integer >= 1;\n";
+  if rank >= 2 then (
+    pf "var tS2c integer >= 1;     # tS2 = 32 * tS2c (full warps)\n";
+    pf "var tS2 integer >= 32;\n");
+  if rank >= 3 then pf "var tS3 integer >= 1;\n";
+  pf "var k integer >= 1;\n";
+  pf "var Nw >= 1;\nvar w >= 1;\nvar Mtile >= 1;\nvar mio >= 1;\n";
+  pf "var mprime >= 0;\nvar c >= 0;\nvar Ttile >= 0;\n\n";
+  pf "s.t. even_tT: tT = 2 * tTh;\n";
+  if rank >= 2 then pf "s.t. warp_tS2: tS2 = 32 * tS2c;\n";
+  pf "s.t. def_Nw: Nw = 2 * ceil(T / tT);\n";
+  pf "s.t. def_w:  w = ceil(S1 / (2 * tS1 + order * tT));\n";
+  (match rank with
+  | 1 ->
+      pf "s.t. def_mio: mio = 2 * (tS1 + 2 * order * tT);\n";
+      pf "s.t. def_Mtile: Mtile = 2 * (tS1 + order * tT + 1);\n"
+  | 2 ->
+      pf "s.t. def_mio: mio = 2 * tS2 * (tS1 + 2 * order * tT);\n";
+      pf
+        "s.t. def_Mtile: Mtile = 2 * (tS1 + order * tT + 1) * (tS2 + order * \
+         tT + 1);\n"
+  | _ ->
+      pf "s.t. def_mio: mio = 2 * tS2 * tS3 * (tS1 + 2 * order * tT);\n";
+      pf
+        "s.t. def_Mtile: Mtile = 2 * (tS1 + order * tT + 1) * (tS2 + order * \
+         tT + 1) * (tS3 + order * tT + 1);\n");
+  pf "s.t. def_mprime: mprime = mio * L + 2 * tau;\n";
+  (let inner =
+     match rank with 1 -> "1" | 2 -> "tS2" | _ -> "tS2 * tS3"
+   in
+   pf
+     "s.t. def_c: c = 2 * Citer * sum {d in 0..(tTh - 1)} ceil((tS1 + order + \
+      2 * order * d) * %s / nV) + tT * tau;\n"
+     inner);
+  (match rank with
+  | 1 -> pf "s.t. def_Ttile: Ttile = mprime + c + (k - 1) * max(mprime, c);\n"
+  | 2 ->
+      pf
+        "s.t. def_Ttile: Ttile = mprime + k * max(mprime, c) * ceil((S2 + tT) \
+         / tS2);\n"
+  | _ ->
+      pf
+        "s.t. def_Ttile: Ttile = mprime + k * max(mprime, c) * ceil(((S2 + \
+         tT) / tS2) * ((S3 + tT) / tS3));\n");
+  pf "\n# Equation 31 constraints\n";
+  pf "s.t. cap_block: Mtile <= Mblock;\n";
+  pf "s.t. cap_k: k <= MTBSM;\n";
+  pf "s.t. cap_sm: k * Mtile <= MSM;\n";
+  Array.iteri
+    (fun i s ->
+      pf "s.t. fit_%d: tS%d <= %d;\n" (i + 1) (i + 1) s)
+    problem.Problem.space;
+  pf "\nminimize Talg: Nw * (Tsync + Ttile * ceil(ceil(w / k) / nSM));\n";
+  Buffer.contents b

@@ -1,0 +1,17 @@
+(** AMPL emission of the tile-size optimization problem (Equation 31).
+
+    Section 6.1 reports encoding the problem in AMPL and handing it to
+    non-linear solvers (Bonmin et al.) before settling on exhaustive
+    enumeration.  This module reproduces that artifact: it renders the
+    objective T_alg and the feasibility constraints for a concrete problem
+    instance as an AMPL model, so the experiment can be repeated with any
+    AMPL-compatible solver.  (We do not ship a solver; the enumeration in
+    {!Optimizer} is the paper's — and our — production path.) *)
+
+val emit :
+  Hextime_core.Params.t ->
+  citer:float ->
+  Hextime_stencil.Problem.t ->
+  string
+(** The AMPL model text for one problem instance.  Raises
+    [Invalid_argument] for non-positive [citer]. *)

@@ -1,0 +1,149 @@
+module Problem = Hextime_stencil.Problem
+module Config = Hextime_tiling.Config
+module Params = Hextime_core.Params
+module Det_hash = Hextime_prelude.Det_hash
+
+type outcome = {
+  config : Config.t;
+  time_s : float;
+  gflops : float;
+  measurements : int;
+}
+
+let pick h xs =
+  let n = List.length xs in
+  List.nth xs (abs (Int64.to_int (Int64.rem (Det_hash.to_int64 h) (Int64.of_int n))))
+
+let measure arch problem spent cfg =
+  incr spent;
+  match Runner.measure arch problem cfg with
+  | Ok m -> Some m.Runner.time_s
+  | Error _ -> None
+
+(* thread-count neighbourhood within the candidate list *)
+let thread_moves threads =
+  let cands = Array.of_list Space.thread_candidates in
+  let n = Array.length cands in
+  let idx = ref None in
+  Array.iteri (fun i t -> if t = threads then idx := Some i) cands;
+  match !idx with
+  | None -> [ cands.(0) ]
+  | Some i ->
+      List.filter_map
+        (fun d ->
+          let j = i + d in
+          if j >= 0 && j < n then Some cands.(j) else None)
+        [ -1; 1 ]
+
+let neighbours (cfg : Config.t) =
+  let rank = Config.rank cfg in
+  let tile_moves =
+    List.filter_map
+      (fun (di, d) ->
+        let t_t = if di = -1 then cfg.Config.t_t + d else cfg.Config.t_t in
+        let t_s = Array.copy cfg.Config.t_s in
+        if di >= 0 then
+          t_s.(di) <-
+            t_s.(di) + (if di = rank - 1 && rank > 1 then 32 * d else d);
+        match Config.make ~t_t ~t_s ~threads:cfg.Config.threads with
+        | Ok c -> Some c
+        | Error _ -> None)
+      (List.concat_map
+         (fun di -> [ (di, -2); (di, -1); (di, 1); (di, 2) ])
+         (List.init (rank + 1) (fun i -> i - 1)))
+  in
+  let thread_variants =
+    List.filter_map
+      (fun t ->
+        match
+          Config.make ~t_t:cfg.Config.t_t ~t_s:cfg.Config.t_s ~threads:[| t |]
+        with
+        | Ok c -> Some c
+        | Error _ -> None)
+      (thread_moves (Config.total_threads cfg))
+  in
+  tile_moves @ thread_variants
+
+let search ?(budget = 200) ?(seed = "autotune") arch (params : Params.t)
+    (problem : Problem.t) =
+  if budget < 10 then Error "budget must be at least 10"
+  else
+    let shapes = Array.of_list (Space.shapes params problem) in
+    if Array.length shapes = 0 then Error "empty configuration space"
+    else begin
+      let spent = ref 0 in
+      let explore_budget = budget * 6 / 10 in
+      let best = ref None in
+      let consider cfg time =
+        match !best with
+        | Some (_, bt) when bt <= time -> ()
+        | _ -> best := Some (cfg, time)
+      in
+      (* phase 1: uniform random sampling over shapes x threads *)
+      let i = ref 0 in
+      while !spent < explore_budget do
+        incr i;
+        let h = Det_hash.mix_int (Det_hash.create seed) !i in
+        let shape =
+          shapes.(abs
+                    (Int64.to_int
+                       (Int64.rem (Det_hash.to_int64 h)
+                          (Int64.of_int (Array.length shapes)))))
+        in
+        let threads = pick (Det_hash.mix_int h 7) Space.thread_candidates in
+        match
+          Config.make ~t_t:shape.Space.t_t ~t_s:shape.Space.t_s
+            ~threads:[| threads |]
+        with
+        | Error _ -> incr spent
+        | Ok cfg -> (
+            match measure arch problem spent cfg with
+            | Some t -> consider cfg t
+            | None -> ())
+      done;
+      (* phase 2: greedy refinement of the incumbent *)
+      let rec refine () =
+        if !spent >= budget then ()
+        else
+          match !best with
+          | None -> ()
+          | Some (cfg, bt) ->
+              let improved =
+                List.fold_left
+                  (fun acc n ->
+                    if !spent >= budget then acc
+                    else
+                      match measure arch problem spent n with
+                      | Some t when t < bt -> (
+                          match acc with
+                          | Some (_, at) when at <= t -> acc
+                          | _ -> Some (n, t))
+                      | _ -> acc)
+                  None (neighbours cfg)
+              in
+              (match improved with
+              | Some (n, t) ->
+                  best := Some (n, t);
+                  refine ()
+              | None -> ())
+      in
+      refine ();
+      match !best with
+      | None -> Error "no feasible configuration found within the budget"
+      | Some (config, time_s) ->
+          Ok
+            {
+              config;
+              time_s;
+              gflops = Problem.total_flops problem /. time_s /. 1e9;
+              measurements = !spent;
+            }
+    end
+
+let budget_curve ~budgets arch params problem =
+  List.filter_map
+    (fun budget ->
+      match search ~budget ~seed:(Printf.sprintf "curve-%d" budget) arch params problem with
+      | Ok o -> Some (budget, o.gflops)
+      | Error _ -> None)
+    budgets

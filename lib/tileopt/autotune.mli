@@ -1,0 +1,38 @@
+(** A generic empirical autotuner, for the comparison Section 6.2 raises:
+    "Comparing against a generic autotuner (e.g., opentuner) could be
+    interesting, but tuning without good domain knowledge will be
+    difficult."
+
+    The tuner knows nothing about the model: it searches the same
+    configuration space (tile shapes x thread counts) using measured
+    execution time only, with the standard generic recipe — a random
+    sampling phase followed by greedy neighbourhood refinement — under a
+    fixed measurement budget.  The bench compares its best-found
+    performance per budget against the model-guided procedure, which spends
+    its budget only inside the predicted within-10% set. *)
+
+type outcome = {
+  config : Hextime_tiling.Config.t;
+  time_s : float;  (** best measured time found *)
+  gflops : float;
+  measurements : int;  (** executions actually spent *)
+}
+
+val search :
+  ?budget:int ->
+  ?seed:string ->
+  Hextime_gpu.Arch.t ->
+  Hextime_core.Params.t ->
+  Hextime_stencil.Problem.t ->
+  (outcome, string) result
+(** Random exploration for the first 60% of [budget] (default 200
+    measurements), greedy refinement of the incumbent for the rest.
+    Deterministic for a given [seed]. *)
+
+val budget_curve :
+  budgets:int list ->
+  Hextime_gpu.Arch.t ->
+  Hextime_core.Params.t ->
+  Hextime_stencil.Problem.t ->
+  (int * float) list
+(** Best GFLOP/s found at each measurement budget (independent runs). *)

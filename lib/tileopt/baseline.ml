@@ -1,0 +1,61 @@
+module Params = Hextime_core.Params
+module Footprint = Hextime_tiling.Footprint
+module Config = Hextime_tiling.Config
+module Stencil = Hextime_stencil.Stencil
+module Problem = Hextime_stencil.Problem
+
+let footprint_words (problem : Problem.t) (shape : Space.shape) =
+  let cfg = Space.to_config shape ~threads:[| 32 |] in
+  (Footprint.of_problem problem cfg).Footprint.shared_words
+
+(* take [n] elements evenly spread over the list, keeping order *)
+let spread n xs =
+  let len = List.length xs in
+  if len <= n then xs
+  else
+    let arr = Array.of_list xs in
+    List.init n (fun i -> arr.(i * len / n))
+
+let tile_shapes (p : Params.t) (problem : Problem.t) =
+  let cap = p.Params.shared_mem_per_block in
+  let with_fp =
+    Space.shapes p problem
+    |> List.map (fun s -> (s, footprint_words problem s))
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let band lo hi =
+    List.filter_map
+      (fun (s, fp) ->
+        let frac = float_of_int fp /. float_of_int cap in
+        if frac > lo && frac <= hi then Some s else None)
+      with_fp
+  in
+  (* Section 5.1: predominantly footprint-maximising shapes (the 48 KB
+     per-block cap leaves hyper-threading factor two), plus a smaller set
+     that leaves room for more resident blocks: 85 in total *)
+  let large = spread 70 (band 0.8 1.0) in
+  let mid = spread 10 (band 0.5 0.8) in
+  let small = spread 5 (band 0.0 0.5) in
+  let chosen = large @ mid @ small in
+  (* backfill from the full ranking if a band was sparse *)
+  let missing = 85 - List.length chosen in
+  if missing <= 0 then chosen
+  else
+    let rest =
+      List.filter (fun (s, _) -> not (List.mem s chosen)) with_fp
+      |> List.map fst
+    in
+    chosen @ spread missing rest
+
+let data_points p problem =
+  tile_shapes p problem
+  |> List.concat_map (fun shape ->
+         List.filter_map
+           (fun threads ->
+             match
+               Config.make ~t_t:shape.Space.t_t ~t_s:shape.Space.t_s
+                 ~threads:[| threads |]
+             with
+             | Ok c -> Some c
+             | Error _ -> None)
+           Space.thread_candidates)

@@ -1,0 +1,21 @@
+(** The baseline experiment set of Section 5.1.
+
+    The paper constructs, for every (stencil, problem size, machine)
+    combination, 85 tile-size combinations that maximise the shared-memory
+    footprint subject to the 48 KB per-block cap — plus points that leave
+    room for hyper-threading — and crosses each with 10 thread counts,
+    giving 850 data points per experiment.  These are the points used both
+    for model validation (Figure 3) and as the "Baseline" selection strategy
+    of Figure 6. *)
+
+val tile_shapes :
+  Hextime_core.Params.t -> Hextime_stencil.Problem.t -> Space.shape list
+(** About 85 shapes: predominantly footprint-maximising, with a
+    deterministic spread of smaller-footprint (higher hyper-threading)
+    shapes. *)
+
+val data_points :
+  Hextime_core.Params.t ->
+  Hextime_stencil.Problem.t ->
+  Hextime_tiling.Config.t list
+(** [tile_shapes] crossed with {!Space.thread_candidates} (about 850). *)

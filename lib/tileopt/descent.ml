@@ -1,0 +1,117 @@
+module Model = Hextime_core.Model
+module Params = Hextime_core.Params
+module Problem = Hextime_stencil.Problem
+module Stencil = Hextime_stencil.Stencil
+module Config = Hextime_tiling.Config
+module Det_hash = Hextime_prelude.Det_hash
+
+type solution = {
+  shape : Space.shape;
+  talg : float;
+  evaluations : int;
+  restarts : int;
+}
+
+(* per-coordinate step rules: t_t moves by 2 (parity), the hexagonal and
+   middle dimensions by small integers, the innermost by whole warps *)
+let neighbours rank (s : Space.shape) =
+  let moved_tt = List.map (fun d -> { s with Space.t_t = s.Space.t_t + d }) [ -2; 2 ] in
+  let move_dim i d =
+    let t_s = Array.copy s.Space.t_s in
+    t_s.(i) <- t_s.(i) + d;
+    { s with Space.t_s = t_s }
+  in
+  let steps i =
+    if i = rank - 1 && rank > 1 then [ -32; 32 ]
+    else [ -2; -1; 1; 2 ]
+  in
+  moved_tt
+  @ List.concat_map
+      (fun i -> List.map (move_dim i) (steps i))
+      (List.init rank (fun i -> i))
+
+let evaluate ?variant params ~citer problem evals (s : Space.shape) =
+  incr evals;
+  match
+    Config.make ~t_t:s.Space.t_t ~t_s:s.Space.t_s ~threads:[| 128 |]
+  with
+  | Error _ -> None
+  | Ok cfg -> (
+      match Model.predict ?variant params ~citer problem cfg with
+      | Ok pr -> Some pr.Model.talg
+      | Error _ -> None)
+
+let descend ?variant params ~citer problem evals start =
+  let rank = Array.length start.Space.t_s in
+  let rec go current current_talg =
+    let better =
+      List.filter_map
+        (fun n ->
+          match evaluate ?variant params ~citer problem evals n with
+          | Some t when t < current_talg -> Some (n, t)
+          | _ -> None)
+        (neighbours rank current)
+    in
+    match better with
+    | [] -> (current, current_talg)
+    | _ ->
+        let n, t =
+          List.fold_left
+            (fun ((_, bt) as acc) ((_, t) as x) -> if t < bt then x else acc)
+            (List.hd better) (List.tl better)
+        in
+        go n t
+  in
+  match evaluate ?variant params ~citer problem evals start with
+  | None -> None
+  | Some t -> Some (go start t)
+
+(* deterministic seed spread over the feasible space *)
+let seeds params problem ~restarts =
+  let all = Space.shapes params problem in
+  let n = List.length all in
+  if n = 0 then []
+  else
+    List.init restarts (fun i ->
+        let h =
+          Det_hash.create "descent-seed" |> fun h -> Det_hash.mix_int h i
+        in
+        let idx =
+          Int64.to_int (Int64.rem (Det_hash.to_int64 h) (Int64.of_int n))
+          |> abs
+        in
+        List.nth all idx)
+
+let solve ?variant ?(restarts = 8) params ~citer (problem : Problem.t) =
+  if restarts <= 0 then Error "restarts must be positive"
+  else
+    let evals = ref 0 in
+    let outcomes =
+      List.filter_map
+        (descend ?variant params ~citer problem evals)
+        (seeds params problem ~restarts)
+    in
+    match outcomes with
+    | [] -> Error "no feasible starting point"
+    | o :: rest ->
+        let shape, talg =
+          List.fold_left
+            (fun ((_, bt) as acc) ((_, t) as x) -> if t < bt then x else acc)
+            o rest
+        in
+        Ok { shape; talg; evaluations = !evals; restarts }
+
+let optimality_gap ?variant params ~citer problem (r : solution) =
+  let shapes = Space.shapes params problem in
+  let best =
+    List.fold_left
+      (fun acc shape ->
+        match
+          Model.predict ?variant params ~citer problem
+            (Space.to_config shape ~threads:[| 128 |])
+        with
+        | Ok pr -> min acc pr.Model.talg
+        | Error _ -> acc)
+      infinity shapes
+  in
+  (r.talg -. best) /. best

@@ -1,0 +1,43 @@
+(** A local non-linear solver for Equation 31, standing in for the paper's
+    AMPL/Bonmin experiment (Section 6.1).
+
+    The paper encoded the tile-size problem for off-the-shelf non-linear
+    solvers and found the results "somewhat disappointing": the objective is
+    non-convex, integer, and full of ceiling-induced plateaus, so heuristic
+    solvers return good-but-suboptimal points while being unable to certify
+    an optimum.  This module implements a multi-start coordinate descent of
+    the same character: from a feasible shape it repeatedly tries
+    neighbouring values in each coordinate (respecting the parity and
+    warp-multiple constraints) and accepts improvements, restarting from a
+    deterministic spread of seeds.
+
+    The bench compares it against exhaustive enumeration to reproduce the
+    paper's observation. *)
+
+type solution = {
+  shape : Space.shape;
+  talg : float;  (** predicted time at the solver's solution *)
+  evaluations : int;  (** model evaluations spent *)
+  restarts : int;
+}
+
+val solve :
+  ?variant:Hextime_core.Model.variant ->
+  ?restarts:int ->
+  Hextime_core.Params.t ->
+  citer:float ->
+  Hextime_stencil.Problem.t ->
+  (solution, string) result
+(** Run the solver ([restarts] deterministic starts, default 8).  [variant]
+    selects the objective: the default refined model is comparatively
+    smooth; [Paper_verbatim] has the ceiling-induced plateaus the paper's
+    solvers struggled with. *)
+
+val optimality_gap :
+  ?variant:Hextime_core.Model.variant ->
+  Hextime_core.Params.t ->
+  citer:float ->
+  Hextime_stencil.Problem.t ->
+  solution ->
+  float
+(** [(solver - exhaustive_min) / exhaustive_min] on predicted time. *)

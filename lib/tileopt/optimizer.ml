@@ -1,0 +1,34 @@
+module Model = Hextime_core.Model
+
+type evaluated = { shape : Space.shape; prediction : Model.prediction }
+
+let evaluate_space params ~citer problem =
+  Space.shapes params problem
+  |> List.filter_map (fun shape ->
+         let cfg = Space.to_config shape ~threads:[| 128 |] in
+         match Model.predict params ~citer problem cfg with
+         | Ok prediction -> Some { shape; prediction }
+         | Error _ -> None)
+
+let best = function
+  | [] -> invalid_arg "Optimizer.best: empty space"
+  | e :: rest ->
+      List.fold_left
+        (fun acc x ->
+          if x.prediction.Model.talg < acc.prediction.Model.talg then x
+          else acc)
+        e rest
+
+let within_fraction ~frac evaluated =
+  if frac < 0.0 then invalid_arg "Optimizer.within_fraction: negative frac";
+  match evaluated with
+  | [] -> []
+  | _ ->
+      let b = (best evaluated).prediction.Model.talg in
+      evaluated
+      |> List.filter (fun e -> e.prediction.Model.talg <= (1.0 +. frac) *. b)
+      |> List.sort (fun a b ->
+             Float.compare a.prediction.Model.talg b.prediction.Model.talg)
+
+let candidate_count ~frac evaluated =
+  List.length (within_fraction ~frac evaluated)

@@ -1,0 +1,31 @@
+(** Model-driven tile-size optimization (Section 6.1).
+
+    The optimization problem of Equation 31 is non-linear, non-convex and
+    integer; the paper found off-the-shelf solvers (Bonmin et al.)
+    unsatisfying and instead evaluated the model exhaustively over the
+    (small) feasible space, keeping every point within 10% of the predicted
+    minimum for empirical exploration.  This module implements that
+    procedure. *)
+
+type evaluated = {
+  shape : Space.shape;
+  prediction : Hextime_core.Model.prediction;
+}
+
+val evaluate_space :
+  Hextime_core.Params.t ->
+  citer:float ->
+  Hextime_stencil.Problem.t ->
+  evaluated list
+(** Evaluate T_alg on every feasible shape.  Shapes the model rejects are
+    dropped. *)
+
+val best : evaluated list -> evaluated
+(** Minimum predicted T_alg; raises [Invalid_argument] on the empty list. *)
+
+val within_fraction : frac:float -> evaluated list -> evaluated list
+(** All points with [talg <= (1 + frac) * talg_min], sorted by predicted
+    time (the "within 10% of T_alg_min" candidate set; the paper reports
+    fewer than 200 such points per instance). *)
+
+val candidate_count : frac:float -> evaluated list -> int

@@ -1,0 +1,48 @@
+module Problem = Hextime_stencil.Problem
+module Lower = Hextime_tiling.Lower
+module Gpu = Hextime_gpu
+
+type measurement = {
+  time_s : float;
+  gflops : float;
+  resident_blocks : int;
+  spilled_regs : int;
+  limiting : Gpu.Occupancy.limit;
+}
+
+let gflops_of_time problem time_s =
+  if time_s <= 0.0 then invalid_arg "Runner.gflops_of_time";
+  Problem.total_flops problem /. time_s /. 1e9
+
+let measure arch problem cfg =
+  match Lower.compile problem cfg with
+  | Error _ as e -> e
+  | Ok compiled -> (
+      let kernels = Lower.kernel_sequence compiled in
+      match Gpu.Simulator.measure arch kernels with
+      | Error _ as e -> e
+      | Ok time_s -> (
+          (* stats from a deterministic single run (identical structure) *)
+          match Gpu.Simulator.run_sequence ~jitter:false arch kernels with
+          | Error _ as e -> e
+          | Ok stats ->
+              let worst field =
+                List.fold_left
+                  (fun acc (ks : Gpu.Simulator.kernel_stats) ->
+                    max acc (field ks))
+                  0 stats.Gpu.Simulator.kernels
+              in
+              let limiting =
+                match stats.Gpu.Simulator.kernels with
+                | ks :: _ -> ks.Gpu.Simulator.limiting
+                | [] -> Gpu.Occupancy.Blocks
+              in
+              Ok
+                {
+                  time_s;
+                  gflops = gflops_of_time problem time_s;
+                  resident_blocks =
+                    worst (fun ks -> ks.Gpu.Simulator.resident_blocks);
+                  spilled_regs = worst (fun ks -> ks.Gpu.Simulator.spilled_regs);
+                  limiting;
+                }))

@@ -1,0 +1,21 @@
+(** Measured execution of a configuration: compile with the tiling engine,
+    run on the GPU simulator with the paper's min-of-five protocol
+    (Section 5.1), and report time and throughput. *)
+
+type measurement = {
+  time_s : float;  (** minimum over the measurement runs *)
+  gflops : float;  (** useful stencil GFLOP/s at that time *)
+  resident_blocks : int;  (** achieved hyper-threading factor *)
+  spilled_regs : int;  (** per-thread registers spilled, 0 when none *)
+  limiting : Hextime_gpu.Occupancy.limit;
+}
+
+val measure :
+  Hextime_gpu.Arch.t ->
+  Hextime_stencil.Problem.t ->
+  Hextime_tiling.Config.t ->
+  (measurement, string) result
+(** [Error] for configurations the compiler or the device rejects. *)
+
+val gflops_of_time : Hextime_stencil.Problem.t -> float -> float
+(** Useful throughput for the problem at a given execution time. *)

@@ -1,0 +1,76 @@
+module Ints = Hextime_prelude.Ints
+module Problem = Hextime_stencil.Problem
+module Stencil = Hextime_stencil.Stencil
+module Config = Hextime_tiling.Config
+module Footprint = Hextime_tiling.Footprint
+module Params = Hextime_core.Params
+
+type shape = { t_t : int; t_s : int array }
+
+let thread_candidates = [ 32; 64; 96; 128; 160; 192; 256; 384; 512; 1024 ]
+
+let t_t_candidates = Ints.range ~step:2 2 64
+
+let hex_candidates ~limit =
+  List.filter (fun s -> s <= limit) [ 1; 2; 3; 4; 6; 8; 10; 12; 16; 20; 24; 32; 40; 48; 64; 96; 128 ]
+
+let mid_candidates ~limit =
+  List.filter (fun s -> s <= limit) [ 1; 2; 4; 6; 8; 12; 16; 24; 32; 48; 64 ]
+
+let inner_candidates ~limit =
+  List.filter (fun s -> s <= limit) (List.map (fun i -> 32 * i) (Ints.range 1 16))
+
+let to_config shape ~threads =
+  Config.make_exn ~t_t:shape.t_t ~t_s:shape.t_s ~threads
+
+let shapes (p : Params.t) (problem : Problem.t) =
+  let stencil = problem.stencil in
+  let rank = stencil.Stencil.rank in
+  let space = problem.space in
+  let fits shape =
+    let fp =
+      Footprint.of_problem problem
+        (Config.make_exn ~t_t:shape.t_t ~t_s:shape.t_s ~threads:[| 32 |])
+    in
+    fp.Footprint.shared_words <= p.Params.shared_mem_per_block
+  in
+  let dims_candidates =
+    match rank with
+    | 1 -> [ [ hex_candidates ~limit:space.(0) ] ]
+    | 2 ->
+        [ [ hex_candidates ~limit:space.(0); inner_candidates ~limit:space.(1) ] ]
+    | 3 ->
+        [
+          [
+            hex_candidates ~limit:space.(0);
+            mid_candidates ~limit:space.(1);
+            inner_candidates ~limit:space.(2);
+          ];
+        ]
+    | _ -> assert false
+  in
+  let rec product = function
+    | [] -> [ [] ]
+    | axis :: rest ->
+        let tails = product rest in
+        List.concat_map (fun v -> List.map (fun tl -> v :: tl) tails) axis
+  in
+  let tile_tuples =
+    match dims_candidates with [ axes ] -> product axes | _ -> assert false
+  in
+  List.concat_map
+    (fun t_t ->
+      if t_t > 2 * problem.time then []
+      else
+        List.filter_map
+          (fun tup ->
+            let shape = { t_t; t_s = Array.of_list tup } in
+            if fits shape then Some shape else None)
+          tile_tuples)
+    (List.filter (fun t -> t <= 2 * problem.time) t_t_candidates)
+
+let id s =
+  Printf.sprintf "tT%d-tS%s" s.t_t
+    (String.concat "x" (Array.to_list (Array.map string_of_int s.t_s)))
+
+let pp ppf s = Format.pp_print_string ppf (id s)

@@ -1,0 +1,27 @@
+(** Enumeration of the feasible tile-size space of Equation 31.
+
+    A {!shape} is a tile-size tuple without thread counts: the model's
+    objective T_alg does not depend on threads-per-block (a deliberate
+    omission, Section 7), so optimization enumerates shapes and thread
+    counts are chosen empirically afterwards ({!Strategies}). *)
+
+type shape = { t_t : int; t_s : int array }
+
+val shapes :
+  Hextime_core.Params.t -> Hextime_stencil.Problem.t -> shape list
+(** All shapes satisfying Equation 31's structural and capacity constraints:
+    t_t even, innermost tile size a multiple of 32 (for rank >= 2), every
+    tile within the problem extent, and M_tile within the per-block
+    shared-memory cap.  The grid covers t_t up to 64, the hexagonal t_s up
+    to 128 and inner sizes up to 512, which comfortably contains the
+    capacity-feasible region for the architectures studied. *)
+
+val to_config : shape -> threads:int array -> Hextime_tiling.Config.t
+(** Attach thread counts; raises [Invalid_argument] if invalid. *)
+
+val thread_candidates : int list
+(** The 10 thread counts explored per tile shape (Section 5.1 explores 10
+    values of n_thr per combination). *)
+
+val id : shape -> string
+val pp : Format.formatter -> shape -> unit

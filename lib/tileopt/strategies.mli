@@ -1,0 +1,46 @@
+(** Tile-size selection strategies compared in Section 6.2 / Figure 6.
+
+    Every strategy returns the configuration it selects together with its
+    measured performance and how many candidate executions it had to pay
+    for — the point of the paper being that [Model_top10] reaches the best
+    performance while exploring a small candidate set. *)
+
+type outcome = {
+  strategy : string;
+  config : Hextime_tiling.Config.t;
+  measurement : Runner.measurement;
+  predicted_s : float option;  (** model's T_alg when the strategy used it *)
+  explored : int;  (** number of configurations actually executed *)
+}
+
+type context = {
+  arch : Hextime_gpu.Arch.t;
+  params : Hextime_core.Params.t;
+  citer : float;
+  problem : Hextime_stencil.Problem.t;
+}
+
+val hhc_default : context -> (outcome, string) result
+(** The HHC compiler's untuned default tile sizes (no search at all). *)
+
+val baseline_best : context -> (outcome, string) result
+(** Best of the ~850 baseline data points of Section 5.1 (footprint-
+    maximising heuristic plus thread sweep). *)
+
+val model_optimal : context -> (outcome, string) result
+(** The shape minimising predicted T_alg, with only its thread count tuned
+    empirically.  Figure 6 shows this alone is poor: the model's blind spots
+    (registers, threads) matter at the very bottom of the objective. *)
+
+val model_top10 : context -> (outcome, string) result
+(** All shapes within 10% of the predicted minimum, crossed with thread
+    candidates, executed, best kept (the paper's proposed procedure). *)
+
+val exhaustive : ?max_configs:int -> context -> (outcome, string) result
+(** Oracle: execute the whole feasible space (deterministically
+    stride-sampled to [max_configs], default 5000 — the paper notes a truly
+    exhaustive sweep is impractical even for them). *)
+
+val all :
+  ?max_configs:int -> context -> (string * (outcome, string) result) list
+(** Every strategy, in Figure 6's order. *)

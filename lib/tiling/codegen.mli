@@ -1,0 +1,28 @@
+(** CUDA-like pseudo-code emission for a tiled schedule.
+
+    The HHC compiler's output is a CUDA program per (stencil, problem,
+    tile-size) tuple; Section 8 notes that generating and compiling one
+    program per data point dominated the authors' experiment time.  This
+    module emits a readable pseudo-CUDA rendering of the schedule our
+    {!Lower} produces — the host loop over wavefront launches and the device
+    kernel with its shared-memory staging, per-row compute and barriers —
+    so a user can inspect exactly what a configuration executes, and so the
+    code structure the simulator prices is documented by construction.
+
+    The output is *pseudo*-code: it type-checks nowhere and elides the
+    index algebra of the hexagon boundaries, but every structural element
+    the model reasons about (transfers, row loop, syncs, chunk loop) appears
+    exactly once in the right place. *)
+
+val kernel :
+  Hextime_stencil.Problem.t ->
+  Config.t ->
+  family:Hexgeom.family ->
+  (string, string) result
+(** The device kernel for one tile family. *)
+
+val host : Hextime_stencil.Problem.t -> Config.t -> (string, string) result
+(** The host-side launch loop (the wavefront sequence of Equation 2). *)
+
+val program : Hextime_stencil.Problem.t -> Config.t -> (string, string) result
+(** [host] plus both kernels. *)

@@ -1,0 +1,31 @@
+(** A tiling configuration: the compiler parameters of the HHC compiler that
+    the paper's model predicts over and the optimizer selects.
+
+    [t_t] is the time tile size, [t_s.(i)] the tile size along space
+    dimension [i] ([t_s.(0)] is the hexagonally tiled dimension, the rest are
+    time-skewed), and [threads] the threads-per-block counts per dimension
+    (their product is the block's thread count). *)
+
+type t = private { t_t : int; t_s : int array; threads : int array }
+
+val make : t_t:int -> t_s:int array -> threads:int array -> (t, string) result
+(** Validates the structural constraints of Section 6.1:
+    - [t_t] even and positive (required by hybrid-hexagonal tiling);
+    - every tile size positive;
+    - the innermost space tile size a multiple of 32 when there is an inner
+      dimension (full-warp coalescing; for 1D stencils there is no such
+      constraint);
+    - at least one thread, and thread counts positive. *)
+
+val make_exn : t_t:int -> t_s:int array -> threads:int array -> t
+(** Like {!make} but raises [Invalid_argument]. *)
+
+val rank : t -> int
+val total_threads : t -> int
+
+val id : t -> string
+(** Stable identifier, e.g. ["tT8-tS24x64-thr128"]. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int

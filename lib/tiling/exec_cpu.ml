@@ -1,0 +1,236 @@
+module Stencil = Hextime_stencil.Stencil
+module Problem = Hextime_stencil.Problem
+module Grid = Hextime_stencil.Grid
+module Reference = Hextime_stencil.Reference
+module Ints = Hextime_prelude.Ints
+
+exception Dependence_violation of string
+
+(* Full time history of the space grid, flattened, with a computed flag per
+   point.  Time index 0 is the initial state. *)
+type history = {
+  space : int array;
+  strides : int array;
+  cells : int;  (** points per time level *)
+  values : float array array;  (** values.(t).(linear point) *)
+  ready : Bytes.t array;
+}
+
+let strides_of space =
+  let rank = Array.length space in
+  let strides = Array.make rank 1 in
+  for d = rank - 2 downto 0 do
+    strides.(d) <- strides.(d + 1) * space.(d + 1)
+  done;
+  strides
+
+let make_history ~space ~time ~(init : Grid.t) =
+  let cells = Array.fold_left ( * ) 1 space in
+  let values =
+    Array.init (time + 1) (fun t ->
+        if t = 0 then Array.copy (Grid.unsafe_data init)
+        else Array.make cells nan)
+  in
+  let ready =
+    Array.init (time + 1) (fun t ->
+        Bytes.make cells (if t = 0 then '\001' else '\000'))
+  in
+  { space; strides = strides_of space; cells; values; ready }
+
+let linear h idx =
+  let acc = ref 0 in
+  Array.iteri (fun d i -> acc := !acc + (i * h.strides.(d))) idx;
+  !acc
+
+let read h ~t idx ~ctx =
+  let ok =
+    Array.for_all2 (fun i n -> i >= 0 && i < n) idx h.space && t >= 0
+  in
+  if not ok then
+    raise
+      (Dependence_violation
+         (Printf.sprintf "%s: read outside domain at t=%d" ctx t));
+  let l = linear h idx in
+  if Bytes.get h.ready.(t) l = '\000' then
+    raise
+      (Dependence_violation
+         (Printf.sprintf "%s: read of uncomputed point t=%d idx=[%s]" ctx t
+            (String.concat ";"
+               (Array.to_list (Array.map string_of_int idx)))));
+  h.values.(t).(l)
+
+let write h ~t idx v ~ctx =
+  let l = linear h idx in
+  if Bytes.get h.ready.(t) l = '\001' then
+    raise
+      (Dependence_violation
+         (Printf.sprintf "%s: point computed twice t=%d idx=[%s]" ctx t
+            (String.concat ";"
+               (Array.to_list (Array.map string_of_int idx)))));
+  h.values.(t).(l) <- v;
+  Bytes.set h.ready.(t) l '\001'
+
+let is_boundary ~order ~space idx =
+  let b = ref false in
+  Array.iteri
+    (fun d i -> if i < order || i >= space.(d) - order then b := true)
+    idx;
+  !b
+
+(* update one point at time [t] from level [t-1] *)
+let update_point h (stencil : Stencil.t) ~order ~t idx ~ctx =
+  if is_boundary ~order ~space:h.space idx then
+    write h ~t idx (read h ~t:(t - 1) idx ~ctx) ~ctx
+  else
+    let readv off =
+      let nbr = Array.mapi (fun d i -> i + off.(d)) idx in
+      read h ~t:(t - 1) nbr ~ctx
+    in
+    write h ~t idx (Stencil.apply stencil readv) ~ctx
+
+(* Enumerate the inner (skewed-chunk) coordinates of one hexagon row at time
+   [t] for chunk [q] along inner dimension extent [extent], tile size [ts]:
+   the chunk holds points with q*ts <= order*t + s < (q+1)*ts. *)
+let chunk_range ~order ~t ~ts ~extent q =
+  let lo = max 0 ((q * ts) - (order * t)) in
+  let hi = min (extent - 1) ((((q + 1) * ts) - 1) - (order * t)) in
+  (lo, hi)
+
+let chunk_count ~order ~time ~ts ~extent =
+  (* largest q such that some 1 <= t <= time, 0 <= s < extent falls in it *)
+  ((order * time) + extent - 1) / ts
+
+let run_tile_schedule (problem : Problem.t) (cfg : Config.t) ~init ~tiles =
+  let stencil = problem.stencil in
+  let rank = stencil.Stencil.rank in
+  if Config.rank cfg <> rank then invalid_arg "Exec_cpu.run: rank mismatch";
+  if Grid.dims init <> problem.space then
+    invalid_arg "Exec_cpu.run: init extents mismatch";
+  let order = stencil.Stencil.order in
+  let time = problem.time in
+  let space = problem.space in
+  let h = make_history ~space ~time ~init in
+  let exec_tile (ctx, rows) =
+    match rank with
+    | 1 ->
+        List.iter
+          (fun (t, lo, hi) ->
+            for s = lo to hi do
+              update_point h stencil ~order ~t [| s |] ~ctx
+            done)
+          rows
+    | 2 ->
+        let ts1 = cfg.t_s.(1) and extent1 = space.(1) in
+        let qmax = chunk_count ~order ~time ~ts:ts1 ~extent:extent1 in
+        for q = 0 to qmax do
+          List.iter
+            (fun (t, lo, hi) ->
+              let jlo, jhi = chunk_range ~order ~t ~ts:ts1 ~extent:extent1 q in
+              for s0 = lo to hi do
+                for s1 = jlo to jhi do
+                  update_point h stencil ~order ~t [| s0; s1 |] ~ctx
+                done
+              done)
+            rows
+        done
+    | 3 ->
+        let ts1 = cfg.t_s.(1) and extent1 = space.(1) in
+        let ts2 = cfg.t_s.(2) and extent2 = space.(2) in
+        let q1max = chunk_count ~order ~time ~ts:ts1 ~extent:extent1 in
+        let q2max = chunk_count ~order ~time ~ts:ts2 ~extent:extent2 in
+        for q1 = 0 to q1max do
+          for q2 = 0 to q2max do
+            List.iter
+              (fun (t, lo, hi) ->
+                let jlo, jhi =
+                  chunk_range ~order ~t ~ts:ts1 ~extent:extent1 q1
+                in
+                let klo, khi =
+                  chunk_range ~order ~t ~ts:ts2 ~extent:extent2 q2
+                in
+                for s0 = lo to hi do
+                  for s1 = jlo to jhi do
+                    for s2 = klo to khi do
+                      update_point h stencil ~order ~t [| s0; s1; s2 |] ~ctx
+                    done
+                  done
+                done)
+              rows
+          done
+        done
+    | _ -> assert false
+  in
+  List.iter exec_tile tiles;
+  (* every point of the final level must have been produced *)
+  if Bytes.exists (fun c -> c = '\000') h.ready.(time) then
+    raise
+      (Dependence_violation
+         "incomplete coverage: final time level has uncomputed points");
+  let out = Grid.create space in
+  Array.blit h.values.(time) 0 (Grid.unsafe_data out) 0 h.cells;
+  out
+
+let run (problem : Problem.t) (cfg : Config.t) ~init =
+  let stencil = problem.stencil in
+  let order = stencil.Stencil.order in
+  if Config.rank cfg <> stencil.Stencil.rank then
+    invalid_arg "Exec_cpu.run: rank mismatch";
+  let t_t = cfg.t_t and t_s0 = cfg.t_s.(0) in
+  let tiles =
+    Hexgeom.wavefronts ~order ~t_s:t_s0 ~t_t ~space:problem.space.(0)
+      ~time:problem.time
+    |> List.concat_map (fun wf ->
+           List.map
+             (fun tile ->
+               ( Printf.sprintf "%s %s tile(band=%d,idx=%d)"
+                   (Problem.id problem)
+                   (match tile.Hexgeom.family with
+                   | Hexgeom.Green -> "green"
+                   | Hexgeom.Yellow -> "yellow")
+                   tile.Hexgeom.band tile.Hexgeom.index,
+                 Hexgeom.rows_clipped ~order ~t_s:t_s0 ~t_t
+                   ~space:problem.space.(0) ~time:problem.time tile ))
+             wf)
+  in
+  run_tile_schedule problem cfg ~init ~tiles
+
+let verify problem cfg ~init =
+  match run problem cfg ~init with
+  | exception Dependence_violation msg -> Error msg
+  | tiled ->
+      let expected = Reference.run problem ~init in
+      if Grid.equal tiled expected then Ok ()
+      else
+        Error
+          (Printf.sprintf "tiled result differs from reference (max diff %g)"
+             (Grid.max_abs_diff tiled expected))
+
+let coverage_check ~order ~t_s ~t_t ~space ~time =
+  let seen = Array.make_matrix (time + 1) space 0 in
+  let wavefronts = Hexgeom.wavefronts ~order ~t_s ~t_t ~space ~time in
+  List.iter
+    (fun wf ->
+      List.iter
+        (fun tile ->
+          Hexgeom.rows_clipped ~order ~t_s ~t_t ~space ~time tile
+          |> List.iter (fun (t, lo, hi) ->
+                 for s = lo to hi do
+                   seen.(t).(s) <- seen.(t).(s) + 1
+                 done))
+        wf)
+    wavefronts;
+  let problems = ref [] in
+  for t = time downto 1 do
+    for s = space - 1 downto 0 do
+      if seen.(t).(s) <> 1 then
+        problems :=
+          Printf.sprintf "(t=%d, s=%d) covered %d times" t s seen.(t).(s)
+          :: !problems
+    done
+  done;
+  match !problems with
+  | [] -> Ok ()
+  | p :: _ ->
+      Error
+        (Printf.sprintf "%d coverage defects; first: %s" (List.length !problems)
+           p)

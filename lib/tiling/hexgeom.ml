@@ -1,0 +1,77 @@
+module Ints = Hextime_prelude.Ints
+
+type family = Green | Yellow
+type tile = { family : family; band : int; index : int }
+
+let check ~order ~t_s ~t_t =
+  if order < 1 then invalid_arg "Hexgeom: order must be >= 1";
+  if t_s < 1 then invalid_arg "Hexgeom: t_s must be >= 1";
+  if t_t < 2 || t_t mod 2 <> 0 then
+    invalid_arg "Hexgeom: t_t must be even and >= 2"
+
+let width_of_tile ~order ~t_s ~t_t =
+  check ~order ~t_s ~t_t;
+  t_s + (order * t_t) - (2 * order)
+
+let pitch ~order ~t_s ~t_t =
+  check ~order ~t_s ~t_t;
+  (2 * t_s) + (order * t_t)
+
+let num_wavefronts ~t_t ~time =
+  if time < 1 then invalid_arg "Hexgeom: time must be >= 1";
+  2 * Ints.ceil_div time t_t
+
+let wavefront_width ~order ~t_s ~t_t ~space =
+  if space < 1 then invalid_arg "Hexgeom: space must be >= 1";
+  Ints.ceil_div space (pitch ~order ~t_s ~t_t)
+
+let depth ~order ~t_t r = order * min r (t_t - 1 - r)
+
+let row_widths ~order ~t_s ~t_t =
+  check ~order ~t_s ~t_t;
+  List.map (fun r -> t_s + (2 * depth ~order ~t_t r)) (Ints.range 0 (t_t - 1))
+
+let rows ~order ~t_s ~t_t tile =
+  check ~order ~t_s ~t_t;
+  let p = pitch ~order ~t_s ~t_t in
+  let t_base, s_anchor, base_width =
+    match tile.family with
+    | Green -> (tile.band * t_t, tile.index * p, t_s)
+    | Yellow ->
+        ( (tile.band * t_t) - (t_t / 2),
+          (tile.index * p) + t_s + (order * t_t / 2) - order,
+          t_s + (2 * order) )
+  in
+  List.map
+    (fun r ->
+      let d = depth ~order ~t_t r in
+      (t_base + r + 1, s_anchor - d, s_anchor + base_width - 1 + d))
+    (Ints.range 0 (t_t - 1))
+
+let rows_clipped ~order ~t_s ~t_t ~space ~time tile =
+  rows ~order ~t_s ~t_t tile
+  |> List.filter_map (fun (t, lo, hi) ->
+         if t < 1 || t > time then None
+         else
+           let lo = max lo 0 and hi = min hi (space - 1) in
+           if lo > hi then None else Some (t, lo, hi))
+
+let wavefronts ~order ~t_s ~t_t ~space ~time =
+  check ~order ~t_s ~t_t;
+  let p = pitch ~order ~t_s ~t_t in
+  let max_d = order * (t_t / 2) in
+  let b_min = -(Ints.ceil_div (t_s + max_d) p) - 1 in
+  let b_max = Ints.ceil_div (space + max_d) p + 1 in
+  let tiles_of family band =
+    List.filter_map
+      (fun index ->
+        let tile = { family; band; index } in
+        if rows_clipped ~order ~t_s ~t_t ~space ~time tile = [] then None
+        else Some tile)
+      (Ints.range b_min b_max)
+  in
+  let last_band = Ints.ceil_div time t_t in
+  List.concat_map
+    (fun band -> [ tiles_of Yellow band; tiles_of Green band ])
+    (Ints.range 0 last_band)
+  |> List.filter (fun wf -> wf <> [])

@@ -1,0 +1,69 @@
+(** Discrete hexagonal tiling geometry for the outer (time, s_0) plane
+    (Section 3.1 / Figure 1 of the paper).
+
+    The (1-based) time steps [1..T] and the space coordinate [s] of the
+    hexagonally tiled dimension are partitioned into two staggered families
+    of hexagons.  "Green" tiles have a base of [t_s] points; the "yellow"
+    tiles between them are [2*order] points wider at the base so the two
+    families exactly partition the plane (the paper idealises both families
+    as congruent, which is what its width/footprint formulas express; the
+    [+2*order] is the discretisation the idealisation drops).
+
+    A tile of family [f], band [a], horizontal index [b] occupies rows
+    [r = 0 .. t_t-1]:
+    - green: time [a*t_t + r + 1], s in [b*pitch - d(r), b*pitch + t_s - 1 + d(r)]
+    - yellow: time [a*t_t - t_t/2 + r + 1], shifted right by
+      [t_s + order*t_t/2 - order], and wider by [2*order];
+    where [d r = order * min r (t_t - 1 - r)] is the oblique-side depth.
+
+    All quantities are parameterised by the stencil [order] (dependence
+    radius); the paper treats order 1, for which [pitch = 2 t_s + t_t]
+    (Equation 5) and [w_tile = t_s + t_t - 2] (Equation 4). *)
+
+type family = Green | Yellow
+
+type tile = { family : family; band : int; index : int }
+(** [band] is the vertical position [a]; [index] the horizontal position
+    [b]. *)
+
+(** {1 Closed-form quantities (the model's view)} *)
+
+val width_of_tile : order:int -> t_s:int -> t_t:int -> int
+(** w_tile, Equation 4 generalised: [t_s + order * t_t - 2 * order]. *)
+
+val pitch : order:int -> t_s:int -> t_t:int -> int
+(** Horizontal period of one family: [2 t_s + order * t_t] (Equation 5). *)
+
+val num_wavefronts : t_t:int -> time:int -> int
+(** N_w, Equation 3: [2 * ceil (time / t_t)] (the paper drops epsilon). *)
+
+val wavefront_width : order:int -> t_s:int -> t_t:int -> space:int -> int
+(** w, Equation 5: [ceil (space / pitch)]. *)
+
+val row_widths : order:int -> t_s:int -> t_t:int -> int list
+(** Idealised per-row widths of a tile, bottom to top:
+    [t_s, t_s + 2*order, ..., w_tile, w_tile, ..., t_s] ([t_t] entries).
+    This is exactly the sequence summed in Equations 9, 15 and 27. *)
+
+(** {1 Exact lattice (the executor's view)} *)
+
+val rows : order:int -> t_s:int -> t_t:int -> tile -> (int * int * int) list
+(** Unclipped rows of a tile as [(t, s_lo, s_hi)] (inclusive bounds), bottom
+    to top. *)
+
+val rows_clipped :
+  order:int ->
+  t_s:int ->
+  t_t:int ->
+  space:int ->
+  time:int ->
+  tile ->
+  (int * int * int) list
+(** Rows intersected with the iteration domain [1 <= t <= time],
+    [0 <= s < space]; may be empty. *)
+
+val wavefronts :
+  order:int -> t_s:int -> t_t:int -> space:int -> time:int -> tile list list
+(** The tiles of each wavefront in execution order (yellow band [a] before
+    green band [a], increasing [a]); only tiles with a non-empty clipped
+    extent appear, and empty wavefronts are dropped. *)

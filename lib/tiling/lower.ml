@@ -1,0 +1,117 @@
+module Ints = Hextime_prelude.Ints
+module Stencil = Hextime_stencil.Stencil
+module Problem = Hextime_stencil.Problem
+module Gpu = Hextime_gpu
+
+type t = {
+  green : Gpu.Kernel.t;
+  yellow : Gpu.Kernel.t;
+  green_launches : int;
+  yellow_launches : int;
+  footprint : Footprint.t;
+  regs_per_thread : int;
+  blocks_per_wavefront : int;
+}
+
+let validate (problem : Problem.t) (cfg : Config.t) =
+  let rank = Array.length problem.space in
+  if Config.rank cfg <> rank then Error "configuration rank /= problem rank"
+  else if
+    Array.exists2 (fun ts s -> ts > s) cfg.t_s problem.space
+  then Error "tile size exceeds problem extent"
+  else if cfg.t_t > 2 * problem.time then Error "time tile exceeds 2T"
+  else Ok ()
+
+(* Per-chunk compute rows: widths from the hexagonal cross-section scaled by
+   the inner tile extents (Equations 9, 15, 27: row x computes x * prod(t_s
+   inner) points). Equal-width rows come in pairs. *)
+let rows_of ~order ~base (cfg : Config.t) =
+  let rank = Config.rank cfg in
+  let inner = Array.fold_left ( * ) 1 (Array.sub cfg.t_s 1 (rank - 1)) in
+  List.map
+    (fun d ->
+      { Gpu.Workload.points = (base + (2 * order * d)) * inner; repeats = 2 })
+    (Ints.range 0 ((cfg.t_t / 2) - 1))
+
+let workload (problem : Problem.t) (cfg : Config.t) ~family =
+  match validate problem cfg with
+  | Error _ as e -> e
+  | Ok () ->
+      let stencil = problem.stencil in
+      let order = stencil.Stencil.order in
+      let rank = stencil.Stencil.rank in
+      let base =
+        match family with
+        | Hexgeom.Green -> cfg.t_s.(0)
+        | Hexgeom.Yellow -> cfg.t_s.(0) + (2 * order)
+      in
+      let fp = Footprint.of_problem problem cfg in
+      let rows = rows_of ~order ~base cfg in
+      let threads = Config.total_threads cfg in
+      let max_row_points =
+        List.fold_left
+          (fun acc (r : Gpu.Workload.row) -> max acc r.points)
+          1 rows
+      in
+      let regs =
+        Regalloc.per_thread ~stencil_loads:stencil.Stencil.loads ~rank
+          ~max_row_points ~threads
+      in
+      let body =
+        {
+          Gpu.Pointcost.flops = stencil.Stencil.flops;
+          loads = stencil.Stencil.loads;
+          transcendentals = stencil.Stencil.transcendentals;
+          rank;
+          double = problem.Problem.precision = Hextime_stencil.Problem.F64;
+        }
+      in
+      let run_length = cfg.t_s.(rank - 1) in
+      let family_name =
+        match family with Hexgeom.Green -> "green" | Hexgeom.Yellow -> "yellow"
+      in
+      Ok
+        (Gpu.Workload.v
+           ~label:
+             (Printf.sprintf "%s/%s/%s" (Problem.id problem) (Config.id cfg)
+                family_name)
+           ~threads ~shared_words:fp.Footprint.shared_words
+           ~regs_per_thread:regs ~body ~rows
+           ~input:{ Gpu.Memory.words = fp.Footprint.input_words; run_length }
+           ~output:{ Gpu.Memory.words = fp.Footprint.output_words; run_length }
+           ~row_stride:fp.Footprint.inner_stride ~chunks:fp.Footprint.chunks)
+
+let compile (problem : Problem.t) (cfg : Config.t) =
+  match
+    ( workload problem cfg ~family:Hexgeom.Green,
+      workload problem cfg ~family:Hexgeom.Yellow )
+  with
+  | Error e, _ | _, Error e -> Error e
+  | Ok wg, Ok wy ->
+      let stencil = problem.stencil in
+      let order = stencil.Stencil.order in
+      let blocks =
+        Hexgeom.wavefront_width ~order ~t_s:cfg.t_s.(0) ~t_t:cfg.t_t
+          ~space:problem.space.(0)
+      in
+      let launches = Ints.ceil_div problem.time cfg.t_t in
+      let fp = Footprint.of_problem problem cfg in
+      let green =
+        Gpu.Kernel.v ~label:(Gpu.Workload.(wg.label)) ~blocks:[ (wg, blocks) ]
+      in
+      let yellow =
+        Gpu.Kernel.v ~label:(Gpu.Workload.(wy.label)) ~blocks:[ (wy, blocks) ]
+      in
+      Ok
+        {
+          green;
+          yellow;
+          green_launches = launches;
+          yellow_launches = launches;
+          footprint = fp;
+          regs_per_thread = Gpu.Workload.(wg.regs_per_thread);
+          blocks_per_wavefront = blocks;
+        }
+
+let kernel_sequence t =
+  [ (t.yellow, t.yellow_launches); (t.green, t.green_launches) ]

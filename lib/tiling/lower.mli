@@ -1,0 +1,33 @@
+(** Lowering: from (problem, tiling configuration) to the kernel sequence the
+    GPU simulator prices.  This plays the role of the HHC compiler's code
+    generator (Section 3.2): it fixes the wavefront structure, the per-block
+    work (rows, chunks), the global traffic and the resource footprint.
+
+    The program alternates yellow- and green-family kernels (Figure 1); all
+    launches of one family have the same shape, so the sequence is returned
+    as two kernels with launch counts. *)
+
+type t = private {
+  green : Hextime_gpu.Kernel.t;
+  yellow : Hextime_gpu.Kernel.t;
+  green_launches : int;
+  yellow_launches : int;
+  footprint : Footprint.t;
+  regs_per_thread : int;
+  blocks_per_wavefront : int;
+}
+
+val compile :
+  Hextime_stencil.Problem.t -> Config.t -> (t, string) result
+(** Fails when the configuration's rank does not match the problem, or a
+    tile exceeds the problem extent. *)
+
+val kernel_sequence : t -> (Hextime_gpu.Kernel.t * int) list
+(** The launch sequence to hand to {!Hextime_gpu.Simulator.run_sequence}. *)
+
+val workload :
+  Hextime_stencil.Problem.t ->
+  Config.t ->
+  family:Hexgeom.family ->
+  (Hextime_gpu.Workload.t, string) result
+(** The per-block workload of one family; exposed for tests and reports. *)

@@ -1,0 +1,115 @@
+module Stencil = Hextime_stencil.Stencil
+module Problem = Hextime_stencil.Problem
+module Gpu = Hextime_gpu
+module Ints = Hextime_prelude.Ints
+
+let compile (problem : Problem.t) ~block ~threads =
+  let stencil = problem.Problem.stencil in
+  let rank = stencil.Stencil.rank in
+  let order = stencil.Stencil.order in
+  if Array.length block <> rank then Error "block rank /= problem rank"
+  else if Array.exists (fun b -> b <= 0) block then
+    Error "block extents must be positive"
+  else if block.(rank - 1) mod 32 <> 0 then
+    Error "innermost block extent must be a multiple of 32"
+  else if threads <= 0 then Error "threads must be positive"
+  else if Array.exists2 (fun b s -> b > s) block problem.Problem.space then
+    Error "block exceeds problem extent"
+  else
+    let wf = Problem.word_factor problem in
+    let tile_points = Array.fold_left ( * ) 1 block in
+    let halo = 2 * order in
+    let staged =
+      wf * Array.fold_left (fun acc b -> acc * (b + halo)) 1 block
+    in
+    let blocks =
+      let acc = ref 1 in
+      Array.iteri
+        (fun i b -> acc := !acc * Ints.ceil_div problem.Problem.space.(i) b)
+        block;
+      !acc
+    in
+    let regs =
+      Regalloc.per_thread ~stencil_loads:stencil.Stencil.loads ~rank
+        ~max_row_points:tile_points ~threads
+    in
+    let body =
+      {
+        Gpu.Pointcost.flops = stencil.Stencil.flops;
+        loads = stencil.Stencil.loads;
+        transcendentals = stencil.Stencil.transcendentals;
+        rank;
+        double = problem.Problem.precision = Hextime_stencil.Problem.F64;
+      }
+    in
+    let run_length = block.(rank - 1) in
+    let w =
+      Gpu.Workload.v
+        ~label:(Printf.sprintf "%s/naive-%s" (Problem.id problem)
+                  (String.concat "x" (Array.to_list (Array.map string_of_int block))))
+        ~threads ~shared_words:staged ~regs_per_thread:regs ~body
+        ~rows:[ { Gpu.Workload.points = tile_points; repeats = 1 } ]
+        ~input:{ Gpu.Memory.words = staged; run_length }
+        ~output:{ Gpu.Memory.words = wf * tile_points; run_length }
+        ~row_stride:((block.(rank - 1) + halo) * wf + 1)
+        ~chunks:1
+    in
+    Ok
+      ( Gpu.Kernel.v ~label:(Gpu.Workload.(w.label)) ~blocks:[ (w, blocks) ],
+        problem.Problem.time )
+
+let default_blocks ~rank =
+  match rank with
+  | 1 -> [ [| 256 |]; [| 1024 |]; [| 4096 |] ]
+  | 2 ->
+      [
+        [| 8; 32 |];
+        [| 16; 64 |];
+        [| 32; 32 |];
+        [| 8; 128 |];
+        [| 32; 64 |];
+        [| 16; 128 |];
+        [| 64; 64 |];
+      ]
+  | 3 ->
+      [
+        [| 4; 8; 32 |];
+        [| 8; 8; 32 |];
+        [| 4; 4; 64 |];
+        [| 8; 16; 32 |];
+        [| 2; 8; 64 |];
+      ]
+  | _ -> invalid_arg "Naive.default_blocks: rank must be 1..3"
+
+type tuned = { block : int array; threads : int; time_s : float; gflops : float }
+
+let best arch (problem : Problem.t) =
+  let rank = problem.Problem.stencil.Stencil.rank in
+  let candidates =
+    List.concat_map
+      (fun block ->
+        List.filter_map
+          (fun threads ->
+            match compile problem ~block ~threads with
+            | Error _ -> None
+            | Ok (kernel, launches) -> (
+                match Gpu.Simulator.measure arch [ (kernel, launches) ] with
+                | Error _ -> None
+                | Ok time_s ->
+                    Some
+                      {
+                        block;
+                        threads;
+                        time_s;
+                        gflops = Problem.total_flops problem /. time_s /. 1e9;
+                      }))
+          [ 128; 256; 512 ])
+      (default_blocks ~rank)
+  in
+  match candidates with
+  | [] -> Error "no naive configuration was feasible"
+  | c :: rest ->
+      Ok
+        (List.fold_left
+           (fun acc x -> if x.time_s < acc.time_s then x else acc)
+           c rest)

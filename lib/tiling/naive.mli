@@ -1,0 +1,37 @@
+(** Naive (non-time-tiled) GPU lowering: one kernel launch per time step,
+    space tiled into rectangular blocks with a halo.
+
+    This is the code every CUDA tutorial writes and the foil the paper's
+    introduction argues against: without reuse along the time dimension the
+    kernel re-streams the whole array from DRAM every step and is
+    memory-bound.  Pricing it on the same simulator substrate lets the
+    bench quantify the benefit of hexagonal time tiling — the motivation
+    for the entire HHC tool chain (Section 2, "time tiling"). *)
+
+val compile :
+  Hextime_stencil.Problem.t ->
+  block:int array ->
+  threads:int ->
+  (Hextime_gpu.Kernel.t * int, string) result
+(** [compile problem ~block ~threads] is the per-time-step kernel and its
+    launch count (= T).  [block] gives the space-tile extents (the innermost
+    must be a multiple of 32, as for HHC tiles); the block loads its tile
+    plus an [order]-deep halo into shared memory, computes one time step,
+    and writes the tile back. *)
+
+val default_blocks : rank:int -> int array list
+(** A small grid of sensible block shapes per rank, used by {!best}. *)
+
+type tuned = {
+  block : int array;
+  threads : int;
+  time_s : float;  (** min-of-five simulated time *)
+  gflops : float;
+}
+
+val best :
+  Hextime_gpu.Arch.t ->
+  Hextime_stencil.Problem.t ->
+  (tuned, string) result
+(** Sweep {!default_blocks} x a few thread counts on the simulator and keep
+    the fastest — an honestly tuned naive implementation. *)

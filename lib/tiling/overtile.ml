@@ -1,0 +1,265 @@
+module Stencil = Hextime_stencil.Stencil
+module Problem = Hextime_stencil.Problem
+module Grid = Hextime_stencil.Grid
+module Reference = Hextime_stencil.Reference
+module Gpu = Hextime_gpu
+module Ints = Hextime_prelude.Ints
+
+let core_points t_s = Array.fold_left ( * ) 1 t_s
+
+let redundancy_factor ~order ~t_s ~t_t =
+  if order < 1 || t_t < 1 then invalid_arg "Overtile.redundancy_factor";
+  Array.iter (fun s -> if s < 1 then invalid_arg "Overtile.redundancy_factor") t_s;
+  (* computed points: sum over levels of the shrinking trapezoid *)
+  let level r =
+    Array.fold_left (fun acc s -> acc * (s + (2 * order * (t_t - r)))) 1 t_s
+  in
+  let computed = List.fold_left (fun a r -> a + level r) 0 (Ints.range 1 t_t) in
+  float_of_int computed /. float_of_int (t_t * core_points t_s)
+
+let validate (problem : Problem.t) (cfg : Config.t) =
+  if Config.rank cfg <> problem.Problem.stencil.Stencil.rank then
+    Error "configuration rank /= problem rank"
+  else if
+    Array.exists2 (fun ts s -> ts > s) cfg.Config.t_s problem.Problem.space
+  then Error "tile size exceeds problem extent"
+  else Ok ()
+
+(* --- simulator lowering -------------------------------------------------- *)
+
+let workload (problem : Problem.t) (cfg : Config.t) =
+  let stencil = problem.Problem.stencil in
+  let rank = stencil.Stencil.rank in
+  let order = stencil.Stencil.order in
+  let t_t = cfg.Config.t_t and t_s = cfg.Config.t_s in
+  let halo = 2 * order * t_t in
+  let wf = Problem.word_factor problem in
+  let staged =
+    wf * Array.fold_left (fun acc s -> acc * (s + halo)) 1 t_s
+  in
+  let rows =
+    List.map
+      (fun r ->
+        {
+          Gpu.Workload.points =
+            Array.fold_left
+              (fun acc s -> acc * (s + (2 * order * (t_t - r))))
+              1 t_s;
+          repeats = 1;
+        })
+      (Ints.range 1 t_t)
+  in
+  let threads = Config.total_threads cfg in
+  let max_row_points =
+    match rows with r :: _ -> r.Gpu.Workload.points | [] -> 1
+  in
+  let regs =
+    Regalloc.per_thread ~stencil_loads:stencil.Stencil.loads ~rank
+      ~max_row_points ~threads
+  in
+  Gpu.Workload.v
+    ~label:
+      (Printf.sprintf "%s/%s/overtile" (Problem.id problem) (Config.id cfg))
+    ~threads
+    ~shared_words:
+      (2 * wf * Array.fold_left (fun acc s -> acc * (s + halo + 1)) 1 t_s)
+    ~regs_per_thread:regs
+    ~body:
+      {
+        Gpu.Pointcost.flops = stencil.Stencil.flops;
+        loads = stencil.Stencil.loads;
+        transcendentals = stencil.Stencil.transcendentals;
+        rank;
+        double = problem.Problem.precision = Hextime_stencil.Problem.F64;
+      }
+    ~rows
+    ~input:
+      { Gpu.Memory.words = staged; run_length = (t_s.(rank - 1) + halo) * wf }
+    ~output:
+      {
+        Gpu.Memory.words = wf * core_points t_s;
+        run_length = t_s.(rank - 1) * wf;
+      }
+    ~row_stride:((t_s.(rank - 1) + halo) * wf + 1)
+    ~chunks:1
+
+let compile_kernels (problem : Problem.t) (cfg : Config.t) =
+  match validate problem cfg with
+  | Error _ as e -> e
+  | Ok () ->
+      let blocks =
+        let acc = ref 1 in
+        Array.iteri
+          (fun d ts ->
+            acc := !acc * Ints.ceil_div problem.Problem.space.(d) ts)
+          cfg.Config.t_s;
+        !acc
+      in
+      let w = workload problem cfg in
+      let kernel =
+        Gpu.Kernel.v ~label:(Gpu.Workload.(w.label)) ~blocks:[ (w, blocks) ]
+      in
+      Ok [ (kernel, Ints.ceil_div problem.Problem.time cfg.Config.t_t) ]
+
+let measure arch problem cfg =
+  match compile_kernels problem cfg with
+  | Error _ as e -> e
+  | Ok kernels -> Gpu.Simulator.measure arch kernels
+
+(* --- CPU execution with per-level checking -------------------------------- *)
+
+(* a small rank-generic dense box with clipped bounds *)
+type box = { lo : int array; hi : int array (* exclusive *) }
+
+let box_dims b = Array.map2 (fun h l -> h - l) b.hi b.lo
+let box_size b = Array.fold_left ( * ) 1 (box_dims b)
+
+let iter_box b f =
+  let rank = Array.length b.lo in
+  let idx = Array.copy b.lo in
+  let rec go d =
+    if d = rank then f idx
+    else
+      for i = b.lo.(d) to b.hi.(d) - 1 do
+        idx.(d) <- i;
+        go (d + 1)
+      done
+  in
+  if Array.exists2 (fun l h -> l >= h) b.lo b.hi then () else go 0
+
+let linear_in b idx =
+  let dims = box_dims b in
+  let acc = ref 0 in
+  Array.iteri (fun d i -> acc := (!acc * dims.(d)) + (i - b.lo.(d))) idx;
+  !acc
+
+let run (problem : Problem.t) (cfg : Config.t) ~init =
+  (match validate problem cfg with
+  | Error msg -> invalid_arg ("Overtile.run: " ^ msg)
+  | Ok () -> ());
+  if Grid.dims init <> problem.Problem.space then
+    invalid_arg "Overtile.run: init extents mismatch";
+  let stencil = problem.Problem.stencil in
+  let rank = stencil.Stencil.rank in
+  let order = stencil.Stencil.order in
+  let space = problem.Problem.space in
+  let t_t = cfg.Config.t_t and t_s = cfg.Config.t_s in
+  let cells = Array.fold_left ( * ) 1 space in
+  let strides =
+    let s = Array.make rank 1 in
+    for d = rank - 2 downto 0 do
+      s.(d) <- s.(d + 1) * space.(d + 1)
+    done;
+    s
+  in
+  let glinear idx =
+    let acc = ref 0 in
+    Array.iteri (fun d i -> acc := !acc + (i * strides.(d))) idx;
+    !acc
+  in
+  let is_boundary idx =
+    let b = ref false in
+    Array.iteri
+      (fun d i -> if i < order || i >= space.(d) - order then b := true)
+      idx;
+    !b
+  in
+  let current = ref (Array.copy (Grid.unsafe_data init)) in
+  let bands = Ints.ceil_div problem.Problem.time t_t in
+  for band = 0 to bands - 1 do
+    let depth = min t_t (problem.Problem.time - (band * t_t)) in
+    (* per-level output buffers and write-once masks for this band *)
+    let levels = Array.init depth (fun _ -> Array.make cells nan) in
+    let masks = Array.init depth (fun _ -> Bytes.make cells '\000') in
+    (* enumerate space tiles *)
+    let tile_counts = Array.mapi (fun d ts -> Ints.ceil_div space.(d) ts) t_s in
+    let tiles = { lo = Array.make rank 0; hi = tile_counts } in
+    iter_box tiles (fun tile_idx ->
+        let core =
+          {
+            lo = Array.mapi (fun d b -> b * t_s.(d)) tile_idx;
+            hi =
+              Array.mapi (fun d b -> min space.(d) ((b + 1) * t_s.(d))) tile_idx;
+          }
+        in
+        let clipped_ext r =
+          {
+            lo = Array.map (fun l -> max 0 (l - (order * (depth - r)))) core.lo;
+            hi =
+              Array.mapi
+                (fun d h -> min space.(d) (h + (order * (depth - r))))
+                core.hi;
+          }
+        in
+        let base = clipped_ext 0 in
+        (* two local buffers over the base box *)
+        let size = box_size base in
+        let prev = Array.make size nan and next = Array.make size nan in
+        iter_box base (fun idx ->
+            prev.(linear_in base idx) <- !current.(glinear idx));
+        let prev = ref prev and next = ref next in
+        for r = 1 to depth do
+          let region = clipped_ext r in
+          iter_box region (fun idx ->
+              let v =
+                if is_boundary idx then !prev.(linear_in base idx)
+                else
+                  Stencil.apply stencil (fun off ->
+                      let nbr = Array.mapi (fun d i -> i + off.(d)) idx in
+                      !prev.(linear_in base nbr))
+              in
+              !next.(linear_in base idx) <- v;
+              (* core writes land in the band's level buffers, write-once *)
+              let in_core =
+                let ok = ref true in
+                Array.iteri
+                  (fun d i -> if i < core.lo.(d) || i >= core.hi.(d) then ok := false)
+                  idx;
+                !ok
+              in
+              if in_core then begin
+                let g = glinear idx in
+                if Bytes.get masks.(r - 1) g = '\001' then
+                  invalid_arg "Overtile.run: core written twice";
+                levels.(r - 1).(g) <- v;
+                Bytes.set masks.(r - 1) g '\001'
+              end);
+          (* carry non-recomputed points of the shrinking box forward *)
+          iter_box base (fun idx ->
+              let inside =
+                let ok = ref true in
+                Array.iteri
+                  (fun d i ->
+                    if i < region.lo.(d) || i >= region.hi.(d) then ok := false)
+                  idx;
+                !ok
+              in
+              if not inside then
+                !next.(linear_in base idx) <- !prev.(linear_in base idx));
+          let tmp = !prev in
+          prev := !next;
+          next := tmp
+        done);
+    (* every level must be fully covered by the tile cores *)
+    Array.iter
+      (fun mask ->
+        if Bytes.exists (fun c -> c = '\000') mask then
+          invalid_arg "Overtile.run: incomplete core coverage")
+      masks;
+    current := levels.(depth - 1)
+  done;
+  let out = Grid.create space in
+  Array.blit !current 0 (Grid.unsafe_data out) 0 cells;
+  out
+
+let verify problem cfg ~init =
+  match run problem cfg ~init with
+  | exception Invalid_argument msg -> Error msg
+  | tiled ->
+      let expected = Reference.run problem ~init in
+      if Grid.equal tiled expected then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "overtile result differs from reference (max diff %g)"
+             (Grid.max_abs_diff tiled expected))

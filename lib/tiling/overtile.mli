@@ -1,0 +1,45 @@
+(** Overlapped (ghost-zone) tiling with redundant computation — the
+    Overtile/ghost-zone scheme the paper's related work contrasts hexagonal
+    tiling against (Section 2: "Overtile uses redundant computation whereas
+    hybrid-hexagonal tiling uses hexagonal tiles to avoid redundant
+    computation", and [37]'s analytical ghost-zone model).
+
+    Each thread block loads a tile extended by an [order * t_t]-deep halo in
+    every space dimension, advances [t_t] time steps entirely in shared
+    memory on a shrinking trapezoid, and writes back only its core.  Tiles
+    are fully independent within a time band, so a band is ONE kernel launch
+    ([ceil(T/t_t)] launches in total, versus hexagonal's [2 ceil(T/t_t)]) —
+    but the halo work is recomputed by every neighbour, a redundancy factor
+    of [prod_d (t_s_d + 2*order*t_t) / prod_d t_s_d] on the loads and a
+    growing share of the compute as [t_t] deepens.  The bench measures where
+    the trade crosses over against hexagonal tiling.
+
+    Correctness is established with the same dependence-checked history as
+    the other schemes: every core write of every intermediate time level is
+    checked and compared against the naive reference. *)
+
+val redundancy_factor :
+  order:int -> t_s:int array -> t_t:int -> float
+(** Computed points per tile divided by core points: 1.0 means no redundant
+    work (only possible at t_t = 1). *)
+
+val compile_kernels :
+  Hextime_stencil.Problem.t ->
+  Config.t ->
+  ((Hextime_gpu.Kernel.t * int) list, string) result
+(** One kernel per time band, launched [ceil(T/t_t)] times. *)
+
+val verify :
+  Hextime_stencil.Problem.t ->
+  Config.t ->
+  init:Hextime_stencil.Grid.t ->
+  (unit, string) result
+(** CPU execution of the overlapped schedule with per-level core checking
+    against the naive reference. *)
+
+val measure :
+  Hextime_gpu.Arch.t ->
+  Hextime_stencil.Problem.t ->
+  Config.t ->
+  (float, string) result
+(** Min-of-five simulated time. *)

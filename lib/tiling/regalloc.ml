@@ -1,0 +1,14 @@
+module Ints = Hextime_prelude.Ints
+
+let per_thread ~stencil_loads ~rank ~max_row_points ~threads =
+  if threads <= 0 then invalid_arg "Regalloc.per_thread: threads <= 0";
+  if max_row_points <= 0 then invalid_arg "Regalloc.per_thread: no points";
+  (* fixed state: block/thread ids, bounds, base pointers *)
+  let base = 14 in
+  (* live stencil inputs and partial sums *)
+  let body = 2 * stencil_loads in
+  (* per-dimension addressing of the shared buffer *)
+  let addressing = 3 * rank in
+  (* unrolled points per thread per row: each keeps an address and a value *)
+  let unroll = Ints.ceil_div max_row_points threads in
+  base + body + addressing + (2 * unroll)

@@ -1,0 +1,21 @@
+(** Register-demand estimation for HHC-generated tile code.
+
+    The paper stresses (Sections 6.1 and 7) that register usage cannot be
+    modelled analytically and is only known "post mortem" from nvcc; it is
+    the main reason the model's feasible space must be explored empirically
+    around the predicted optimum.  We mirror that architecture: this
+    estimator plays the role of nvcc's allocator, the *simulator* consults
+    it (spills hurt measured time), and the *model deliberately does not*.
+
+    The estimate follows how HHC unrolls: each thread keeps its loop-carried
+    stencil inputs and the addressing state for every point it computes per
+    row, so demand grows with the per-thread unroll factor. *)
+
+val per_thread :
+  stencil_loads:int ->
+  rank:int ->
+  max_row_points:int ->
+  threads:int ->
+  int
+(** Estimated registers per thread for a block of [threads] threads whose
+    widest compute row has [max_row_points] points. *)

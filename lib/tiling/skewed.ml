@@ -1,0 +1,153 @@
+module Stencil = Hextime_stencil.Stencil
+module Problem = Hextime_stencil.Problem
+module Grid = Hextime_stencil.Grid
+module Reference = Hextime_stencil.Reference
+module Gpu = Hextime_gpu
+module Ints = Hextime_prelude.Ints
+
+(* Tile (a, b): time band t in [a*t_t + 1, (a+1)*t_t], skewed space
+   s' = s + order * (t - 1) in [b*t_s, (b+1)*t_s). *)
+
+let bands ~t_t ~time = Ints.ceil_div time t_t
+
+let b_max ~order ~t_s ~space ~time = ((space - 1) + (order * (time - 1))) / t_s
+
+let rows_of_tile ~order ~t_s ~t_t ~space ~time (a, b) =
+  List.filter_map
+    (fun r ->
+      let t = (a * t_t) + r + 1 in
+      if t > time then None
+      else
+        let shift = order * (t - 1) in
+        let lo = max 0 ((b * t_s) - shift) in
+        let hi = min (space - 1) ((((b + 1) * t_s) - 1) - shift) in
+        if lo > hi then None else Some (t, lo, hi))
+    (Ints.range 0 (t_t - 1))
+
+let tiles_by_wavefront ~order ~t_s ~t_t ~space ~time =
+  let amax = bands ~t_t ~time - 1 in
+  let bmax = b_max ~order ~t_s ~space ~time in
+  List.filter_map
+    (fun w ->
+      let tiles =
+        List.filter_map
+          (fun a ->
+            let b = w - a in
+            if b < 0 || b > bmax then None
+            else
+              match rows_of_tile ~order ~t_s ~t_t ~space ~time (a, b) with
+              | [] -> None
+              | rows -> Some ((a, b), rows))
+          (Ints.range 0 amax)
+      in
+      if tiles = [] then None else Some tiles)
+    (Ints.range 0 (amax + bmax))
+
+let wavefront_widths ~order ~t_s ~t_t ~space ~time =
+  if t_t < 2 || t_t mod 2 <> 0 then
+    invalid_arg "Skewed: t_t must be even and >= 2";
+  if t_s < 1 || space < 1 || time < 1 then invalid_arg "Skewed: bad extents";
+  List.map List.length (tiles_by_wavefront ~order ~t_s ~t_t ~space ~time)
+
+let validate (problem : Problem.t) (cfg : Config.t) =
+  if Config.rank cfg <> problem.Problem.stencil.Stencil.rank then
+    Error "configuration rank /= problem rank"
+  else if Array.exists2 (fun ts s -> ts > s) cfg.Config.t_s problem.Problem.space
+  then Error "tile size exceeds problem extent"
+  else Ok ()
+
+let workload (problem : Problem.t) (cfg : Config.t) =
+  let stencil = problem.Problem.stencil in
+  let rank = stencil.Stencil.rank in
+  let order = stencil.Stencil.order in
+  let t_t = cfg.Config.t_t and t_s0 = cfg.Config.t_s.(0) in
+  let inner =
+    Array.fold_left ( * ) 1 (Array.sub cfg.Config.t_s 1 (rank - 1))
+  in
+  let fp = Footprint.of_problem problem cfg in
+  let wf = Problem.word_factor problem in
+  (* a skewed rectangle reads an order-deep halo shifted across the band and
+     writes the shifted union of its rows *)
+  let input_words = (t_s0 + (order * (t_t + 1))) * inner * wf in
+  let output_words = (t_s0 + (order * (t_t - 1)) + 1) * inner * wf in
+  let rows = [ { Gpu.Workload.points = t_s0 * inner; repeats = t_t } ] in
+  let threads = Config.total_threads cfg in
+  let regs =
+    Regalloc.per_thread ~stencil_loads:stencil.Stencil.loads ~rank
+      ~max_row_points:(t_s0 * inner) ~threads
+  in
+  Gpu.Workload.v
+    ~label:(Printf.sprintf "%s/%s/skewed" (Problem.id problem) (Config.id cfg))
+    ~threads ~shared_words:fp.Footprint.shared_words ~regs_per_thread:regs
+    ~body:
+      {
+        Gpu.Pointcost.flops = stencil.Stencil.flops;
+        loads = stencil.Stencil.loads;
+        transcendentals = stencil.Stencil.transcendentals;
+        rank;
+        double = problem.Problem.precision = Hextime_stencil.Problem.F64;
+      }
+    ~rows
+    ~input:{ Gpu.Memory.words = input_words; run_length = cfg.Config.t_s.(rank - 1) }
+    ~output:{ Gpu.Memory.words = output_words; run_length = cfg.Config.t_s.(rank - 1) }
+    ~row_stride:fp.Footprint.inner_stride ~chunks:fp.Footprint.chunks
+
+let compile_kernels (problem : Problem.t) (cfg : Config.t) =
+  match validate problem cfg with
+  | Error _ as e -> e
+  | Ok () ->
+      let order = problem.Problem.stencil.Stencil.order in
+      let widths =
+        wavefront_widths ~order ~t_s:cfg.Config.t_s.(0) ~t_t:cfg.Config.t_t
+          ~space:problem.Problem.space.(0) ~time:problem.Problem.time
+      in
+      let w = workload problem cfg in
+      (* batch runs of equal width into (kernel, count) pairs *)
+      let rec batch acc = function
+        | [] -> List.rev acc
+        | width :: rest ->
+            let same, rest' =
+              let rec split n = function
+                | x :: tl when x = width -> split (n + 1) tl
+                | tl -> (n, tl)
+              in
+              split 1 rest
+            in
+            let kernel =
+              Gpu.Kernel.v
+                ~label:(Printf.sprintf "%s/w%d" (Gpu.Workload.(w.label)) width)
+                ~blocks:[ (w, width) ]
+            in
+            batch ((kernel, same) :: acc) rest'
+      in
+      Ok (batch [] widths)
+
+let run (problem : Problem.t) (cfg : Config.t) ~init =
+  let order = problem.Problem.stencil.Stencil.order in
+  let tiles =
+    tiles_by_wavefront ~order ~t_s:cfg.Config.t_s.(0) ~t_t:cfg.Config.t_t
+      ~space:problem.Problem.space.(0) ~time:problem.Problem.time
+    |> List.concat_map (fun wf ->
+           List.map
+             (fun ((a, b), rows) ->
+               (Printf.sprintf "skewed tile(a=%d,b=%d)" a b, rows))
+             wf)
+  in
+  Exec_cpu.run_tile_schedule problem cfg ~init ~tiles
+
+let verify problem cfg ~init =
+  match run problem cfg ~init with
+  | exception Exec_cpu.Dependence_violation msg -> Error msg
+  | tiled ->
+      let expected = Reference.run problem ~init in
+      if Grid.equal tiled expected then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "skewed result differs from reference (max diff %g)"
+             (Grid.max_abs_diff tiled expected))
+
+let measure arch problem cfg =
+  match compile_kernels problem cfg with
+  | Error _ as e -> e
+  | Ok kernels -> Gpu.Simulator.measure arch kernels

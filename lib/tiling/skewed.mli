@@ -1,0 +1,48 @@
+(** Classic time-skewed rectangular tiling with 45-degree wavefront
+    execution — the "time skewing" scheme of Section 2 and the
+    wavefront-parallel class the paper's Section 4.3 notes its model also
+    covers.
+
+    The outer (time, s_0) plane is tiled with rectangles in the skewed
+    coordinates [(t, s_0 + order * (t - 1))]; a tile depends on its lower
+    neighbour in each coordinate, so the antidiagonals [a + b = const] are
+    independent and execute as one kernel each.  Two structural differences
+    from hexagonal tiling drive the comparison the bench quantifies:
+
+    - the wavefront count is roughly [T/t_T + (S + order*T)/t_S] instead of
+      [2 T/t_T]: many more kernel launches, with a wavefront width that
+      ramps up and down instead of being constant, idling SMs at the ends;
+    - inner dimensions are chunked with the same skewed cuts as HHC, so the
+      per-chunk compute is identical — the difference is pure schedule
+      structure.
+
+    Correctness is established exactly like HHC's: the dependence-checked
+    executor replays the schedule against the naive reference. *)
+
+val wavefront_widths :
+  order:int -> t_s:int -> t_t:int -> space:int -> time:int -> int list
+(** Number of tiles in each antidiagonal wavefront, in execution order;
+    ramps up to a plateau and back down (the non-constant w(i) of
+    Equation 2). *)
+
+val compile_kernels :
+  Hextime_stencil.Problem.t ->
+  Config.t ->
+  ((Hextime_gpu.Kernel.t * int) list, string) result
+(** The launch sequence: consecutive wavefronts of equal width are batched
+    into (kernel, count) pairs, in execution order. *)
+
+val verify :
+  Hextime_stencil.Problem.t ->
+  Config.t ->
+  init:Hextime_stencil.Grid.t ->
+  (unit, string) result
+(** Execute the skewed schedule on the CPU with dependence checking and
+    require exact equality with the naive reference. *)
+
+val measure :
+  Hextime_gpu.Arch.t ->
+  Hextime_stencil.Problem.t ->
+  Config.t ->
+  (float, string) result
+(** Min-of-five simulated time of the skewed schedule. *)

@@ -1,0 +1,102 @@
+(* Grid storage and accessors. *)
+
+module Grid = Hextime_stencil.Grid
+
+let test_create_dims () =
+  let g = Grid.create [| 3; 4 |] in
+  Alcotest.(check (array int)) "dims" [| 3; 4 |] (Grid.dims g);
+  Alcotest.(check int) "rank" 2 (Grid.rank g);
+  Alcotest.(check int) "size" 12 (Grid.size g);
+  Alcotest.(check (float 0.0)) "zero init" 0.0 (Grid.get2 g 1 2)
+
+let test_create_invalid () =
+  Alcotest.check_raises "rank 0" (Invalid_argument "Grid.create: rank must be 1..3")
+    (fun () -> ignore (Grid.create [||]));
+  Alcotest.check_raises "rank 4" (Invalid_argument "Grid.create: rank must be 1..3")
+    (fun () -> ignore (Grid.create [| 1; 1; 1; 1 |]));
+  Alcotest.check_raises "zero extent"
+    (Invalid_argument "Grid.create: non-positive extent") (fun () ->
+      ignore (Grid.create [| 3; 0 |]))
+
+let test_get_set_roundtrip () =
+  let g = Grid.create [| 2; 3; 4 |] in
+  Grid.set3 g 1 2 3 7.5;
+  Alcotest.(check (float 0.0)) "set3/get3" 7.5 (Grid.get3 g 1 2 3);
+  Grid.set g [| 0; 1; 2 |] (-1.0);
+  Alcotest.(check (float 0.0)) "set/get array" (-1.0) (Grid.get g [| 0; 1; 2 |]);
+  Alcotest.(check (float 0.0)) "distinct cells" 7.5 (Grid.get g [| 1; 2; 3 |])
+
+let test_bounds_checked () =
+  let g = Grid.create [| 4 |] in
+  Alcotest.check_raises "oob get" (Invalid_argument "Grid: index out of bounds")
+    (fun () -> ignore (Grid.get g [| 4 |]));
+  let g2 = Grid.create [| 2; 2 |] in
+  Alcotest.check_raises "oob get2" (Invalid_argument "Grid.get2: out of bounds")
+    (fun () -> ignore (Grid.get2 g2 2 0))
+
+let test_rank_guard () =
+  let g = Grid.create [| 2; 2 |] in
+  Alcotest.check_raises "get1 on 2D" (Invalid_argument "Grid.get1: grid has rank 2")
+    (fun () -> ignore (Grid.get1 g 0))
+
+let test_row_major_layout () =
+  (* get2 must agree with the flat layout: last dimension contiguous *)
+  let g = Grid.create [| 2; 3 |] in
+  Grid.fill g (fun idx -> float_of_int ((idx.(0) * 10) + idx.(1)));
+  let data = Grid.unsafe_data g in
+  Alcotest.(check (float 0.0)) "flat order" 12.0 data.(5);
+  Alcotest.(check (float 0.0)) "accessor" 12.0 (Grid.get2 g 1 2)
+
+let test_copy_blit () =
+  let a = Grid.create [| 3 |] in
+  Grid.set1 a 0 1.0;
+  let b = Grid.copy a in
+  Grid.set1 a 0 2.0;
+  Alcotest.(check (float 0.0)) "copy is deep" 1.0 (Grid.get1 b 0);
+  Grid.blit ~src:a ~dst:b;
+  Alcotest.(check (float 0.0)) "blit" 2.0 (Grid.get1 b 0)
+
+let test_map2_diff_equal () =
+  let a = Grid.create [| 2; 2 |] and b = Grid.create [| 2; 2 |] in
+  Grid.set2 a 0 0 1.0;
+  Grid.set2 b 0 0 1.5;
+  let s = Grid.map2 ( +. ) a b in
+  Alcotest.(check (float 0.0)) "map2" 2.5 (Grid.get2 s 0 0);
+  Alcotest.(check (float 1e-12)) "max diff" 0.5 (Grid.max_abs_diff a b);
+  Alcotest.(check bool) "not equal" false (Grid.equal a b);
+  Alcotest.(check bool) "equal with eps" true (Grid.equal ~eps:0.6 a b);
+  let c = Grid.create [| 3 |] in
+  Alcotest.check_raises "extent mismatch"
+    (Invalid_argument "Grid.max_abs_diff: extent mismatch") (fun () ->
+      ignore (Grid.max_abs_diff a c))
+
+let prop_fill_get =
+  QCheck.Test.make ~name:"fill then get returns filled value" ~count:100
+    QCheck.(triple (int_range 1 6) (int_range 1 6) (int_range 1 6))
+    (fun (n0, n1, n2) ->
+      let g = Grid.create [| n0; n1; n2 |] in
+      Grid.fill g (fun idx ->
+          float_of_int ((idx.(0) * 100) + (idx.(1) * 10) + idx.(2)));
+      let ok = ref true in
+      for i = 0 to n0 - 1 do
+        for j = 0 to n1 - 1 do
+          for k = 0 to n2 - 1 do
+            if Grid.get3 g i j k <> float_of_int ((i * 100) + (j * 10) + k)
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "create/dims" `Quick test_create_dims;
+    Alcotest.test_case "create invalid" `Quick test_create_invalid;
+    Alcotest.test_case "get/set roundtrip" `Quick test_get_set_roundtrip;
+    Alcotest.test_case "bounds checked" `Quick test_bounds_checked;
+    Alcotest.test_case "rank guard" `Quick test_rank_guard;
+    Alcotest.test_case "row-major layout" `Quick test_row_major_layout;
+    Alcotest.test_case "copy/blit" `Quick test_copy_blit;
+    Alcotest.test_case "map2/diff/equal" `Quick test_map2_diff_equal;
+    QCheck_alcotest.to_alcotest prop_fill_get;
+  ]

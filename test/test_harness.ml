@@ -1,0 +1,184 @@
+(* Harness: micro-benchmarks (Tables 3/4 protocol), experiment grids, the
+   baseline sweep, and the validation analysis — end-to-end at CI scale.
+   These tests assert the paper's qualitative claims, not absolute numbers. *)
+
+module Gpu = Hextime_gpu
+module S = Hextime_stencil.Stencil
+module P = Hextime_stencil.Problem
+module Params = Hextime_core.Params
+module H = Hextime_harness
+module Runner = Hextime_tileopt.Runner
+
+let arch = Gpu.Arch.gtx980
+
+let test_microbench_ranges () =
+  let p = H.Microbench.params arch in
+  (* L in the paper's Table 3 regime: a few milliseconds per GB *)
+  let l_gb = Params.l_per_gb p in
+  Alcotest.(check bool)
+    (Printf.sprintf "L = %.2e s/GB plausible" l_gb)
+    true
+    (l_gb > 1e-3 && l_gb < 5e-2);
+  (* tau_sync around a nanosecond; T_sync around a microsecond *)
+  Alcotest.(check bool) "tau_sync range" true
+    (p.Params.tau_sync > 1e-10 && p.Params.tau_sync < 1e-8);
+  Alcotest.(check bool) "T_sync range" true
+    (p.Params.t_sync > 1e-7 && p.Params.t_sync < 1e-5)
+
+let test_microbench_direction () =
+  (* Titan X has more bandwidth: its L must be lower (Table 3) *)
+  let g = H.Microbench.params Gpu.Arch.gtx980 in
+  let t = H.Microbench.params Gpu.Arch.titanx in
+  Alcotest.(check bool) "L(titanx) < L(gtx980)" true
+    (t.Params.l_word < g.Params.l_word)
+
+let test_citer_table4_shape () =
+  let c st = H.Microbench.citer arch st in
+  (* 2D first-order stencils: tens of nanoseconds *)
+  Alcotest.(check bool) "jacobi2d range" true
+    (c S.jacobi2d > 1e-8 && c S.jacobi2d < 1e-7);
+  (* gradient's sqrt makes it markedly more expensive (Table 4: ~1.8x) *)
+  Alcotest.(check bool) "gradient > 1.4x jacobi" true
+    (c S.gradient2d > 1.4 *. c S.jacobi2d);
+  (* 3D stencils are several times more expensive (Table 4: ~4x) *)
+  Alcotest.(check bool) "heat3d >> heat2d" true
+    (c S.heat3d > 2.5 *. c S.heat2d);
+  (* Titan X's lower clock: slightly larger C_iter (Table 4) *)
+  Alcotest.(check bool) "titanx citer larger" true
+    (H.Microbench.citer Gpu.Arch.titanx S.jacobi2d > c S.jacobi2d)
+
+let test_citer_deterministic () =
+  let a = H.Microbench.citer arch S.laplacian2d in
+  let b = H.Microbench.citer arch S.laplacian2d in
+  Alcotest.(check (float 0.0)) "memoized and deterministic" a b
+
+let test_experiment_grids () =
+  Alcotest.(check int) "paper 2D experiments" 80
+    (List.length (H.Experiments.all_2d H.Experiments.Paper));
+  Alcotest.(check int) "paper 3D experiments" 48
+    (List.length (H.Experiments.all_3d H.Experiments.Paper));
+  Alcotest.(check int) "paper total" 128
+    (List.length (H.Experiments.all H.Experiments.Paper));
+  Alcotest.(check bool) "ci is small" true
+    (List.length (H.Experiments.all H.Experiments.Ci) <= 16)
+
+let test_scale_parsing () =
+  (match H.Experiments.scale_of_string "paper" with
+  | Ok H.Experiments.Paper -> ()
+  | _ -> Alcotest.fail "paper scale");
+  (match H.Experiments.scale_of_string "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus scale accepted");
+  Alcotest.(check string) "roundtrip" "quick"
+    (H.Experiments.scale_to_string H.Experiments.Quick)
+
+let experiment =
+  {
+    H.Experiments.arch;
+    problem = P.make S.heat2d ~space:[| 2048; 2048 |] ~time:512;
+  }
+
+let sweep = H.Sweep.baseline experiment
+
+let test_sweep_population () =
+  (* most of the 850 configurations both predict and simulate *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%d points survive" (List.length sweep))
+    true
+    (List.length sweep > 700)
+
+let test_sweep_limit () =
+  let limited = H.Sweep.baseline ~limit:50 experiment in
+  Alcotest.(check bool) "limit respected" true (List.length limited <= 50)
+
+let test_top_performing () =
+  let top = H.Sweep.top_performing ~within:0.2 sweep in
+  let best = H.Sweep.best_gflops sweep in
+  Alcotest.(check bool) "top subset non-empty" true (List.length top > 0);
+  Alcotest.(check bool) "top is a subset" true
+    (List.length top <= List.length sweep);
+  List.iter
+    (fun (p : H.Sweep.point) ->
+      Alcotest.(check bool) "within 20% of best" true
+        (p.measured.Runner.gflops >= 0.8 *. best))
+    top
+
+let test_validation_headline () =
+  (* the paper's signature: poor RMSE overall, good RMSE in the top band *)
+  let s = H.Validation.analyze sweep in
+  Alcotest.(check bool)
+    (Printf.sprintf "RMSE(all) = %.0f%% is large" (100.0 *. s.H.Validation.rmse_all))
+    true
+    (s.H.Validation.rmse_all > 0.25);
+  Alcotest.(check bool)
+    (Printf.sprintf "RMSE(top) = %.1f%% is small" (100.0 *. s.H.Validation.rmse_top))
+    true
+    (s.H.Validation.rmse_top < 0.20);
+  Alcotest.(check bool) "top band much better than whole" true
+    (s.H.Validation.rmse_top < 0.5 *. s.H.Validation.rmse_all)
+
+let test_scatter () =
+  let sc = H.Validation.scatter sweep in
+  Alcotest.(check int) "one pair per point" (List.length sweep) (List.length sc);
+  List.iter
+    (fun (p, m) ->
+      Alcotest.(check bool) "positive coordinates" true (p > 0.0 && m > 0.0))
+    sc
+
+let test_tables_render () =
+  let t2 = Hextime_prelude.Tabulate.render (H.Tables.table2 ()) in
+  Alcotest.(check bool) "table2 mentions nSM" true
+    (String.length t2 > 0
+    && List.exists
+         (fun line -> String.length line >= 6 && String.sub line 0 6 = "| nSM ")
+         (String.split_on_char '\n' t2));
+  let data = H.Tables.table3_data () in
+  Alcotest.(check int) "table3 covers both archs" 2 (List.length data);
+  let t4 = H.Tables.table4_data () in
+  Alcotest.(check int) "table4 covers six benchmarks" 6 (List.length t4)
+
+let test_fig4_surface () =
+  (* CI-sized surface: same code path as the paper-sized figure *)
+  let f = H.Figures.fig4_data ~space:[| 512; 512 |] ~time:256 () in
+  Alcotest.(check int) "slice at tS1 = 8" 8 f.H.Figures.t_s1;
+  Alcotest.(check bool) "surface populated" true (List.length f.H.Figures.cells > 50);
+  let _, _, minv = f.H.Figures.minimum in
+  List.iter
+    (fun (_, _, v) ->
+      Alcotest.(check bool) "minimum is minimal" true (v >= minv))
+    f.H.Figures.cells
+
+let test_report_markdown () =
+  let md = H.Report.markdown H.Experiments.Ci in
+  List.iter
+    (fun needle ->
+      let n = String.length needle and h = String.length md in
+      let rec go i = i + n <= h && (String.sub md i n = needle || go (i + 1)) in
+      Alcotest.(check bool) (Printf.sprintf "report has %S" needle) true (go 0))
+    [
+      "# hextime reproduction report";
+      "## Table 3";
+      "## Table 4";
+      "## Figure 3";
+      "## Figure 5";
+      "## Figure 6";
+      "7.36e-03";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "microbench ranges (Table 3)" `Quick test_microbench_ranges;
+    Alcotest.test_case "microbench direction" `Quick test_microbench_direction;
+    Alcotest.test_case "citer shape (Table 4)" `Quick test_citer_table4_shape;
+    Alcotest.test_case "citer deterministic" `Quick test_citer_deterministic;
+    Alcotest.test_case "experiment grids" `Quick test_experiment_grids;
+    Alcotest.test_case "scale parsing" `Quick test_scale_parsing;
+    Alcotest.test_case "sweep population" `Quick test_sweep_population;
+    Alcotest.test_case "sweep limit" `Quick test_sweep_limit;
+    Alcotest.test_case "top performing subset" `Quick test_top_performing;
+    Alcotest.test_case "validation headline (Sec 5.3)" `Quick test_validation_headline;
+    Alcotest.test_case "scatter (Fig 3)" `Quick test_scatter;
+    Alcotest.test_case "tables render" `Quick test_tables_render;
+    Alcotest.test_case "fig4 surface" `Quick test_fig4_surface;
+    Alcotest.test_case "report markdown" `Slow test_report_markdown;
+  ]

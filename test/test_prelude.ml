@@ -1,0 +1,191 @@
+(* Unit and property tests for the prelude: integer helpers, deterministic
+   hashing, statistics, and table rendering. *)
+
+module Ints = Hextime_prelude.Ints
+module Det_hash = Hextime_prelude.Det_hash
+module Stats = Hextime_prelude.Stats
+module Tabulate = Hextime_prelude.Tabulate
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_ceil_div () =
+  check_int "exact" 4 (Ints.ceil_div 8 2);
+  check_int "round up" 5 (Ints.ceil_div 9 2);
+  check_int "zero numerator" 0 (Ints.ceil_div 0 7);
+  check_int "one" 1 (Ints.ceil_div 1 7)
+
+let test_round_up_down () =
+  check_int "up exact" 32 (Ints.round_up 32 32);
+  check_int "up" 64 (Ints.round_up 33 32);
+  check_int "down" 32 (Ints.round_down 63 32);
+  check_int "down exact" 64 (Ints.round_down 64 32);
+  check_int "up from zero" 0 (Ints.round_up 0 8)
+
+let test_clamp () =
+  check_int "below" 2 (Ints.clamp ~lo:2 ~hi:9 0);
+  check_int "above" 9 (Ints.clamp ~lo:2 ~hi:9 100);
+  check_int "inside" 5 (Ints.clamp ~lo:2 ~hi:9 5)
+
+let test_pow () =
+  check_int "2^10" 1024 (Ints.pow 2 10);
+  check_int "x^0" 1 (Ints.pow 7 0);
+  check_int "1^n" 1 (Ints.pow 1 12)
+
+let test_range () =
+  Alcotest.(check (list int)) "simple" [ 1; 2; 3 ] (Ints.range 1 3);
+  Alcotest.(check (list int)) "step" [ 2; 4; 6 ] (Ints.range ~step:2 2 6);
+  Alcotest.(check (list int)) "empty" [] (Ints.range 3 1)
+
+let test_sum_by () =
+  check_int "sum" 6 (Ints.sum_by (fun x -> x) [ 1; 2; 3 ]);
+  check_int "empty" 0 (Ints.sum_by (fun x -> x) [])
+
+let prop_ceil_div =
+  QCheck.Test.make ~name:"ceil_div is least q with q*b >= a" ~count:500
+    QCheck.(pair (int_bound 100_000) (int_range 1 1000))
+    (fun (a, b) ->
+      let q = Ints.ceil_div a b in
+      (q * b) >= a && ((q - 1) * b) < a)
+
+let prop_round_up =
+  QCheck.Test.make ~name:"round_up is a multiple and minimal" ~count:500
+    QCheck.(pair (int_bound 100_000) (int_range 1 512))
+    (fun (a, m) ->
+      let r = Ints.round_up a m in
+      r mod m = 0 && r >= a && r - m < a)
+
+let test_hash_deterministic () =
+  let h1 = Det_hash.create "seed" |> fun h -> Det_hash.mix_int h 42 in
+  let h2 = Det_hash.create "seed" |> fun h -> Det_hash.mix_int h 42 in
+  Alcotest.(check int64)
+    "same inputs, same digest" (Det_hash.to_int64 h1) (Det_hash.to_int64 h2)
+
+let test_hash_sensitivity () =
+  let base = Det_hash.create "seed" in
+  let a = Det_hash.to_int64 (Det_hash.mix_int base 1) in
+  let b = Det_hash.to_int64 (Det_hash.mix_int base 2) in
+  Alcotest.(check bool) "different inputs differ" true (a <> b)
+
+let prop_uniform_range =
+  QCheck.Test.make ~name:"uniform in [0,1)" ~count:500 QCheck.int (fun i ->
+      let u = Det_hash.uniform (Det_hash.mix_int (Det_hash.create "u") i) in
+      u >= 0.0 && u < 1.0)
+
+let prop_jitter_range =
+  QCheck.Test.make ~name:"jitter within amplitude" ~count:500 QCheck.int
+    (fun i ->
+      let j =
+        Det_hash.jitter
+          (Det_hash.mix_int (Det_hash.create "j") i)
+          ~amplitude:0.05
+      in
+      j >= 0.95 && j <= 1.05)
+
+let test_uniform_spread () =
+  (* crude avalanche check: mean of many uniforms is near 1/2 *)
+  let n = 2000 in
+  let sum = ref 0.0 in
+  for i = 0 to n - 1 do
+    sum :=
+      !sum +. Det_hash.uniform (Det_hash.mix_int (Det_hash.create "spread") i)
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f close to 0.5" mean)
+    true
+    (abs_float (mean -. 0.5) < 0.03)
+
+let test_mean_stddev () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "stddev of constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  check_float "stddev simple" 1.0 (Stats.stddev [ 1.0; 3.0 ]);
+  Alcotest.check_raises "empty mean"
+    (Invalid_argument "Stats.mean: empty list") (fun () ->
+      ignore (Stats.mean []))
+
+let test_geomean () =
+  check_float "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geomean: non-positive element") (fun () ->
+      ignore (Stats.geomean [ 1.0; 0.0 ]))
+
+let test_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  check_float "median" 3.0 (Stats.percentile 50.0 xs);
+  check_float "min" 1.0 (Stats.percentile 0.0 xs);
+  check_float "max" 5.0 (Stats.percentile 100.0 xs);
+  check_float "interpolated" 1.5 (Stats.percentile 12.5 xs)
+
+let test_rmse () =
+  check_float "perfect" 0.0 (Stats.rmse_relative [ (1.0, 1.0); (2.0, 2.0) ]);
+  (* single pair with 10% error *)
+  check_float "ten percent" 0.1 (Stats.rmse_relative [ (1.1, 1.0) ]);
+  check_float "mare" 0.1 (Stats.mean_abs_relative_error [ (1.1, 1.0); (0.9, 1.0) ])
+
+let test_pearson () =
+  let pairs = List.init 10 (fun i -> (float_of_int i, float_of_int (2 * i))) in
+  check_float "perfect correlation" 1.0 (Stats.pearson pairs);
+  let anti = List.init 10 (fun i -> (float_of_int i, float_of_int (-i))) in
+  check_float "perfect anticorrelation" (-1.0) (Stats.pearson anti)
+
+let test_histogram () =
+  let h = Stats.histogram ~bins:2 [ 0.0; 0.1; 0.9; 1.0 ] in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all samples counted" 4 total
+
+let prop_rmse_nonneg =
+  QCheck.Test.make ~name:"rmse is non-negative" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 20) (pair (float_bound_exclusive 100.0) (float_range 0.1 100.0)))
+    (fun pairs -> Stats.rmse_relative pairs >= 0.0)
+
+let test_tabulate_render () =
+  let t =
+    Tabulate.create ~title:"T" [ ("a", Tabulate.Left); ("b", Tabulate.Right) ]
+  in
+  let t = Tabulate.add_row t [ "x"; "1" ] in
+  let s = Tabulate.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  Alcotest.(check bool)
+    "contains row" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "| x | 1 |"))
+
+let test_tabulate_arity () =
+  let t = Tabulate.create [ ("a", Tabulate.Left) ] in
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Tabulate.add_row: arity mismatch") (fun () ->
+      ignore (Tabulate.add_row t [ "x"; "y" ]))
+
+let test_cells () =
+  Alcotest.(check string) "zero" "0" (Tabulate.float_cell 0.0);
+  Alcotest.(check string) "plain" "1.5" (Tabulate.float_cell 1.5);
+  Alcotest.(check string) "seconds ms" "1.500 ms" (Tabulate.seconds_cell 1.5e-3);
+  Alcotest.(check string) "seconds ns" "2.000 ns" (Tabulate.seconds_cell 2e-9)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+    [ prop_ceil_div; prop_round_up; prop_uniform_range; prop_jitter_range;
+      prop_rmse_nonneg ]
+
+let suite =
+  [
+    Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+    Alcotest.test_case "round_up/down" `Quick test_round_up_down;
+    Alcotest.test_case "clamp" `Quick test_clamp;
+    Alcotest.test_case "pow" `Quick test_pow;
+    Alcotest.test_case "range" `Quick test_range;
+    Alcotest.test_case "sum_by" `Quick test_sum_by;
+    Alcotest.test_case "hash deterministic" `Quick test_hash_deterministic;
+    Alcotest.test_case "hash sensitivity" `Quick test_hash_sensitivity;
+    Alcotest.test_case "uniform spread" `Quick test_uniform_spread;
+    Alcotest.test_case "mean/stddev" `Quick test_mean_stddev;
+    Alcotest.test_case "geomean" `Quick test_geomean;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "rmse" `Quick test_rmse;
+    Alcotest.test_case "pearson" `Quick test_pearson;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "tabulate render" `Quick test_tabulate_render;
+    Alcotest.test_case "tabulate arity" `Quick test_tabulate_arity;
+    Alcotest.test_case "cells" `Quick test_cells;
+  ]
+  @ qsuite

@@ -1,0 +1,151 @@
+(* Stencil definitions, problems, and the reference executor. *)
+
+module Stencil = Hextime_stencil.Stencil
+module Problem = Hextime_stencil.Problem
+module Grid = Hextime_stencil.Grid
+module Reference = Hextime_stencil.Reference
+
+let test_benchmark_facts () =
+  Alcotest.(check int) "jacobi2d rank" 2 Stencil.(jacobi2d.rank);
+  Alcotest.(check int) "jacobi2d order" 1 Stencil.(jacobi2d.order);
+  Alcotest.(check int) "jacobi2d loads" 5 Stencil.(jacobi2d.loads);
+  Alcotest.(check int) "heat3d loads" 7 Stencil.(heat3d.loads);
+  Alcotest.(check int) "gradient loads" 4 Stencil.(gradient2d.loads);
+  Alcotest.(check int) "gradient transcendentals" 1
+    Stencil.(gradient2d.transcendentals);
+  Alcotest.(check int) "order-2 variant" 2 Stencil.(jacobi2d_order2.order);
+  Alcotest.(check int) "2d benchmark count" 4 (List.length Stencil.benchmarks_2d);
+  Alcotest.(check int) "3d benchmark count" 2 (List.length Stencil.benchmarks_3d)
+
+let test_find () =
+  Alcotest.(check string) "find heat2d" "heat2d" Stencil.((find "heat2d").name);
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Stencil.find "nope"))
+
+let test_make_validation () =
+  Alcotest.check_raises "pointwise rejected"
+    (Invalid_argument "Stencil.make: pointwise rule is not a stencil")
+    (fun () ->
+      ignore
+        (Stencil.make ~name:"pt" ~rank:1
+           (Stencil.Linear
+              { taps = [ { offset = [| 0 |]; weight = 1.0 } ]; constant = 0.0 })));
+  Alcotest.check_raises "rank mismatch"
+    (Invalid_argument "Stencil.make: offset rank mismatch") (fun () ->
+      ignore
+        (Stencil.make ~name:"bad" ~rank:2
+           (Stencil.Linear
+              { taps = [ { offset = [| 1 |]; weight = 1.0 } ]; constant = 0.0 })))
+
+let test_apply_linear () =
+  (* jacobi1d over constant field is the identity *)
+  let v = Stencil.apply Stencil.jacobi1d (fun _ -> 3.0) in
+  Alcotest.(check (float 1e-12)) "averaging preserves constant" 3.0 v
+
+let test_apply_weights () =
+  (* laplacian of a constant field is zero *)
+  let v = Stencil.apply Stencil.laplacian2d (fun _ -> 1.0) in
+  Alcotest.(check (float 1e-12)) "laplacian of constant" 0.0 v;
+  (* heat update of constant field is the constant *)
+  let h = Stencil.apply Stencil.heat3d (fun _ -> 2.0) in
+  Alcotest.(check (float 1e-12)) "heat of constant" 2.0 h
+
+let test_apply_gradient () =
+  let read off =
+    (* linear ramp in the first dimension: f = 2*i, so df/di = 2 *)
+    2.0 *. float_of_int off.(0)
+  in
+  let v = Stencil.apply Stencil.gradient2d read in
+  (* central difference: (f(+1) - f(-1)) = 4, dy = 0 -> sqrt(16) = 4 *)
+  Alcotest.(check (float 1e-5)) "gradient magnitude" 4.0 v
+
+let test_problem_validation () =
+  Alcotest.check_raises "rank" (Invalid_argument "Problem.make: space rank mismatch")
+    (fun () -> ignore (Problem.make Stencil.jacobi2d ~space:[| 8 |] ~time:1));
+  Alcotest.check_raises "extent"
+    (Invalid_argument "Problem.make: extent too small for stencil order")
+    (fun () -> ignore (Problem.make Stencil.jacobi2d ~space:[| 2; 8 |] ~time:1));
+  Alcotest.check_raises "time" (Invalid_argument "Problem.make: time must be >= 1")
+    (fun () -> ignore (Problem.make Stencil.jacobi2d ~space:[| 8; 8 |] ~time:0))
+
+let test_problem_counts () =
+  let p = Problem.make Stencil.jacobi2d ~space:[| 10; 10 |] ~time:3 in
+  Alcotest.(check int) "interior points" 64 (Problem.points_per_step p);
+  Alcotest.(check int) "updates" 192 (Problem.total_updates p);
+  Alcotest.(check (float 1e-6)) "flops" (192.0 *. 9.0) (Problem.total_flops p);
+  Alcotest.(check string) "id" "jacobi2d:10x10xT3" (Problem.id p)
+
+let test_paper_sizes () =
+  Alcotest.(check int) "2D sizes" 10 (List.length Problem.paper_sizes_2d);
+  Alcotest.(check int) "3D sizes" 12 (List.length Problem.paper_sizes_3d);
+  List.iter
+    (fun ((space : int array), t) ->
+      Alcotest.(check bool) "3D constraint T <= S" true (t <= space.(0)))
+    Problem.paper_sizes_3d
+
+let test_reference_boundary_fixed () =
+  let p = Problem.make Stencil.jacobi2d ~space:[| 6; 6 |] ~time:4 in
+  let init = Reference.default_init p in
+  let final = Reference.run p ~init in
+  (* Dirichlet: boundary never changes *)
+  Alcotest.(check (float 0.0)) "corner" (Grid.get2 init 0 0) (Grid.get2 final 0 0);
+  Alcotest.(check (float 0.0)) "edge" (Grid.get2 init 0 3) (Grid.get2 final 0 3)
+
+let test_reference_known_step () =
+  (* one Jacobi-1D step on an impulse: the average spreads it *)
+  let p = Problem.make Stencil.jacobi1d ~space:[| 5 |] ~time:1 in
+  let init = Grid.create [| 5 |] in
+  Grid.set1 init 2 3.0;
+  let final = Reference.run p ~init in
+  Alcotest.(check (float 1e-12)) "left neighbour" 1.0 (Grid.get1 final 1);
+  Alcotest.(check (float 1e-12)) "centre" 1.0 (Grid.get1 final 2);
+  Alcotest.(check (float 1e-12)) "right neighbour" 1.0 (Grid.get1 final 3);
+  Alcotest.(check (float 1e-12)) "untouched boundary" 0.0 (Grid.get1 final 0)
+
+let test_reference_history () =
+  let p = Problem.make Stencil.heat2d ~space:[| 8; 8 |] ~time:3 in
+  let init = Reference.default_init p in
+  let hist = Reference.run_history p ~init in
+  Alcotest.(check int) "history length" 4 (Array.length hist);
+  Alcotest.(check bool) "first is init" true (Grid.equal hist.(0) init);
+  let final = Reference.run p ~init in
+  Alcotest.(check bool) "last equals run" true (Grid.equal hist.(3) final)
+
+let test_heat_dissipation () =
+  (* the heat stencil is a convex combination, so the max never grows *)
+  let p = Problem.make Stencil.heat2d ~space:[| 12; 12 |] ~time:8 in
+  let init = Reference.default_init p in
+  let final = Reference.run p ~init in
+  let max_of g =
+    Array.fold_left max neg_infinity (Grid.unsafe_data g)
+  in
+  Alcotest.(check bool) "max does not grow" true (max_of final <= max_of init +. 1e-9)
+
+let prop_constant_field_fixed_point =
+  (* averaging stencils keep a constant field constant for any duration *)
+  QCheck.Test.make ~name:"jacobi fixes constant fields" ~count:30
+    QCheck.(pair (int_range 1 6) (float_range (-5.0) 5.0))
+    (fun (t, v) ->
+      let p = Problem.make Stencil.jacobi2d ~space:[| 7; 7 |] ~time:t in
+      let init = Grid.create [| 7; 7 |] in
+      Grid.fill init (fun _ -> v);
+      let final = Reference.run p ~init in
+      Grid.equal ~eps:1e-9 init final)
+
+let suite =
+  [
+    Alcotest.test_case "benchmark facts" `Quick test_benchmark_facts;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "apply linear" `Quick test_apply_linear;
+    Alcotest.test_case "apply weights" `Quick test_apply_weights;
+    Alcotest.test_case "apply gradient" `Quick test_apply_gradient;
+    Alcotest.test_case "problem validation" `Quick test_problem_validation;
+    Alcotest.test_case "problem counts" `Quick test_problem_counts;
+    Alcotest.test_case "paper sizes" `Quick test_paper_sizes;
+    Alcotest.test_case "boundary fixed" `Quick test_reference_boundary_fixed;
+    Alcotest.test_case "known step" `Quick test_reference_known_step;
+    Alcotest.test_case "history" `Quick test_reference_history;
+    Alcotest.test_case "heat dissipation" `Quick test_heat_dissipation;
+    QCheck_alcotest.to_alcotest prop_constant_field_fixed_point;
+  ]

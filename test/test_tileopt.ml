@@ -1,0 +1,205 @@
+(* Feasible-space enumeration, the baseline protocol, the runner, the
+   optimizer and the selection strategies (Section 6). *)
+
+module Gpu = Hextime_gpu
+module S = Hextime_stencil.Stencil
+module P = Hextime_stencil.Problem
+module C = Hextime_tiling.Config
+module Footprint = Hextime_tiling.Footprint
+module Model = Hextime_core.Model
+module Params = Hextime_core.Params
+module Space = Hextime_tileopt.Space
+module Baseline = Hextime_tileopt.Baseline
+module Runner = Hextime_tileopt.Runner
+module Optimizer = Hextime_tileopt.Optimizer
+module Strategies = Hextime_tileopt.Strategies
+module Amplgen = Hextime_tileopt.Amplgen
+
+let arch = Gpu.Arch.gtx980
+
+let params =
+  Params.of_microbenchmarks arch ~l_word:3.0e-11 ~tau_sync:1.0e-9 ~t_sync:1.0e-6
+
+let citer = 4.0e-8
+let problem = P.make S.heat2d ~space:[| 512; 512 |] ~time:64
+let problem3d = P.make S.heat3d ~space:[| 96; 96; 96 |] ~time:32
+
+let test_space_constraints () =
+  let shapes = Space.shapes params problem in
+  Alcotest.(check bool) "non-empty" true (List.length shapes > 100);
+  List.iter
+    (fun (s : Space.shape) ->
+      Alcotest.(check bool) "tT even" true (s.t_t mod 2 = 0);
+      Alcotest.(check bool) "inner warp multiple" true (s.t_s.(1) mod 32 = 0);
+      Alcotest.(check bool) "fits problem" true
+        (s.t_s.(0) <= 512 && s.t_s.(1) <= 512);
+      let fp =
+        Footprint.of_config ~order:1 ~space:[| 512; 512 |]
+          (Space.to_config s ~threads:[| 32 |])
+      in
+      Alcotest.(check bool) "within 48KB cap" true
+        (fp.Footprint.shared_words <= params.Params.shared_mem_per_block))
+    shapes
+
+let test_space_3d () =
+  let shapes = Space.shapes params problem3d in
+  Alcotest.(check bool) "3D space non-empty" true (List.length shapes > 50);
+  List.iter
+    (fun (s : Space.shape) ->
+      Alcotest.(check int) "rank 3" 3 (Array.length s.t_s);
+      Alcotest.(check bool) "inner multiple" true (s.t_s.(2) mod 32 = 0))
+    shapes
+
+let test_thread_candidates () =
+  Alcotest.(check int) "ten thread counts (Section 5.1)" 10
+    (List.length Space.thread_candidates)
+
+let test_baseline_size_and_bias () =
+  let shapes = Baseline.tile_shapes params problem in
+  Alcotest.(check int) "85 shapes (Section 5.1)" 85 (List.length shapes);
+  let points = Baseline.data_points params problem in
+  Alcotest.(check int) "850 data points" 850 (List.length points);
+  (* the selection is footprint-biased: most shapes above 60% of the cap *)
+  let frac_large =
+    let fp s =
+      (Footprint.of_config ~order:1 ~space:[| 512; 512 |]
+         (Space.to_config s ~threads:[| 32 |]))
+        .Footprint.shared_words
+    in
+    let large =
+      List.filter
+        (fun s ->
+          float_of_int (fp s)
+          >= 0.6 *. float_of_int params.Params.shared_mem_per_block)
+        shapes
+    in
+    float_of_int (List.length large) /. 85.0
+  in
+  Alcotest.(check bool) "footprint-maximising bias" true (frac_large > 0.5)
+
+let test_runner () =
+  let cfg = C.make_exn ~t_t:8 ~t_s:[| 8; 64 |] ~threads:[| 256 |] in
+  match Runner.measure arch problem cfg with
+  | Error e -> Alcotest.failf "runner failed: %s" e
+  | Ok m ->
+      Alcotest.(check bool) "positive time" true (m.Runner.time_s > 0.0);
+      Alcotest.(check bool) "gflops consistent" true
+        (abs_float
+           (m.Runner.gflops -. Runner.gflops_of_time problem m.Runner.time_s)
+        < 1e-9);
+      Alcotest.(check bool) "k at least 1" true (m.Runner.resident_blocks >= 1)
+
+let test_runner_rejects () =
+  let cfg = C.make_exn ~t_t:8 ~t_s:[| 600; 64 |] ~threads:[| 256 |] in
+  match Runner.measure arch problem cfg with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized tile measured"
+
+let evaluated = Optimizer.evaluate_space params ~citer problem
+
+let test_optimizer_best_and_within () =
+  Alcotest.(check bool) "space evaluated" true (List.length evaluated > 100);
+  let b = Optimizer.best evaluated in
+  List.iter
+    (fun (e : Optimizer.evaluated) ->
+      Alcotest.(check bool) "best is minimal" true
+        (b.Optimizer.prediction.Model.talg
+         <= e.Optimizer.prediction.Model.talg +. 1e-15))
+    evaluated;
+  let within = Optimizer.within_fraction ~frac:0.10 evaluated in
+  Alcotest.(check bool) "within set non-empty" true (List.length within >= 1);
+  Alcotest.(check bool) "within contains best" true
+    (List.exists (fun e -> e.Optimizer.shape = b.Optimizer.shape) within);
+  List.iter
+    (fun (e : Optimizer.evaluated) ->
+      Alcotest.(check bool) "within 10%" true
+        (e.Optimizer.prediction.Model.talg
+         <= 1.1 *. b.Optimizer.prediction.Model.talg))
+    within;
+  (* sorted ascending *)
+  let rec sorted = function
+    | (a : Optimizer.evaluated) :: (b :: _ as rest) ->
+        a.Optimizer.prediction.Model.talg <= b.Optimizer.prediction.Model.talg
+        && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted within);
+  (* Section 6: the candidate set is small (paper: < 200 points) *)
+  Alcotest.(check bool) "candidate set small" true
+    (Optimizer.candidate_count ~frac:0.10 evaluated < 200)
+
+let test_optimizer_empty () =
+  Alcotest.check_raises "empty best" (Invalid_argument "Optimizer.best: empty space")
+    (fun () -> ignore (Optimizer.best []))
+
+let ctx = { Strategies.arch; params; citer; problem }
+
+let test_strategies_ordering () =
+  let get r = match r with Ok o -> o | Error e -> Alcotest.failf "strategy failed: %s" e in
+  let hhc = get (Strategies.hhc_default ctx) in
+  let top10 = get (Strategies.model_top10 ctx) in
+  let baseline = get (Strategies.baseline_best ctx) in
+  (* the paper's Figure 6 ordering: model-guided search beats the untuned
+     compiler default by a wide margin *)
+  Alcotest.(check bool) "top10 beats HHC by > 20%" true
+    (top10.Strategies.measurement.Runner.gflops
+     > 1.2 *. hhc.Strategies.measurement.Runner.gflops);
+  (* and is at least competitive with the baseline sweep *)
+  Alcotest.(check bool) "top10 >= 97% of baseline" true
+    (top10.Strategies.measurement.Runner.gflops
+     >= 0.97 *. baseline.Strategies.measurement.Runner.gflops);
+  (* it explores far fewer configurations than exhaustive search would *)
+  Alcotest.(check bool) "top10 explored > 0" true (top10.Strategies.explored > 0);
+  Alcotest.(check bool) "model prediction recorded" true
+    (top10.Strategies.predicted_s <> None)
+
+let test_exhaustive_capped () =
+  match Strategies.exhaustive ~max_configs:50 ctx with
+  | Error e -> Alcotest.failf "exhaustive failed: %s" e
+  | Ok o ->
+      Alcotest.(check bool) "cap respected" true (o.Strategies.explored <= 50)
+
+let test_ampl_emission () =
+  let text = Amplgen.emit params ~citer problem in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true
+        (Test_util.contains text needle))
+    [ "minimize Talg"; "param nSM := 16"; "cap_block"; "ceil(S1 /" ]
+
+let prop_model_more_permissive_than_machine =
+  (* the model deliberately ignores registers and threads, so anything the
+     compiler+simulator accept, the model must also accept (the converse
+     fails: thread-slot/register-limited configs are invisible to it) *)
+  QCheck.Test.make ~name:"measure Ok => predict Ok" ~count:80
+    QCheck.(
+      quad (int_range 1 10) (int_range 1 24) (int_range 1 8) (int_range 0 9))
+    (fun (tth, t_s1, ts2m, thr_idx) ->
+      let threads = List.nth Space.thread_candidates thr_idx in
+      match
+        C.make ~t_t:(2 * tth) ~t_s:[| t_s1; 32 * ts2m |] ~threads:[| threads |]
+      with
+      | Error _ -> true
+      | Ok cfg -> (
+          match Runner.measure arch problem cfg with
+          | Error _ -> true
+          | Ok _ -> (
+              match Model.predict params ~citer problem cfg with
+              | Ok _ -> true
+              | Error _ -> false)))
+
+let suite =
+  [
+    Alcotest.test_case "space constraints" `Quick test_space_constraints;
+    Alcotest.test_case "space 3D" `Quick test_space_3d;
+    Alcotest.test_case "thread candidates" `Quick test_thread_candidates;
+    Alcotest.test_case "baseline set (Section 5.1)" `Quick test_baseline_size_and_bias;
+    Alcotest.test_case "runner" `Quick test_runner;
+    Alcotest.test_case "runner rejects" `Quick test_runner_rejects;
+    Alcotest.test_case "optimizer best/within" `Quick test_optimizer_best_and_within;
+    Alcotest.test_case "optimizer empty" `Quick test_optimizer_empty;
+    Alcotest.test_case "strategy ordering" `Slow test_strategies_ordering;
+    Alcotest.test_case "exhaustive capped" `Quick test_exhaustive_capped;
+    Alcotest.test_case "AMPL emission" `Quick test_ampl_emission;
+    QCheck_alcotest.to_alcotest prop_model_more_permissive_than_machine;
+  ]
