@@ -536,6 +536,117 @@ let codegen_cmd =
              HHC compiler would generate).")
     term
 
+(* --- lint ------------------------------------------------------------------- *)
+
+let lint_cmd =
+  let module Hexlint = Hextime_analysis.Hexlint in
+  let tile =
+    Arg.(
+      value
+      & opt (some (dims_conv "tile sizes")) None
+      & info [ "tile" ] ~docv:"tTxtS1[xtS2[xtS3]]"
+          ~doc:"Tile sizes of the single configuration to lint.")
+  in
+  let threads =
+    Arg.(value & opt int 256 & info [ "threads" ] ~docv:"N" ~doc:"Threads per block.")
+  in
+  let sweep =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "Lint every feasible baseline configuration of every experiment \
+             at the given $(b,--scale) instead of a single configuration.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"text|json" ~doc:"Output format.")
+  in
+  let finish fmt reports ~linted ~skipped =
+    let dirty = List.filter (fun r -> r.Hexlint.findings <> []) reports in
+    (match fmt with
+    | `Json -> print_string (Hexlint.render_json dirty)
+    | `Text ->
+        List.iter (fun r -> print_string (Hexlint.render_text r)) dirty;
+        Printf.printf
+          "linted %d configuration(s) (%d infeasible skipped): %s\n" linted
+          skipped
+          (if dirty = [] then "clean"
+           else Printf.sprintf "%d with findings" (List.length dirty)));
+    if dirty = [] then `Ok ()
+    else
+      die "lint: findings in %d of %d configuration(s)" (List.length dirty)
+        linted
+  in
+  let run arch stencil space time tile threads sweep scale fmt =
+    if sweep then begin
+      let linted = ref 0 and skipped = ref 0 in
+      let reports =
+        List.concat_map
+          (fun (e : H.Experiments.t) ->
+            let params = H.Microbench.params e.arch in
+            let citer = H.Microbench.citer e.arch e.problem.Problem.stencil in
+            List.filter_map
+              (fun cfg ->
+                match
+                  Hexlint.lint_config params ~arch:e.arch ~citer e.problem cfg
+                with
+                | Ok r ->
+                    incr linted;
+                    Some r
+                | Error _ ->
+                    incr skipped;
+                    None)
+              (Hextime_tileopt.Baseline.data_points params e.problem))
+          (H.Experiments.all scale)
+      in
+      finish fmt reports ~linted:!linted ~skipped:!skipped
+    end
+    else
+      match tile with
+      | None -> die "either --tile or --sweep is required"
+      | Some tile -> (
+          match problem_of stencil space time with
+          | Error msg -> die "%s" msg
+          | Ok problem ->
+              if Array.length tile < 2 then die "tile needs at least tT and tS1"
+              else
+                let t_t = tile.(0) in
+                let t_s = Array.sub tile 1 (Array.length tile - 1) in
+                (match Config.make ~t_t ~t_s ~threads:[| threads |] with
+                | Error msg -> die "invalid configuration: %s" msg
+                | Ok cfg -> (
+                    let params = H.Microbench.params arch in
+                    let citer = H.Microbench.citer arch stencil in
+                    match Hexlint.lint_config params ~arch ~citer problem cfg with
+                    | Error msg -> die "lint: %s" msg
+                    | Ok r ->
+                        (match fmt with
+                        | `Json -> print_string (Hexlint.render_json [ r ])
+                        | `Text -> print_string (Hexlint.render_text r));
+                        if r.Hexlint.findings = [] then `Ok ()
+                        else
+                          die "lint: %d finding(s)"
+                            (List.length r.Hexlint.findings))))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ tile
+       $ threads $ sweep $ scale_arg $ format))
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the hexlint static-analysis passes (races, bounds, bank \
+          conflicts, resources, model conformance) on the lowered kernel IR \
+          of one configuration, or of the whole feasible baseline sweep with \
+          $(b,--sweep).  Exits non-zero on any finding; with \
+          $(b,--format)=json only configurations with findings are printed.")
+    term
+
 (* --- naive ------------------------------------------------------------------ *)
 
 let naive_cmd =
@@ -758,6 +869,7 @@ let main_cmd =
       sensitivity_cmd;
       trace_cmd;
       codegen_cmd;
+      lint_cmd;
       naive_cmd;
       solve_cmd;
       tables_cmd;

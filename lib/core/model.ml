@@ -161,6 +161,28 @@ let predict ?variant (p : Params.t) ~citer (problem : Problem.t) (cfg : Config.t
             chunks;
           }
 
+type schedule_counts = {
+  sched_io_words : int;
+  sched_shared_words : int;
+  sched_chunks : int;
+  sched_syncs_per_chunk : int;
+  sched_wavefronts : int;
+  sched_wavefront_blocks : int;
+}
+
+(* The model charges tau_sync once per compute row (Equations 9/15/27) and
+   twice per chunk for the staging barriers (Equations 8/14/25), so any
+   schedule it prices must execute exactly t_T + 2 barriers per chunk. *)
+let scheduled_counts pr ~t_t =
+  {
+    sched_io_words = pr.io_words;
+    sched_shared_words = pr.shared_words;
+    sched_chunks = pr.chunks;
+    sched_syncs_per_chunk = t_t + 2;
+    sched_wavefronts = pr.n_wavefronts;
+    sched_wavefront_blocks = pr.wavefront_blocks;
+  }
+
 let pp_prediction ppf pr =
   Format.fprintf ppf
     "Talg=%.4es (Ttile=%.3es, m'=%.3es, c=%.3es, k=%d, Nw=%d, w=%d, rounds=%d, \

@@ -67,6 +67,21 @@ val hyperthreading_factor : Params.t -> shared_words:int -> int
 (** k from Equation 11 restricted to the shared-memory and MTB_SM terms:
     [min MTB_SM (M_SM / M_tile)]. *)
 
+type schedule_counts = {
+  sched_io_words : int;  (** words any conforming schedule moves per chunk *)
+  sched_shared_words : int;  (** words it must allocate (M_tile) *)
+  sched_chunks : int;  (** chunk-loop trip count per block *)
+  sched_syncs_per_chunk : int;  (** barriers per chunk: t_T rows + 2 staging *)
+  sched_wavefronts : int;  (** host-side launch rounds (N_w) *)
+  sched_wavefront_blocks : int;  (** blocks per launch (w) *)
+}
+
+val scheduled_counts : prediction -> t_t:int -> schedule_counts
+(** The discrete counts a lowered schedule must realise for this prediction
+    to price it: the model's time formulas charge exactly these transfers,
+    allocations, trip counts and barriers.  The hexlint conformance pass
+    ({!Hextime_analysis.Hexlint}) checks the kernel IR against them. *)
+
 val pp_prediction : Format.formatter -> prediction -> unit
 
 val explain :

@@ -1,0 +1,191 @@
+(* Typed kernel IR for the lowered hexagonal schedules.
+
+   Lowering produces values of this IR and everything downstream — the
+   pseudo-CUDA printer, the hexlint static-analysis passes, the
+   model-conformance cross-check — consumes it.  Strings are no longer the
+   source of truth for the generated code's structure. *)
+
+type family = Green | Yellow
+
+let family_name = function Green -> "green" | Yellow -> "yellow"
+
+type half = Ping | Pong
+
+let other_half = function Ping -> Pong | Pong -> Ping
+let half_name = function Ping -> "ping" | Pong -> "pong"
+let half_index = function Ping -> 0 | Pong -> 1
+
+type tap = { offset : int array; weight : float }
+
+type rule =
+  | Linear of { taps : tap list; constant : float }
+  | Opaque of { offsets : int array list; note : string }
+
+let rule_offsets = function
+  | Linear { taps; _ } -> List.map (fun t -> t.offset) taps
+  | Opaque { offsets; _ } -> offsets
+
+(* One hexagon row.  [width] is the idealised (Equation 4) dim-0 width the
+   shared-memory window is sized for; [extra] is the exact-lattice family
+   stagger (2*order for yellow tiles, 0 for green) which adds compute points
+   but is absorbed at the tile boundary rather than widening the buffer
+   window — the same convention Model.compute_time documents. *)
+type row = { r : int; width : int; extra : int; points : int }
+
+(* one hexagon row's compute: every thread handles points p = tid +
+   k*threads, reading the stencil taps from [reads] and writing [writes];
+   [stride] is the padded inner row stride of the shared buffer *)
+type compute = { row : row; reads : half; writes : half; stride : int }
+
+type stmt =
+  | Load_tile of { words : int; run_length : int; dst : half }
+      (* global -> shared staging, thread-strided, coalesced in runs *)
+  | Store_tile of { words : int; run_length : int; src : half }
+      (* shared -> global write-back *)
+  | Sync (* __syncthreads() *)
+  | Compute_row of compute
+  | Chunk_loop of { trips : int; body : stmt list }
+      (* skewed inner chunks (sub-prisms / sub-slabs); no nesting *)
+
+type kernel = {
+  name : string;
+  family : family;
+  problem_id : string;
+  config_id : string;
+  threads : int;
+  regs_per_thread : int;
+  rank : int;
+  order : int;
+  word_factor : int;
+  t_t : int;
+  t_s : int array;
+  space : int array;
+  time : int;
+  smem_ext : int array; (* per-dimension padded extents, in elements *)
+  smem_words : int; (* total allocation: 2 * word_factor * prod smem_ext *)
+  rule : rule;
+  body : stmt list;
+}
+
+type launch = { kernel_name : string; blocks : int; threads : int }
+
+type host = {
+  problem_id : string;
+  config_id : string;
+  bands : int; (* outer wavefront bands; each band launches [per_band] *)
+  per_band : launch list;
+  device_sync : bool;
+}
+
+type program = { host : host; kernels : kernel list }
+
+(* --- well-formedness --------------------------------------------------- *)
+
+let validate (k : kernel) =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if k.rank < 1 || k.rank > 3 then err "rank %d outside 1..3" k.rank
+  else if Array.length k.t_s <> k.rank then err "t_s rank mismatch"
+  else if Array.length k.space <> k.rank then err "space rank mismatch"
+  else if Array.length k.smem_ext <> k.rank then err "smem_ext rank mismatch"
+  else if k.threads <= 0 then err "threads <= 0"
+  else if k.order < 1 then err "order < 1"
+  else if k.word_factor < 1 then err "word_factor < 1"
+  else if k.smem_words <= 0 then err "smem_words <= 0"
+  else if k.t_t < 2 then err "t_t < 2"
+  else
+    let rec check_stmts ~nested = function
+      | [] -> Ok ()
+      | s :: rest -> (
+          match s with
+          | Chunk_loop { trips; body } ->
+              if nested then err "nested chunk loops"
+              else if trips <= 0 then err "chunk trips <= 0"
+              else (
+                match check_stmts ~nested:true body with
+                | Error _ as e -> e
+                | Ok () -> check_stmts ~nested rest)
+          | Load_tile { words; run_length; _ }
+          | Store_tile { words; run_length; _ } ->
+              if words <= 0 then err "transfer of <= 0 words"
+              else if run_length <= 0 then err "run_length <= 0"
+              else check_stmts ~nested rest
+          | Compute_row { row; stride; _ } ->
+              if row.points <= 0 then err "row %d has no points" row.r
+              else if row.width <= 0 then err "row %d has no width" row.r
+              else if stride <= 0 then err "row %d stride <= 0" row.r
+              else check_stmts ~nested rest
+          | Sync -> check_stmts ~nested rest)
+    in
+    check_stmts ~nested:false k.body
+
+(* --- structural counting ----------------------------------------------- *)
+
+(* the per-chunk statement sequence and how many times it runs *)
+let chunk_view (k : kernel) =
+  match k.body with
+  | [ Chunk_loop { trips; body } ] -> (trips, body)
+  | body -> (1, body)
+
+let chunk_trips k = fst (chunk_view k)
+
+let fold_chunk f acc k = List.fold_left f acc (snd (chunk_view k))
+
+let io_words_per_chunk k =
+  fold_chunk
+    (fun acc -> function
+      | Load_tile { words; _ } | Store_tile { words; _ } -> acc + words
+      | _ -> acc)
+    0 k
+
+let load_words_per_chunk k =
+  fold_chunk
+    (fun acc -> function Load_tile { words; _ } -> acc + words | _ -> acc)
+    0 k
+
+let store_words_per_chunk k =
+  fold_chunk
+    (fun acc -> function Store_tile { words; _ } -> acc + words | _ -> acc)
+    0 k
+
+let syncs_per_chunk k =
+  fold_chunk (fun acc -> function Sync -> acc + 1 | _ -> acc) 0 k
+
+let rows k =
+  List.rev
+    (fold_chunk
+       (fun acc -> function Compute_row c -> c.row :: acc | _ -> acc)
+       [] k)
+
+let points_per_chunk k =
+  List.fold_left (fun acc (r : row) -> acc + r.points) 0 (rows k)
+
+let total_points k = chunk_trips k * points_per_chunk k
+
+(* Flatten the kernel body for sequential analyses (e.g. the race detector):
+   the chunk loop is unrolled [iterations] times (capped by its trip count)
+   so back-edge hazards between consecutive chunk iterations are visible. *)
+let unrolled ?(iterations = 2) (k : kernel) =
+  List.concat_map
+    (function
+      | Chunk_loop { trips; body } ->
+          List.concat (List.init (min trips iterations) (fun _ -> body))
+      | s -> [ s ])
+    k.body
+
+let pp_stmt ppf = function
+  | Load_tile { words; run_length; dst } ->
+      Format.fprintf ppf "load %d words (runs of %d) -> %s" words run_length
+        (half_name dst)
+  | Store_tile { words; run_length; src } ->
+      Format.fprintf ppf "store %d words (runs of %d) <- %s" words run_length
+        (half_name src)
+  | Sync -> Format.fprintf ppf "sync"
+  | Compute_row { row; reads; writes; _ } ->
+      Format.fprintf ppf "row %d (%d points) %s -> %s" row.r row.points
+        (half_name reads) (half_name writes)
+  | Chunk_loop { trips; body } ->
+      Format.fprintf ppf "chunks x%d (%d stmts)" trips (List.length body)
+
+let pp_kernel ppf k =
+  Format.fprintf ppf "%s: %d thr, %d smem words, %d chunks x %d rows" k.name
+    k.threads k.smem_words (chunk_trips k) (List.length (rows k))

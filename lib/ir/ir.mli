@@ -1,0 +1,115 @@
+(** Typed kernel IR for lowered hexagonal-tiling schedules.
+
+    {!Hextime_tiling.Lower} produces this IR; the pseudo-CUDA printer
+    ({!Ir_print}) and the hexlint static-analysis passes
+    ({!Hextime_analysis.Hexlint}) consume it.  The IR captures exactly the
+    structural elements the analytical model prices: staged shared-memory
+    transfers, per-row compute with stencil tap offsets, barriers, and the
+    skewed inner-chunk loop.
+
+    The record types are deliberately public (not abstract): the
+    seeded-bug tests mutate otherwise-valid kernels to plant specific
+    defects and assert each lint pass catches its own. *)
+
+type family = Green | Yellow
+
+val family_name : family -> string
+
+(** The double buffer: every time step reads one half and writes the
+    other, which is what makes the intra-row compute race-free. *)
+type half = Ping | Pong
+
+val other_half : half -> half
+val half_name : half -> string
+val half_index : half -> int
+
+type tap = { offset : int array; weight : float }
+
+type rule =
+  | Linear of { taps : tap list; constant : float }
+      (** convolutional body: sum of weighted taps *)
+  | Opaque of { offsets : int array list; note : string }
+      (** non-convolutional body (e.g. gradient): known read offsets,
+          opaque arithmetic *)
+
+val rule_offsets : rule -> int array list
+
+type row = {
+  r : int;  (** time step within the tile, [0, t_t) *)
+  width : int;
+      (** idealised (Equation 4) dim-0 width the shared window is sized
+          for *)
+  extra : int;
+      (** exact-lattice family stagger: [2*order] for yellow, 0 for green;
+          adds compute points without widening the buffer window (the
+          convention {!Hextime_core.Model} documents) *)
+  points : int;  (** (width + extra) * inner tile extents *)
+}
+
+type compute = { row : row; reads : half; writes : half; stride : int }
+
+type stmt =
+  | Load_tile of { words : int; run_length : int; dst : half }
+  | Store_tile of { words : int; run_length : int; src : half }
+  | Sync
+  | Compute_row of compute
+  | Chunk_loop of { trips : int; body : stmt list }
+
+type kernel = {
+  name : string;
+  family : family;
+  problem_id : string;
+  config_id : string;
+  threads : int;
+  regs_per_thread : int;
+  rank : int;
+  order : int;
+  word_factor : int;
+  t_t : int;
+  t_s : int array;
+  space : int array;
+  time : int;
+  smem_ext : int array;
+      (** per-dimension padded extents in elements: [t_s.(d) + order*t_t + 1] *)
+  smem_words : int;
+      (** total allocation, words: [2 * word_factor * prod smem_ext] *)
+  rule : rule;
+  body : stmt list;
+}
+
+type launch = { kernel_name : string; blocks : int; threads : int }
+
+type host = {
+  problem_id : string;
+  config_id : string;
+  bands : int;
+  per_band : launch list;
+  device_sync : bool;
+}
+
+type program = { host : host; kernels : kernel list }
+
+val validate : kernel -> (unit, string) result
+(** Basic well-formedness: ranks agree, counts positive, chunk loops not
+    nested.  Deeper invariants (barrier placement, bounds, conformance)
+    are the lint passes' job, so that planted defects remain expressible. *)
+
+val chunk_view : kernel -> int * stmt list
+(** [(trips, body)] of the per-chunk statement sequence; [(1, body)] when
+    the kernel has no chunk loop. *)
+
+val chunk_trips : kernel -> int
+val io_words_per_chunk : kernel -> int
+val load_words_per_chunk : kernel -> int
+val store_words_per_chunk : kernel -> int
+val syncs_per_chunk : kernel -> int
+val rows : kernel -> row list
+val points_per_chunk : kernel -> int
+val total_points : kernel -> int
+
+val unrolled : ?iterations:int -> kernel -> stmt list
+(** Flattened statement sequence with the chunk loop unrolled up to
+    [iterations] times (default 2), exposing back-edge hazards. *)
+
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_kernel : Format.formatter -> kernel -> unit

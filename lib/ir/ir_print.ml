@@ -1,0 +1,180 @@
+(* Pseudo-CUDA pretty-printer over the kernel IR.
+
+   This is a *view* of the IR, not the source of truth: the structure the
+   simulator and the analytical model price lives in Ir.kernel, and this
+   module only renders it.  The output is pseudo-code — it type-checks
+   nowhere and elides the hexagon boundary index algebra — but every
+   structural element (transfers, row loop, syncs, chunk loop, buffer
+   halves) appears exactly once in the right place.
+
+   Stencil weights are printed with %.9g: 9 significant decimal digits
+   round-trip every float32 value exactly (the generated kernels compute in
+   float), where the previous %.6g truncated e.g. 1/3 to a different
+   float32. *)
+
+let dim_names = [| "x"; "j"; "l" |]
+
+let tap_index rank (offset : int array) =
+  let idx d off =
+    let base = dim_names.(d) in
+    if off = 0 then base
+    else if off > 0 then Printf.sprintf "%s + %d" base off
+    else Printf.sprintf "%s - %d" base (-off)
+  in
+  String.concat "][" (List.init rank (fun d -> idx d offset.(d)))
+
+let tap_expr rank ~read_half (tap : Ir.tap) =
+  Printf.sprintf "%.9gf * smem[%s][%s]" tap.Ir.weight read_half
+    (tap_index rank tap.Ir.offset)
+
+let body_expr rank ~read_half (rule : Ir.rule) =
+  match rule with
+  | Ir.Linear { taps; constant } ->
+      let sum =
+        String.concat "\n             + "
+          (List.map (tap_expr rank ~read_half) taps)
+      in
+      if constant = 0.0 then sum
+      else Printf.sprintf "%s + %.9gf" sum constant
+  | Ir.Opaque { note; _ } ->
+      Printf.sprintf
+        "/* %s */ user_body(smem[%s], %s)" note read_half
+        (String.concat ", "
+           (List.init rank (fun d -> dim_names.(d))))
+
+(* Recognise the canonical row sequence [Compute r; Sync; Compute r+1; ...]
+   so it can be rendered as a for-loop; anything else (e.g. a seeded-bug
+   mutant) falls back to unrolled per-row rendering. *)
+let take_row_run stmts =
+  let rec go acc expect = function
+    | Ir.Compute_row c :: Ir.Sync :: rest
+      when (match expect with None -> true | Some r -> c.row.Ir.r = r) ->
+        go (c :: acc) (Some (c.row.Ir.r + 1)) rest
+    | rest -> (List.rev acc, rest)
+  in
+  go [] None stmts
+
+let kernel (k : Ir.kernel) =
+  let b = Buffer.create 2048 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "// %s tile kernel for %s, configuration %s\n"
+    (Ir.family_name k.family) k.problem_id k.config_id;
+  pf "// registers/thread (estimated): %d; shared memory: %d words\n"
+    k.regs_per_thread k.smem_words;
+  pf "__global__ void %s(const float *__restrict__ in, float *out)\n" k.name;
+  pf "{\n";
+  pf "  __shared__ float smem[2][%d]; // M_tile = 2 * %s\n" (k.smem_words / 2)
+    (String.concat " * "
+       (Array.to_list
+          (Array.map
+             (fun s -> Printf.sprintf "(%d + %d + 1)" s (k.order * k.t_t))
+             k.t_s)));
+  pf "  const int tile = blockIdx.x;          // position in the wavefront\n";
+  pf "  const int tid  = threadIdx.x;         // %d threads\n" k.threads;
+  let gaddr in_chunk = if in_chunk then "tile, q" else "tile" in
+  let rec seq ind ~in_chunk stmts =
+    match stmts with
+    | [] -> ()
+    | Ir.Chunk_loop { trips; body } :: rest ->
+        pf "%sfor (int q = 0; q < %d; ++q) {       // skewed inner chunks (sub-%s)\n"
+          ind trips
+          (if k.rank = 2 then "prisms" else "slabs");
+        seq (ind ^ "  ") ~in_chunk:true body;
+        pf "%s}\n" ind;
+        seq ind ~in_chunk rest
+    | Ir.Load_tile { words; run_length; dst } :: rest ->
+        pf "%s// global -> shared (%s half): m_i = %d words, coalesced in runs of %d\n"
+          ind (Ir.half_name dst) words run_length;
+        pf "%sfor (int i = tid; i < %d; i += %d) smem[%d][stage(i)] = in[gaddr(%s, i)];\n"
+          ind words k.threads (Ir.half_index dst) (gaddr in_chunk);
+        seq ind ~in_chunk rest
+    | Ir.Store_tile { words; run_length; src } :: rest ->
+        pf "%s// shared -> global (%s half): m_o = %d words, coalesced in runs of %d\n"
+          ind (Ir.half_name src) words run_length;
+        pf "%sfor (int i = tid; i < %d; i += %d) out[gaddr(%s, i)] = smem[%d][stage(i)];\n"
+          ind words k.threads (gaddr in_chunk) (Ir.half_index src);
+        seq ind ~in_chunk rest
+    | Ir.Sync :: rest ->
+        pf "%s__syncthreads();\n" ind;
+        seq ind ~in_chunk rest
+    | Ir.Compute_row _ :: _ -> (
+        match take_row_run stmts with
+        | (_ :: _ :: _ as run), rest ->
+            (* canonical shape: render as the row loop *)
+            let first = List.hd run in
+            let last = List.nth run (List.length run - 1) in
+            pf "%s// hexagon rows, bottom to top (widths %s)\n" ind
+              (String.concat ", "
+                 (List.map
+                    (fun (c : Ir.compute) ->
+                      string_of_int (c.row.Ir.width + c.row.Ir.extra))
+                    run));
+            pf "%sfor (int r = %d; r < %d; ++r) {\n" ind first.Ir.row.Ir.r
+              (last.Ir.row.Ir.r + 1);
+            pf "%s  for (int p = tid; p < row_points(r); p += %d) {\n" ind
+              k.threads;
+            (match k.rank with
+            | 1 -> pf "%s    const int x = p;               // position in the row\n" ind
+            | 2 ->
+                pf "%s    const int j = p %% %d, x = p / %d; // inner x hexagon\n"
+                  ind k.t_s.(1) k.t_s.(1)
+            | _ ->
+                pf "%s    const int l = p %% %d, j = (p / %d) %% %d;\n" ind
+                  k.t_s.(2) k.t_s.(2) k.t_s.(1));
+            pf "%s    smem[(r + 1) & 1][next(r, p)] =\n%s               %s;\n"
+              ind ind
+              (body_expr k.rank ~read_half:"r & 1" k.rule);
+            pf "%s  }\n" ind;
+            pf "%s  __syncthreads();                   // tau_sync per row\n"
+              ind;
+            pf "%s}\n" ind;
+            seq ind ~in_chunk rest
+        | _ -> (
+            (* irregular (mutated) sequence: render the row standalone *)
+            match stmts with
+            | Ir.Compute_row { row; reads; writes; _ } :: rest ->
+                pf "%s// row %d (%d points): read %s, write %s\n" ind row.Ir.r
+                  row.Ir.points (Ir.half_name reads) (Ir.half_name writes);
+                pf "%sfor (int p = tid; p < %d; p += %d) smem[%d][next(%d, p)] = %s;\n"
+                  ind row.Ir.points k.threads (Ir.half_index writes) row.Ir.r
+                  (match k.rule with
+                  | Ir.Linear _ -> "body(p)"
+                  | Ir.Opaque _ -> "user_body(p)");
+                seq ind ~in_chunk rest
+            | _ -> assert false))
+  in
+  seq "  " ~in_chunk:false k.body;
+  pf "}\n";
+  Buffer.contents b
+
+let host (h : Ir.host) =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "// host-side wavefront loop for %s, configuration %s\n" h.problem_id
+    h.config_id;
+  let blocks =
+    match h.per_band with l :: _ -> l.Ir.blocks | [] -> 0
+  in
+  pf "// N_w = %d wavefronts of w = %d blocks each\n"
+    (h.bands * List.length h.per_band)
+    blocks;
+  pf "void run(const float *in, float *out)\n{\n";
+  pf "  for (int band = 0; band < %d; ++band) {\n" h.bands;
+  let width =
+    List.fold_left
+      (fun acc (l : Ir.launch) -> max acc (String.length l.kernel_name))
+      0 h.per_band
+  in
+  List.iteri
+    (fun i (l : Ir.launch) ->
+      pf "    %-*s<<<%d, %d>>>(in, out);%s\n" width l.Ir.kernel_name
+        l.Ir.blocks l.Ir.threads
+        (if i = 0 then "   // T_sync per launch" else ""))
+    h.per_band;
+  pf "  }\n";
+  if h.device_sync then pf "  cudaDeviceSynchronize();\n";
+  pf "}\n";
+  Buffer.contents b
+
+let program (p : Ir.program) =
+  String.concat "\n" (host p.host :: List.map kernel p.kernels)

@@ -1,0 +1,16 @@
+(** Pseudo-CUDA pretty-printer over {!Ir}.
+
+    The printed text is a rendering of the IR, not the source of truth:
+    lowering produces {!Ir.kernel} values and this module only formats
+    them.  The output is pseudo-code (it elides the hexagon boundary index
+    algebra behind [stage]/[gaddr]/[next] helpers) but every structural
+    element the analytical model prices — staged transfers, the row loop,
+    barriers, the chunk loop, the double-buffer halves — appears exactly
+    once in the right place.
+
+    Stencil tap weights print with [%.9g], which round-trips every float32
+    value exactly (the generated kernels compute in [float]). *)
+
+val kernel : Ir.kernel -> string
+val host : Ir.host -> string
+val program : Ir.program -> string

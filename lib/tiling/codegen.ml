@@ -1,137 +1,17 @@
-module Stencil = Hextime_stencil.Stencil
-module Problem = Hextime_stencil.Problem
-module Gpu = Hextime_gpu
+(* Pseudo-CUDA emission, now a thin wrapper: Lower produces the typed
+   kernel IR and Ir_print renders it.  The printed strings are a view of
+   the IR — the structure the model and the hexlint passes reason about is
+   the IR itself. *)
 
-let family_name = function
-  | Hexgeom.Green -> "green"
-  | Hexgeom.Yellow -> "yellow"
+module Ir_print = Hextime_ir.Ir_print
 
-let tap_expr rank (tap : Stencil.tap) =
-  let idx d off =
-    let base = [| "r"; "j"; "l" |].(d) in
-    if off = 0 then base
-    else if off > 0 then Printf.sprintf "%s + %d" base off
-    else Printf.sprintf "%s - %d" base (-off)
-  in
-  let coords =
-    String.concat "]["
-      (List.init rank (fun d -> idx d tap.Stencil.offset.(d)))
-  in
-  Printf.sprintf "%.6gf * smem[%s]" tap.Stencil.weight coords
+let kernel problem cfg ~family =
+  Result.map Ir_print.kernel (Lower.ir_kernel problem cfg ~family)
 
-let body_expr (stencil : Stencil.t) =
-  match stencil.Stencil.rule with
-  | Stencil.Linear { taps; constant } ->
-      let sum = String.concat "\n             + " (List.map (tap_expr stencil.Stencil.rank) taps) in
-      if constant = 0.0 then sum else Printf.sprintf "%s + %.6gf" sum constant
-  | Stencil.Nonlinear _ ->
-      "/* non-convolutional body (e.g. gradient): loads the offsets below,\n\
-      \              then applies the user expression */ user_body(smem, r, j, l)"
-
-let kernel (problem : Problem.t) (cfg : Config.t) ~family =
-  match Lower.workload problem cfg ~family with
-  | Error _ as e -> e
-  | Ok w ->
-      let stencil = problem.Problem.stencil in
-      let rank = stencil.Stencil.rank in
-      let order = stencil.Stencil.order in
-      let fp =
-        Footprint.of_config ~order ~space:problem.Problem.space cfg
-      in
-      let b = Buffer.create 2048 in
-      let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-      pf "// %s tile kernel for %s, configuration %s\n" (family_name family)
-        (Problem.id problem) (Config.id cfg);
-      pf "// registers/thread (estimated): %d; shared memory: %d words\n"
-        w.Gpu.Workload.regs_per_thread w.Gpu.Workload.shared_words;
-      pf "__global__ void %s_%s(const float *__restrict__ in, float *out)\n"
-        stencil.Stencil.name (family_name family);
-      pf "{\n";
-      pf "  __shared__ float smem[%d]; // M_tile = 2 * %s\n"
-        w.Gpu.Workload.shared_words
-        (String.concat " * "
-           (Array.to_list
-              (Array.map
-                 (fun s -> Printf.sprintf "(%d + %d + 1)" s (order * cfg.Config.t_t))
-                 cfg.Config.t_s)));
-      pf "  const int tile = blockIdx.x;          // position in the wavefront\n";
-      pf "  const int tid  = threadIdx.x;         // %d threads\n"
-        w.Gpu.Workload.threads;
-      if fp.Footprint.chunks > 1 then
-        pf "  for (int q = 0; q < %d; ++q) {       // skewed inner chunks (sub-%s)\n"
-          fp.Footprint.chunks
-          (if rank = 2 then "prisms" else "slabs");
-      let ind = if fp.Footprint.chunks > 1 then "    " else "  " in
-      pf "%s// global -> shared: m_i = %d words, coalesced in runs of %d\n" ind
-        fp.Footprint.input_words
-        cfg.Config.t_s.(rank - 1);
-      pf "%sfor (int i = tid; i < %d; i += %d) smem[stage(i)] = in[gaddr(tile%s, i)];\n"
-        ind fp.Footprint.input_words w.Gpu.Workload.threads
-        (if fp.Footprint.chunks > 1 then ", q" else "");
-      pf "%s__syncthreads();\n" ind;
-      pf "%s// hexagon rows, bottom to top (widths %s)\n" ind
-        (let ws =
-           Hexgeom.row_widths ~order ~t_s:cfg.Config.t_s.(0) ~t_t:cfg.Config.t_t
-         in
-         let base =
-           match family with
-           | Hexgeom.Green -> ws
-           | Hexgeom.Yellow -> List.map (fun x -> x + (2 * order)) ws
-         in
-         String.concat ", " (List.map string_of_int base));
-      pf "%sfor (int r = 0; r < %d; ++r) {\n" ind cfg.Config.t_t;
-      pf "%s  for (int p = tid; p < row_points(r); p += %d) {\n" ind
-        w.Gpu.Workload.threads;
-      (match rank with
-      | 1 -> pf "%s    // p is the position in the row\n" ind
-      | 2 ->
-          pf "%s    const int j = p %% %d, x = p / %d; // inner x hexagon\n" ind
-            cfg.Config.t_s.(1) cfg.Config.t_s.(1)
-      | _ ->
-          pf "%s    const int l = p %% %d, j = (p / %d) %% %d;\n" ind
-            cfg.Config.t_s.(2) cfg.Config.t_s.(2) cfg.Config.t_s.(1));
-      pf "%s    smem[next(r, p)] =\n%s               %s;\n" ind ind
-        (body_expr stencil);
-      pf "%s  }\n" ind;
-      pf "%s  __syncthreads();                   // tau_sync per row\n" ind;
-      pf "%s}\n" ind;
-      pf "%s// shared -> global: m_o = %d words\n" ind fp.Footprint.output_words;
-      pf "%sfor (int i = tid; i < %d; i += %d) out[gaddr(tile%s, i)] = smem[stage(i)];\n"
-        ind fp.Footprint.output_words w.Gpu.Workload.threads
-        (if fp.Footprint.chunks > 1 then ", q" else "");
-      pf "%s__syncthreads();\n" ind;
-      if fp.Footprint.chunks > 1 then pf "  }\n";
-      pf "}\n";
-      Ok (Buffer.contents b)
-
-let host (problem : Problem.t) (cfg : Config.t) =
-  match Lower.compile problem cfg with
-  | Error _ as e -> e
-  | Ok compiled ->
-      let stencil = problem.Problem.stencil in
-      let b = Buffer.create 1024 in
-      let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-      pf "// host-side wavefront loop for %s, configuration %s\n"
-        (Problem.id problem) (Config.id cfg);
-      pf "// N_w = %d wavefronts of w = %d blocks each\n"
-        (compiled.Lower.green_launches + compiled.Lower.yellow_launches)
-        compiled.Lower.blocks_per_wavefront;
-      pf "void run(const float *in, float *out)\n{\n";
-      pf "  for (int band = 0; band < %d; ++band) {\n"
-        compiled.Lower.green_launches;
-      pf "    %s_yellow<<<%d, %d>>>(in, out);   // T_sync per launch\n"
-        stencil.Stencil.name compiled.Lower.blocks_per_wavefront
-        (Config.total_threads cfg);
-      pf "    %s_green <<<%d, %d>>>(in, out);\n" stencil.Stencil.name
-        compiled.Lower.blocks_per_wavefront (Config.total_threads cfg);
-      pf "  }\n  cudaDeviceSynchronize();\n}\n";
-      Ok (Buffer.contents b)
+let host problem cfg =
+  Result.map
+    (fun (p : Hextime_ir.Ir.program) -> Ir_print.host p.Hextime_ir.Ir.host)
+    (Lower.ir_program problem cfg)
 
 let program problem cfg =
-  match
-    ( host problem cfg,
-      kernel problem cfg ~family:Hexgeom.Yellow,
-      kernel problem cfg ~family:Hexgeom.Green )
-  with
-  | Ok h, Ok ky, Ok kg -> Ok (h ^ "\n" ^ ky ^ "\n" ^ kg)
-  | (Error _ as e), _, _ | _, (Error _ as e), _ | _, _, (Error _ as e) -> e
+  Result.map Ir_print.program (Lower.ir_program problem cfg)

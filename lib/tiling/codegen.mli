@@ -3,16 +3,18 @@
     The HHC compiler's output is a CUDA program per (stencil, problem,
     tile-size) tuple; Section 8 notes that generating and compiling one
     program per data point dominated the authors' experiment time.  This
-    module emits a readable pseudo-CUDA rendering of the schedule our
-    {!Lower} produces — the host loop over wavefront launches and the device
-    kernel with its shared-memory staging, per-row compute and barriers —
-    so a user can inspect exactly what a configuration executes, and so the
-    code structure the simulator prices is documented by construction.
+    module renders the typed kernel IR that {!Lower.ir_program} produces —
+    the host loop over wavefront launches and the device kernel with its
+    shared-memory staging, per-row compute and barriers — so a user can
+    inspect exactly what a configuration executes.
 
     The output is *pseudo*-code: it type-checks nowhere and elides the
     index algebra of the hexagon boundaries, but every structural element
-    the model reasons about (transfers, row loop, syncs, chunk loop) appears
-    exactly once in the right place. *)
+    the model reasons about (transfers, row loop, syncs, chunk loop)
+    appears exactly once in the right place.  Since the IR is the source
+    of truth, the same structure is what the hexlint passes
+    ({!Hextime_analysis.Hexlint}) verify and cross-check against the
+    analytical model. *)
 
 val kernel :
   Hextime_stencil.Problem.t ->

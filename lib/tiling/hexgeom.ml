@@ -3,6 +3,8 @@ module Ints = Hextime_prelude.Ints
 type family = Green | Yellow
 type tile = { family : family; band : int; index : int }
 
+let family_to_string = function Green -> "green" | Yellow -> "yellow"
+
 let check ~order ~t_s ~t_t =
   if order < 1 then invalid_arg "Hexgeom: order must be >= 1";
   if t_s < 1 then invalid_arg "Hexgeom: t_s must be >= 1";

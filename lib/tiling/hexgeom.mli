@@ -26,6 +26,8 @@ type tile = { family : family; band : int; index : int }
 (** [band] is the vertical position [a]; [index] the horizontal position
     [b]. *)
 
+val family_to_string : family -> string
+
 (** {1 Closed-form quantities (the model's view)} *)
 
 val width_of_tile : order:int -> t_s:int -> t_t:int -> int

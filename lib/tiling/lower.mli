@@ -31,3 +31,19 @@ val workload :
   family:Hexgeom.family ->
   (Hextime_gpu.Workload.t, string) result
 (** The per-block workload of one family; exposed for tests and reports. *)
+
+val ir_kernel :
+  Hextime_stencil.Problem.t ->
+  Config.t ->
+  family:Hexgeom.family ->
+  (Hextime_ir.Ir.kernel, string) result
+(** The typed kernel IR of one family's device kernel: staged loads, the
+    per-row compute/barrier sequence over the double buffer, the staged
+    store, wrapped in the skewed chunk loop when the footprint is chunked.
+    This is what {!Codegen} prints and what the hexlint passes analyse. *)
+
+val ir_program :
+  Hextime_stencil.Problem.t ->
+  Config.t ->
+  (Hextime_ir.Ir.program, string) result
+(** Both family kernels plus the host wavefront launch loop. *)

@@ -1,0 +1,282 @@
+(* Golden tests for the pseudo-CUDA pretty-printer over the kernel IR.
+
+   The expected strings are the full output of Ir_print for small
+   configurations of each rank and both tile families — regenerated from
+   the printer itself when the output format deliberately changes
+   (`hextime codegen` dumps them).  Exact equality, not substrings: the
+   printer is the user-facing view of the IR and silent format drift is a
+   bug.  Also here: the weight-precision tests (tap weights must print
+   with enough digits to round-trip float32). *)
+
+module Stencil = Hextime_stencil.Stencil
+module Problem = Hextime_stencil.Problem
+module Config = Hextime_tiling.Config
+module Codegen = Hextime_tiling.Codegen
+module Hexgeom = Hextime_tiling.Hexgeom
+
+let get = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let problem_1d = Problem.make Stencil.jacobi1d ~space:[| 256 |] ~time:16
+let config_1d = Config.make_exn ~t_t:4 ~t_s:[| 32 |] ~threads:[| 32 |]
+let problem_2d = Problem.make Stencil.heat2d ~space:[| 1024; 1024 |] ~time:128
+let config_2d = Config.make_exn ~t_t:8 ~t_s:[| 8; 64 |] ~threads:[| 256 |]
+let problem_3d = Problem.make Stencil.heat3d ~space:[| 96; 96; 96 |] ~time:32
+let config_3d = Config.make_exn ~t_t:4 ~t_s:[| 4; 8; 32 |] ~threads:[| 64 |]
+
+let golden_1d_program =
+  {|// host-side wavefront loop for jacobi1d:256xT16, configuration tT4-tS32-thr32
+// N_w = 8 wavefronts of w = 4 blocks each
+void run(const float *in, float *out)
+{
+  for (int band = 0; band < 4; ++band) {
+    jacobi1d_yellow<<<4, 32>>>(in, out);   // T_sync per launch
+    jacobi1d_green <<<4, 32>>>(in, out);
+  }
+  cudaDeviceSynchronize();
+}
+
+// yellow tile kernel for jacobi1d:256xT16, configuration tT4-tS32-thr32
+// registers/thread (estimated): 27; shared memory: 74 words
+__global__ void jacobi1d_yellow(const float *__restrict__ in, float *out)
+{
+  __shared__ float smem[2][37]; // M_tile = 2 * (32 + 4 + 1)
+  const int tile = blockIdx.x;          // position in the wavefront
+  const int tid  = threadIdx.x;         // 32 threads
+  // global -> shared (ping half): m_i = 40 words, coalesced in runs of 32
+  for (int i = tid; i < 40; i += 32) smem[0][stage(i)] = in[gaddr(tile, i)];
+  __syncthreads();
+  // hexagon rows, bottom to top (widths 34, 36, 36, 34)
+  for (int r = 0; r < 4; ++r) {
+    for (int p = tid; p < row_points(r); p += 32) {
+      const int x = p;               // position in the row
+      smem[(r + 1) & 1][next(r, p)] =
+                 0.333333333f * smem[r & 1][x - 1]
+             + 0.333333333f * smem[r & 1][x]
+             + 0.333333333f * smem[r & 1][x + 1];
+    }
+    __syncthreads();                   // tau_sync per row
+  }
+  // shared -> global (ping half): m_o = 40 words, coalesced in runs of 32
+  for (int i = tid; i < 40; i += 32) out[gaddr(tile, i)] = smem[0][stage(i)];
+  __syncthreads();
+}
+
+// green tile kernel for jacobi1d:256xT16, configuration tT4-tS32-thr32
+// registers/thread (estimated): 27; shared memory: 74 words
+__global__ void jacobi1d_green(const float *__restrict__ in, float *out)
+{
+  __shared__ float smem[2][37]; // M_tile = 2 * (32 + 4 + 1)
+  const int tile = blockIdx.x;          // position in the wavefront
+  const int tid  = threadIdx.x;         // 32 threads
+  // global -> shared (ping half): m_i = 40 words, coalesced in runs of 32
+  for (int i = tid; i < 40; i += 32) smem[0][stage(i)] = in[gaddr(tile, i)];
+  __syncthreads();
+  // hexagon rows, bottom to top (widths 32, 34, 34, 32)
+  for (int r = 0; r < 4; ++r) {
+    for (int p = tid; p < row_points(r); p += 32) {
+      const int x = p;               // position in the row
+      smem[(r + 1) & 1][next(r, p)] =
+                 0.333333333f * smem[r & 1][x - 1]
+             + 0.333333333f * smem[r & 1][x]
+             + 0.333333333f * smem[r & 1][x + 1];
+    }
+    __syncthreads();                   // tau_sync per row
+  }
+  // shared -> global (ping half): m_o = 40 words, coalesced in runs of 32
+  for (int i = tid; i < 40; i += 32) out[gaddr(tile, i)] = smem[0][stage(i)];
+  __syncthreads();
+}
+|}
+
+let golden_2d_host =
+  {|// host-side wavefront loop for heat2d:1024x1024xT128, configuration tT8-tS8x64-thr256
+// N_w = 32 wavefronts of w = 43 blocks each
+void run(const float *in, float *out)
+{
+  for (int band = 0; band < 16; ++band) {
+    heat2d_yellow<<<43, 256>>>(in, out);   // T_sync per launch
+    heat2d_green <<<43, 256>>>(in, out);
+  }
+  cudaDeviceSynchronize();
+}
+|}
+
+let golden_2d_yellow =
+  {|// yellow tile kernel for heat2d:1024x1024xT128, configuration tT8-tS8x64-thr256
+// registers/thread (estimated): 38; shared memory: 2482 words
+__global__ void heat2d_yellow(const float *__restrict__ in, float *out)
+{
+  __shared__ float smem[2][1241]; // M_tile = 2 * (8 + 8 + 1) * (64 + 8 + 1)
+  const int tile = blockIdx.x;          // position in the wavefront
+  const int tid  = threadIdx.x;         // 256 threads
+  for (int q = 0; q < 17; ++q) {       // skewed inner chunks (sub-prisms)
+    // global -> shared (ping half): m_i = 1536 words, coalesced in runs of 64
+    for (int i = tid; i < 1536; i += 256) smem[0][stage(i)] = in[gaddr(tile, q, i)];
+    __syncthreads();
+    // hexagon rows, bottom to top (widths 10, 12, 14, 16, 16, 14, 12, 10)
+    for (int r = 0; r < 8; ++r) {
+      for (int p = tid; p < row_points(r); p += 256) {
+        const int j = p % 64, x = p / 64; // inner x hexagon
+        smem[(r + 1) & 1][next(r, p)] =
+                   0.5f * smem[r & 1][x][j]
+             + 0.125f * smem[r & 1][x - 1][j]
+             + 0.125f * smem[r & 1][x + 1][j]
+             + 0.125f * smem[r & 1][x][j - 1]
+             + 0.125f * smem[r & 1][x][j + 1];
+      }
+      __syncthreads();                   // tau_sync per row
+    }
+    // shared -> global (ping half): m_o = 1536 words, coalesced in runs of 64
+    for (int i = tid; i < 1536; i += 256) out[gaddr(tile, q, i)] = smem[0][stage(i)];
+    __syncthreads();
+  }
+}
+|}
+
+let golden_3d_yellow =
+  {|// yellow tile kernel for heat3d:96x96x96xT32, configuration tT4-tS4x8x32-thr64
+// registers/thread (estimated): 101; shared memory: 8658 words
+__global__ void heat3d_yellow(const float *__restrict__ in, float *out)
+{
+  __shared__ float smem[2][4329]; // M_tile = 2 * (4 + 4 + 1) * (8 + 4 + 1) * (32 + 4 + 1)
+  const int tile = blockIdx.x;          // position in the wavefront
+  const int tid  = threadIdx.x;         // 64 threads
+  for (int q = 0; q < 40; ++q) {       // skewed inner chunks (sub-slabs)
+    // global -> shared (ping half): m_i = 3072 words, coalesced in runs of 32
+    for (int i = tid; i < 3072; i += 64) smem[0][stage(i)] = in[gaddr(tile, q, i)];
+    __syncthreads();
+    // hexagon rows, bottom to top (widths 6, 8, 8, 6)
+    for (int r = 0; r < 4; ++r) {
+      for (int p = tid; p < row_points(r); p += 64) {
+        const int l = p % 32, j = (p / 32) % 8;
+        smem[(r + 1) & 1][next(r, p)] =
+                   0.25f * smem[r & 1][x][j][l]
+             + 0.125f * smem[r & 1][x - 1][j][l]
+             + 0.125f * smem[r & 1][x + 1][j][l]
+             + 0.125f * smem[r & 1][x][j - 1][l]
+             + 0.125f * smem[r & 1][x][j + 1][l]
+             + 0.125f * smem[r & 1][x][j][l - 1]
+             + 0.125f * smem[r & 1][x][j][l + 1];
+      }
+      __syncthreads();                   // tau_sync per row
+    }
+    // shared -> global (ping half): m_o = 3072 words, coalesced in runs of 32
+    for (int i = tid; i < 3072; i += 64) out[gaddr(tile, q, i)] = smem[0][stage(i)];
+    __syncthreads();
+  }
+}
+|}
+
+let check_golden what expected actual =
+  Alcotest.(check string) what expected actual
+
+let test_program_1d () =
+  check_golden "jacobi1d rank-1 program"
+    golden_1d_program
+    (get (Codegen.program problem_1d config_1d))
+
+let test_host_2d () =
+  check_golden "heat2d rank-2 host loop" golden_2d_host
+    (get (Codegen.host problem_2d config_2d))
+
+let test_kernel_2d_yellow () =
+  check_golden "heat2d rank-2 yellow kernel" golden_2d_yellow
+    (get (Codegen.kernel problem_2d config_2d ~family:Hexgeom.Yellow))
+
+let test_kernel_3d_yellow () =
+  check_golden "heat3d rank-3 yellow kernel" golden_3d_yellow
+    (get (Codegen.kernel problem_3d config_3d ~family:Hexgeom.Yellow))
+
+(* The program is exactly the host loop followed by the yellow and green
+   kernels — the same strings the per-piece entry points return. *)
+let test_program_composition () =
+  let host = get (Codegen.host problem_3d config_3d) in
+  let ky = get (Codegen.kernel problem_3d config_3d ~family:Hexgeom.Yellow) in
+  let kg = get (Codegen.kernel problem_3d config_3d ~family:Hexgeom.Green) in
+  check_golden "program = host + yellow + green"
+    (host ^ "\n" ^ ky ^ "\n" ^ kg)
+    (get (Codegen.program problem_3d config_3d))
+
+(* The two families of one configuration print identically except for the
+   kernel names and the row widths (the yellow base is 2*order wider). *)
+let test_families_differ_only_in_widths () =
+  let g = get (Codegen.kernel problem_2d config_2d ~family:Hexgeom.Green) in
+  let y = get (Codegen.kernel problem_2d config_2d ~family:Hexgeom.Yellow) in
+  let normalize s =
+    String.split_on_char '\n' s
+    |> List.filter (fun l ->
+           not
+             (Test_util.contains l "widths"
+             || Test_util.contains l "heat2d_"
+             || Test_util.contains l "tile kernel for"))
+    |> String.concat "\n"
+  in
+  Alcotest.(check string) "families share everything but names and widths"
+    (normalize g) (normalize y)
+
+(* --- weight precision (the %.6g -> %.9g fix) --------------------------- *)
+
+(* A float32 value needs up to 9 significant decimal digits to round-trip;
+   the printer uses %.9g.  Check bit-exactness through print/parse for
+   every weight of every benchmark stencil. *)
+let f32_bits x = Int32.bits_of_float x
+
+let weights_of (st : Stencil.t) =
+  match st.Stencil.rule with
+  | Stencil.Linear { taps; constant } ->
+      constant :: List.map (fun (t : Stencil.tap) -> t.Stencil.weight) taps
+  | Stencil.Nonlinear _ -> []
+
+let test_weight_roundtrip () =
+  List.iter
+    (fun (st : Stencil.t) ->
+      List.iter
+        (fun w ->
+          let printed = Printf.sprintf "%.9g" w in
+          Alcotest.(check int32)
+            (Printf.sprintf "%s weight %s round-trips float32" st.Stencil.name
+               printed)
+            (f32_bits w)
+            (f32_bits (float_of_string printed)))
+        (weights_of st))
+    Stencil.all_benchmarks
+
+(* %.6g was not enough: 1/3 printed as 0.333333, which parses to a
+   different float32 — the defect the fix removes. *)
+let test_six_digits_insufficient () =
+  let w = 1.0 /. 3.0 in
+  let six = float_of_string (Printf.sprintf "%.6g" w) in
+  Alcotest.(check bool) "%.6g loses float32 bits of 1/3" true
+    (f32_bits six <> f32_bits w);
+  let nine = float_of_string (Printf.sprintf "%.9g" w) in
+  Alcotest.(check int32) "%.9g keeps them" (f32_bits w) (f32_bits nine)
+
+let test_kernel_prints_full_precision () =
+  let k = get (Codegen.kernel problem_1d config_1d ~family:Hexgeom.Green) in
+  Alcotest.(check bool) "jacobi1d kernel prints 0.333333333f" true
+    (Test_util.contains k "0.333333333f");
+  Alcotest.(check bool) "and not the truncated 0.333333f" false
+    (Test_util.contains k "0.333333f ")
+
+let suite =
+  [
+    Alcotest.test_case "golden: rank-1 program (both families)" `Quick
+      test_program_1d;
+    Alcotest.test_case "golden: rank-2 host loop" `Quick test_host_2d;
+    Alcotest.test_case "golden: rank-2 yellow kernel" `Quick
+      test_kernel_2d_yellow;
+    Alcotest.test_case "golden: rank-3 yellow kernel" `Quick
+      test_kernel_3d_yellow;
+    Alcotest.test_case "program is host + both kernels" `Quick
+      test_program_composition;
+    Alcotest.test_case "families differ only in names and widths" `Quick
+      test_families_differ_only_in_widths;
+    Alcotest.test_case "weights round-trip float32 via %.9g" `Quick
+      test_weight_roundtrip;
+    Alcotest.test_case "%.6g would truncate 1/3" `Quick
+      test_six_digits_insufficient;
+    Alcotest.test_case "kernel body prints full-precision weights" `Quick
+      test_kernel_prints_full_precision;
+  ]

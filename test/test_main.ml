@@ -11,5 +11,7 @@ let () =
       ("model", Test_model.suite);
       ("tileopt", Test_tileopt.suite);
       ("harness", Test_harness.suite);
+      ("codegen", Test_codegen.suite);
+      ("analysis", Test_analysis.suite);
       ("extensions", Test_extensions.suite);
     ]
