@@ -18,6 +18,7 @@ module Model = Hextime_core.Model
 module Runner = Hextime_tileopt.Runner
 module Optimizer = Hextime_tileopt.Optimizer
 module H = Hextime_harness
+module Parsweep = Hextime_parsweep.Parsweep
 module Stats = Hextime_prelude.Stats
 module Tabulate = Hextime_prelude.Tabulate
 
@@ -30,6 +31,11 @@ let scale =
       | Error msg ->
           prerr_endline ("HEXTIME_SCALE: " ^ msg);
           exit 2)
+
+(* every sweep below runs through the parallel cached engine; jobs and the
+   cache directory follow HEXTIME_JOBS / HEXTIME_CACHE_DIR *)
+let exec = Parsweep.default ()
+let sweep_points e = (H.Sweep.baseline ~exec e).H.Sweep.points
 
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
@@ -90,7 +96,10 @@ let () =
           ~time:(match scale with H.Experiments.Ci -> 256 | _ -> 8192);
     }
   in
-  let sweep = H.Sweep.baseline experiment in
+  let full = H.Sweep.baseline ~exec experiment in
+  let sweep = full.H.Sweep.points in
+  Format.printf "sweep: %d points kept, %a@." (List.length sweep)
+    H.Sweep.pp_drops full;
   print_newline ();
   print_string
     (H.Scatter.render
@@ -134,7 +143,7 @@ let () =
             problem = Problem.make Stencil.heat2d ~space ~time;
           }
         in
-        match H.Sweep.baseline e with
+        match sweep_points e with
         | [] -> t
         | points ->
             let s = H.Validation.analyze points in
@@ -282,7 +291,7 @@ let () =
         let problem = Problem.make stencil ~space ~time in
         let citer = H.Microbench.citer arch stencil in
         let e = { H.Experiments.arch; problem } in
-        let points = H.Sweep.baseline e in
+        let points = sweep_points e in
         let top = H.Sweep.top_performing ~within:0.2 points in
         let rmse variant pts =
           Stats.rmse_relative
@@ -464,7 +473,7 @@ let () =
       (fun t (stencil, space, time) ->
         let problem = Problem.make stencil ~space ~time in
         let e = { H.Experiments.arch; problem } in
-        match H.Sweep.baseline e with
+        match sweep_points e with
         | [] -> Tabulate.add_row t [ Problem.id problem; "0"; "-"; "-" ]
         | points ->
             let s = H.Validation.analyze points in
@@ -490,7 +499,8 @@ let () =
 let () =
   section "Section 8: cost of the experimental campaign";
   (* always priced at paper scale: that is the claim being checked *)
-  print_string (H.Campaign.render (H.Campaign.estimate H.Experiments.Paper));
+  print_string
+    (H.Campaign.render (H.Campaign.estimate ~exec H.Experiments.Paper));
   print_endline
     "(paper: 'these took many weeks of dedicated machine time', with \
      compilation 'a significant fraction of the total')"

@@ -15,6 +15,7 @@ module Strategies = Hextime_tileopt.Strategies
 module Space = Hextime_tileopt.Space
 module Amplgen = Hextime_tileopt.Amplgen
 module H = Hextime_harness
+module Parsweep = Hextime_parsweep.Parsweep
 module Tabulate = Hextime_prelude.Tabulate
 
 open Cmdliner
@@ -104,6 +105,37 @@ let problem_of stencil space time =
   match Problem.make stencil ~space ~time with
   | p -> Ok p
   | exception Invalid_argument msg -> Error msg
+
+(* --- sweep execution (parallel cached engine) --------------------------- *)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Parsweep.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker processes for sweeps (default: core count, overridable \
+           with $(b,HEXTIME_JOBS)).  1 runs fully in-process; results are \
+           identical either way.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "On-disk sweep cache directory (default: $(b,HEXTIME_CACHE_DIR), \
+           else ~/.cache/hextime).  The cache also checkpoints running \
+           sweeps: a killed sweep resumes from its last completed point.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ] ~doc:"Disable the on-disk sweep cache entirely.")
+
+let exec_of jobs cache_dir no_cache =
+  let e = Parsweep.default ~jobs ?cache_dir () in
+  if no_cache then { e with Parsweep.cache = None } else e
 
 (* --- predict ------------------------------------------------------------ *)
 
@@ -356,14 +388,19 @@ let validate_cmd =
   let plot =
     Arg.(value & flag & info [ "plot" ] ~doc:"Render the ASCII scatter plot.")
   in
-  let run arch stencil space time csv plot =
+  let run arch stencil space time csv plot jobs cache_dir no_cache =
     match problem_of stencil space time with
     | Error msg -> die "%s" msg
     | Ok problem ->
         let e = { H.Experiments.arch; problem } in
-        let sweep = H.Sweep.baseline e in
+        let full, stats =
+          H.Sweep.run ~exec:(exec_of jobs cache_dir no_cache) e
+        in
+        let sweep = full.H.Sweep.points in
         if sweep = [] then die "no data point survived"
         else begin
+          Format.printf "sweep: %a (%a)@." Parsweep.pp_stats stats
+            H.Sweep.pp_drops full;
           let s = H.Validation.analyze sweep in
           Format.printf "%s: %a@." (H.Experiments.id e) H.Validation.pp_summary s;
           if plot then
@@ -382,7 +419,9 @@ let validate_cmd =
   in
   let term =
     Term.(
-      ret (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ csv $ plot))
+      ret
+        (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ csv $ plot
+       $ jobs_arg $ cache_dir_arg $ no_cache_arg))
   in
   Cmd.v
     (Cmd.info "validate"
@@ -580,28 +619,49 @@ let lint_cmd =
       die "lint: findings in %d of %d configuration(s)" (List.length dirty)
         linted
   in
-  let run arch stencil space time tile threads sweep scale fmt =
+  let run arch stencil space time tile threads sweep scale fmt jobs cache_dir
+      no_cache =
     if sweep then begin
-      let linted = ref 0 and skipped = ref 0 in
-      let reports =
+      let exec = exec_of jobs cache_dir no_cache in
+      (* params/citer are computed per experiment in the parent, so forked
+         workers inherit the warm micro-benchmark memos *)
+      let tasks =
         List.concat_map
           (fun (e : H.Experiments.t) ->
             let params = H.Microbench.params e.arch in
             let citer = H.Microbench.citer e.arch e.problem.Problem.stencil in
-            List.filter_map
-              (fun cfg ->
-                match
-                  Hexlint.lint_config params ~arch:e.arch ~citer e.problem cfg
-                with
-                | Ok r ->
-                    incr linted;
-                    Some r
-                | Error _ ->
-                    incr skipped;
-                    None)
+            List.map
+              (fun cfg -> (e, params, citer, cfg))
               (Hextime_tileopt.Baseline.data_points params e.problem))
           (H.Experiments.all scale)
       in
+      let outcomes, stats =
+        Parsweep.map exec
+          ~key:(fun ((e : H.Experiments.t), _, _, cfg) ->
+            Printf.sprintf "lint|%s|%s|%s" H.Sweep.code_version
+              (H.Experiments.id e) (Config.id cfg))
+          ~f:(fun ((e : H.Experiments.t), params, citer, cfg) ->
+            match
+              Hexlint.lint_config params ~arch:e.arch ~citer e.problem cfg
+            with
+            | Ok r -> Some r
+            | Error _ -> None)
+          tasks
+      in
+      let linted = ref 0 and skipped = ref 0 in
+      let reports =
+        List.filter_map
+          (function
+            | Ok (Some r) ->
+                incr linted;
+                Some r
+            | Ok None | Error _ ->
+                incr skipped;
+                None)
+          outcomes
+      in
+      (* stderr: keeps --format json output machine-parseable *)
+      Format.eprintf "lint sweep: %a@." Parsweep.pp_stats stats;
       finish fmt reports ~linted:!linted ~skipped:!skipped
     end
     else
@@ -635,7 +695,8 @@ let lint_cmd =
     Term.(
       ret
         (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ tile
-       $ threads $ sweep $ scale_arg $ format))
+       $ threads $ sweep $ scale_arg $ format $ jobs_arg $ cache_dir_arg
+       $ no_cache_arg))
   in
   Cmd.v
     (Cmd.info "lint"
@@ -832,6 +893,20 @@ let doctor_cmd =
              micro-benchmarks, event simulation and model coherence.")
     Term.(ret (const run $ const ()))
 
+let campaign_cmd =
+  let run scale jobs cache_dir no_cache =
+    let exec = exec_of jobs cache_dir no_cache in
+    print_string (H.Campaign.render (H.Campaign.estimate ~exec scale));
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Price the paper's experimental campaign (Section 8): feasible \
+          data points are billed for compilation and five measured runs; \
+          rejected configurations are counted separately.")
+    Term.(ret (const run $ scale_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg))
+
 let report_cmd =
   let out =
     Arg.(
@@ -878,6 +953,7 @@ let main_cmd =
       fig5_cmd;
       fig6_cmd;
       validate_cmd;
+      campaign_cmd;
       doctor_cmd;
       report_cmd;
       ampl_cmd;

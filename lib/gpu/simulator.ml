@@ -17,6 +17,12 @@ type run_stats = {
   kernels : kernel_stats list;
 }
 
+(* Instrumentation for the sweep-cache tests: every kernel pricing bumps
+   the per-process counter, so "a warm cache performs zero simulator
+   invocations" is directly observable. *)
+let invocation_count = ref 0
+let invocations () = !invocation_count
+
 let jitter_amplitude = 0.015
 
 let jitter_factor (arch : Arch.t) label ~salt =
@@ -105,6 +111,7 @@ let stats_of_time (k : Kernel.t) (occ : Occupancy.result) ~io ~comp
   }
 
 let run_kernel_salted ?(jitter = true) ~salt arch (k : Kernel.t) =
+  incr invocation_count;
   match kernel_setup arch k with
   | Error _ as e -> e
   | Ok (_req, occ) ->
@@ -134,6 +141,7 @@ let run_kernel_salted ?(jitter = true) ~salt arch (k : Kernel.t) =
 let run_kernel ?jitter arch k = run_kernel_salted ?jitter ~salt:0 arch k
 
 let run_kernel_exact ?(jitter = true) arch (k : Kernel.t) =
+  incr invocation_count;
   match kernel_setup arch k with
   | Error _ as e -> e
   | Ok (_req, occ) ->

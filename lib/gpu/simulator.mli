@@ -31,6 +31,12 @@ type run_stats = {
   kernels : kernel_stats list;  (** one entry per distinct kernel *)
 }
 
+val invocations : unit -> int
+(** Number of kernel pricings performed by this process since start.
+    Instrumentation for the sweep-cache tests: a warm-cache sweep must
+    answer every point without touching the simulator.  Forked sweep
+    workers count in their own process, not the parent's. *)
+
 val block_cost :
   Arch.t -> resident:int -> Workload.t -> spilled_regs:int -> float * float
 (** [(io_s, compute_s)] for one chunk of one block when [resident] blocks

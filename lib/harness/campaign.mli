@@ -13,6 +13,10 @@
 type estimate = {
   experiments : int;
   data_points : int;
+      (** feasible points only — the ones the campaign actually pays for *)
+  rejected_points : int;
+      (** configurations the compiler/device rejected; reported separately
+          so they can no longer inflate the compile bill *)
   compile_hours : float;  (** one compiler+nvcc invocation per point *)
   run_hours : float;  (** five measured runs per point *)
   total_days : float;
@@ -21,12 +25,14 @@ type estimate = {
 val estimate :
   ?compile_seconds_per_point:float ->
   ?runs_per_point:int ->
+  ?exec:Hextime_parsweep.Parsweep.exec ->
   Experiments.scale ->
   estimate
 (** Price the campaign at the given scale.  [compile_seconds_per_point]
     defaults to 20 s (the paper says compilation "ran into several tens of
     seconds" for some points); [runs_per_point] defaults to the paper's 5.
-    Execution times come from the simulator; infeasible points are skipped
-    (they cost a compile but no run). *)
+    Execution times come from the simulator; rejected points are counted in
+    [rejected_points] and cost nothing.  [exec] selects the
+    {!Hextime_parsweep.Parsweep} execution strategy (serial by default). *)
 
 val render : estimate -> string

@@ -15,7 +15,7 @@ module Strategies = Hextime_tileopt.Strategies
 
 type fig3_row = { experiment : string; summary : Validation.summary }
 
-let fig3_data ?limit scale =
+let fig3_data ?limit ?exec scale =
   let groups =
     (* merge problem sizes per (stencil, arch) pair, keeping panel order *)
     let tagged =
@@ -35,7 +35,11 @@ let fig3_data ?limit scale =
   in
   List.filter_map
     (fun ((stencil, arch), exps) ->
-      let points = List.concat_map (Sweep.baseline ?limit) exps in
+      let points =
+        List.concat_map
+          (fun e -> (Sweep.baseline ?limit ?exec e).Sweep.points)
+          exps
+      in
       if points = [] then None
       else
         Some

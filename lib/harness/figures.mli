@@ -12,9 +12,13 @@ type fig3_row = {
 }
 
 val fig3_data :
-  ?limit:int -> Experiments.scale -> fig3_row list
+  ?limit:int ->
+  ?exec:Hextime_parsweep.Parsweep.exec ->
+  Experiments.scale ->
+  fig3_row list
 (** One validation summary per (benchmark, machine): sweeps are merged over
-    the scale's problem sizes, exactly as Figure 3 merges sizes per panel. *)
+    the scale's problem sizes, exactly as Figure 3 merges sizes per panel.
+    [exec] selects the sweep execution strategy (serial by default). *)
 
 val render_fig3 : fig3_row list -> string
 

@@ -1,6 +1,8 @@
 module Model = Hextime_core.Model
 module Runner = Hextime_tileopt.Runner
 module Baseline = Hextime_tileopt.Baseline
+module Config = Hextime_tiling.Config
+module Parsweep = Hextime_parsweep.Parsweep
 
 type point = {
   config : Hextime_tiling.Config.t;
@@ -8,30 +10,79 @@ type point = {
   measured : Runner.measurement;
 }
 
+type sweep = {
+  points : point list;
+  infeasible_model : int;
+  infeasible_runner : int;
+}
+
+(* Bump whenever the model, the lowering, the simulator or the measurement
+   protocol changes meaning: cached entries from older code must miss. *)
+let code_version = "hextime-sweep-v2"
+
 let subsample limit xs =
   match limit with
   | None -> xs
-  | Some n ->
+  | Some n when n <= 0 -> invalid_arg "Sweep.subsample: limit must be positive"
+  | Some n -> (
       let len = List.length xs in
       if len <= n then xs
       else
         let arr = Array.of_list xs in
-        List.init n (fun i -> arr.(i * len / n))
+        match n with
+        | 1 -> [ arr.(len - 1) ]
+        | n ->
+            (* even spacing that always keeps both endpoints: the index
+               i*(len-1)/(n-1) is strictly increasing (the step exceeds 1
+               whenever len > n), starts at 0 and ends at len-1 — so the
+               selection is order-preserving and can never drop the final
+               element, where the true sweep maximum may live *)
+            List.init n (fun i -> arr.(i * (len - 1) / (n - 1))))
 
-let baseline ?limit (e : Experiments.t) =
+type outcome =
+  [ `Point of point | `Infeasible_model of string | `Infeasible_runner of string ]
+
+let point_key (e : Experiments.t) config =
+  Printf.sprintf "point|%s|%s|%s" code_version (Experiments.id e)
+    (Config.id config)
+
+let evaluate params ~citer (e : Experiments.t) config : outcome =
+  match Model.predict params ~citer e.problem config with
+  | Error msg -> `Infeasible_model msg
+  | Ok predicted -> (
+      match Runner.measure e.arch e.problem config with
+      | Error msg -> `Infeasible_runner msg
+      | Ok measured -> `Point { config; predicted; measured })
+
+let run ?limit ?(exec = Parsweep.serial) (e : Experiments.t) =
   let params = Microbench.params e.arch in
   let citer =
     Microbench.citer e.arch e.problem.Hextime_stencil.Problem.stencil
   in
-  Baseline.data_points params e.problem
-  |> subsample limit
-  |> List.filter_map (fun config ->
-         match Model.predict params ~citer e.problem config with
-         | Error _ -> None
-         | Ok predicted -> (
-             match Runner.measure e.arch e.problem config with
-             | Error _ -> None
-             | Ok measured -> Some { config; predicted; measured }))
+  let configs = Baseline.data_points params e.problem |> subsample limit in
+  let outcomes, stats =
+    Parsweep.map exec ~key:(point_key e) ~f:(evaluate params ~citer e) configs
+  in
+  let points, infeasible_model, infeasible_runner =
+    List.fold_right
+      (fun outcome (pts, im, ir) ->
+        match outcome with
+        | Ok (`Point p) -> (p :: pts, im, ir)
+        | Ok (`Infeasible_model _) -> (pts, im + 1, ir)
+        (* an engine-level failure (worker crash/timeout beyond retries)
+           drops the point like a rejected run: it is counted, not hidden *)
+        | Ok (`Infeasible_runner _) | Error _ -> (pts, im, ir + 1))
+      outcomes ([], 0, 0)
+  in
+  ({ points; infeasible_model; infeasible_runner }, stats)
+
+let baseline ?limit ?exec e = fst (run ?limit ?exec e)
+
+let dropped s = s.infeasible_model + s.infeasible_runner
+
+let pp_drops ppf s =
+  Format.fprintf ppf "%d dropped (%d model-infeasible, %d runner-rejected)"
+    (dropped s) s.infeasible_model s.infeasible_runner
 
 let best_gflops = function
   | [] -> invalid_arg "Sweep.best_gflops: empty sweep"

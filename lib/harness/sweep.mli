@@ -1,6 +1,13 @@
 (** Running the baseline data-point sweep of one experiment: every
     configuration is both predicted by the model and "measured" on the
-    simulator, producing the paired data behind Figure 3 and Section 5.3. *)
+    simulator, producing the paired data behind Figure 3 and Section 5.3.
+
+    The sweep runs through {!Hextime_parsweep.Parsweep}: pass [?exec] to
+    fan configurations out over forked workers and/or memoise completed
+    points on disk.  The default is the serial in-process path, and the
+    parallel path is bit-identical to it — results are collected in
+    configuration order and every worker runs the same deterministic
+    code. *)
 
 type point = {
   config : Hextime_tiling.Config.t;
@@ -8,11 +15,48 @@ type point = {
   measured : Hextime_tileopt.Runner.measurement;
 }
 
-val baseline : ?limit:int -> Experiments.t -> point list
+type sweep = {
+  points : point list;  (** the surviving points, in baseline order *)
+  infeasible_model : int;  (** configurations the model rejected *)
+  infeasible_runner : int;
+      (** configurations the compiler/device rejected (plus any point lost
+          to a worker failure, so a damaged sweep is never silent) *)
+}
+
+val code_version : string
+(** Cache-key namespace tag for sweep-layer results.  Bump when the model,
+    the lowering, the simulator or the measurement protocol changes: stale
+    cache entries must miss, not resurface. *)
+
+val subsample : int option -> 'a list -> 'a list
+(** [subsample (Some n) xs] keeps [n] evenly spaced elements, always
+    including the first and the last, preserving order ([xs] itself when it
+    has at most [n] elements; raises [Invalid_argument] when [n <= 0]).
+    Exposed for the harness tests: dropping the final element here once
+    silently truncated the top-performing band. *)
+
+val run :
+  ?limit:int ->
+  ?exec:Hextime_parsweep.Parsweep.exec ->
+  Experiments.t ->
+  sweep * Hextime_parsweep.Parsweep.stats
 (** Predict and measure the experiment's baseline data points (about 850 at
-    full size; [limit] deterministically subsamples for quick runs).
-    Points that either the model or the compiler/device rejects are
-    dropped, mirroring failed runs in the paper's sweep. *)
+    full size; [limit] deterministically subsamples for quick runs), and
+    report the engine statistics (cache hits, retries) alongside. *)
+
+val baseline :
+  ?limit:int ->
+  ?exec:Hextime_parsweep.Parsweep.exec ->
+  Experiments.t ->
+  sweep
+(** {!run} without the engine statistics. *)
+
+val dropped : sweep -> int
+(** Total configurations dropped from the sweep. *)
+
+val pp_drops : Format.formatter -> sweep -> unit
+(** e.g. ["117 dropped (32 model-infeasible, 85 runner-rejected)"] — so a
+    90%-dropped sweep is never indistinguishable from a clean one. *)
 
 val best_gflops : point list -> float
 (** Highest measured throughput in the sweep; raises on empty. *)

@@ -1,0 +1,83 @@
+module Det_hash = Hextime_prelude.Det_hash
+
+type t = {
+  dir : string;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writes : int;
+}
+
+let default_dir () =
+  match Sys.getenv_opt "HEXTIME_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> (
+      match Sys.getenv_opt "XDG_CACHE_HOME" with
+      | Some d when d <> "" -> Filename.concat d "hextime"
+      | _ -> (
+          match Sys.getenv_opt "HOME" with
+          | Some h when h <> "" ->
+              Filename.concat (Filename.concat h ".cache") "hextime"
+          | _ -> Filename.concat (Filename.get_temp_dir_name ()) "hextime-cache"))
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?dir () =
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  mkdir_p dir;
+  { dir; hits = 0; misses = 0; writes = 0 }
+
+let dir t = t.dir
+
+let path_of t key =
+  let h =
+    Det_hash.to_int64 (Det_hash.mix_string (Det_hash.create "hextime-cache") key)
+  in
+  Filename.concat t.dir (Printf.sprintf "%016Lx.bin" h)
+
+let get (type a) t ~key : a option =
+  match open_in_bin (path_of t key) with
+  | exception Sys_error _ ->
+      t.misses <- t.misses + 1;
+      None
+  | ic ->
+      let entry : (string * a) option =
+        try Some (Marshal.from_channel ic) with _ -> None
+      in
+      close_in_noerr ic;
+      (match entry with
+      | Some (k, v) when String.equal k key ->
+          t.hits <- t.hits + 1;
+          Some v
+      | Some _ | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let put t ~key v =
+  let path = path_of t key in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  match open_out_bin tmp with
+  | exception Sys_error _ -> ()
+  | oc ->
+      let written =
+        try
+          Marshal.to_channel oc (key, v) [];
+          true
+        with _ -> false
+      in
+      close_out_noerr oc;
+      if written then begin
+        match Sys.rename tmp path with
+        | () -> t.writes <- t.writes + 1
+        | exception Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ())
+      end
+      else try Sys.remove tmp with Sys_error _ -> ()
+
+let hits t = t.hits
+let misses t = t.misses
+let writes t = t.writes

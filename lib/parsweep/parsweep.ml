@@ -1,0 +1,79 @@
+module Cache = Cache
+module Pool = Pool
+
+type exec = {
+  jobs : int;
+  cache : Cache.t option;
+  timeout_s : float;
+  retries : int;
+}
+
+let serial = { jobs = 1; cache = None; timeout_s = 600.0; retries = 1 }
+
+let default ?jobs ?cache_dir () =
+  let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+  { serial with jobs; cache = Some (Cache.create ?dir:cache_dir ()) }
+
+type stats = {
+  total : int;
+  cache_hits : int;
+  computed : int;
+  crashed : int;
+  retried : int;
+  failed : int;
+}
+
+let map exec ~key ~f tasks =
+  let arr = Array.of_list tasks in
+  let n = Array.length arr in
+  let keys = Array.map key arr in
+  let results = Array.make n None in
+  let hits = ref 0 in
+  (match exec.cache with
+  | None -> ()
+  | Some c ->
+      Array.iteri
+        (fun i k ->
+          match Cache.get c ~key:k with
+          | Some v ->
+              results.(i) <- Some (Ok v);
+              incr hits
+          | None -> ())
+        keys);
+  let todo = ref [] in
+  for i = n - 1 downto 0 do
+    match results.(i) with None -> todo := i :: !todo | Some _ -> ()
+  done;
+  let todo = Array.of_list !todo in
+  let on_result j r =
+    match (exec.cache, r) with
+    | Some c, Ok v -> Cache.put c ~key:keys.(todo.(j)) v
+    | _ -> ()
+  in
+  let outcomes, pstats =
+    Pool.map ~jobs:exec.jobs ~timeout_s:exec.timeout_s ~retries:exec.retries
+      ~on_result ~f
+      (Array.map (fun i -> arr.(i)) todo)
+  in
+  Array.iteri (fun j r -> results.(todo.(j)) <- Some r) outcomes;
+  let out =
+    Array.to_list
+      (Array.map
+         (function Some r -> r | None -> Error "parsweep: missing result")
+         results)
+  in
+  ( out,
+    {
+      total = n;
+      cache_hits = !hits;
+      computed = pstats.Pool.completed;
+      crashed = pstats.Pool.crashed;
+      retried = pstats.Pool.retried;
+      failed = pstats.Pool.failed;
+    } )
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%d points: %d cached, %d computed" s.total s.cache_hits
+    s.computed;
+  if s.retried > 0 then Format.fprintf ppf ", %d retried" s.retried;
+  if s.failed > 0 then Format.fprintf ppf ", %d failed" s.failed

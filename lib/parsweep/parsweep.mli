@@ -1,0 +1,66 @@
+(** The parallel cached sweep engine.
+
+    The paper's tile-size selection rests on exhaustively evaluating ~850
+    configurations per experiment (Section 7), and the repository sweeps
+    tens of thousands of configurations through the execution simulator in
+    CI.  This module makes that cheap: an execution context bundling a
+    {!Pool} of forked workers with an on-disk {!Cache}, behind a single
+    order-preserving {!map}.
+
+    Layering: {!Cache} knows nothing about processes, {!Pool} knows
+    nothing about persistence; [map] consults the cache in the parent,
+    fans the misses out to the pool, and persists each computed result
+    from the parent as it arrives (the pool's [on_result] hook), so a
+    killed sweep resumes from its last completed point.
+
+    Determinism: tasks are keyed and collected by index, the cache stores
+    marshalled values (bit-exact floats), and the workers run the same
+    deterministic code the serial path runs — so serial, parallel, cold
+    and warm runs all return identical results.  [{ serial with jobs }]
+    differs from [serial] only in wall-clock. *)
+
+module Cache = Cache
+module Pool = Pool
+
+type exec = {
+  jobs : int;  (** worker processes; [<= 1] runs in-process *)
+  cache : Cache.t option;  (** [None] disables memoisation *)
+  timeout_s : float;  (** per-task wall-clock bound in a worker *)
+  retries : int;  (** re-executions after a worker death *)
+}
+
+val serial : exec
+(** One in-process job, no cache: byte-for-byte the behaviour the
+    harness had before the engine existed.  Library entry points taking
+    [?exec] default to this. *)
+
+val default : ?jobs:int -> ?cache_dir:string -> unit -> exec
+(** The CLI default: [jobs] from {!Pool.default_jobs} (the [$HEXTIME_JOBS]
+    override, else all cores) and a cache at [cache_dir] (default
+    {!Cache.default_dir}, which honours [$HEXTIME_CACHE_DIR]). *)
+
+type stats = {
+  total : int;
+  cache_hits : int;  (** tasks answered from the cache, no execution *)
+  computed : int;  (** tasks actually executed *)
+  crashed : int;
+  retried : int;
+  failed : int;  (** tasks abandoned after exhausting retries *)
+}
+
+val map :
+  exec ->
+  key:('a -> string) ->
+  f:('a -> 'b) ->
+  'a list ->
+  ('b, string) result list * stats
+(** [map exec ~key ~f tasks]: results in task order.  [key] must
+    determine [f]'s result completely (include a code-version tag — see
+    {!Cache}); cached values are returned without executing [f].  [Error]
+    marks engine-level failures only (task crashed/timed out beyond
+    [retries]); domain-level rejection should live inside ['b].  Only [Ok]
+    results are persisted. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** e.g. ["850 points: 840 cached, 10 computed"], appending retry/failure
+    counts only when non-zero. *)

@@ -1,0 +1,251 @@
+type 'b outcome = ('b, string) result
+
+type stats = {
+  completed : int;
+  crashed : int;
+  retried : int;
+  failed : int;
+}
+
+let zero = { completed = 0; crashed = 0; retried = 0; failed = 0 }
+
+let default_jobs () =
+  match Sys.getenv_opt "HEXTIME_JOBS" with
+  | Some s when (match int_of_string_opt s with Some n -> n >= 1 | None -> false)
+    ->
+      int_of_string s
+  | _ -> max 1 (Domain.recommended_domain_count ())
+
+type worker = {
+  pid : int;
+  to_child : out_channel;
+  from_fd : Unix.file_descr;
+  from_child : in_channel;
+  mutable task : int option;  (* index currently executing, if any *)
+  mutable started : float;  (* assignment time, for the timeout check *)
+}
+
+(* Spawn one worker.  [peers] are the currently-live workers: the child
+   inherits their pipe ends across the fork and must close them, otherwise
+   the parent can never observe EOF on a crashed sibling. *)
+let spawn ~peers f (tasks : 'a array) =
+  flush stdout;
+  flush stderr;
+  let task_r, task_w = Unix.pipe () in
+  let res_r, res_w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      List.iter
+        (fun w ->
+          (try Unix.close (Unix.descr_of_out_channel w.to_child)
+           with Unix.Unix_error _ | Sys_error _ -> ());
+          try Unix.close w.from_fd with Unix.Unix_error _ -> ())
+        peers;
+      Unix.close task_w;
+      Unix.close res_r;
+      let ic = Unix.in_channel_of_descr task_r in
+      let oc = Unix.out_channel_of_descr res_w in
+      let rec serve () =
+        match (Marshal.from_channel ic : int) with
+        | exception _ -> Unix._exit 0
+        | i when i < 0 -> Unix._exit 0
+        | i ->
+            let r : 'b outcome =
+              try Ok (f tasks.(i)) with e -> Error (Printexc.to_string e)
+            in
+            Marshal.to_channel oc (i, r) [];
+            flush oc;
+            serve ()
+      in
+      serve ()
+  | pid ->
+      Unix.close task_r;
+      Unix.close res_w;
+      {
+        pid;
+        to_child = Unix.out_channel_of_descr task_w;
+        from_fd = res_r;
+        from_child = Unix.in_channel_of_descr res_r;
+        task = None;
+        started = 0.0;
+      }
+
+let in_process ~on_result ~f tasks results =
+  let completed = ref 0 in
+  Array.iteri
+    (fun i t ->
+      let r = try Ok (f t) with e -> Error (Printexc.to_string e) in
+      results.(i) <- r;
+      incr completed;
+      on_result i r)
+    tasks;
+  (results, { zero with completed = !completed })
+
+let map ?jobs ?(timeout_s = 600.0) ?(retries = 1) ?(on_result = fun _ _ -> ())
+    ~f (tasks : 'a array) =
+  let n = Array.length tasks in
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let results : 'b outcome array =
+    Array.make n (Error "parsweep: not executed")
+  in
+  if n = 0 then (results, zero)
+  else if jobs <= 1 || n = 1 then in_process ~on_result ~f tasks results
+  else begin
+    (* a write to a just-died worker must surface as EPIPE, not kill us *)
+    let prev_sigpipe =
+      try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+      with Invalid_argument _ | Sys_error _ -> None
+    in
+    Fun.protect ~finally:(fun () ->
+        match prev_sigpipe with
+        | Some h -> ( try Sys.set_signal Sys.sigpipe h with _ -> ())
+        | None -> ())
+    @@ fun () ->
+    let attempts = Array.make n 0 in
+    let next = ref 0 in
+    let requeue = Queue.create () in
+    let take_task () =
+      match Queue.take_opt requeue with
+      | Some i -> Some i
+      | None ->
+          if !next < n then begin
+            let i = !next in
+            incr next;
+            Some i
+          end
+          else None
+    in
+    let done_count = ref 0 in
+    let completed = ref 0 in
+    let crashed = ref 0 in
+    let retried = ref 0 in
+    let failed = ref 0 in
+    let workers = ref [] in
+    let remove w = workers := List.filter (fun x -> x.pid <> w.pid) !workers in
+    let reap pid = try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> () in
+    let stop_worker w =
+      (try
+         Marshal.to_channel w.to_child (-1) [];
+         flush w.to_child
+       with Sys_error _ | Unix.Unix_error _ -> ());
+      close_out_noerr w.to_child;
+      close_in_noerr w.from_child;
+      reap w.pid
+    in
+    let kill_worker w =
+      (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+      reap w.pid;
+      close_out_noerr w.to_child;
+      close_in_noerr w.from_child
+    in
+    let assign w =
+      match take_task () with
+      | None ->
+          remove w;
+          stop_worker w
+      | Some i -> (
+          attempts.(i) <- attempts.(i) + 1;
+          w.task <- Some i;
+          w.started <- Unix.gettimeofday ();
+          try
+            Marshal.to_channel w.to_child i [];
+            flush w.to_child
+          with Sys_error _ | Unix.Unix_error _ ->
+            (* already dead: its result pipe reports EOF on the next
+               select round and the task is retried there *)
+            ())
+    in
+    let record i r =
+      results.(i) <- r;
+      incr done_count;
+      on_result i r
+    in
+    let handle_death w reason =
+      incr crashed;
+      (match w.task with
+      | None -> ()
+      | Some i ->
+          w.task <- None;
+          if attempts.(i) <= retries then begin
+            incr retried;
+            Queue.add i requeue
+          end
+          else begin
+            incr failed;
+            record i (Error reason)
+          end);
+      remove w;
+      kill_worker w;
+      if Queue.length requeue > 0 || !next < n then begin
+        let nw = spawn ~peers:!workers f tasks in
+        workers := nw :: !workers;
+        assign nw
+      end
+    in
+    for _ = 1 to min jobs n do
+      let w = spawn ~peers:!workers f tasks in
+      workers := w :: !workers
+    done;
+    List.iter assign !workers;
+    while !done_count < n do
+      let busy = List.filter (fun w -> w.task <> None) !workers in
+      if busy = [] then
+        (* every worker died without a task in flight (or assignment raced
+           a death): push the remaining work onto a fresh worker *)
+        match take_task () with
+        | None ->
+            (* nobody busy and nothing pending: every unrecorded slot kept
+               its initial [Error]; stop rather than spin *)
+            done_count := n
+        | Some i ->
+            Queue.add i requeue;
+            let w = spawn ~peers:!workers f tasks in
+            workers := w :: !workers;
+            assign w
+      else begin
+        let now = Unix.gettimeofday () in
+        let slack =
+          List.fold_left
+            (fun acc w -> Float.min acc (timeout_s -. (now -. w.started)))
+            1.0 busy
+        in
+        let readable, _, _ =
+          try Unix.select (List.map (fun w -> w.from_fd) busy) [] []
+                (Float.max 0.01 (Float.min 1.0 slack))
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        List.iter
+          (fun fd ->
+            match List.find_opt (fun w -> w.from_fd = fd) !workers with
+            | None -> () (* worker was retired while draining this round *)
+            | Some w -> (
+                match (Marshal.from_channel w.from_child : int * 'b outcome) with
+                | exception _ -> handle_death w "parsweep: worker crashed"
+                | i, r ->
+                    incr completed;
+                    record i r;
+                    w.task <- None;
+                    assign w))
+          readable;
+        let now = Unix.gettimeofday () in
+        List.iter
+          (fun w ->
+            match w.task with
+            | Some _ when now -. w.started > timeout_s ->
+                handle_death w
+                  (Printf.sprintf "parsweep: worker timed out after %.0fs"
+                     timeout_s)
+            | _ -> ())
+          !workers
+      end
+    done;
+    List.iter stop_worker !workers;
+    workers := [];
+    ( results,
+      {
+        completed = !completed;
+        crashed = !crashed;
+        retried = !retried;
+        failed = !failed;
+      } )
+  end

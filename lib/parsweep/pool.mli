@@ -1,0 +1,52 @@
+(** Fork-based worker pool: run a pure function over an array of tasks on
+    [N] worker processes with per-worker fault isolation.
+
+    Workers are [Unix.fork] children; they inherit the task array (and
+    everything the closure captures — memoized micro-benchmark tables
+    included) through the fork, so only task {e indices} travel parent to
+    worker and only marshalled results travel back.  The parent hands out
+    one task at a time over a pipe and collects [(index, result)] pairs in
+    a [select] loop, so fast workers are never idle behind slow ones and at
+    most one message is ever in flight per pipe.
+
+    Fault isolation: an exception inside [f] is caught in the worker and
+    returned as [Error]; a worker that dies (crash, OOM-kill, [exit]) or
+    exceeds the per-task timeout is reaped, its task is retried on a fresh
+    worker up to [retries] times, and only then recorded as [Error] — one
+    pathological configuration cannot take down a campaign, and the other
+    results are unaffected.
+
+    Determinism: results land in the output array at their task index, so
+    the collected output is ordered exactly as the input regardless of
+    completion order.  With a deterministic [f] the output is bit-identical
+    to an in-process run. *)
+
+type 'b outcome = ('b, string) result
+
+type stats = {
+  completed : int;  (** tasks that produced a result ([Ok] or caught [Error]) *)
+  crashed : int;  (** worker deaths observed (crash or timeout) *)
+  retried : int;  (** task re-executions after a worker death *)
+  failed : int;  (** tasks abandoned after exhausting retries *)
+}
+
+val default_jobs : unit -> int
+(** [$HEXTIME_JOBS] if set to a positive integer, else the machine's
+    recommended parallelism ([Domain.recommended_domain_count]). *)
+
+val map :
+  ?jobs:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?on_result:(int -> 'b outcome -> unit) ->
+  f:('a -> 'b) ->
+  'a array ->
+  'b outcome array * stats
+(** [map ~f tasks] evaluates [f] on every task.  [jobs] defaults to
+    {!default_jobs}; [jobs <= 1] (or fewer than two tasks) runs in-process
+    with identical semantics — exceptions still become [Error] — and no
+    forking.  [timeout_s] (default 600) bounds one task's wall-clock in a
+    worker; [retries] (default 1) bounds re-executions after a worker
+    death.  [on_result] is called in the {e parent}, in completion order,
+    as each result is recorded — the hook the cache layer uses to persist
+    points incrementally so an interrupted sweep can resume. *)

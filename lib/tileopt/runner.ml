@@ -32,17 +32,35 @@ let measure arch problem cfg =
                     max acc (field ks))
                   0 stats.Gpu.Simulator.kernels
               in
-              let limiting =
+              (* occupancy is reported from the binding kernel — the one
+                 with the fewest resident blocks — and [limiting] from that
+                 same kernel, so the diagnosis matches the number *)
+              let binding =
                 match stats.Gpu.Simulator.kernels with
-                | ks :: _ -> ks.Gpu.Simulator.limiting
-                | [] -> Gpu.Occupancy.Blocks
+                | [] -> None
+                | ks :: rest ->
+                    Some
+                      (List.fold_left
+                         (fun (acc : Gpu.Simulator.kernel_stats)
+                              (ks : Gpu.Simulator.kernel_stats) ->
+                           if ks.Gpu.Simulator.resident_blocks
+                              < acc.Gpu.Simulator.resident_blocks
+                           then ks
+                           else acc)
+                         ks rest)
+              in
+              let resident_blocks, limiting =
+                match binding with
+                | Some ks ->
+                    ( ks.Gpu.Simulator.resident_blocks,
+                      ks.Gpu.Simulator.limiting )
+                | None -> (0, Gpu.Occupancy.Blocks)
               in
               Ok
                 {
                   time_s;
                   gflops = gflops_of_time problem time_s;
-                  resident_blocks =
-                    worst (fun ks -> ks.Gpu.Simulator.resident_blocks);
+                  resident_blocks;
                   spilled_regs = worst (fun ks -> ks.Gpu.Simulator.spilled_regs);
                   limiting;
                 }))

@@ -5,9 +5,13 @@
 type measurement = {
   time_s : float;  (** minimum over the measurement runs *)
   gflops : float;  (** useful stencil GFLOP/s at that time *)
-  resident_blocks : int;  (** achieved hyper-threading factor *)
-  spilled_regs : int;  (** per-thread registers spilled, 0 when none *)
+  resident_blocks : int;
+      (** achieved hyper-threading factor of the binding kernel — the
+          kernel in the sequence with the fewest resident blocks *)
+  spilled_regs : int;  (** per-thread registers spilled, worst kernel *)
   limiting : Hextime_gpu.Occupancy.limit;
+      (** the binding kernel's occupancy limit, so the diagnosis always
+          matches [resident_blocks] *)
 }
 
 val measure :

@@ -150,8 +150,7 @@ let test_descent_restart_validation () =
 (* --- export -------------------------------------------------------------- *)
 
 let sweep =
-  H.Sweep.baseline ~limit:40
-    { H.Experiments.arch; problem }
+  (H.Sweep.baseline ~limit:40 { H.Experiments.arch; problem }).H.Sweep.points
 
 let test_export_sweep_csv () =
   let csv = H.Export.sweep_csv sweep in
@@ -336,12 +335,17 @@ let test_campaign_ci_estimate () =
   Alcotest.(check bool) "points counted" true (e.H.Campaign.data_points > 1000);
   Alcotest.(check bool) "compile cost positive" true (e.H.Campaign.compile_hours > 0.0);
   Alcotest.(check bool) "run cost positive" true (e.H.Campaign.run_hours > 0.0);
-  (* compile cost is exactly points * 20s *)
+  (* compile cost is exactly feasible points * 20s: rejected configurations
+     must no longer inflate the compilation bill *)
   Alcotest.(check (float 1e-6)) "compile arithmetic"
     (float_of_int e.H.Campaign.data_points *. 20.0 /. 3600.0)
     e.H.Campaign.compile_hours;
+  Alcotest.(check bool) "rejected counted separately" true
+    (e.H.Campaign.rejected_points >= 0);
   let text = H.Campaign.render e in
-  Alcotest.(check bool) "renders" true (Test_util.contains text "dedicated machine time")
+  Alcotest.(check bool) "renders" true (Test_util.contains text "dedicated machine time");
+  Alcotest.(check bool) "renders rejected count" true
+    (Test_util.contains text "rejected")
 
 let test_campaign_validation () =
   Alcotest.check_raises "runs < 1"

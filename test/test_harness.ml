@@ -78,7 +78,7 @@ let experiment =
     problem = P.make S.heat2d ~space:[| 2048; 2048 |] ~time:512;
   }
 
-let sweep = H.Sweep.baseline experiment
+let sweep = (H.Sweep.baseline experiment).H.Sweep.points
 
 let test_sweep_population () =
   (* most of the 850 configurations both predict and simulate *)
@@ -88,7 +88,7 @@ let test_sweep_population () =
     (List.length sweep > 700)
 
 let test_sweep_limit () =
-  let limited = H.Sweep.baseline ~limit:50 experiment in
+  let limited = (H.Sweep.baseline ~limit:50 experiment).H.Sweep.points in
   Alcotest.(check bool) "limit respected" true (List.length limited <= 50)
 
 let test_top_performing () =

@@ -13,5 +13,6 @@ let () =
       ("harness", Test_harness.suite);
       ("codegen", Test_codegen.suite);
       ("analysis", Test_analysis.suite);
+      ("parsweep", Test_parsweep.suite);
       ("extensions", Test_extensions.suite);
     ]

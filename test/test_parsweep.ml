@@ -1,0 +1,353 @@
+(* The parallel cached sweep engine, and the sweep-layer bugfix batch:
+   subsample endpoint coverage, campaign feasible/rejected accounting, the
+   binding-kernel occupancy report, and serial/parallel/cold/warm result
+   identity. *)
+
+module Parsweep = Hextime_parsweep.Parsweep
+module Pool = Hextime_parsweep.Pool
+module Cache = Hextime_parsweep.Cache
+module Gpu = Hextime_gpu
+module S = Hextime_stencil.Stencil
+module P = Hextime_stencil.Problem
+module Config = Hextime_tiling.Config
+module Lower = Hextime_tiling.Lower
+module Runner = Hextime_tileopt.Runner
+module Baseline = Hextime_tileopt.Baseline
+module H = Hextime_harness
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "hextime-parsweep-test-%d-%d" (Unix.getpid ()) !counter)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+(* --- Sweep.subsample ------------------------------------------------------ *)
+
+let test_subsample_endpoints () =
+  let xs = List.init 100 Fun.id in
+  let sub = H.Sweep.subsample (Some 7) xs in
+  Alcotest.(check int) "length" 7 (List.length sub);
+  Alcotest.(check int) "first kept" 0 (List.hd sub);
+  Alcotest.(check int) "last kept" 99 (List.nth sub 6);
+  (* order-preserving and duplicate-free when len > n *)
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "strictly increasing" true (increasing sub)
+
+let test_subsample_small_n () =
+  let xs = List.init 10 Fun.id in
+  Alcotest.(check (list int)) "n = 1 keeps the last element" [ 9 ]
+    (H.Sweep.subsample (Some 1) xs);
+  Alcotest.(check (list int)) "n = 2 keeps both endpoints" [ 0; 9 ]
+    (H.Sweep.subsample (Some 2) xs)
+
+let test_subsample_identity () =
+  let xs = List.init 5 Fun.id in
+  Alcotest.(check (list int)) "n >= len is the identity" xs
+    (H.Sweep.subsample (Some 5) xs);
+  Alcotest.(check (list int)) "n > len is the identity" xs
+    (H.Sweep.subsample (Some 50) xs);
+  Alcotest.(check (list int)) "no limit is the identity" xs
+    (H.Sweep.subsample None xs)
+
+let test_subsample_validation () =
+  Alcotest.check_raises "n = 0 rejected"
+    (Invalid_argument "Sweep.subsample: limit must be positive") (fun () ->
+      ignore (H.Sweep.subsample (Some 0) [ 1; 2; 3 ]))
+
+(* --- Pool ----------------------------------------------------------------- *)
+
+let ok = Alcotest.(result int string)
+
+let test_pool_parallel_matches_serial () =
+  let tasks = Array.init 50 (fun i -> i) in
+  let f i = (i * i) + 7 in
+  let serial, _ = Pool.map ~jobs:1 ~f tasks in
+  let parallel, stats = Pool.map ~jobs:4 ~f tasks in
+  Alcotest.(check (array ok)) "point-for-point identical" serial parallel;
+  Alcotest.(check int) "all completed" 50 stats.Pool.completed;
+  Alcotest.(check int) "no crashes" 0 stats.Pool.crashed
+
+let test_pool_exception_becomes_error () =
+  let f i = if i = 3 then failwith "boom" else i in
+  let results, stats = Pool.map ~jobs:2 ~f (Array.init 6 Fun.id) in
+  (match results.(3) with
+  | Error msg ->
+      Alcotest.(check bool) "message preserved" true
+        (Test_util.contains msg "boom")
+  | Ok _ -> Alcotest.fail "exception not surfaced");
+  Array.iteri
+    (fun i r -> if i <> 3 then Alcotest.(check ok) "others fine" (Ok i) r)
+    results;
+  (* a caught exception is a completed task, not a worker death *)
+  Alcotest.(check int) "no crashes" 0 stats.Pool.crashed
+
+let test_pool_killed_worker_retried () =
+  let marker = Filename.temp_file "hextime-retry" ".marker" in
+  Sys.remove marker;
+  let f i =
+    if i = 5 && not (Sys.file_exists marker) then begin
+      close_out (open_out marker);
+      Unix.kill (Unix.getpid ()) Sys.sigkill;
+      0 (* unreachable *)
+    end
+    else i * 10
+  in
+  let results, stats = Pool.map ~jobs:2 ~retries:1 ~f (Array.init 10 Fun.id) in
+  Sys.remove marker;
+  Array.iteri
+    (fun i r -> Alcotest.(check ok) "retry recovered" (Ok (i * 10)) r)
+    results;
+  Alcotest.(check bool) "death observed" true (stats.Pool.crashed >= 1);
+  Alcotest.(check bool) "task retried" true (stats.Pool.retried >= 1);
+  Alcotest.(check int) "nothing abandoned" 0 stats.Pool.failed
+
+let test_pool_retries_exhausted () =
+  let f i =
+    if i = 3 then begin
+      Unix.kill (Unix.getpid ()) Sys.sigkill;
+      0
+    end
+    else i
+  in
+  let results, stats = Pool.map ~jobs:2 ~retries:1 ~f (Array.init 6 Fun.id) in
+  (match results.(3) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "always-crashing task reported Ok");
+  Array.iteri
+    (fun i r -> if i <> 3 then Alcotest.(check ok) "others fine" (Ok i) r)
+    results;
+  Alcotest.(check int) "one task abandoned" 1 stats.Pool.failed;
+  Alcotest.(check bool) "both attempts crashed" true (stats.Pool.crashed >= 2)
+
+let test_pool_timeout () =
+  let f i =
+    if i = 2 then Unix.sleepf 30.0;
+    i
+  in
+  let results, stats =
+    Pool.map ~jobs:2 ~timeout_s:0.4 ~retries:0 ~f (Array.init 4 Fun.id)
+  in
+  (match results.(2) with
+  | Error msg ->
+      Alcotest.(check bool) "timeout named" true
+        (Test_util.contains msg "timed out")
+  | Ok _ -> Alcotest.fail "hung task reported Ok");
+  Array.iteri
+    (fun i r -> if i <> 2 then Alcotest.(check ok) "others fine" (Ok i) r)
+    results;
+  Alcotest.(check int) "one task abandoned" 1 stats.Pool.failed
+
+(* --- Cache ---------------------------------------------------------------- *)
+
+let test_cache_roundtrip () =
+  let c = Cache.create ~dir:(fresh_dir ()) () in
+  Alcotest.(check (option int)) "miss on empty" None (Cache.get c ~key:"k");
+  Cache.put c ~key:"k" 42;
+  Alcotest.(check (option int)) "hit after put" (Some 42) (Cache.get c ~key:"k");
+  Alcotest.(check (option int)) "other key misses" None (Cache.get c ~key:"k2");
+  Alcotest.(check int) "one write" 1 (Cache.writes c);
+  Alcotest.(check int) "one hit" 1 (Cache.hits c);
+  Alcotest.(check int) "two misses" 2 (Cache.misses c)
+
+let test_cache_corrupt_entry_is_a_miss () =
+  let dir = fresh_dir () in
+  let c = Cache.create ~dir () in
+  Cache.put c ~key:"k" 42;
+  Array.iter
+    (fun f ->
+      let oc = open_out_bin (Filename.concat dir f) in
+      output_string oc "not a marshalled entry";
+      close_out oc)
+    (Sys.readdir dir);
+  Alcotest.(check (option int)) "corrupt entry misses" None
+    (Cache.get c ~key:"k");
+  (* and the slot is rewritable *)
+  Cache.put c ~key:"k" 43;
+  Alcotest.(check (option int)) "recovered" (Some 43) (Cache.get c ~key:"k")
+
+let test_map_resumes_from_cache () =
+  let cache = Cache.create ~dir:(fresh_dir ()) () in
+  let exec = { Parsweep.serial with Parsweep.cache = Some cache } in
+  let calls = ref 0 in
+  let f i =
+    incr calls;
+    i * 3
+  in
+  let key i = Printf.sprintf "resume|%d" i in
+  (* a partial sweep completes five points, then "crashes" *)
+  let partial, s1 = Parsweep.map exec ~key ~f (List.init 5 Fun.id) in
+  Alcotest.(check int) "partial computed" 5 s1.Parsweep.computed;
+  Alcotest.(check (list ok)) "partial results"
+    (List.init 5 (fun i -> Ok (i * 3)))
+    partial;
+  (* the restarted full sweep only executes the remaining points *)
+  calls := 0;
+  let full, s2 = Parsweep.map exec ~key ~f (List.init 12 Fun.id) in
+  Alcotest.(check (list ok)) "full results"
+    (List.init 12 (fun i -> Ok (i * 3)))
+    full;
+  Alcotest.(check int) "first five answered from cache" 5
+    s2.Parsweep.cache_hits;
+  Alcotest.(check int) "only the rest executed" 7 s2.Parsweep.computed;
+  Alcotest.(check int) "f called once per missing point" 7 !calls
+
+(* --- the sweep through the engine ----------------------------------------- *)
+
+let experiment =
+  {
+    H.Experiments.arch = Gpu.Arch.gtx980;
+    problem = P.make S.heat2d ~space:[| 512; 512 |] ~time:128;
+  }
+
+let check_sweeps_equal label (a : H.Sweep.sweep) (b : H.Sweep.sweep) =
+  Alcotest.(check int)
+    (label ^ ": same population")
+    (List.length a.H.Sweep.points)
+    (List.length b.H.Sweep.points);
+  Alcotest.(check int)
+    (label ^ ": same model drops")
+    a.H.Sweep.infeasible_model b.H.Sweep.infeasible_model;
+  Alcotest.(check int)
+    (label ^ ": same runner drops")
+    a.H.Sweep.infeasible_runner b.H.Sweep.infeasible_runner;
+  List.iter2
+    (fun (p : H.Sweep.point) (q : H.Sweep.point) ->
+      Alcotest.(check string)
+        (label ^ ": same config")
+        (Config.id p.H.Sweep.config)
+        (Config.id q.H.Sweep.config);
+      Alcotest.(check bool)
+        (label ^ ": bit-identical prediction")
+        true
+        (p.H.Sweep.predicted = q.H.Sweep.predicted);
+      Alcotest.(check bool)
+        (label ^ ": bit-identical measurement")
+        true
+        (p.H.Sweep.measured = q.H.Sweep.measured))
+    a.H.Sweep.points b.H.Sweep.points
+
+let test_sweep_parallel_identical_to_serial () =
+  let serial = H.Sweep.baseline experiment in
+  let parallel =
+    H.Sweep.baseline ~exec:{ Parsweep.serial with Parsweep.jobs = 3 }
+      experiment
+  in
+  Alcotest.(check bool) "sweep non-trivial" true
+    (List.length serial.H.Sweep.points > 100);
+  check_sweeps_equal "parallel vs serial" serial parallel
+
+let test_sweep_warm_cache_never_simulates () =
+  let cache = Cache.create ~dir:(fresh_dir ()) () in
+  let exec = { Parsweep.serial with Parsweep.cache = Some cache } in
+  let cold, cold_stats = H.Sweep.run ~limit:60 ~exec experiment in
+  Alcotest.(check int) "cold run computes everything" 0
+    cold_stats.Parsweep.cache_hits;
+  Alcotest.(check bool) "cold run executed points" true
+    (cold_stats.Parsweep.computed > 0);
+  (* warm run: every point must come from the cache, with zero simulator
+     invocations in this process (micro-benchmark memos are warm by now) *)
+  let before = Gpu.Simulator.invocations () in
+  let warm, warm_stats = H.Sweep.run ~limit:60 ~exec experiment in
+  Alcotest.(check int) "no simulator call on a warm cache" before
+    (Gpu.Simulator.invocations ());
+  Alcotest.(check int) "nothing recomputed" 0 warm_stats.Parsweep.computed;
+  Alcotest.(check int) "everything from the cache"
+    warm_stats.Parsweep.total warm_stats.Parsweep.cache_hits;
+  check_sweeps_equal "warm vs cold" cold warm
+
+(* --- campaign accounting --------------------------------------------------- *)
+
+let test_campaign_accounts_for_every_configuration () =
+  let e = H.Campaign.estimate H.Experiments.Ci in
+  let enumerated =
+    List.fold_left
+      (fun acc (ex : H.Experiments.t) ->
+        let params = H.Microbench.params ex.arch in
+        acc + List.length (Baseline.data_points params ex.problem))
+      0
+      (H.Experiments.all H.Experiments.Ci)
+  in
+  (* feasible + rejected partition the enumeration: nothing double-counted,
+     nothing silently dropped *)
+  Alcotest.(check int) "feasible + rejected = enumerated" enumerated
+    (e.H.Campaign.data_points + e.H.Campaign.rejected_points);
+  Alcotest.(check (float 1e-9)) "only feasible points billed for compilation"
+    (float_of_int e.H.Campaign.data_points *. 20.0 /. 3600.0)
+    e.H.Campaign.compile_hours
+
+(* --- the binding-kernel occupancy report ----------------------------------- *)
+
+let test_runner_reports_binding_kernel () =
+  let problem = P.make S.heat2d ~space:[| 2048; 2048 |] ~time:256 in
+  let cfg = Config.make_exn ~t_t:16 ~t_s:[| 16; 64 |] ~threads:[| 256 |] in
+  let arch = Gpu.Arch.gtx980 in
+  let m =
+    match Runner.measure arch problem cfg with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "measure: %s" e
+  in
+  let kernels =
+    match Lower.compile problem cfg with
+    | Ok c -> Lower.kernel_sequence c
+    | Error e -> Alcotest.failf "compile: %s" e
+  in
+  let stats =
+    match Gpu.Simulator.run_sequence ~jitter:false arch kernels with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "run_sequence: %s" e
+  in
+  let binding =
+    match stats.Gpu.Simulator.kernels with
+    | [] -> Alcotest.fail "no kernels"
+    | k :: rest ->
+        List.fold_left
+          (fun (acc : Gpu.Simulator.kernel_stats)
+               (ks : Gpu.Simulator.kernel_stats) ->
+            if ks.Gpu.Simulator.resident_blocks < acc.Gpu.Simulator.resident_blocks
+            then ks
+            else acc)
+          k rest
+  in
+  Alcotest.(check int) "occupancy from the binding kernel"
+    binding.Gpu.Simulator.resident_blocks m.Runner.resident_blocks;
+  Alcotest.(check bool) "limit diagnosis from the same kernel" true
+    (binding.Gpu.Simulator.limiting = m.Runner.limiting)
+
+let suite =
+  [
+    Alcotest.test_case "subsample endpoints" `Quick test_subsample_endpoints;
+    Alcotest.test_case "subsample small n" `Quick test_subsample_small_n;
+    Alcotest.test_case "subsample identity" `Quick test_subsample_identity;
+    Alcotest.test_case "subsample validation" `Quick test_subsample_validation;
+    Alcotest.test_case "pool parallel = serial" `Quick
+      test_pool_parallel_matches_serial;
+    Alcotest.test_case "pool exception -> Error" `Quick
+      test_pool_exception_becomes_error;
+    Alcotest.test_case "pool killed worker retried" `Quick
+      test_pool_killed_worker_retried;
+    Alcotest.test_case "pool retries exhausted" `Quick
+      test_pool_retries_exhausted;
+    Alcotest.test_case "pool timeout" `Quick test_pool_timeout;
+    Alcotest.test_case "cache roundtrip" `Quick test_cache_roundtrip;
+    Alcotest.test_case "cache corrupt entry" `Quick
+      test_cache_corrupt_entry_is_a_miss;
+    Alcotest.test_case "map resumes from cache" `Quick
+      test_map_resumes_from_cache;
+    Alcotest.test_case "sweep parallel = serial" `Quick
+      test_sweep_parallel_identical_to_serial;
+    Alcotest.test_case "warm cache never simulates" `Quick
+      test_sweep_warm_cache_never_simulates;
+    Alcotest.test_case "campaign accounts every configuration" `Quick
+      test_campaign_accounts_for_every_configuration;
+    Alcotest.test_case "runner reports binding kernel" `Quick
+      test_runner_reports_binding_kernel;
+  ]
