@@ -927,4 +927,133 @@ let () =
   in
   Tabulate.print t
 
+(* ------------------------------------------------------------------ *)
+(* Throughput trajectory: machine-readable hot-path numbers, exported
+   to BENCH_hextime.json so CI can compare a run against the committed
+   baseline (see bench/README.md and `hextime bench-compare`).
+
+   Three metrics, each chosen because a PR touching the simulator core
+   moves it directly:
+   - cold-sweep points/sec: a full serial model-baseline sweep of
+     heat2d 512x512 T=128 with the sweep cache disabled — the paper's
+     end-to-end unit of work;
+   - price ns/kernel: one jitter-invariant kernel pricing
+     ([Simulator.price_sequence] over a compiled config);
+   - eventsim simulated cycles per wall second on a canonical chunk.
+
+   All three take best-of-3 so a cold code path or a scheduler blip
+   does not pollute the baseline.  The workload is fixed (it does NOT
+   scale with HEXTIME_SCALE) so numbers stay comparable across runs. *)
+
+let () =
+  section "Throughput trajectory (BENCH_hextime.json)";
+  let module Minijson = Hextime_prelude.Minijson in
+  let arch = Gpu.Arch.gtx980 in
+  let problem = Problem.make Stencil.heat2d ~space:[| 512; 512 |] ~time:128 in
+  let e = { H.Experiments.arch; problem } in
+  (* warm the memoised microbenchmark parameters so the timed region
+     measures the sweep itself, not one-time calibration *)
+  ignore (H.Microbench.params arch);
+  ignore (H.Microbench.citer arch Stencil.heat2d);
+  let best_of_3 f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let t1 = Unix.gettimeofday () in
+      best := min !best (t1 -. t0)
+    done;
+    !best
+  in
+  (* cold sweep: serial exec carries no cache, so every iteration
+     re-prices and re-measures every point *)
+  let n_points = ref 0 in
+  let inv0 = Gpu.Simulator.invocations () in
+  let sweep_s =
+    best_of_3 (fun () ->
+        let s = H.Sweep.baseline ~exec:Parsweep.serial e in
+        n_points := List.length s.H.Sweep.points + H.Sweep.dropped s)
+  in
+  let sweep_pps = float_of_int !n_points /. sweep_s in
+  let invocations_per_point =
+    float_of_int (Gpu.Simulator.invocations () - inv0)
+    /. (3.0 *. float_of_int !n_points)
+  in
+  (* pricing: the jitter-invariant pass over one compiled config *)
+  let cfg = Config.make_exn ~t_t:16 ~t_s:[| 16; 64 |] ~threads:[| 256 |] in
+  let compiled =
+    match Lower.compile problem cfg with Ok c -> c | Error e -> failwith e
+  in
+  let kernels = Lower.kernel_sequence compiled in
+  let price_reps = 20_000 in
+  let price_s =
+    best_of_3 (fun () ->
+        for _ = 1 to price_reps do
+          ignore (Gpu.Simulator.price_sequence arch kernels)
+        done)
+  in
+  let price_ns =
+    price_s /. float_of_int (price_reps * List.length kernels) *. 1e9
+  in
+  (* eventsim: simulated cycles per second of wall time on a canonical
+     single-chunk workload (big enough to exercise the fast-forward) *)
+  let body =
+    {
+      Gpu.Pointcost.flops = 10;
+      loads = 5;
+      transcendentals = 0;
+      rank = 2;
+      double = false;
+    }
+  in
+  let w =
+    Gpu.Workload.v ~label:"bench-eventsim" ~threads:256 ~shared_words:4000
+      ~regs_per_thread:32 ~body
+      ~rows:[ { Gpu.Workload.points = 4096; repeats = 16 } ]
+      ~input:{ Gpu.Memory.words = 0; run_length = 32 }
+      ~output:{ Gpu.Memory.words = 0; run_length = 32 }
+      ~row_stride:73 ~chunks:1
+  in
+  let es_reps = 200 in
+  let es_cycles = (Gpu.Eventsim.chunk_stats arch w).Gpu.Eventsim.cycles in
+  let es_s =
+    best_of_3 (fun () ->
+        for _ = 1 to es_reps do
+          ignore (Gpu.Eventsim.chunk_stats arch w)
+        done)
+  in
+  let es_cps = es_cycles *. float_of_int es_reps /. es_s in
+  (* the same cold sweep measured (same machine class, same best-of-3
+     methodology) at the commit before the priced-kernel refactor; kept
+     here so the exported file documents the trajectory, not just the
+     present *)
+  let pre_refactor_pps = 39492.6 in
+  Printf.printf "cold sweep          %10.1f points/sec (%d points)\n" sweep_pps
+    !n_points;
+  Printf.printf "  vs pre-refactor   %10.2fx (%.1f points/sec then)\n"
+    (sweep_pps /. pre_refactor_pps)
+    pre_refactor_pps;
+  Printf.printf "  simulator prices  %10.2f per point\n" invocations_per_point;
+  Printf.printf "price               %10.1f ns/kernel\n" price_ns;
+  Printf.printf "eventsim            %10.3e simulated cycles/sec\n" es_cps;
+  let json =
+    Minijson.Obj
+      [
+        ("schema", Minijson.Str "hextime-bench-v1");
+        ("scale", Minijson.Str (H.Experiments.scale_to_string scale));
+        ("cold_sweep_points_per_sec", Minijson.Num sweep_pps);
+        ("cold_sweep_points", Minijson.Num (float_of_int !n_points));
+        ("simulator_prices_per_point", Minijson.Num invocations_per_point);
+        ("price_ns_per_kernel", Minijson.Num price_ns);
+        ("eventsim_cycles_per_sec", Minijson.Num es_cps);
+        ("pre_refactor_cold_sweep_points_per_sec", Minijson.Num pre_refactor_pps);
+        ( "cold_sweep_speedup_vs_pre_refactor",
+          Minijson.Num (sweep_pps /. pre_refactor_pps) );
+      ]
+  in
+  let oc = open_out "BENCH_hextime.json" in
+  output_string oc (Minijson.render json);
+  close_out oc;
+  print_endline "\nwrote BENCH_hextime.json"
+
 let () = print_endline "\nbench: done"

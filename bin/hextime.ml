@@ -930,6 +930,118 @@ let report_cmd =
        ~doc:"Generate the markdown paper-vs-measured reproduction report.")
     Term.(ret (const run $ scale_arg $ out))
 
+(* --- bench-compare ---------------------------------------------------------- *)
+
+let bench_compare_cmd =
+  let module Minijson = Hextime_prelude.Minijson in
+  let baseline_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Baseline BENCH_hextime.json (the committed one).")
+  in
+  let current_arg =
+    Arg.(
+      value
+      & opt string "BENCH_hextime.json"
+      & info [ "current" ] ~docv:"FILE"
+          ~doc:"Freshly produced BENCH_hextime.json to judge.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float 0.15
+      & info [ "tolerance" ] ~docv:"FRAC"
+          ~doc:
+            "Allowed fractional regression of cold-sweep throughput before \
+             the comparison fails (default 0.15).")
+  in
+  let load path =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error msg -> Error msg
+    | contents -> (
+        match Minijson.parse contents with
+        | Error e -> Error (path ^ ": " ^ e)
+        | Ok json -> (
+            match Option.bind (Minijson.member "schema" json) Minijson.string with
+            | Some "hextime-bench-v1" -> Ok json
+            | Some other ->
+                Error (Printf.sprintf "%s: unknown schema %S" path other)
+            | None -> Error (path ^ ": missing \"schema\" field")))
+  in
+  let field name json =
+    Option.bind (Minijson.member name json) Minijson.number
+  in
+  let run baseline current tolerance =
+    match (load baseline, load current) with
+    | Error msg, _ | _, Error msg -> die "bench-compare: %s" msg
+    | Ok base, Ok cur -> (
+        (* informational deltas on every shared numeric metric *)
+        let t =
+          Tabulate.create
+            [
+              ("metric", Tabulate.Left);
+              ("baseline", Tabulate.Right);
+              ("current", Tabulate.Right);
+              ("change", Tabulate.Right);
+            ]
+        in
+        let metrics =
+          [
+            "cold_sweep_points_per_sec";
+            "price_ns_per_kernel";
+            "eventsim_cycles_per_sec";
+            "simulator_prices_per_point";
+          ]
+        in
+        let t =
+          List.fold_left
+            (fun t name ->
+              match (field name base, field name cur) with
+              | Some b, Some c ->
+                  Tabulate.add_row t
+                    [
+                      name;
+                      Printf.sprintf "%.4g" b;
+                      Printf.sprintf "%.4g" c;
+                      Printf.sprintf "%+.1f%%" (100.0 *. ((c /. b) -. 1.0));
+                    ]
+              | _ -> t)
+            t metrics
+        in
+        Tabulate.print t;
+        (* the gate: cold-sweep throughput must not regress beyond the
+           tolerance band; the other metrics are reported but advisory *)
+        let gate = "cold_sweep_points_per_sec" in
+        match (field gate base, field gate cur) with
+        | Some b, Some c ->
+            let floor = b *. (1.0 -. tolerance) in
+            if c >= floor then begin
+              Printf.printf
+                "bench-compare: ok — %s %.1f vs baseline %.1f (floor %.1f)\n" gate
+                c b floor;
+              `Ok ()
+            end
+            else
+              die
+                "bench-compare: %s regressed beyond tolerance: %.1f < %.1f \
+                 (baseline %.1f, tolerance %.0f%%)"
+                gate c floor b (100.0 *. tolerance)
+        | _ -> die "bench-compare: both files must carry %S" gate)
+  in
+  Cmd.v
+    (Cmd.info "bench-compare"
+       ~doc:
+         "Compare a freshly generated BENCH_hextime.json against a committed \
+          baseline and fail if cold-sweep throughput regressed beyond the \
+          tolerance band.  Used by CI as the bench-regression gate.")
+    Term.(ret (const run $ baseline_arg $ current_arg $ tolerance_arg))
+
 let main_cmd =
   let doc =
     "analytical time modeling and optimal tile-size selection for GPGPU \
@@ -957,6 +1069,7 @@ let main_cmd =
       doctor_cmd;
       report_cmd;
       ampl_cmd;
+      bench_compare_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -22,8 +22,14 @@ type stats = {
 
 val chunk_stats : Arch.t -> Workload.t -> stats
 (** Event-simulate one chunk of the workload with a single resident block.
-    Intended for moderate workloads (the loop is per-cycle); tests keep rows
-    in the thousands of points. *)
+    Uses two exact shortcuts — steady-state fast-forward inside a row and
+    delta reuse across a row's repeats — so its cost is dominated by each
+    row's warm-up and drain, not its length.  Bit-identical to
+    {!chunk_stats_slow}. *)
+
+val chunk_stats_slow : Arch.t -> Workload.t -> stats
+(** The retained cycle-by-cycle reference loop.  The property tests assert
+    [chunk_stats] and [chunk_stats_slow] agree exactly on every field. *)
 
 val chunk_seconds : Arch.t -> Workload.t -> float
 (** [chunk_stats] converted at the architecture's clock. *)

@@ -7,10 +7,7 @@ type result = {
   regs_spilled_per_thread : int;
 }
 
-let calculate (arch : Arch.t) req =
-  if req.threads <= 0 then invalid_arg "Occupancy: threads must be positive";
-  if req.shared_words < 0 || req.regs_per_thread < 0 then
-    invalid_arg "Occupancy: negative resource request";
+let calculate_uncached (arch : Arch.t) req =
   (* nvcc caps the registers a thread may keep; the excess is spilled and the
      capped value is what occupancy is computed from. *)
   let spilled = max 0 (req.regs_per_thread - arch.max_regs_per_thread) in
@@ -38,5 +35,38 @@ let calculate (arch : Arch.t) req =
       (Blocks, max_int) candidates
   in
   { blocks_per_sm = max 0 blocks; limiting; regs_spilled_per_thread = spilled }
+
+(* The sweep asks about the same few dozen (arch, request) pairs thousands
+   of times (one per kernel pricing), so the pure calculation is memoised.
+   Arch.t and request are flat immutable records of scalars, so structural
+   equality is exact; the hash must NOT be the generic one on the whole
+   key, though — Hashtbl.hash stops after a few fields and would spend its
+   entire budget inside Arch.t, hashing every request to the same bucket.
+   Hash on the request fields (plus the architecture's name) and keep full
+   structural equality for correctness.  Validation stays outside the memo
+   so invalid requests raise identically whether or not they were seen. *)
+module Memo = Hashtbl.Make (struct
+  type t = Arch.t * request
+
+  let equal = ( = )
+
+  let hash ((arch : Arch.t), req) =
+    Hashtbl.hash
+      (arch.Arch.name, req.threads, req.shared_words, req.regs_per_thread)
+end)
+
+let memo : result Memo.t = Memo.create 64
+
+let calculate (arch : Arch.t) req =
+  if req.threads <= 0 then invalid_arg "Occupancy: threads must be positive";
+  if req.shared_words < 0 || req.regs_per_thread < 0 then
+    invalid_arg "Occupancy: negative resource request";
+  let key = (arch, req) in
+  match Memo.find_opt memo key with
+  | Some r -> r
+  | None ->
+      let r = calculate_uncached arch req in
+      Memo.add memo key r;
+      r
 
 let fits arch req = (calculate arch req).blocks_per_sm >= 1

@@ -22,7 +22,9 @@ type result = {
 
 val calculate : Arch.t -> request -> result
 (** Raises [Invalid_argument] for non-positive thread counts or negative
-    resources. *)
+    resources.  Valid results are memoised per (architecture, request)
+    pair: the sweep's request space is tiny and the pricing hot path asks
+    about the same requests thousands of times. *)
 
 val fits : Arch.t -> request -> bool
 (** Whether at least one block can be resident. *)

@@ -11,9 +11,15 @@
     (real measurements are noisy; Section 5.1 takes the minimum of five
     runs, and so does our measurement harness).
 
-    Two paths are provided: a closed-form steady-state path whose cost is
-    independent of the block count, and an exact list-scheduling path used
-    to validate the closed form on small kernels. *)
+    The core is the {e priced-kernel representation}: {!price} computes
+    everything jitter-invariant about a kernel exactly once (occupancy,
+    averaged chunk costs, the round-synchronised body time), and every
+    salted run — including the min-of-five measurement protocol — is a
+    constant-time reapplication of a jitter factor to the priced body.
+
+    Two pricing paths are provided: a closed-form steady-state path whose
+    cost is independent of the block count, and an exact list-scheduling
+    path used to validate the closed form on small kernels. *)
 
 type kernel_stats = {
   time_s : float;
@@ -34,19 +40,69 @@ type run_stats = {
 val invocations : unit -> int
 (** Number of kernel pricings performed by this process since start.
     Instrumentation for the sweep-cache tests: a warm-cache sweep must
-    answer every point without touching the simulator.  Forked sweep
-    workers count in their own process, not the parent's. *)
+    answer every point without touching the simulator, and a cold sweep
+    must price each kernel of a point exactly once (not once per
+    measurement run).  Forked sweep workers count in their own process,
+    not the parent's. *)
 
 val block_cost :
   Arch.t -> resident:int -> Workload.t -> spilled_regs:int -> float * float
 (** [(io_s, compute_s)] for one chunk of one block when [resident] blocks
     per SM are active. Exposed for tests. *)
 
+(** {1 The priced-kernel representation} *)
+
+type priced = {
+  kernel : Kernel.t;
+  occ : Occupancy.result;
+  avg_io : float;  (** averaged per-chunk transfer seconds *)
+  avg_comp : float;  (** averaged per-chunk compute seconds *)
+  avg_chunks : float;  (** averaged chunk count *)
+  base_s : float;
+      (** launch overhead + round-synchronised body: the full
+          jitter-invariant execution time *)
+  jitter_seed : Hextime_prelude.Det_hash.t;
+      (** hash state over (architecture name, kernel label): a salted
+          replay only mixes in the salt *)
+}
+
+val price : Arch.t -> Kernel.t -> (priced, string) result
+(** Compute everything jitter-invariant about one kernel call, exactly
+    once.  [Error] when no block fits on an SM (infeasible configuration).
+    Bumps the {!invocations} counter. *)
+
+val priced_time : ?jitter:bool -> salt:int -> Arch.t -> priced -> float
+(** One salted execution time of a priced kernel: the priced body times a
+    deterministic jitter factor.  O(1); performs no pricing. *)
+
+val priced_stats : ?jitter:bool -> salt:int -> Arch.t -> priced -> kernel_stats
+(** Full per-kernel stats of one salted execution of a priced kernel.
+    O(1); performs no pricing. *)
+
+val price_sequence :
+  Arch.t -> (Kernel.t * int) list -> ((priced * int) list, string) result
+(** Price a program once: each kernel is priced exactly once regardless of
+    its launch count or of how many salted runs are later replayed. *)
+
+val replay : ?jitter:bool -> salt:int -> Arch.t -> (priced * int) list -> run_stats
+(** One salted run of a priced program.  Performs no pricing. *)
+
+val measure_priced :
+  ?runs:int -> Arch.t -> (priced * int) list -> (float, string) result
+(** The measurement protocol on an already-priced program: minimum over
+    [runs] jitter reapplications.  Performs no pricing. *)
+
+(** {1 Convenience entry points} *)
+
 val run_kernel :
   ?jitter:bool -> Arch.t -> Kernel.t -> (kernel_stats, string) result
 (** Price one kernel call (including launch overhead).  [Error] is returned
     when no block fits on an SM (infeasible configuration).  [jitter]
     defaults to [true]. *)
+
+val run_kernel_salted :
+  ?jitter:bool -> salt:int -> Arch.t -> Kernel.t -> (kernel_stats, string) result
+(** [run_kernel] with an explicit jitter salt (the measurement run index). *)
 
 val run_kernel_exact :
   ?jitter:bool ->
@@ -69,7 +125,18 @@ val run_sequence :
     of Equation 2; all launches of one kernel cost the same, so the cost is
     computed once and scaled). *)
 
+val run_sequence_salted :
+  ?jitter:bool ->
+  salt:int ->
+  Arch.t ->
+  (Kernel.t * int) list ->
+  (run_stats, string) result
+(** [run_sequence] with an explicit jitter salt.  Exposed so tests can
+    check the priced replay against per-salt pricing from scratch. *)
+
 val measure :
   ?runs:int -> Arch.t -> (Kernel.t * int) list -> (float, string) result
 (** The paper's measurement protocol (Section 5.1): execute [runs] times
-    (default 5) with run-dependent jitter and report the minimum time. *)
+    (default 5) with run-dependent jitter and report the minimum time.
+    Since the priced-kernel refactor this prices each kernel once and
+    replays the jitter [runs] times. *)

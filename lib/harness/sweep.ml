@@ -17,8 +17,10 @@ type sweep = {
 }
 
 (* Bump whenever the model, the lowering, the simulator or the measurement
-   protocol changes meaning: cached entries from older code must miss. *)
-let code_version = "hextime-sweep-v2"
+   protocol changes meaning: cached entries from older code must miss.
+   v3: priced-kernel simulator core (pricing hoisted out of the per-salt
+   measurement loop) and the event simulator's steady-state fast-forward. *)
+let code_version = "hextime-sweep-v3"
 
 let subsample limit xs =
   match limit with
@@ -42,9 +44,11 @@ let subsample limit xs =
 type outcome =
   [ `Point of point | `Infeasible_model of string | `Infeasible_runner of string ]
 
-let point_key (e : Experiments.t) config =
-  Printf.sprintf "point|%s|%s|%s" code_version (Experiments.id e)
-    (Config.id config)
+(* partially applied on the experiment, so the version|experiment prefix is
+   formatted once per sweep rather than once per point *)
+let point_key (e : Experiments.t) =
+  let prefix = Printf.sprintf "point|%s|%s|" code_version (Experiments.id e) in
+  fun config -> prefix ^ Config.id config
 
 let evaluate params ~citer (e : Experiments.t) config : outcome =
   match Model.predict params ~citer e.problem config with

@@ -26,7 +26,11 @@ type stats = {
 let map exec ~key ~f tasks =
   let arr = Array.of_list tasks in
   let n = Array.length arr in
-  let keys = Array.map key arr in
+  (* keys exist only to address the cache; without one, don't pay for
+     formatting them *)
+  let keys =
+    match exec.cache with None -> [||] | Some _ -> Array.map key arr
+  in
   let results = Array.make n None in
   let hits = ref 0 in
   (match exec.cache with

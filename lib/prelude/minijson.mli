@@ -1,0 +1,31 @@
+(** A minimal JSON reader/writer for the repo's machine-readable artifacts
+    (bench baselines, report payloads).
+
+    Deliberately tiny: objects, arrays, strings, numbers, booleans and
+    null — no streaming, no options, no dependency.  Numbers are floats;
+    [render] prints them with enough digits ([%.17g]) to round-trip
+    exactly, so a written baseline compares bit-for-bit after [parse]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val render : t -> string
+(** Render with two-space indentation and a trailing newline. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; [Error] carries the offset and reason.
+    Rejects trailing garbage. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on missing field or non-object. *)
+
+val number : t -> float option
+(** The payload of a [Num]. *)
+
+val string : t -> string option
+(** The payload of a [Str]. *)

@@ -4,9 +4,13 @@ module Config = Hextime_tiling.Config
 module Stencil = Hextime_stencil.Stencil
 module Problem = Hextime_stencil.Problem
 
+(* exactly of_problem's shared_words field, without building a throwaway
+   Config and the rest of the footprint for each of the ~1e3 shapes *)
 let footprint_words (problem : Problem.t) (shape : Space.shape) =
-  let cfg = Space.to_config shape ~threads:[| 32 |] in
-  (Footprint.of_problem problem cfg).Footprint.shared_words
+  Footprint.shared_words_of
+    ~word_factor:(Problem.word_factor problem)
+    ~order:problem.Problem.stencil.Stencil.order ~t_t:shape.Space.t_t
+    shape.Space.t_s
 
 (* take [n] elements evenly spread over the list, keeping order *)
 let spread n xs =

@@ -19,41 +19,42 @@ let measure arch problem cfg =
   | Error _ as e -> e
   | Ok compiled -> (
       let kernels = Lower.kernel_sequence compiled in
-      match Gpu.Simulator.measure arch kernels with
+      (* price each kernel once; the min-of-five protocol and the occupancy
+         report are both read off the priced representation *)
+      match Gpu.Simulator.price_sequence arch kernels with
       | Error _ as e -> e
-      | Ok time_s -> (
-          (* stats from a deterministic single run (identical structure) *)
-          match Gpu.Simulator.run_sequence ~jitter:false arch kernels with
+      | Ok priced -> (
+          match Gpu.Simulator.measure_priced arch priced with
           | Error _ as e -> e
-          | Ok stats ->
-              let worst field =
+          | Ok time_s ->
+              (* one pass: worst spill across kernels, and the binding
+                 kernel — the one with the fewest resident blocks — whose
+                 [limiting] is reported so the diagnosis matches the
+                 number.  Occupancy is jitter-invariant, so this reads the
+                 priced kernels directly instead of replaying a run. *)
+              let worst_spill, binding =
                 List.fold_left
-                  (fun acc (ks : Gpu.Simulator.kernel_stats) ->
-                    max acc (field ks))
-                  0 stats.Gpu.Simulator.kernels
-              in
-              (* occupancy is reported from the binding kernel — the one
-                 with the fewest resident blocks — and [limiting] from that
-                 same kernel, so the diagnosis matches the number *)
-              let binding =
-                match stats.Gpu.Simulator.kernels with
-                | [] -> None
-                | ks :: rest ->
-                    Some
-                      (List.fold_left
-                         (fun (acc : Gpu.Simulator.kernel_stats)
-                              (ks : Gpu.Simulator.kernel_stats) ->
-                           if ks.Gpu.Simulator.resident_blocks
-                              < acc.Gpu.Simulator.resident_blocks
-                           then ks
-                           else acc)
-                         ks rest)
+                  (fun (spill, binding) ((p : Gpu.Simulator.priced), _) ->
+                    let occ = p.Gpu.Simulator.occ in
+                    let spill =
+                      max spill occ.Gpu.Occupancy.regs_spilled_per_thread
+                    in
+                    let binding =
+                      match binding with
+                      | Some (b : Gpu.Occupancy.result)
+                        when b.Gpu.Occupancy.blocks_per_sm
+                             <= occ.Gpu.Occupancy.blocks_per_sm ->
+                          binding
+                      | _ -> Some occ
+                    in
+                    (spill, binding))
+                  (0, None) priced
               in
               let resident_blocks, limiting =
                 match binding with
-                | Some ks ->
-                    ( ks.Gpu.Simulator.resident_blocks,
-                      ks.Gpu.Simulator.limiting )
+                | Some occ ->
+                    ( occ.Gpu.Occupancy.blocks_per_sm,
+                      occ.Gpu.Occupancy.limiting )
                 | None -> (0, Gpu.Occupancy.Blocks)
               in
               Ok
@@ -61,6 +62,6 @@ let measure arch problem cfg =
                   time_s;
                   gflops = gflops_of_time problem time_s;
                   resident_blocks;
-                  spilled_regs = worst (fun ks -> ks.Gpu.Simulator.spilled_regs);
+                  spilled_regs = worst_spill;
                   limiting;
                 }))

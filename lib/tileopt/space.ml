@@ -27,12 +27,16 @@ let shapes (p : Params.t) (problem : Problem.t) =
   let stencil = problem.stencil in
   let rank = stencil.Stencil.rank in
   let space = problem.space in
+  (* feasibility probe: the shared-memory footprint depends only on the
+     shape, so ask Footprint for that single number instead of building a
+     throwaway Config and full footprint for each of the thousands of
+     candidates *)
+  let word_factor = Problem.word_factor problem in
+  let order = stencil.Stencil.order in
+  let shared_limit = p.Params.shared_mem_per_block in
   let fits shape =
-    let fp =
-      Footprint.of_problem problem
-        (Config.make_exn ~t_t:shape.t_t ~t_s:shape.t_s ~threads:[| 32 |])
-    in
-    fp.Footprint.shared_words <= p.Params.shared_mem_per_block
+    Footprint.shared_words_of ~word_factor ~order ~t_t:shape.t_t shape.t_s
+    <= shared_limit
   in
   let dims_candidates =
     match rank with
@@ -58,15 +62,15 @@ let shapes (p : Params.t) (problem : Problem.t) =
   let tile_tuples =
     match dims_candidates with [ axes ] -> product axes | _ -> assert false
   in
+  (* the filter below already bounds t_t by 2 * problem.time; no second
+     check is needed inside the expansion *)
   List.concat_map
     (fun t_t ->
-      if t_t > 2 * problem.time then []
-      else
-        List.filter_map
-          (fun tup ->
-            let shape = { t_t; t_s = Array.of_list tup } in
-            if fits shape then Some shape else None)
-          tile_tuples)
+      List.filter_map
+        (fun tup ->
+          let shape = { t_t; t_s = Array.of_list tup } in
+          if fits shape then Some shape else None)
+        tile_tuples)
     (List.filter (fun t -> t <= 2 * problem.time) t_t_candidates)
 
 let id s =

@@ -8,6 +8,15 @@ type t = {
   inner_stride : int;
 }
 
+(* shared buffer: the hexagon's bounding extent per dimension, padded by
+   one word in the inner dimension (Equation 19 and its 3D analogue).
+   Exposed separately so the tile-space enumerator can probe feasibility
+   without building a Config or a full footprint per candidate. *)
+let shared_words_of ?(word_factor = 1) ~order ~t_t t_s =
+  2
+  * Array.fold_left ( * ) 1 (Array.map (fun s -> s + (order * t_t) + 1) t_s)
+  * word_factor
+
 let of_config ?(word_factor = 1) ~order ~space (cfg : Config.t) =
   let rank = Config.rank cfg in
   if Array.length space <> rank then
@@ -23,13 +32,7 @@ let of_config ?(word_factor = 1) ~order ~space (cfg : Config.t) =
     Array.fold_left ( * ) 1 (Array.sub t_s 1 (rank - 1))
   in
   let m = mi_cross * inner_product in
-  (* shared buffer: the hexagon's bounding extent per dimension, padded by
-     one word in the inner dimension (Equation 19 and its 3D analogue) *)
-  let shared_words =
-    2
-    * Array.fold_left ( * ) 1
-        (Array.map (fun s -> s + (order * t_t) + 1) t_s)
-  in
+  let shared_words = shared_words_of ~order ~t_t t_s in
   (* the skewed cuts are at order*t + s = const, so a tile's inner span is
      the extent plus order * t_t (Equation 23's S + tT, generalised) *)
   let skew_span d = space.(d) + (order * t_t) in

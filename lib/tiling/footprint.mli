@@ -13,6 +13,13 @@ type t = {
   inner_stride : int;  (** innermost stride of the shared array, in words *)
 }
 
+val shared_words_of : ?word_factor:int -> order:int -> t_t:int -> int array -> int
+(** [shared_words_of ~order ~t_t t_s] is the shared-memory footprint
+    (M_tile, Equation 19) of a tile shape alone — exactly the
+    [shared_words] field [of_config] would report, without building a
+    {!Config.t} or computing the rest of the footprint.  The tile-space
+    enumerator uses it to probe thousands of candidate shapes cheaply. *)
+
 val of_config :
   ?word_factor:int -> order:int -> space:int array -> Config.t -> t
 (** [of_config ~order ~space cfg] computes the footprints for a stencil of

@@ -33,61 +33,76 @@ let rows_of ~order ~base (cfg : Config.t) =
       { Gpu.Workload.points = (base + (2 * order * d)) * inner; repeats = 2 })
     (Ints.range 0 ((cfg.t_t / 2) - 1))
 
+(* [workload] with the validation already done and the footprint and the
+   label prefix — both family-invariant — computed by the caller, so
+   [compile] pays for them once, not per family *)
+let workload_checked (problem : Problem.t) (cfg : Config.t) ~fp ~label_prefix
+    ~family =
+  let stencil = problem.stencil in
+  let order = stencil.Stencil.order in
+  let rank = stencil.Stencil.rank in
+  let base =
+    match family with
+    | Hexgeom.Green -> cfg.t_s.(0)
+    | Hexgeom.Yellow -> cfg.t_s.(0) + (2 * order)
+  in
+  let rows = rows_of ~order ~base cfg in
+  let threads = Config.total_threads cfg in
+  let max_row_points =
+    List.fold_left
+      (fun acc (r : Gpu.Workload.row) -> max acc r.points)
+      1 rows
+  in
+  let regs =
+    Regalloc.per_thread ~stencil_loads:stencil.Stencil.loads ~rank
+      ~max_row_points ~threads
+  in
+  let body =
+    {
+      Gpu.Pointcost.flops = stencil.Stencil.flops;
+      loads = stencil.Stencil.loads;
+      transcendentals = stencil.Stencil.transcendentals;
+      rank;
+      double = problem.Problem.precision = Hextime_stencil.Problem.F64;
+    }
+  in
+  let run_length = cfg.t_s.(rank - 1) in
+  let family_name =
+    match family with Hexgeom.Green -> "green" | Hexgeom.Yellow -> "yellow"
+  in
+  Gpu.Workload.v
+    ~label:(label_prefix ^ family_name)
+    ~threads ~shared_words:fp.Footprint.shared_words ~regs_per_thread:regs
+    ~body ~rows
+    ~input:{ Gpu.Memory.words = fp.Footprint.input_words; run_length }
+    ~output:{ Gpu.Memory.words = fp.Footprint.output_words; run_length }
+    ~row_stride:fp.Footprint.inner_stride ~chunks:fp.Footprint.chunks
+
+let label_prefix_of (problem : Problem.t) (cfg : Config.t) =
+  Printf.sprintf "%s/%s/" (Problem.id problem) (Config.id cfg)
+
 let workload (problem : Problem.t) (cfg : Config.t) ~family =
   match validate problem cfg with
   | Error _ as e -> e
   | Ok () ->
-      let stencil = problem.stencil in
-      let order = stencil.Stencil.order in
-      let rank = stencil.Stencil.rank in
-      let base =
-        match family with
-        | Hexgeom.Green -> cfg.t_s.(0)
-        | Hexgeom.Yellow -> cfg.t_s.(0) + (2 * order)
-      in
       let fp = Footprint.of_problem problem cfg in
-      let rows = rows_of ~order ~base cfg in
-      let threads = Config.total_threads cfg in
-      let max_row_points =
-        List.fold_left
-          (fun acc (r : Gpu.Workload.row) -> max acc r.points)
-          1 rows
-      in
-      let regs =
-        Regalloc.per_thread ~stencil_loads:stencil.Stencil.loads ~rank
-          ~max_row_points ~threads
-      in
-      let body =
-        {
-          Gpu.Pointcost.flops = stencil.Stencil.flops;
-          loads = stencil.Stencil.loads;
-          transcendentals = stencil.Stencil.transcendentals;
-          rank;
-          double = problem.Problem.precision = Hextime_stencil.Problem.F64;
-        }
-      in
-      let run_length = cfg.t_s.(rank - 1) in
-      let family_name =
-        match family with Hexgeom.Green -> "green" | Hexgeom.Yellow -> "yellow"
-      in
       Ok
-        (Gpu.Workload.v
-           ~label:
-             (Printf.sprintf "%s/%s/%s" (Problem.id problem) (Config.id cfg)
-                family_name)
-           ~threads ~shared_words:fp.Footprint.shared_words
-           ~regs_per_thread:regs ~body ~rows
-           ~input:{ Gpu.Memory.words = fp.Footprint.input_words; run_length }
-           ~output:{ Gpu.Memory.words = fp.Footprint.output_words; run_length }
-           ~row_stride:fp.Footprint.inner_stride ~chunks:fp.Footprint.chunks)
+        (workload_checked problem cfg ~fp
+           ~label_prefix:(label_prefix_of problem cfg)
+           ~family)
 
 let compile (problem : Problem.t) (cfg : Config.t) =
-  match
-    ( workload problem cfg ~family:Hexgeom.Green,
-      workload problem cfg ~family:Hexgeom.Yellow )
-  with
-  | Error e, _ | _, Error e -> Error e
-  | Ok wg, Ok wy ->
+  match validate problem cfg with
+  | Error _ as e -> e
+  | Ok () ->
+      let fp = Footprint.of_problem problem cfg in
+      let label_prefix = label_prefix_of problem cfg in
+      let wg =
+        workload_checked problem cfg ~fp ~label_prefix ~family:Hexgeom.Green
+      in
+      let wy =
+        workload_checked problem cfg ~fp ~label_prefix ~family:Hexgeom.Yellow
+      in
       let stencil = problem.stencil in
       let order = stencil.Stencil.order in
       let blocks =
@@ -95,7 +110,6 @@ let compile (problem : Problem.t) (cfg : Config.t) =
           ~space:problem.space.(0)
       in
       let launches = Ints.ceil_div problem.time cfg.t_t in
-      let fp = Footprint.of_problem problem cfg in
       let green =
         Gpu.Kernel.v ~label:(Gpu.Workload.(wg.label)) ~blocks:[ (wg, blocks) ]
       in

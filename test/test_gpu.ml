@@ -281,6 +281,119 @@ let test_eventsim_work_conservation () =
     (3 * (1024 / 32) * instrs_per_point)
     st.Gpu.Eventsim.issued
 
+let test_priced_replay_identity () =
+  (* the priced representation is an exact factoring: replaying a salt
+     must be bit-identical to pricing the whole sequence at that salt *)
+  let k1 = K.v ~label:"a" ~blocks:[ (workload (), 32) ] in
+  let k2 =
+    K.v ~label:"b" ~blocks:[ (workload ~threads:128 ~io:8192 (), 48) ]
+  in
+  let seq = [ (k1, 4); (k2, 2) ] in
+  let priced =
+    match Sim.price_sequence arch seq with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "price_sequence: %s" e
+  in
+  for salt = 0 to 9 do
+    let fresh = run_ok (Sim.run_sequence_salted ~salt arch seq) in
+    let replayed = Sim.replay ~salt arch priced in
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "salt %d total" salt)
+      fresh.Sim.total_s replayed.Sim.total_s;
+    List.iter2
+      (fun (a : Sim.kernel_stats) (b : Sim.kernel_stats) ->
+        Alcotest.(check (float 0.0))
+          (Printf.sprintf "salt %d kernel time" salt)
+          a.Sim.time_s b.Sim.time_s;
+        Alcotest.(check int) "resident" a.Sim.resident_blocks
+          b.Sim.resident_blocks)
+      fresh.Sim.kernels replayed.Sim.kernels
+  done;
+  (* the measurement protocol is exactly the min over the salted runs *)
+  let m = run_ok (Sim.measure ~runs:5 arch seq) in
+  let explicit =
+    List.fold_left
+      (fun best salt ->
+        min best (run_ok (Sim.run_sequence_salted ~salt arch seq)).Sim.total_s)
+      infinity [ 0; 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (float 0.0)) "measure = min of salted runs" explicit m
+
+let test_priced_counts_once () =
+  (* pricing is per kernel, not per run: a 5-run measurement of a 2-kernel
+     sequence performs exactly 2 pricings *)
+  let k1 = K.v ~label:"c1" ~blocks:[ (workload (), 16) ] in
+  let k2 = K.v ~label:"c2" ~blocks:[ (workload ~threads:64 (), 16) ] in
+  let before = Sim.invocations () in
+  ignore (run_ok (Sim.measure ~runs:5 arch [ (k1, 3); (k2, 7) ]));
+  Alcotest.(check int) "one pricing per kernel" 2 (Sim.invocations () - before)
+
+let eventsim_check_fast_eq_slow w =
+  let f = Gpu.Eventsim.chunk_stats arch w in
+  let s = Gpu.Eventsim.chunk_stats_slow arch w in
+  let tag = Format.asprintf "%a" W.pp w in
+  Alcotest.(check (float 0.0)) ("cycles " ^ tag) s.Gpu.Eventsim.cycles
+    f.Gpu.Eventsim.cycles;
+  Alcotest.(check int) ("issued " ^ tag) s.Gpu.Eventsim.issued
+    f.Gpu.Eventsim.issued;
+  Alcotest.(check (float 0.0)) ("stall " ^ tag) s.Gpu.Eventsim.stall_fraction
+    f.Gpu.Eventsim.stall_fraction
+
+let test_eventsim_fast_slow_degenerate () =
+  (* hand-picked corners: fewer warps than schedulers, single-point rows,
+     long rows that trigger the steady-state jump, repeated and mixed rows *)
+  List.iter eventsim_check_fast_eq_slow
+    [
+      eventsim_workload ~threads:32 1 1 (* 1 warp vs 4 schedulers *);
+      eventsim_workload ~threads:32 1 17;
+      eventsim_workload ~threads:64 3 5;
+      eventsim_workload ~threads:256 1 1;
+      eventsim_workload ~threads:256 65536 1 (* long row: jump path *);
+      eventsim_workload ~threads:512 16384 4;
+      eventsim_workload ~threads:96 4096 3 (* partial warp *);
+      workload ~rows:
+        [
+          { W.points = 1; repeats = 1 };
+          { W.points = 4096; repeats = 7 };
+          { W.points = 33; repeats = 2 };
+          { W.points = 4096; repeats = 7 } (* repeated row: memo path *);
+        ]
+        ();
+    ]
+
+let prop_eventsim_fast_eq_slow =
+  (* the steady-state fast-forward and the row memo are exact shortcuts:
+     on any valid workload both paths produce bit-identical stats *)
+  let gen =
+    QCheck.Gen.(
+      let* threads = oneofl [ 32; 48; 64; 96; 128; 256; 512 ] in
+      let* n_rows = int_range 1 4 in
+      let* rows =
+        list_repeat n_rows
+          (let* points = oneofl [ 1; 2; 33; 512; 4096; 20000 ] in
+           let* repeats = int_range 1 12 in
+           return { W.points; repeats })
+      in
+      return (threads, rows))
+  in
+  let print (threads, rows) =
+    Printf.sprintf "threads=%d rows=[%s]" threads
+      (String.concat "; "
+         (List.map
+            (fun r -> Printf.sprintf "%dx%d" r.W.points r.W.repeats)
+            rows))
+  in
+  QCheck.Test.make ~name:"eventsim fast path is bit-identical to slow"
+    ~count:60
+    (QCheck.make ~print gen)
+    (fun (threads, rows) ->
+      let w = workload ~threads ~rows () in
+      let f = Gpu.Eventsim.chunk_stats arch w in
+      let s = Gpu.Eventsim.chunk_stats_slow arch w in
+      f.Gpu.Eventsim.cycles = s.Gpu.Eventsim.cycles
+      && f.Gpu.Eventsim.issued = s.Gpu.Eventsim.issued
+      && f.Gpu.Eventsim.stall_fraction = s.Gpu.Eventsim.stall_fraction)
+
 let prop_simulator_monotone_in_io =
   QCheck.Test.make ~name:"kernel time is monotone in io volume" ~count:50
     QCheck.(int_range 1 50)
@@ -317,5 +430,10 @@ let suite =
     Alcotest.test_case "eventsim agreement" `Quick test_eventsim_agreement;
     Alcotest.test_case "eventsim latency" `Quick test_eventsim_latency_emerges;
     Alcotest.test_case "eventsim conservation" `Quick test_eventsim_work_conservation;
+    Alcotest.test_case "priced replay identity" `Quick test_priced_replay_identity;
+    Alcotest.test_case "priced counts once" `Quick test_priced_counts_once;
+    Alcotest.test_case "eventsim fast/slow corners" `Quick
+      test_eventsim_fast_slow_degenerate;
+    QCheck_alcotest.to_alcotest prop_eventsim_fast_eq_slow;
     QCheck_alcotest.to_alcotest prop_simulator_monotone_in_io;
   ]

@@ -167,6 +167,59 @@ let qsuite = List.map QCheck_alcotest.to_alcotest
     [ prop_ceil_div; prop_round_up; prop_uniform_range; prop_jitter_range;
       prop_rmse_nonneg ]
 
+module Mj = Hextime_prelude.Minijson
+
+let test_minijson_roundtrip () =
+  let doc =
+    Mj.Obj
+      [
+        ("schema", Mj.Str "hextime-bench-v1");
+        ("pi", Mj.Num 3.14159265358979312);
+        ("count", Mj.Num 850.0);
+        ("ok", Mj.Bool true);
+        ("nothing", Mj.Null);
+        ("xs", Mj.List [ Mj.Num 1.0; Mj.Str "two\n\"quoted\""; Mj.Obj [] ]);
+        ("empty", Mj.List []);
+      ]
+  in
+  match Mj.parse (Mj.render doc) with
+  | Error e -> Alcotest.failf "roundtrip: %s" e
+  | Ok doc' ->
+      Alcotest.(check bool) "structurally equal" true (doc = doc');
+      (* %.17g keeps every float bit-exact through the text form *)
+      Alcotest.(check (float 0.0)) "float exact" 3.14159265358979312
+        (Option.get (Option.bind (Mj.member "pi" doc') Mj.number))
+
+let test_minijson_accessors () =
+  let doc = Mj.Obj [ ("a", Mj.Num 2.0); ("b", Mj.Str "x") ] in
+  Alcotest.(check (option (float 0.0))) "number" (Some 2.0)
+    (Option.bind (Mj.member "a" doc) Mj.number);
+  Alcotest.(check (option string)) "string" (Some "x")
+    (Option.bind (Mj.member "b" doc) Mj.string);
+  Alcotest.(check bool) "missing member" true (Mj.member "c" doc = None);
+  Alcotest.(check bool) "wrong type" true
+    (Option.bind (Mj.member "b" doc) Mj.number = None);
+  Alcotest.(check bool) "member of non-object" true
+    (Mj.member "a" (Mj.Num 1.0) = None)
+
+let test_minijson_errors () =
+  let bad s =
+    match Mj.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" s
+  in
+  bad "";
+  bad "{";
+  bad "{\"a\": }";
+  bad "[1, 2,]";
+  bad "\"unterminated";
+  bad "{} trailing";
+  bad "nul";
+  (match Mj.parse "  [1, {\"k\": null}, false]  " with
+  | Ok (Mj.List [ Mj.Num 1.0; Mj.Obj [ ("k", Mj.Null) ]; Mj.Bool false ]) -> ()
+  | Ok _ -> Alcotest.fail "wrong parse"
+  | Error e -> Alcotest.failf "valid doc rejected: %s" e)
+
 let suite =
   [
     Alcotest.test_case "ceil_div" `Quick test_ceil_div;
@@ -187,5 +240,8 @@ let suite =
     Alcotest.test_case "tabulate render" `Quick test_tabulate_render;
     Alcotest.test_case "tabulate arity" `Quick test_tabulate_arity;
     Alcotest.test_case "cells" `Quick test_cells;
+    Alcotest.test_case "minijson roundtrip" `Quick test_minijson_roundtrip;
+    Alcotest.test_case "minijson accessors" `Quick test_minijson_accessors;
+    Alcotest.test_case "minijson errors" `Quick test_minijson_errors;
   ]
   @ qsuite

@@ -95,6 +95,55 @@ let test_runner_rejects () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "oversized tile measured"
 
+let test_measure_prices_once () =
+  (* the runner compiles to two kernels (green + yellow) and the 5-run
+     measurement protocol prices each exactly once *)
+  let cfg = C.make_exn ~t_t:8 ~t_s:[| 8; 64 |] ~threads:[| 256 |] in
+  let before = Gpu.Simulator.invocations () in
+  (match Runner.measure arch problem cfg with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "measure: %s" e);
+  Alcotest.(check int) "two kernels priced once each" 2
+    (Gpu.Simulator.invocations () - before)
+
+let test_golden_bit_identity () =
+  (* measurements frozen before the priced-kernel refactor: pricing once
+     and replaying jitter is an exact factoring, so these are bit-exact *)
+  let problem = P.make S.heat2d ~space:[| 512; 512 |] ~time:128 in
+  List.iter
+    (fun (tt, ts, thr, expect) ->
+      let cfg = C.make_exn ~t_t:tt ~t_s:ts ~threads:[| thr |] in
+      match Runner.measure arch problem cfg with
+      | Ok m ->
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "frozen %d-%dx%d-%d" tt ts.(0) ts.(1) thr)
+            expect m.Runner.time_s
+      | Error e -> Alcotest.failf "golden t_t=%d: %s" tt e)
+    [
+      (16, [| 16; 64 |], 256, 2.21214327483539811e-03);
+      (8, [| 24; 96 |], 128, 3.54076699895410248e-03);
+      (2, [| 1; 32 |], 32, 4.08022578475355432e-02);
+    ];
+  (* and an infeasible one stays infeasible *)
+  let cfg = C.make_exn ~t_t:32 ~t_s:[| 48; 128 |] ~threads:[| 512 |] in
+  match Runner.measure arch problem cfg with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "infeasible golden accepted"
+
+let test_shapes_frozen_counts () =
+  (* the unreachable-branch cleanup in Space.shapes must not change the
+     enumerated set; counts frozen before the cleanup *)
+  let mb = Hextime_harness.Microbench.params arch in
+  List.iter
+    (fun (st, space, time, expect) ->
+      let p = P.make st ~space ~time in
+      Alcotest.(check int) (P.id p) expect (List.length (Space.shapes mb p)))
+    [
+      (S.heat2d, [| 512; 512 |], 128, 1664);
+      (S.heat3d, [| 96; 96; 96 |], 32, 244);
+      (S.jacobi1d, [| 65536 |], 512, 544);
+    ]
+
 let evaluated = Optimizer.evaluate_space params ~citer problem
 
 let test_optimizer_best_and_within () =
@@ -196,6 +245,9 @@ let suite =
     Alcotest.test_case "baseline set (Section 5.1)" `Quick test_baseline_size_and_bias;
     Alcotest.test_case "runner" `Quick test_runner;
     Alcotest.test_case "runner rejects" `Quick test_runner_rejects;
+    Alcotest.test_case "runner prices once" `Quick test_measure_prices_once;
+    Alcotest.test_case "golden bit-identity" `Quick test_golden_bit_identity;
+    Alcotest.test_case "shapes frozen counts" `Quick test_shapes_frozen_counts;
     Alcotest.test_case "optimizer best/within" `Quick test_optimizer_best_and_within;
     Alcotest.test_case "optimizer empty" `Quick test_optimizer_empty;
     Alcotest.test_case "strategy ordering" `Slow test_strategies_ordering;
