@@ -32,6 +32,34 @@ let scale =
           prerr_endline ("HEXTIME_SCALE: " ^ msg);
           exit 2)
 
+(* observability rides on env vars here (bechamel owns no CLI):
+   HEXTIME_PROFILE=FILE writes a Chrome trace of the whole run,
+   HEXTIME_METRICS=1 prints the metrics registry to stderr at exit *)
+let () =
+  (match Sys.getenv_opt "HEXTIME_PROFILE" with
+  | Some path when path <> "" ->
+      Hextime_obs.Trace.enable ();
+      at_exit (fun () ->
+          try
+            Hextime_obs.Trace.write_file path
+              ~extra:
+                [
+                  ( "metrics",
+                    Hextime_obs.Metrics.to_json (Hextime_obs.Metrics.snapshot ())
+                  );
+                ]
+              (Hextime_obs.Trace.events ());
+            Printf.eprintf "hexscope: wrote %s (%d span events)\n%!" path
+              (Hextime_obs.Trace.num_events ())
+          with Sys_error msg -> Printf.eprintf "hexscope: %s\n%!" msg)
+  | _ -> ());
+  match Sys.getenv_opt "HEXTIME_METRICS" with
+  | None | Some ("" | "0") -> ()
+  | Some _ ->
+      at_exit (fun () ->
+          prerr_string
+            (Hextime_obs.Metrics.render (Hextime_obs.Metrics.snapshot ())))
+
 (* every sweep below runs through the parallel cached engine; jobs and the
    cache directory follow HEXTIME_JOBS / HEXTIME_CACHE_DIR *)
 let exec = Parsweep.default ()

@@ -17,6 +17,8 @@ module Amplgen = Hextime_tileopt.Amplgen
 module H = Hextime_harness
 module Parsweep = Hextime_parsweep.Parsweep
 module Tabulate = Hextime_prelude.Tabulate
+module Minijson = Hextime_prelude.Minijson
+module Obs = Hextime_obs
 
 open Cmdliner
 
@@ -137,6 +139,47 @@ let exec_of jobs cache_dir no_cache =
   let e = Parsweep.default ~jobs ?cache_dir () in
   if no_cache then { e with Parsweep.cache = None } else e
 
+(* --- observability (hexscope) ------------------------------------------- *)
+
+let profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Enable span tracing and write a Chrome trace-event JSON \
+           (openable in chrome://tracing or ui.perfetto.dev) to FILE on \
+           exit, with the merged metrics snapshot embedded under \
+           $(b,metrics).  Worker-process spans and counters are merged in \
+           across the fork boundary.  Stdout is unaffected: sweep/CSV \
+           output stays byte-identical with or without this flag.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the merged metrics snapshot to stderr on exit.")
+
+(* Wrap a subcommand body with trace/metrics capture.  All hexscope output
+   goes to the trace file or stderr, never stdout, so enabling it cannot
+   perturb machine-consumed output. *)
+let with_obs profile metrics k =
+  (match profile with Some _ -> Obs.Trace.enable () | None -> ());
+  let r = k () in
+  (match profile with
+  | None -> ()
+  | Some path -> (
+      let snap = Obs.Metrics.snapshot () in
+      try
+        Obs.Trace.write_file path
+          ~extra:[ ("metrics", Obs.Metrics.to_json snap) ]
+          (Obs.Trace.events ());
+        Format.eprintf "hexscope: wrote %s (%d span events)@." path
+          (Obs.Trace.num_events ())
+      with Sys_error msg -> Format.eprintf "hexscope: %s@." msg));
+  if metrics then prerr_string (Obs.Metrics.render (Obs.Metrics.snapshot ()));
+  r
+
 (* --- predict ------------------------------------------------------------ *)
 
 let predict_cmd =
@@ -213,7 +256,8 @@ let tune_cmd =
       & info [ "frac" ] ~docv:"F"
           ~doc:"Keep shapes within F of the predicted minimum (paper: 0.10).")
   in
-  let run arch stencil space time frac =
+  let run arch stencil space time frac profile metrics =
+    with_obs profile metrics @@ fun () ->
     match problem_of stencil space time with
     | Error msg -> die "%s" msg
     | Ok problem ->
@@ -243,7 +287,10 @@ let tune_cmd =
         end
   in
   let term =
-    Term.(ret (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ frac))
+    Term.(
+      ret
+        (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ frac
+       $ profile_arg $ metrics_arg))
   in
   Cmd.v
     (Cmd.info "tune"
@@ -388,7 +435,9 @@ let validate_cmd =
   let plot =
     Arg.(value & flag & info [ "plot" ] ~doc:"Render the ASCII scatter plot.")
   in
-  let run arch stencil space time csv plot jobs cache_dir no_cache =
+  let run arch stencil space time csv plot jobs cache_dir no_cache profile
+      metrics =
+    with_obs profile metrics @@ fun () ->
     match problem_of stencil space time with
     | Error msg -> die "%s" msg
     | Ok problem ->
@@ -421,7 +470,7 @@ let validate_cmd =
     Term.(
       ret
         (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ csv $ plot
-       $ jobs_arg $ cache_dir_arg $ no_cache_arg))
+       $ jobs_arg $ cache_dir_arg $ no_cache_arg $ profile_arg $ metrics_arg))
   in
   Cmd.v
     (Cmd.info "validate"
@@ -620,7 +669,8 @@ let lint_cmd =
         linted
   in
   let run arch stencil space time tile threads sweep scale fmt jobs cache_dir
-      no_cache =
+      no_cache profile metrics =
+    with_obs profile metrics @@ fun () ->
     if sweep then begin
       let exec = exec_of jobs cache_dir no_cache in
       (* params/citer are computed per experiment in the parent, so forked
@@ -696,7 +746,7 @@ let lint_cmd =
       ret
         (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ tile
        $ threads $ sweep $ scale_arg $ format $ jobs_arg $ cache_dir_arg
-       $ no_cache_arg))
+       $ no_cache_arg $ profile_arg $ metrics_arg))
   in
   Cmd.v
     (Cmd.info "lint"
@@ -808,6 +858,228 @@ let ampl_cmd =
        ~doc:"Emit Equation 31 as an AMPL model for external solvers (Section 6.1).")
     term
 
+(* --- profile (hexscope attribution) ------------------------------------- *)
+
+let profile_cmd =
+  let tile =
+    Arg.(
+      value
+      & opt (some (dims_conv "tile sizes")) None
+      & info [ "tile" ] ~docv:"tTxtS1[xtS2[xtS3]]"
+          ~doc:
+            "Tile sizes to profile (default: the model-optimal shape for \
+             this instance).")
+  in
+  let threads =
+    Arg.(
+      value & opt int 256
+      & info [ "threads" ] ~docv:"N" ~doc:"Threads per block.")
+  in
+  let run arch stencil space time tile threads profile metrics =
+    with_obs profile metrics @@ fun () ->
+    match problem_of stencil space time with
+    | Error msg -> die "%s" msg
+    | Ok problem -> (
+        let params = H.Microbench.params arch in
+        let citer = H.Microbench.citer arch stencil in
+        let cfg_result =
+          match tile with
+          | Some tile ->
+              if Array.length tile < 2 then Error "tile needs at least tT and tS1"
+              else
+                Config.make ~t_t:tile.(0)
+                  ~t_s:(Array.sub tile 1 (Array.length tile - 1))
+                  ~threads:[| threads |]
+          | None -> (
+              match Optimizer.evaluate_space params ~citer problem with
+              | [] -> Error "empty feasible space"
+              | space_eval -> (
+                  let best = Optimizer.best space_eval in
+                  match
+                    Space.to_config best.Optimizer.shape ~threads:[| threads |]
+                  with
+                  | cfg -> Ok cfg
+                  | exception Invalid_argument msg -> Error msg))
+        in
+        match cfg_result with
+        | Error msg -> die "%s" msg
+        | Ok cfg -> (
+            match Model.attribution params ~citer problem cfg with
+            | Error msg -> die "model: %s" msg
+            | Ok (pr, comps) -> (
+                Format.printf "problem: %a on %s@." Problem.pp problem
+                  arch.Gpu.Arch.name;
+                Format.printf "config:  %a@." Config.pp cfg;
+                Format.printf "model:   %a@.@." Model.pp_prediction pr;
+                print_string
+                  (Obs.Attribution.render_components
+                     ~title:"Where does predicted Talg go (model, Section 5 terms)"
+                     comps);
+                let sum = Obs.Attribution.total comps in
+                let rel = Float.abs (sum -. pr.Model.talg) /. pr.Model.talg in
+                Printf.printf
+                  "\nattribution sum %.17g s vs talg %.17g s (relative error \
+                   %.3e)\n\n"
+                  sum pr.Model.talg rel;
+                (* simulator side: per-kernel attribution of one priced run *)
+                match Hextime_tiling.Lower.compile problem cfg with
+                | Error msg -> die "compile: %s" msg
+                | Ok compiled -> (
+                    let kernels =
+                      Hextime_tiling.Lower.kernel_sequence compiled
+                    in
+                    match Gpu.Simulator.price_sequence arch kernels with
+                    | Error msg -> die "simulator: %s" msg
+                    | Ok priced ->
+                        let acc = Obs.Attribution.create () in
+                        List.iter
+                          (fun ((p : Gpu.Simulator.priced), count) ->
+                            let c =
+                              Gpu.Simulator.attribute_priced ~salt:0 arch p
+                            in
+                            Obs.Attribution.record acc
+                              (Printf.sprintf "%s x%d"
+                                 p.Gpu.Simulator.kernel.Gpu.Kernel.label count)
+                              (Obs.Attribution.scale (float_of_int count) c))
+                          priced;
+                        print_string
+                          (Obs.Attribution.render_top_k
+                             ~title:
+                               "Where does simulated time go (per kernel, \
+                                salt 0)"
+                             acc 10);
+                        let sim_total =
+                          Obs.Attribution.total (Obs.Attribution.totals acc)
+                        in
+                        let replay =
+                          (Gpu.Simulator.replay ~salt:0 arch priced)
+                            .Gpu.Simulator.total_s
+                        in
+                        Printf.printf
+                          "\nsimulator attribution sum %.17g s vs replay \
+                           %.17g s (relative error %.3e)\n"
+                          sim_total replay
+                          (Float.abs (sim_total -. replay) /. replay);
+                        `Ok ()))))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ tile
+       $ threads $ profile_arg $ metrics_arg))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Break one configuration's predicted time into the paper's \
+          Section 5 components (compute, global memory, sync, launch) from \
+          the analytical model, plus the per-kernel breakdown of the \
+          simulator's priced run.  The component sums reconstruct the \
+          predicted totals; the printed relative errors show how exactly.")
+    term
+
+(* --- trace-verify ----------------------------------------------------------- *)
+
+let trace_verify_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Chrome trace-event JSON to verify.")
+  in
+  let min_events =
+    Arg.(
+      value & opt int 1
+      & info [ "min-events" ] ~docv:"N" ~doc:"Require at least N span events.")
+  in
+  let min_pids =
+    Arg.(
+      value & opt int 1
+      & info [ "min-pids" ] ~docv:"N"
+          ~doc:"Require events from at least N distinct process ids.")
+  in
+  let require_counters =
+    Arg.(
+      value & opt_all string []
+      & info [ "require-counter" ] ~docv:"NAME"
+          ~doc:"Require the embedded metrics snapshot to carry this counter \
+                (repeatable).")
+  in
+  let run file min_events min_pids required =
+    match
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error msg -> die "trace-verify: %s" msg
+    | contents -> (
+        match Minijson.parse contents with
+        | Error e -> die "trace-verify: %s" e
+        | Ok json -> (
+            match Minijson.member "traceEvents" json with
+            | Some (Minijson.List events) -> (
+                let pids = Hashtbl.create 8 in
+                let well_formed =
+                  List.for_all
+                    (fun ev ->
+                      match
+                        ( Option.bind (Minijson.member "name" ev)
+                            Minijson.string,
+                          Option.bind (Minijson.member "ph" ev) Minijson.string,
+                          Option.bind (Minijson.member "ts" ev) Minijson.number,
+                          Option.bind (Minijson.member "pid" ev)
+                            Minijson.number )
+                      with
+                      | Some _, Some _, Some _, Some pid ->
+                          Hashtbl.replace pids pid ();
+                          true
+                      | _ -> false)
+                    events
+                in
+                if not well_formed then
+                  die "trace-verify: %s: event missing name/ph/ts/pid" file
+                else if List.length events < min_events then
+                  die "trace-verify: %s: %d events < required %d" file
+                    (List.length events) min_events
+                else if Hashtbl.length pids < min_pids then
+                  die "trace-verify: %s: %d distinct pids < required %d" file
+                    (Hashtbl.length pids) min_pids
+                else
+                  let counters =
+                    match
+                      Option.bind (Minijson.member "metrics" json)
+                        (Minijson.member "counters")
+                    with
+                    | Some (Minijson.Obj fields) -> List.map fst fields
+                    | _ -> []
+                  in
+                  match
+                    List.filter
+                      (fun name -> not (List.mem name counters))
+                      required
+                  with
+                  | [] ->
+                      Printf.printf
+                        "trace-verify: ok — %d events, %d distinct pids, %d \
+                         counters\n"
+                        (List.length events) (Hashtbl.length pids)
+                        (List.length counters);
+                      `Ok ()
+                  | missing ->
+                      die "trace-verify: %s: missing counters: %s" file
+                        (String.concat ", " missing))
+            | _ -> die "trace-verify: %s: no traceEvents array" file))
+  in
+  Cmd.v
+    (Cmd.info "trace-verify"
+       ~doc:
+         "Validate a trace file emitted by $(b,--profile): parseable JSON, \
+          well-formed trace events, minimum event/worker counts, required \
+          metric counters present.  Used by CI on the campaign trace \
+          artifact.")
+    Term.(ret (const run $ file $ min_events $ min_pids $ require_counters))
+
 let doctor_cmd =
   let run () =
     let checks = ref [] in
@@ -872,6 +1144,24 @@ let doctor_cmd =
             if ratio > 0.7 && ratio < 1.4 then Ok ()
             else Error (Printf.sprintf "model/simulated = %.2f" ratio)
         | Error e, _ | _, Error e -> Error e);
+    check "trace exporter round-trips" (fun () ->
+        let ev =
+          Obs.Trace.make ~cat:"doctor" ~ph:"X" ~dur_us:12.5 ~ts_us:1.0
+            ~args:[ ("check", "round-trip") ]
+            "doctor.span"
+        in
+        let rendered = Minijson.render (Obs.Trace.to_json [ ev ]) in
+        match Minijson.parse rendered with
+        | Error e -> Error ("re-parse failed: " ^ e)
+        | Ok json -> (
+            match Minijson.member "traceEvents" json with
+            | Some (Minijson.List [ parsed ]) -> (
+                match
+                  Option.bind (Minijson.member "name" parsed) Minijson.string
+                with
+                | Some "doctor.span" -> Ok ()
+                | _ -> Error "event name lost in round-trip")
+            | _ -> Error "traceEvents not a singleton list"));
     let failures = ref 0 in
     List.iter
       (fun (name, outcome) ->
@@ -881,6 +1171,27 @@ let doctor_cmd =
             incr failures;
             Printf.printf "  [FAIL] %s: %s\n" name e)
       (List.rev !checks);
+    (* the checks above exercised the model and the simulator, so the
+       metrics registry now holds a live smoke snapshot *)
+    print_endline "observability:";
+    print_string (Obs.Metrics.render (Obs.Metrics.snapshot ()));
+    (let cache = Hextime_parsweep.Cache.create () in
+     let dir = Hextime_parsweep.Cache.dir cache in
+     match Sys.readdir dir with
+     | entries ->
+         let bytes =
+           Array.fold_left
+             (fun acc e ->
+               match Unix.stat (Filename.concat dir e) with
+               | { Unix.st_kind = Unix.S_REG; st_size; _ } -> acc + st_size
+               | _ -> acc
+               | exception Unix.Unix_error _ -> acc)
+             0 entries
+         in
+         Printf.printf "  cache dir %s: %d entries, %d bytes\n" dir
+           (Array.length entries) bytes
+     | exception Sys_error _ ->
+         Printf.printf "  cache dir %s: unreadable\n" dir);
     if !failures = 0 then begin
       print_endline "doctor: all checks passed";
       `Ok ()
@@ -894,7 +1205,8 @@ let doctor_cmd =
     Term.(ret (const run $ const ()))
 
 let campaign_cmd =
-  let run scale jobs cache_dir no_cache =
+  let run scale jobs cache_dir no_cache profile metrics =
+    with_obs profile metrics @@ fun () ->
     let exec = exec_of jobs cache_dir no_cache in
     print_string (H.Campaign.render (H.Campaign.estimate ~exec scale));
     `Ok ()
@@ -905,7 +1217,10 @@ let campaign_cmd =
          "Price the paper's experimental campaign (Section 8): feasible \
           data points are billed for compilation and five measured runs; \
           rejected configurations are counted separately.")
-    Term.(ret (const run $ scale_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg))
+    Term.(
+      ret
+        (const run $ scale_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
+       $ profile_arg $ metrics_arg))
 
 let report_cmd =
   let out =
@@ -1051,6 +1366,8 @@ let main_cmd =
     (Cmd.info "hextime" ~version:"1.0.0" ~doc)
     [
       predict_cmd;
+      profile_cmd;
+      trace_verify_cmd;
       tune_cmd;
       strategies_cmd;
       sensitivity_cmd;

@@ -161,6 +161,72 @@ let predict ?variant (p : Params.t) ~citer (problem : Problem.t) (cfg : Config.t
             chunks;
           }
 
+(* --- cost attribution ----------------------------------------------------- *)
+
+(* Decompose talg into the paper's Section 5 component terms.  Every
+   combinator in [predict] is linear in (m', c) once the max(m', c) branch
+   decisions are fixed, so we mirror those decisions to obtain coefficients
+   (a, b) with T_tile(j) = a m' + b c, fold them through the per-wavefront
+   form, and then split m' and c themselves into their traffic and barrier
+   parts (m' = m_io L + 2 tau_sync; c = 2 C_iter sum + t_T tau_sync).  The
+   resulting components rebuild talg exactly up to float rounding — the
+   profile test asserts 1e-9 relative — without re-deriving any equation.
+   Shared-memory traffic has no time term of its own in the model (M_tile
+   only bounds k via Equation 11), so that component is zero here;
+   [Simulator.attribute_priced] is the measured-side counterpart. *)
+let attribution_of_prediction ?(variant = Refined) (p : Params.t) ~rank ~t_t
+    (pr : prediction) =
+  let m' = pr.m_transfer and c = pr.c_compute in
+  let cf = float_of_int pr.chunks in
+  (* (a, b) with T_tile(j) = a m' + b c, mirroring t_tile_at's branches —
+     including that OCaml's [max] keeps the left operand on ties *)
+  let coeffs j =
+    match (rank, j) with
+    | 1, 1 -> (1.0, 1.0)
+    | 1, _ ->
+        if m' >= c then (float_of_int j, 1.0) else (1.0, float_of_int j)
+    | _, 1 -> (cf, cf)
+    | _, _ ->
+        if m' >= c then (1.0 +. (float_of_int j *. cf), 0.0)
+        else (1.0, float_of_int j *. cf)
+  in
+  let a, b =
+    match variant with
+    | Paper_verbatim ->
+        let ak, bk = coeffs pr.k in
+        let r = float_of_int pr.sm_rounds in
+        (r *. ak, r *. bk)
+    | Refined ->
+        let capacity = pr.k * p.n_sm in
+        let full = float_of_int (pr.wavefront_blocks / capacity) in
+        let remainder = pr.wavefront_blocks mod capacity in
+        let al, bl =
+          if remainder = 0 then (0.0, 0.0)
+          else coeffs (Ints.ceil_div remainder p.n_sm)
+        in
+        let ak, bk = coeffs pr.k in
+        ((full *. ak) +. al, (full *. bk) +. bl)
+  in
+  let nw = float_of_int pr.n_wavefronts in
+  let sync_in_m = 2.0 *. p.tau_sync in
+  let sync_in_c = float_of_int t_t *. p.tau_sync in
+  {
+    Hextime_obs.Attribution.compute = nw *. b *. (c -. sync_in_c);
+    global_mem = nw *. a *. (m' -. sync_in_m);
+    shared_mem = 0.0;
+    sync = nw *. ((a *. sync_in_m) +. (b *. sync_in_c));
+    launch = nw *. p.t_sync;
+    jitter = 0.0;
+  }
+
+let attribution ?variant (p : Params.t) ~citer (problem : Problem.t)
+    (cfg : Config.t) =
+  match predict ?variant p ~citer problem cfg with
+  | Error _ as e -> e
+  | Ok pr ->
+      Ok
+        (pr, attribution_of_prediction ?variant p ~rank:(Config.rank cfg) ~t_t:cfg.t_t pr)
+
 type schedule_counts = {
   sched_io_words : int;
   sched_shared_words : int;

@@ -67,6 +67,31 @@ val hyperthreading_factor : Params.t -> shared_words:int -> int
 (** k from Equation 11 restricted to the shared-memory and MTB_SM terms:
     [min MTB_SM (M_SM / M_tile)]. *)
 
+val attribution_of_prediction :
+  ?variant:variant ->
+  Params.t ->
+  rank:int ->
+  t_t:int ->
+  prediction ->
+  Hextime_obs.Attribution.components
+(** Split a prediction's talg into the paper's component terms (compute,
+    global-memory transfer, synchronisation, launch).  Every combinator in
+    {!predict} is linear in (m', c) once the max(m', c) branch decisions
+    are fixed; this mirrors those decisions, so the component sum rebuilds
+    [talg] up to float rounding (the tests assert 1e-9 relative).
+    [shared_mem] is zero: M_tile only bounds k (Equation 11), it has no
+    time term of its own.  [variant] must match the one used to compute the
+    prediction. *)
+
+val attribution :
+  ?variant:variant ->
+  Params.t ->
+  citer:float ->
+  Hextime_stencil.Problem.t ->
+  Hextime_tiling.Config.t ->
+  (prediction * Hextime_obs.Attribution.components, string) result
+(** {!predict} plus {!attribution_of_prediction} in one call. *)
+
 type schedule_counts = {
   sched_io_words : int;  (** words any conforming schedule moves per chunk *)
   sched_shared_words : int;  (** words it must allocate (M_tile) *)

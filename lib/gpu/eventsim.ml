@@ -2,6 +2,13 @@ module Ints = Hextime_prelude.Ints
 
 type stats = { cycles : float; issued : int; stall_fraction : float }
 
+(* How much of the event simulation is closed out analytically vs walked
+   cycle by cycle — the observable payoff of the steady-state detector.
+   Counted per [chunk_stats] call; the slow reference path counts every
+   cycle as stepped. *)
+let ff_counter = Hextime_obs.Metrics.counter "eventsim.fast_forward_cycles"
+let stepped_counter = Hextime_obs.Metrics.counter "eventsim.stepped_cycles"
+
 (* micro-architecture constants of the event model: a warp may issue [chain]
    consecutive independent instructions, then stalls [dep_latency] cycles on
    the dependency; chosen so that the canonical 8 warps saturate the 4
@@ -60,6 +67,7 @@ let chunk_stats_with ~fast (arch : Arch.t) (w : Workload.t) =
   let clock = ref 0 in
   let issued = ref 0 in
   let slots = ref 0 in
+  let fast_forwarded = ref 0 in
   let run_row points =
     (* distribute the row's points warp-granularly: each warp-iteration
        covers up to warp_size points and costs instrs_per_point slots *)
@@ -111,6 +119,7 @@ let chunk_stats_with ~fast (arch : Arch.t) (w : Workload.t) =
              let k = if !k = max_int then 0 else !k in
              if k > 0 then begin
                clock := !clock + (k * period);
+               fast_forwarded := !fast_forwarded + (k * period);
                issued := !issued + (k * issued_per_period);
                slots := !slots + (k * period * schedulers);
                rr := !rr + (k * period);
@@ -161,11 +170,15 @@ let chunk_stats_with ~fast (arch : Arch.t) (w : Workload.t) =
         let c0 = !clock and i0 = !issued and s0 = !slots in
         let dc, di, ds =
           match Hashtbl.find_opt row_memo row.points with
-          | Some d -> d
+          | Some ((dc, _, _) as d) ->
+              fast_forwarded := !fast_forwarded + (row.repeats * dc);
+              d
           | None ->
               run_row row.points;
-              let d = (!clock - c0, !issued - i0, !slots - s0) in
+              let dc = !clock - c0 in
+              let d = (dc, !issued - i0, !slots - s0) in
               Hashtbl.add row_memo row.points d;
+              fast_forwarded := !fast_forwarded + ((row.repeats - 1) * dc);
               d
         in
         clock := c0 + (row.repeats * dc);
@@ -177,6 +190,8 @@ let chunk_stats_with ~fast (arch : Arch.t) (w : Workload.t) =
           run_row row.points
         done)
     w.rows;
+  Hextime_obs.Metrics.incr ff_counter ~by:!fast_forwarded;
+  Hextime_obs.Metrics.incr stepped_counter ~by:(!clock - !fast_forwarded);
   {
     cycles = float_of_int !clock;
     issued = !issued;

@@ -56,6 +56,8 @@ module Memo = Hashtbl.Make (struct
 end)
 
 let memo : result Memo.t = Memo.create 64
+let memo_hits = Hextime_obs.Metrics.counter "occupancy.memo_hit"
+let memo_misses = Hextime_obs.Metrics.counter "occupancy.memo_miss"
 
 let calculate (arch : Arch.t) req =
   if req.threads <= 0 then invalid_arg "Occupancy: threads must be positive";
@@ -63,8 +65,11 @@ let calculate (arch : Arch.t) req =
     invalid_arg "Occupancy: negative resource request";
   let key = (arch, req) in
   match Memo.find_opt memo key with
-  | Some r -> r
+  | Some r ->
+      Hextime_obs.Metrics.incr memo_hits;
+      r
   | None ->
+      Hextime_obs.Metrics.incr memo_misses;
       let r = calculate_uncached arch req in
       Memo.add memo key r;
       r

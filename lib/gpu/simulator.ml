@@ -1,5 +1,6 @@
 module Ints = Hextime_prelude.Ints
 module Det_hash = Hextime_prelude.Det_hash
+module Metrics = Hextime_obs.Metrics
 
 type kernel_stats = {
   time_s : float;
@@ -18,12 +19,15 @@ type run_stats = {
 }
 
 (* Instrumentation for the sweep-cache tests: every kernel pricing bumps
-   the per-process counter, so "a warm cache performs zero simulator
-   invocations" is directly observable.  Since the priced-kernel refactor
-   a pricing happens once per kernel, not once per measurement run: a
-   min-of-five measurement is one pricing plus five jitter reapplications. *)
-let invocation_count = ref 0
-let invocations () = !invocation_count
+   the counter, so "a warm cache performs zero simulator invocations" is
+   directly observable.  Since the priced-kernel refactor a pricing happens
+   once per kernel, not once per measurement run: a min-of-five measurement
+   is one pricing plus five jitter reapplications.  The counters live in the
+   metrics registry so sweep workers can snapshot them back across the fork
+   boundary and the coordinator's totals stay correct under --jobs N. *)
+let price_counter = Metrics.counter "simulator.price"
+let replay_counter = Metrics.counter "simulator.replay"
+let invocations () = Metrics.value price_counter
 
 let jitter_amplitude = 0.015
 
@@ -142,7 +146,7 @@ type priced = {
 }
 
 let price arch (k : Kernel.t) =
-  incr invocation_count;
+  Metrics.incr price_counter;
   match kernel_setup arch k with
   | Error _ as e -> e
   | Ok (_req, occ) ->
@@ -193,6 +197,54 @@ let priced_stats ?(jitter = true) ~salt arch p =
     ~chunks:p.avg_chunks
     (priced_time ~jitter ~salt arch p)
 
+(* Where does a priced kernel's time go?  Mirrors the round structure of
+   [price] so the component sum reconstructs [priced_time] up to float
+   rounding: per round the dominant max(io, compute) term is credited to
+   its own side and the pipeline-fill term [min io comp] to the smaller
+   side (it is that phase's exposed cost).  Shared-memory traffic is folded
+   into compute by the cost model ([Compute.chunk_seconds] charges bank
+   conflicts as compute cycles) and sync likewise, so those components are
+   zero here — the analytical model's attribution is where they split out.
+   The jitter component is the salted replay's deviation from the priced
+   body and may be negative. *)
+let attribute_priced ?(jitter = true) ~salt (arch : Arch.t) p =
+  let resident = p.occ.Occupancy.blocks_per_sm in
+  let io = p.avg_io and comp = p.avg_comp in
+  let chunks = int_of_float (Float.round p.avg_chunks) in
+  let round_parts j =
+    if j = 0 then (0.0, 0.0)
+    else
+      let tio = io *. float_of_int (chunks * j) in
+      let tcomp = comp *. float_of_int (chunks * j) in
+      if resident = 1 then (tio, tcomp)
+      else
+        let fill = min io comp in
+        let fio, fcomp = if io <= comp then (fill, 0.0) else (0.0, fill) in
+        if tio >= tcomp then (tio +. fio, fcomp) else (fio, tcomp +. fcomp)
+  in
+  let blocks = Kernel.total_blocks p.kernel in
+  let capacity = arch.n_sm * resident in
+  let full_rounds = blocks / capacity in
+  let remainder = blocks mod capacity in
+  let rio_full, rcomp_full = round_parts resident in
+  let rio_last, rcomp_last = round_parts (Ints.ceil_div remainder arch.n_sm) in
+  let f = float_of_int full_rounds in
+  let jf =
+    if jitter then
+      Det_hash.jitter
+        (Det_hash.mix_int p.jitter_seed salt)
+        ~amplitude:jitter_amplitude
+    else 1.0
+  in
+  {
+    Hextime_obs.Attribution.compute = (f *. rcomp_full) +. rcomp_last;
+    global_mem = (f *. rio_full) +. rio_last;
+    shared_mem = 0.0;
+    sync = 0.0;
+    launch = arch.launch_overhead_s;
+    jitter = p.base_s *. (jf -. 1.0);
+  }
+
 let run_kernel_salted ?(jitter = true) ~salt arch (k : Kernel.t) =
   match price arch k with
   | Error _ as e -> e
@@ -201,7 +253,7 @@ let run_kernel_salted ?(jitter = true) ~salt arch (k : Kernel.t) =
 let run_kernel ?jitter arch k = run_kernel_salted ?jitter ~salt:0 arch k
 
 let run_kernel_exact ?(jitter = true) arch (k : Kernel.t) =
-  incr invocation_count;
+  Metrics.incr price_counter;
   match kernel_setup arch k with
   | Error _ as e -> e
   | Ok (_req, occ) ->
@@ -258,6 +310,7 @@ let price_sequence arch kernels =
     go [] kernels
 
 let replay ?(jitter = true) ~salt arch priced =
+  Metrics.incr replay_counter;
   let rec go acc_time acc_stats launches = function
     | [] ->
         {
@@ -274,6 +327,7 @@ let replay ?(jitter = true) ~salt arch priced =
   go 0.0 [] 0 priced
 
 let replay_total ?(jitter = true) ~salt arch priced =
+  Metrics.incr replay_counter;
   List.fold_left
     (fun acc (p, count) ->
       acc +. (priced_time ~jitter ~salt arch p *. float_of_int count))

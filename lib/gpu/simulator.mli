@@ -79,6 +79,18 @@ val priced_stats : ?jitter:bool -> salt:int -> Arch.t -> priced -> kernel_stats
 (** Full per-kernel stats of one salted execution of a priced kernel.
     O(1); performs no pricing. *)
 
+val attribute_priced :
+  ?jitter:bool -> salt:int -> Arch.t -> priced ->
+  Hextime_obs.Attribution.components
+(** Breakdown of one salted execution of a priced kernel: per round the
+    dominant max(io, compute) term is credited to its own side and the
+    pipeline-fill term to the smaller side, so the component sum equals
+    {!priced_time} for the same salt up to float rounding.  [shared_mem]
+    and [sync] are zero here — the simulator's cost model folds both into
+    compute cycles; the analytical model's attribution splits them out.
+    [jitter] is the salted replay's deviation from the priced body and may
+    be negative. *)
+
 val price_sequence :
   Arch.t -> (Kernel.t * int) list -> ((priced * int) list, string) result
 (** Price a program once: each kernel is priced exactly once regardless of

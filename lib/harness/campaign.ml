@@ -32,11 +32,20 @@ let estimate ?(compile_seconds_per_point = 20.0) ?(runs_per_point = 5)
       experiments
   in
   let results, _stats =
-    Parsweep.map exec
-      ~key:(fun (e, config) -> measure_key e config)
-      ~f:(fun ((e : Experiments.t), config) ->
-        Runner.measure e.arch e.problem config)
-      tasks
+    Hextime_obs.Trace.with_span "campaign.estimate"
+      ~args:(fun () -> [ ("tasks", string_of_int (List.length tasks)) ])
+      (fun () ->
+        Parsweep.map exec
+          ~key:(fun (e, config) -> measure_key e config)
+          ~f:(fun ((e : Experiments.t), config) ->
+            Hextime_obs.Trace.with_span "campaign.measure"
+              ~args:(fun () ->
+                [
+                  ("experiment", Experiments.id e);
+                  ("config", Config.id config);
+                ])
+              (fun () -> Runner.measure e.arch e.problem config))
+          tasks)
   in
   (* only configurations that actually build and run cost campaign time;
      rejected ones are reported, not priced — counting them used to inflate

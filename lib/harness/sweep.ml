@@ -51,6 +51,10 @@ let point_key (e : Experiments.t) =
   fun config -> prefix ^ Config.id config
 
 let evaluate params ~citer (e : Experiments.t) config : outcome =
+  Hextime_obs.Trace.with_span "sweep.evaluate"
+    ~args:(fun () ->
+      [ ("experiment", Experiments.id e); ("config", Config.id config) ])
+  @@ fun () ->
   match Model.predict params ~citer e.problem config with
   | Error msg -> `Infeasible_model msg
   | Ok predicted -> (
@@ -65,7 +69,15 @@ let run ?limit ?(exec = Parsweep.serial) (e : Experiments.t) =
   in
   let configs = Baseline.data_points params e.problem |> subsample limit in
   let outcomes, stats =
-    Parsweep.map exec ~key:(point_key e) ~f:(evaluate params ~citer e) configs
+    Hextime_obs.Trace.with_span "sweep.run"
+      ~args:(fun () ->
+        [
+          ("experiment", Experiments.id e);
+          ("configs", string_of_int (List.length configs));
+        ])
+      (fun () ->
+        Parsweep.map exec ~key:(point_key e) ~f:(evaluate params ~citer e)
+          configs)
   in
   let points, infeasible_model, infeasible_runner =
     List.fold_right

@@ -1,0 +1,150 @@
+module Minijson = Hextime_prelude.Minijson
+module Tabulate = Hextime_prelude.Tabulate
+
+type components = {
+  compute : float;
+  global_mem : float;
+  shared_mem : float;
+  sync : float;
+  launch : float;
+  jitter : float;
+}
+
+let zero =
+  {
+    compute = 0.0;
+    global_mem = 0.0;
+    shared_mem = 0.0;
+    sync = 0.0;
+    launch = 0.0;
+    jitter = 0.0;
+  }
+
+let total c =
+  c.compute +. c.global_mem +. c.shared_mem +. c.sync +. c.launch +. c.jitter
+
+let add a b =
+  {
+    compute = a.compute +. b.compute;
+    global_mem = a.global_mem +. b.global_mem;
+    shared_mem = a.shared_mem +. b.shared_mem;
+    sync = a.sync +. b.sync;
+    launch = a.launch +. b.launch;
+    jitter = a.jitter +. b.jitter;
+  }
+
+let scale k c =
+  {
+    compute = k *. c.compute;
+    global_mem = k *. c.global_mem;
+    shared_mem = k *. c.shared_mem;
+    sync = k *. c.sync;
+    launch = k *. c.launch;
+    jitter = k *. c.jitter;
+  }
+
+(* Labels follow the paper's Section 5 terms: c (compute), m' (global
+   memory transfer), shared-memory traffic, tau_sync/T_sync barrier cost,
+   kernel-launch overhead; jitter is the simulator's salted replay
+   adjustment and has no analytical counterpart. *)
+let to_list c =
+  [
+    ("compute", c.compute);
+    ("global_mem", c.global_mem);
+    ("shared_mem", c.shared_mem);
+    ("sync", c.sync);
+    ("launch", c.launch);
+    ("jitter", c.jitter);
+  ]
+
+let components_to_json c =
+  Minijson.Obj (List.map (fun (k, v) -> (k, Minijson.Num v)) (to_list c))
+
+(* --- accumulator ---------------------------------------------------------- *)
+
+type t = { mutable entries : (string * components) list }
+(* newest first; [entries] reverses back to insertion order *)
+
+let create () = { entries = [] }
+
+let record acc label c = acc.entries <- (label, c) :: acc.entries
+
+let entries acc = List.rev acc.entries
+
+let totals acc =
+  List.fold_left (fun sum (_, c) -> add sum c) zero acc.entries
+
+let top_k acc k =
+  let sorted =
+    List.stable_sort
+      (fun (_, a) (_, b) -> Float.compare (total b) (total a))
+      (entries acc)
+  in
+  let rec take n = function
+    | [] -> []
+    | x :: xs -> if n = 0 then [] else x :: take (n - 1) xs
+  in
+  take k sorted
+
+(* --- rendering ------------------------------------------------------------ *)
+
+let pct part whole =
+  if whole = 0.0 then "-" else Printf.sprintf "%.1f%%" (100.0 *. part /. whole)
+
+let render_components ?title c =
+  let t = total c in
+  let tbl =
+    Tabulate.create ?title
+      [ ("component", Tabulate.Left); ("seconds", Tabulate.Right);
+        ("share", Tabulate.Right) ]
+  in
+  let tbl =
+    List.fold_left
+      (fun tbl (name, v) ->
+        Tabulate.add_row tbl [ name; Tabulate.seconds_cell v; pct v t ])
+      tbl (to_list c)
+  in
+  let tbl = Tabulate.add_row tbl [ "total"; Tabulate.seconds_cell t; "" ] in
+  Tabulate.render tbl
+
+let render_top_k ?title acc k =
+  let grand = total (totals acc) in
+  let tbl =
+    Tabulate.create ?title
+      [ ("where", Tabulate.Left); ("total", Tabulate.Right);
+        ("share", Tabulate.Right); ("compute", Tabulate.Right);
+        ("global", Tabulate.Right); ("shared", Tabulate.Right);
+        ("sync", Tabulate.Right); ("launch", Tabulate.Right);
+        ("jitter", Tabulate.Right) ]
+  in
+  let tbl =
+    List.fold_left
+      (fun tbl (label, c) ->
+        Tabulate.add_row tbl
+          [ label; Tabulate.seconds_cell (total c); pct (total c) grand;
+            Tabulate.seconds_cell c.compute;
+            Tabulate.seconds_cell c.global_mem;
+            Tabulate.seconds_cell c.shared_mem;
+            Tabulate.seconds_cell c.sync;
+            Tabulate.seconds_cell c.launch;
+            Tabulate.seconds_cell c.jitter ])
+      tbl (top_k acc k)
+  in
+  Tabulate.render tbl
+
+let to_json acc =
+  Minijson.Obj
+    [
+      ( "entries",
+        Minijson.List
+          (List.map
+             (fun (label, c) ->
+               Minijson.Obj
+                 [
+                   ("label", Minijson.Str label);
+                   ("components", components_to_json c);
+                   ("total", Minijson.Num (total c));
+                 ])
+             (entries acc)) );
+      ("totals", components_to_json (totals acc));
+    ]

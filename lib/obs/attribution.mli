@@ -1,0 +1,50 @@
+(** Cost attribution: breakdown of predicted seconds into the paper's
+    Section 5 components.
+
+    A [components] value answers "where does the predicted time go" for one
+    kernel or sweep point; the accumulator aggregates labelled entries into
+    a top-k table.  Producers (the analytical model, the simulator) live in
+    their own libraries and guarantee that the component sum reconstructs
+    their predicted total; this module only aggregates and renders. *)
+
+type components = {
+  compute : float;      (** c: per-thread compute iterations *)
+  global_mem : float;   (** m': global-memory transfer *)
+  shared_mem : float;   (** shared-memory traffic (0 when folded into compute) *)
+  sync : float;         (** tau_sync / T_sync barrier cost *)
+  launch : float;       (** kernel-launch overhead *)
+  jitter : float;       (** simulator salted-replay adjustment; may be negative *)
+}
+
+val zero : components
+val total : components -> float
+val add : components -> components -> components
+val scale : float -> components -> components
+
+(** Stable (name, value) listing in paper order. *)
+val to_list : components -> (string * float) list
+
+val components_to_json : components -> Hextime_prelude.Minijson.t
+
+(** {1 Aggregation} *)
+
+type t
+
+val create : unit -> t
+
+(** [record acc label c] appends a labelled entry (labels need not be
+    unique; entries keep insertion order). *)
+val record : t -> string -> components -> unit
+
+val entries : t -> (string * components) list
+val totals : t -> components
+
+(** Entries sorted by descending total, truncated to [k] (stable for
+    ties). *)
+val top_k : t -> int -> (string * components) list
+
+(** {1 Rendering} *)
+
+val render_components : ?title:string -> components -> string
+val render_top_k : ?title:string -> t -> int -> string
+val to_json : t -> Hextime_prelude.Minijson.t

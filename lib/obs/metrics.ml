@@ -1,0 +1,269 @@
+module Minijson = Hextime_prelude.Minijson
+module Tabulate = Hextime_prelude.Tabulate
+
+(* --- live metric handles ------------------------------------------------- *)
+
+type counter = { c_name : string; mutable c : int }
+type gauge = { g_name : string; mutable g : float; mutable g_set : bool }
+
+(* log2-bucketed: bucket [i] counts observations v with 2^(i-bucket_bias-1)
+   <= v < 2^(i-bucket_bias); bucket 0 additionally holds everything at or
+   below the smallest bound (including zero and negatives, which the hot
+   paths never produce but a histogram must not crash on) *)
+let bucket_bias = 64
+let bucket_count = 129
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : int array;
+}
+
+(* Three registries, one per kind.  Names are expected to be unique across
+   kinds; [snapshot] renders them in sorted order so output is
+   deterministic.  Creation is find-or-create: modules may declare the same
+   metric at toplevel without coordinating. *)
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 8
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 8
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c = 0 } in
+      Hashtbl.add counters name c;
+      c
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g = 0.0; g_set = false } in
+      Hashtbl.add gauges name g;
+      g
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          h_name = name;
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = infinity;
+          h_max = neg_infinity;
+          h_buckets = Array.make bucket_count 0;
+        }
+      in
+      Hashtbl.add histograms name h;
+      h
+
+let incr ?(by = 1) c = c.c <- c.c + by
+let value c = c.c
+
+let set g v =
+  g.g <- v;
+  g.g_set <- true
+
+let bucket_of v =
+  if not (Float.is_finite v) || v <= 0.0 then 0
+  else
+    let _, e = Float.frexp v in
+    (* v in [2^(e-1), 2^e) *)
+    max 0 (min (bucket_count - 1) (e + bucket_bias))
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let i = bucket_of v in
+  h.h_buckets.(i) <- h.h_buckets.(i) + 1
+
+(* --- snapshots ------------------------------------------------------------ *)
+
+type hist_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+  hs_buckets : (int * int) list;  (* (bucket index, count), sparse *)
+}
+
+type snapshot = {
+  snap_counters : (string * int) list;
+  snap_gauges : (string * float) list;
+  snap_histograms : (string * hist_snapshot) list;
+}
+
+let sorted_by_name xs = List.sort (fun (a, _) (b, _) -> String.compare a b) xs
+
+let snapshot () =
+  let cs =
+    Hashtbl.fold (fun name c acc -> (name, c.c) :: acc) counters []
+  in
+  let gs =
+    Hashtbl.fold
+      (fun name g acc -> if g.g_set then (name, g.g) :: acc else acc)
+      gauges []
+  in
+  let hs =
+    Hashtbl.fold
+      (fun name h acc ->
+        let buckets = ref [] in
+        for i = bucket_count - 1 downto 0 do
+          if h.h_buckets.(i) > 0 then buckets := (i, h.h_buckets.(i)) :: !buckets
+        done;
+        ( name,
+          {
+            hs_count = h.h_count;
+            hs_sum = h.h_sum;
+            hs_min = h.h_min;
+            hs_max = h.h_max;
+            hs_buckets = !buckets;
+          } )
+        :: acc)
+      histograms []
+  in
+  {
+    snap_counters = sorted_by_name cs;
+    snap_gauges = sorted_by_name gs;
+    snap_histograms = sorted_by_name hs;
+  }
+
+let empty =
+  { snap_counters = []; snap_gauges = []; snap_histograms = [] }
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c <- 0) counters;
+  Hashtbl.iter
+    (fun _ g ->
+      g.g <- 0.0;
+      g.g_set <- false)
+    gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      h.h_count <- 0;
+      h.h_sum <- 0.0;
+      h.h_min <- infinity;
+      h.h_max <- neg_infinity;
+      Array.fill h.h_buckets 0 bucket_count 0)
+    histograms
+
+(* merge two sorted association lists with a combining function *)
+let merge_assoc combine xs ys =
+  let rec go xs ys acc =
+    match (xs, ys) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | ((kx, vx) as x) :: xs', ((ky, vy) as y) :: ys' ->
+        let c = String.compare kx ky in
+        if c < 0 then go xs' ys (x :: acc)
+        else if c > 0 then go xs ys' (y :: acc)
+        else go xs' ys' ((kx, combine vx vy) :: acc)
+  in
+  go xs ys []
+
+let merge_hist a b =
+  let buckets =
+    let rec go xs ys acc =
+      match (xs, ys) with
+      | [], rest | rest, [] -> List.rev_append acc rest
+      | ((ix, cx) as x) :: xs', ((iy, cy) as y) :: ys' ->
+          if ix < iy then go xs' ys (x :: acc)
+          else if ix > iy then go xs ys' (y :: acc)
+          else go xs' ys' ((ix, cx + cy) :: acc)
+    in
+    go a.hs_buckets b.hs_buckets []
+  in
+  {
+    hs_count = a.hs_count + b.hs_count;
+    hs_sum = a.hs_sum +. b.hs_sum;
+    hs_min = Float.min a.hs_min b.hs_min;
+    hs_max = Float.max a.hs_max b.hs_max;
+    hs_buckets = buckets;
+  }
+
+let merge a b =
+  {
+    snap_counters = merge_assoc ( + ) a.snap_counters b.snap_counters;
+    (* a gauge is "last observed value": the right operand wins *)
+    snap_gauges = merge_assoc (fun _ y -> y) a.snap_gauges b.snap_gauges;
+    snap_histograms = merge_assoc merge_hist a.snap_histograms b.snap_histograms;
+  }
+
+let absorb s =
+  List.iter (fun (name, v) -> incr ~by:v (counter name)) s.snap_counters;
+  List.iter (fun (name, v) -> set (gauge name) v) s.snap_gauges;
+  List.iter
+    (fun (name, hs) ->
+      let h = histogram name in
+      h.h_count <- h.h_count + hs.hs_count;
+      h.h_sum <- h.h_sum +. hs.hs_sum;
+      if hs.hs_min < h.h_min then h.h_min <- hs.hs_min;
+      if hs.hs_max > h.h_max then h.h_max <- hs.hs_max;
+      List.iter
+        (fun (i, c) ->
+          if i >= 0 && i < bucket_count then
+            h.h_buckets.(i) <- h.h_buckets.(i) + c)
+        hs.hs_buckets)
+    s.snap_histograms
+
+(* --- export --------------------------------------------------------------- *)
+
+let bucket_label i =
+  if i = 0 then "<=2^-64" else Printf.sprintf "<2^%d" (i - bucket_bias)
+
+let to_json s =
+  let num f = Minijson.Num f in
+  Minijson.Obj
+    [
+      ( "counters",
+        Minijson.Obj
+          (List.map
+             (fun (k, v) -> (k, num (float_of_int v)))
+             s.snap_counters) );
+      ( "gauges",
+        Minijson.Obj (List.map (fun (k, v) -> (k, num v)) s.snap_gauges) );
+      ( "histograms",
+        Minijson.Obj
+          (List.map
+             (fun (k, hs) ->
+               ( k,
+                 Minijson.Obj
+                   [
+                     ("count", num (float_of_int hs.hs_count));
+                     ("sum", num hs.hs_sum);
+                     ("min", num hs.hs_min);
+                     ("max", num hs.hs_max);
+                     ( "buckets",
+                       Minijson.Obj
+                         (List.map
+                            (fun (i, c) ->
+                              (bucket_label i, num (float_of_int c)))
+                            hs.hs_buckets) );
+                   ] ))
+             s.snap_histograms) );
+    ]
+
+let render s =
+  let buf = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter (fun (k, v) -> pf "%-40s %d\n" k v) s.snap_counters;
+  List.iter (fun (k, v) -> pf "%-40s %.6g\n" k v) s.snap_gauges;
+  List.iter
+    (fun (k, hs) ->
+      if hs.hs_count = 0 then pf "%-40s (empty)\n" k
+      else
+        pf "%-40s n=%d mean=%s min=%s max=%s\n" k hs.hs_count
+          (Tabulate.seconds_cell (hs.hs_sum /. float_of_int hs.hs_count))
+          (Tabulate.seconds_cell hs.hs_min)
+          (Tabulate.seconds_cell hs.hs_max))
+    s.snap_histograms;
+  Buffer.contents buf
+
+let find_counter s name = List.assoc_opt name s.snap_counters

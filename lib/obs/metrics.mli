@@ -1,0 +1,71 @@
+(** Process-wide metrics registry: named counters, gauges and log2-bucketed
+    histograms.
+
+    Counters are always on — incrementing one is a single [int] mutation, so
+    hot paths (simulator pricing, cache lookups, eventsim fast-forward)
+    register their handles at module-load time and bump them
+    unconditionally.  The registry only pays for rendering when a
+    [snapshot] is taken.
+
+    Snapshots are pure, marshal-safe data.  A forked worker calls [reset]
+    when it starts serving (dropping counts inherited from the parent
+    image), then ships [snapshot () ] back with each result; the
+    coordinator [absorb]s them, which fixes the classic fork-loses-counters
+    hole. *)
+
+type counter
+type gauge
+type histogram
+
+(** Find-or-create by name.  Handles are interned: two calls with the same
+    name return the same live metric. *)
+val counter : string -> counter
+
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val incr : ?by:int -> counter -> unit
+val value : counter -> int
+val set : gauge -> float -> unit
+
+(** [observe h v] records [v] into the log2 bucket holding it (bucket edges
+    at powers of two from 2^-64 to 2^64; out-of-range and non-finite values
+    clamp to the edge buckets). *)
+val observe : histogram -> float -> unit
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+  hs_buckets : (int * int) list;  (** (bucket index, count), sparse, sorted *)
+}
+
+type snapshot = {
+  snap_counters : (string * int) list;   (** sorted by name *)
+  snap_gauges : (string * float) list;   (** sorted by name; only set gauges *)
+  snap_histograms : (string * hist_snapshot) list;  (** sorted by name *)
+}
+
+val empty : snapshot
+val snapshot : unit -> snapshot
+
+(** Zero every registered metric (handles stay valid). *)
+val reset : unit -> unit
+
+(** Pointwise combination: counters and histograms add; for gauges the
+    right operand wins (a gauge is "last observed value"). *)
+val merge : snapshot -> snapshot -> snapshot
+
+(** Add a snapshot into the live registry (counters/histograms accumulate,
+    gauges overwrite).  This is how the sweep coordinator folds worker
+    snapshots back in. *)
+val absorb : snapshot -> unit
+
+val find_counter : snapshot -> string -> int option
+val to_json : snapshot -> Hextime_prelude.Minijson.t
+
+(** Human-readable one-metric-per-line dump (sorted, deterministic). *)
+val render : snapshot -> string

@@ -1,0 +1,87 @@
+(** Span tracer exporting Chrome trace-event JSON (loadable in
+    chrome://tracing or {{:https://ui.perfetto.dev}Perfetto}).
+
+    Tracing is {b off by default}: [with_span] costs one [ref] read when
+    disabled and argument thunks are only forced on the enabled path, so
+    instrumented hot code stays free.  Event timestamps are microseconds
+    since a wall-clock epoch captured at module load; forked workers
+    inherit the epoch, so worker events [absorb]ed by the coordinator share
+    its time base. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : string;      (** "X" complete, "B"/"E" begin/end, "i" instant *)
+  ev_ts_us : float;    (** start, microseconds since epoch *)
+  ev_dur_us : float;   (** duration for "X" events; 0 otherwise *)
+  ev_pid : int;
+  ev_tid : int;
+  ev_args : (string * string) list;
+}
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** Microseconds since the trace epoch. *)
+val now_us : unit -> float
+
+(** Construct an event without recording it ([ev_pid] is the calling
+    process).  Used by the pool's flight recorder, which keeps its own ring
+    even when tracing is off. *)
+val make :
+  ?cat:string ->
+  ?args:(string * string) list ->
+  ?ph:string ->
+  ?dur_us:float ->
+  ts_us:float ->
+  string ->
+  event
+
+(** Record an event unconditionally (no [enabled] check — callers that want
+    gating use [with_span]/[instant]). *)
+val emit : event -> unit
+
+(** [with_span name f] runs [f] inside a complete ("X") span when tracing
+    is enabled, otherwise just runs [f].  [args] is a thunk so building the
+    key:value list costs nothing when disabled.  The span is recorded even
+    if [f] raises. *)
+val with_span :
+  ?cat:string -> ?args:(unit -> (string * string) list) -> string ->
+  (unit -> 'a) -> 'a
+
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+
+(** All recorded events, oldest first. *)
+val events : unit -> event list
+
+val num_events : unit -> int
+
+(** Last [n] events, oldest first. *)
+val recent : int -> event list
+
+(** Return all events and clear the buffer. *)
+val drain : unit -> event list
+
+(** Clear the buffer (workers call this after fork to drop inherited
+    events). *)
+val reset : unit -> unit
+
+(** Append events recorded elsewhere (e.g. marshalled back from a
+    worker). *)
+val absorb : event list -> unit
+
+(** Chrome trace-event JSON: an object with a [traceEvents] array plus any
+    [extra] top-level members (e.g. a merged metrics snapshot). *)
+val to_json :
+  ?extra:(string * Hextime_prelude.Minijson.t) list ->
+  event list ->
+  Hextime_prelude.Minijson.t
+
+val write_file :
+  ?extra:(string * Hextime_prelude.Minijson.t) list ->
+  string -> event list -> unit
+
+(** One-line human rendering, used by the pool flight recorder's failure
+    reports. *)
+val render_event : event -> string

@@ -1,4 +1,11 @@
 module Det_hash = Hextime_prelude.Det_hash
+module Metrics = Hextime_obs.Metrics
+
+(* the record fields below are per-cache-instance; these registry counters
+   are the process-wide view the metrics snapshot reports *)
+let hit_counter = Metrics.counter "cache.hit"
+let miss_counter = Metrics.counter "cache.miss"
+let write_counter = Metrics.counter "cache.write"
 
 type t = {
   dir : string;
@@ -44,6 +51,7 @@ let get (type a) t ~key : a option =
   match open_in_bin (path_of t key) with
   | exception Sys_error _ ->
       t.misses <- t.misses + 1;
+      Metrics.incr miss_counter;
       None
   | ic ->
       let entry : (string * a) option =
@@ -53,9 +61,11 @@ let get (type a) t ~key : a option =
       (match entry with
       | Some (k, v) when String.equal k key ->
           t.hits <- t.hits + 1;
+          Metrics.incr hit_counter;
           Some v
       | Some _ | None ->
           t.misses <- t.misses + 1;
+          Metrics.incr miss_counter;
           None)
 
 let put t ~key v =
@@ -73,7 +83,9 @@ let put t ~key v =
       close_out_noerr oc;
       if written then begin
         match Sys.rename tmp path with
-        | () -> t.writes <- t.writes + 1
+        | () ->
+            t.writes <- t.writes + 1;
+            Metrics.incr write_counter
         | exception Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ())
       end
       else try Sys.remove tmp with Sys_error _ -> ()

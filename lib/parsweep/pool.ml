@@ -1,3 +1,6 @@
+module Metrics = Hextime_obs.Metrics
+module Trace = Hextime_obs.Trace
+
 type 'b outcome = ('b, string) result
 
 type stats = {
@@ -8,6 +11,72 @@ type stats = {
 }
 
 let zero = { completed = 0; crashed = 0; retried = 0; failed = 0 }
+
+(* Parent-side pool metrics.  The task-latency histogram is observed where
+   the result is recorded, so it covers both the forked and the in-process
+   path. *)
+let tasks_counter = Metrics.counter "pool.tasks"
+let crash_counter = Metrics.counter "pool.worker_deaths"
+let retry_counter = Metrics.counter "pool.retries"
+let timeout_counter = Metrics.counter "pool.timeouts"
+let failure_counter = Metrics.counter "pool.failures"
+let task_hist = Metrics.histogram "pool.task_seconds"
+
+(* Everything a worker sends back per task: the outcome, plus the task's
+   metrics delta and span events.  The worker resets its registry at serve
+   start (dropping state inherited through the fork) and again after each
+   snapshot, so absorbing every envelope leaves the coordinator's totals
+   exactly as if the work had run in-process — this is the fix for
+   fork-boundary counter loss. *)
+type 'b envelope = {
+  env_index : int;
+  env_outcome : 'b outcome;
+  env_metrics : Metrics.snapshot;
+  env_spans : Trace.event list;
+}
+
+(* --- crash flight recorder ----------------------------------------------- *)
+
+(* Each worker keeps a ring of its last [flight_limit] span events and
+   persists it to a per-pid file before starting and after finishing every
+   task.  A worker that is SIGKILLed (timeout) or dies mid-task leaves the
+   file behind; the parent folds its rendered tail into the failure
+   report, so "what was that worker doing" survives the kill. *)
+let flight_limit = 32
+
+let flight_path dir pid = Filename.concat dir (Printf.sprintf "%d.flight" pid)
+
+let persist_flight dir (events : Trace.event list) =
+  let path = flight_path dir (Unix.getpid ()) in
+  let tmp = path ^ ".tmp" in
+  match open_out_bin tmp with
+  | exception Sys_error _ -> ()
+  | oc ->
+      let ok = try Marshal.to_channel oc events []; true with _ -> false in
+      close_out_noerr oc;
+      if ok then (try Sys.rename tmp path with Sys_error _ -> ())
+      else (try Sys.remove tmp with Sys_error _ -> ())
+
+let read_flight dir pid : Trace.event list =
+  match open_in_bin (flight_path dir pid) with
+  | exception Sys_error _ -> []
+  | ic ->
+      let evs =
+        try (Marshal.from_channel ic : Trace.event list) with _ -> []
+      in
+      close_in_noerr ic;
+      evs
+
+let remove_flight dir pid =
+  try Sys.remove (flight_path dir pid) with Sys_error _ -> ()
+
+let flight_report dir pid =
+  match read_flight dir pid with
+  | [] -> ""
+  | evs ->
+      Printf.sprintf "\nflight recorder (worker %d, last %d events):\n  %s"
+        pid (List.length evs)
+        (String.concat "\n  " (List.map Trace.render_event evs))
 
 let default_jobs () =
   match Sys.getenv_opt "HEXTIME_JOBS" with
@@ -28,7 +97,7 @@ type worker = {
 (* Spawn one worker.  [peers] are the currently-live workers: the child
    inherits their pipe ends across the fork and must close them, otherwise
    the parent can never observe EOF on a crashed sibling. *)
-let spawn ~peers f (tasks : 'a array) =
+let spawn ~flight ~peers f (tasks : 'a array) =
   flush stdout;
   flush stderr;
   let task_r, task_w = Unix.pipe () in
@@ -45,15 +114,53 @@ let spawn ~peers f (tasks : 'a array) =
       Unix.close res_r;
       let ic = Unix.in_channel_of_descr task_r in
       let oc = Unix.out_channel_of_descr res_w in
+      (* drop metric counts and spans inherited through the fork: each
+         envelope must carry only this worker's own delta, or the
+         coordinator would double-count its pre-fork state *)
+      Metrics.reset ();
+      Trace.reset ();
+      let ring = ref [] in
+      let push ev =
+        let rec take k = function
+          | [] -> []
+          | x :: xs -> if k = 0 then [] else x :: take (k - 1) xs
+        in
+        ring := take flight_limit (ev :: !ring)
+      in
       let rec serve () =
         match (Marshal.from_channel ic : int) with
         | exception _ -> Unix._exit 0
         | i when i < 0 -> Unix._exit 0
         | i ->
+            let t0 = Trace.now_us () in
+            push
+              (Trace.make ~cat:"pool" ~ph:"B" ~ts_us:t0
+                 ~args:[ ("index", string_of_int i) ]
+                 "pool.task");
+            persist_flight flight (List.rev !ring);
             let r : 'b outcome =
               try Ok (f tasks.(i)) with e -> Error (Printexc.to_string e)
             in
-            Marshal.to_channel oc (i, r) [];
+            let task_ev =
+              Trace.make ~cat:"pool" ~ph:"X" ~ts_us:t0
+                ~dur_us:(Trace.now_us () -. t0)
+                ~args:[ ("index", string_of_int i) ]
+                "pool.task"
+            in
+            if Trace.enabled () then Trace.emit task_ev;
+            let spans = Trace.drain () in
+            List.iter push (match spans with [] -> [ task_ev ] | evs -> evs);
+            persist_flight flight (List.rev !ring);
+            let env =
+              {
+                env_index = i;
+                env_outcome = r;
+                env_metrics = Metrics.snapshot ();
+                env_spans = spans;
+              }
+            in
+            Metrics.reset ();
+            Marshal.to_channel oc env [];
             flush oc;
             serve ()
       in
@@ -74,7 +181,10 @@ let in_process ~on_result ~f tasks results =
   let completed = ref 0 in
   Array.iteri
     (fun i t ->
+      let t0 = Unix.gettimeofday () in
       let r = try Ok (f t) with e -> Error (Printexc.to_string e) in
+      Metrics.incr tasks_counter;
+      Metrics.observe task_hist (Unix.gettimeofday () -. t0);
       results.(i) <- r;
       incr completed;
       on_result i r)
@@ -96,10 +206,23 @@ let map ?jobs ?(timeout_s = 600.0) ?(retries = 1) ?(on_result = fun _ _ -> ())
       try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
       with Invalid_argument _ | Sys_error _ -> None
     in
+    let flight =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "hextime-flight-%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir flight 0o700
+     with Unix.Unix_error (Unix.EEXIST, _, _) | Unix.Unix_error _ -> ());
     Fun.protect ~finally:(fun () ->
-        match prev_sigpipe with
+        (match prev_sigpipe with
         | Some h -> ( try Sys.set_signal Sys.sigpipe h with _ -> ())
-        | None -> ())
+        | None -> ());
+        (try
+           Array.iter
+             (fun f -> try Sys.remove (Filename.concat flight f) with Sys_error _ -> ())
+             (Sys.readdir flight)
+         with Sys_error _ -> ());
+        try Unix.rmdir flight with Unix.Unix_error _ -> ())
     @@ fun () ->
     let attempts = Array.make n 0 in
     let next = ref 0 in
@@ -130,7 +253,8 @@ let map ?jobs ?(timeout_s = 600.0) ?(retries = 1) ?(on_result = fun _ _ -> ())
        with Sys_error _ | Unix.Unix_error _ -> ());
       close_out_noerr w.to_child;
       close_in_noerr w.from_child;
-      reap w.pid
+      reap w.pid;
+      remove_flight flight w.pid
     in
     let kill_worker w =
       (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
@@ -162,28 +286,34 @@ let map ?jobs ?(timeout_s = 600.0) ?(retries = 1) ?(on_result = fun _ _ -> ())
     in
     let handle_death w reason =
       incr crashed;
+      Metrics.incr crash_counter;
       (match w.task with
       | None -> ()
       | Some i ->
           w.task <- None;
           if attempts.(i) <= retries then begin
             incr retried;
+            Metrics.incr retry_counter;
             Queue.add i requeue
           end
           else begin
             incr failed;
-            record i (Error reason)
+            Metrics.incr failure_counter;
+            (* fold the dead worker's persisted span tail into the report:
+               the last thing it was doing survives the kill *)
+            record i (Error (reason ^ flight_report flight w.pid))
           end);
+      remove_flight flight w.pid;
       remove w;
       kill_worker w;
       if Queue.length requeue > 0 || !next < n then begin
-        let nw = spawn ~peers:!workers f tasks in
+        let nw = spawn ~flight ~peers:!workers f tasks in
         workers := nw :: !workers;
         assign nw
       end
     in
     for _ = 1 to min jobs n do
-      let w = spawn ~peers:!workers f tasks in
+      let w = spawn ~flight ~peers:!workers f tasks in
       workers := w :: !workers
     done;
     List.iter assign !workers;
@@ -199,7 +329,7 @@ let map ?jobs ?(timeout_s = 600.0) ?(retries = 1) ?(on_result = fun _ _ -> ())
             done_count := n
         | Some i ->
             Queue.add i requeue;
-            let w = spawn ~peers:!workers f tasks in
+            let w = spawn ~flight ~peers:!workers f tasks in
             workers := w :: !workers;
             assign w
       else begin
@@ -219,11 +349,16 @@ let map ?jobs ?(timeout_s = 600.0) ?(retries = 1) ?(on_result = fun _ _ -> ())
             match List.find_opt (fun w -> w.from_fd = fd) !workers with
             | None -> () (* worker was retired while draining this round *)
             | Some w -> (
-                match (Marshal.from_channel w.from_child : int * 'b outcome) with
+                match (Marshal.from_channel w.from_child : 'b envelope) with
                 | exception _ -> handle_death w "parsweep: worker crashed"
-                | i, r ->
+                | env ->
+                    Metrics.absorb env.env_metrics;
+                    Trace.absorb env.env_spans;
+                    Metrics.incr tasks_counter;
+                    Metrics.observe task_hist
+                      (Unix.gettimeofday () -. w.started);
                     incr completed;
-                    record i r;
+                    record env.env_index env.env_outcome;
                     w.task <- None;
                     assign w))
           readable;
@@ -232,6 +367,7 @@ let map ?jobs ?(timeout_s = 600.0) ?(retries = 1) ?(on_result = fun _ _ -> ())
           (fun w ->
             match w.task with
             | Some _ when now -. w.started > timeout_s ->
+                Metrics.incr timeout_counter;
                 handle_death w
                   (Printf.sprintf "parsweep: worker timed out after %.0fs"
                      timeout_s)

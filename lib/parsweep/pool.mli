@@ -19,7 +19,18 @@
     Determinism: results land in the output array at their task index, so
     the collected output is ordered exactly as the input regardless of
     completion order.  With a deterministic [f] the output is bit-identical
-    to an in-process run. *)
+    to an in-process run.
+
+    Observability: each worker result is an envelope additionally carrying
+    the task's {!Hextime_obs.Metrics} snapshot delta and its
+    {!Hextime_obs.Trace} span events; the parent absorbs both, so counters
+    bumped inside [f] (simulator pricings, occupancy memo hits, ...) and
+    spans recorded there survive the fork boundary and aggregate correctly
+    under any [jobs].  Workers also persist a ring of their last span
+    events to a per-pid flight-recorder file around every task; when a
+    worker is killed (crash or timeout) and its task exhausts its retries,
+    the recorded [Error] report embeds the rendered tail — what the worker
+    was last doing. *)
 
 type 'b outcome = ('b, string) result
 

@@ -24,8 +24,15 @@ let escape s =
     s;
   Buffer.contents buf
 
+(* JSON has no literal for non-finite numbers; emitting %g's "nan"/"inf"
+   would make the document unparseable.  Encode them as the strings JSON
+   tooling conventionally uses (they parse back as [Str], which callers
+   that care can detect). *)
 let render_number f =
-  if Float.is_integer f && Float.abs f < 1e15 then
+  if Float.is_nan f then "\"NaN\""
+  else if f = Float.infinity then "\"Infinity\""
+  else if f = Float.neg_infinity then "\"-Infinity\""
+  else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.0f" f
   else Printf.sprintf "%.17g" f
 

@@ -15,7 +15,10 @@ type t =
   | Obj of (string * t) list
 
 val render : t -> string
-(** Render with two-space indentation and a trailing newline. *)
+(** Render with two-space indentation and a trailing newline.  Non-finite
+    numbers have no JSON literal and are rendered deterministically as the
+    strings ["NaN"], ["Infinity"] and ["-Infinity"] (so they parse back as
+    [Str], never as invalid bare [nan]/[inf] tokens). *)
 
 val parse : string -> (t, string) result
 (** Parse a complete JSON document; [Error] carries the offset and reason.

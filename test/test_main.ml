@@ -14,5 +14,6 @@ let () =
       ("codegen", Test_codegen.suite);
       ("analysis", Test_analysis.suite);
       ("parsweep", Test_parsweep.suite);
+      ("obs", Test_obs.suite);
       ("extensions", Test_extensions.suite);
     ]

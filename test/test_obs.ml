@@ -1,0 +1,405 @@
+(* hexscope: the metrics registry, the span tracer, Minijson's non-finite
+   rendering, and the cost-attribution producers (the analytical model and
+   the simulator), whose component sums must rebuild the predicted totals. *)
+
+module Obs = Hextime_obs
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
+module Attribution = Obs.Attribution
+module Minijson = Hextime_prelude.Minijson
+module Gpu = Hextime_gpu
+module S = Hextime_stencil.Stencil
+module P = Hextime_stencil.Problem
+module Config = Hextime_tiling.Config
+module Lower = Hextime_tiling.Lower
+module Model = Hextime_core.Model
+module H = Hextime_harness
+module Parsweep = Hextime_parsweep.Parsweep
+
+(* tracing is process-global state; every test that enables it must leave
+   it the way it found it, or an unrelated test's spans leak into ours *)
+let with_tracing f =
+  Trace.enable ();
+  Fun.protect ~finally:(fun () -> Trace.disable ()) f
+
+(* --- Metrics --------------------------------------------------------------- *)
+
+let test_counter_gauge_histogram () =
+  let c = Metrics.counter "test.obs.counter" in
+  let base = Metrics.value c in
+  Metrics.incr c;
+  Metrics.incr c ~by:41;
+  Alcotest.(check int) "counter accumulates" (base + 42) (Metrics.value c);
+  Alcotest.(check bool) "handles are interned" true
+    (Metrics.value (Metrics.counter "test.obs.counter") = base + 42);
+  Metrics.set (Metrics.gauge "test.obs.gauge") 2.5;
+  let h = Metrics.histogram "test.obs.hist" in
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 3.0; 3.9 ];
+  let snap = Metrics.snapshot () in
+  Alcotest.(check (option int)) "counter in snapshot" (Some (base + 42))
+    (Metrics.find_counter snap "test.obs.counter");
+  Alcotest.(check (option (float 1e-12))) "gauge in snapshot" (Some 2.5)
+    (List.assoc_opt "test.obs.gauge" snap.Metrics.snap_gauges);
+  match List.assoc_opt "test.obs.hist" snap.Metrics.snap_histograms with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some hs ->
+      Alcotest.(check int) "histogram count" 4 hs.Metrics.hs_count;
+      Alcotest.(check (float 1e-12)) "histogram sum" 8.9 hs.Metrics.hs_sum;
+      Alcotest.(check (float 1e-12)) "histogram min" 0.5 hs.Metrics.hs_min;
+      Alcotest.(check (float 1e-12)) "histogram max" 3.9 hs.Metrics.hs_max;
+      (* 1.5 lands in [1,2); 3.0 and 3.9 share [2,4) *)
+      Alcotest.(check int) "log2 bucketing groups same-magnitude values" 3
+        (List.length hs.Metrics.hs_buckets);
+      Alcotest.(check int) "largest bucket holds two" 2
+        (List.fold_left (fun acc (_, n) -> max acc n) 0 hs.Metrics.hs_buckets)
+
+let test_merge_and_absorb () =
+  (* literal snapshots: merge semantics without registry cross-talk *)
+  let hist ~count ~sum ~mn ~mx ~buckets =
+    {
+      Metrics.hs_count = count;
+      hs_sum = sum;
+      hs_min = mn;
+      hs_max = mx;
+      hs_buckets = buckets;
+    }
+  in
+  let a =
+    {
+      Metrics.snap_counters = [ ("only.a", 3); ("shared", 10) ];
+      snap_gauges = [ ("g", 1.0) ];
+      snap_histograms =
+        [ ("h", hist ~count:1 ~sum:1.0 ~mn:1.0 ~mx:1.0 ~buckets:[ (64, 1) ]) ];
+    }
+  in
+  let b =
+    {
+      Metrics.snap_counters = [ ("only.b", 5); ("shared", 32) ];
+      snap_gauges = [ ("g", 9.0) ];
+      snap_histograms =
+        [
+          ( "h",
+            hist ~count:2 ~sum:6.0 ~mn:2.0 ~mx:4.0
+              ~buckets:[ (65, 1); (66, 1) ] );
+        ];
+    }
+  in
+  let m = Metrics.merge a b in
+  Alcotest.(check (option int)) "left-only counter kept" (Some 3)
+    (Metrics.find_counter m "only.a");
+  Alcotest.(check (option int)) "right-only counter kept" (Some 5)
+    (Metrics.find_counter m "only.b");
+  Alcotest.(check (option int)) "shared counters add" (Some 42)
+    (Metrics.find_counter m "shared");
+  Alcotest.(check (option (float 1e-12))) "gauge: right wins" (Some 9.0)
+    (List.assoc_opt "g" m.Metrics.snap_gauges);
+  (match List.assoc_opt "h" m.Metrics.snap_histograms with
+  | None -> Alcotest.fail "merged histogram missing"
+  | Some hs ->
+      Alcotest.(check int) "histogram counts add" 3 hs.Metrics.hs_count;
+      Alcotest.(check (float 1e-12)) "histogram sums add" 7.0 hs.Metrics.hs_sum;
+      Alcotest.(check (float 1e-12)) "histogram min combines" 1.0
+        hs.Metrics.hs_min;
+      Alcotest.(check (float 1e-12)) "histogram max combines" 4.0
+        hs.Metrics.hs_max;
+      Alcotest.(check int) "bucket lists union" 3
+        (List.length hs.Metrics.hs_buckets));
+  (* absorb: a worker-style delta lands in the live registry *)
+  let c = Metrics.counter "test.obs.absorb" in
+  let base = Metrics.value c in
+  Metrics.absorb
+    {
+      Metrics.empty with
+      Metrics.snap_counters = [ ("test.obs.absorb", 7) ];
+    };
+  Alcotest.(check int) "absorb adds into live counters" (base + 7)
+    (Metrics.value c)
+
+(* --- Trace ----------------------------------------------------------------- *)
+
+let test_trace_gating () =
+  Alcotest.(check bool) "tracing starts disabled" false (Trace.enabled ());
+  let before = Trace.num_events () in
+  let forced = ref false in
+  let r =
+    Trace.with_span "test.obs.disabled"
+      ~args:(fun () ->
+        forced := true;
+        [])
+      (fun () -> 17)
+  in
+  Alcotest.(check int) "body still runs" 17 r;
+  Alcotest.(check int) "no event recorded when disabled" before
+    (Trace.num_events ());
+  Alcotest.(check bool) "args thunk not forced when disabled" false !forced
+
+let test_trace_records_and_exports () =
+  with_tracing @@ fun () ->
+  Trace.reset ();
+  let r =
+    Trace.with_span "test.obs.span" ~cat:"test"
+      ~args:(fun () -> [ ("answer", "42") ])
+      (fun () -> 42)
+  in
+  Alcotest.(check int) "body result" 42 r;
+  Trace.instant "test.obs.instant";
+  (match Trace.events () with
+  | [ span; inst ] ->
+      Alcotest.(check string) "span name" "test.obs.span" span.Trace.ev_name;
+      Alcotest.(check string) "span phase" "X" span.Trace.ev_ph;
+      Alcotest.(check bool) "span has a duration" true
+        (span.Trace.ev_dur_us >= 0.0);
+      Alcotest.(check int) "span pid is this process" (Unix.getpid ())
+        span.Trace.ev_pid;
+      Alcotest.(check string) "instant phase" "i" inst.Trace.ev_ph
+  | evs -> Alcotest.fail (Printf.sprintf "expected 2 events, got %d"
+                            (List.length evs)));
+  (* export -> parse: the Chrome trace shape survives a round-trip *)
+  let rendered =
+    Minijson.render
+      (Trace.to_json ~extra:[ ("metrics", Metrics.to_json Metrics.empty) ]
+         (Trace.events ()))
+  in
+  match Minijson.parse rendered with
+  | Error e -> Alcotest.fail ("trace JSON does not re-parse: " ^ e)
+  | Ok json -> (
+      (match Minijson.member "traceEvents" json with
+      | Some (Minijson.List evs) ->
+          Alcotest.(check int) "both events exported" 2 (List.length evs);
+          List.iter
+            (fun ev ->
+              Alcotest.(check bool) "every event carries name/ph/ts/pid" true
+                (List.for_all
+                   (fun k -> Minijson.member k ev <> None)
+                   [ "name"; "ph"; "ts"; "pid" ]))
+            evs
+      | _ -> Alcotest.fail "no traceEvents array");
+      match Minijson.member "metrics" json with
+      | Some (Minijson.Obj _) -> Trace.reset ()
+      | _ -> Alcotest.fail "extra top-level member lost")
+
+let test_trace_absorb_preserves_worker_pid () =
+  with_tracing @@ fun () ->
+  Trace.reset ();
+  let foreign =
+    Trace.make ~ts_us:12.0 ~dur_us:3.0 ~ph:"X" "test.obs.foreign"
+  in
+  let foreign = { foreign with Trace.ev_pid = 424242 } in
+  Trace.absorb [ foreign ];
+  (match Trace.events () with
+  | [ ev ] ->
+      Alcotest.(check int) "absorbed event keeps its origin pid" 424242
+        ev.Trace.ev_pid
+  | _ -> Alcotest.fail "absorb should append exactly one event");
+  Trace.reset ()
+
+(* --- Minijson: non-finite floats and round-trips --------------------------- *)
+
+let test_minijson_nonfinite () =
+  let render v = String.trim (Minijson.render v) in
+  Alcotest.(check string) "nan" "\"NaN\"" (render (Minijson.Num Float.nan));
+  Alcotest.(check string) "+inf" "\"Infinity\""
+    (render (Minijson.Num Float.infinity));
+  Alcotest.(check string) "-inf" "\"-Infinity\""
+    (render (Minijson.Num Float.neg_infinity));
+  (* deterministic: embedded in a payload, rendering is parseable JSON *)
+  let payload =
+    Minijson.Obj
+      [ ("ok", Minijson.Num 1.5); ("bad", Minijson.Num (0.0 /. 0.0)) ]
+  in
+  match Minijson.parse (Minijson.render payload) with
+  | Error e -> Alcotest.fail ("non-finite payload does not re-parse: " ^ e)
+  | Ok (Minijson.Obj fields) ->
+      Alcotest.(check bool) "finite member survives" true
+        (List.assoc_opt "ok" fields = Some (Minijson.Num 1.5));
+      (* the documented asymmetry: non-finites come back as strings *)
+      Alcotest.(check bool) "non-finite member comes back as a string" true
+        (List.assoc_opt "bad" fields = Some (Minijson.Str "NaN"))
+  | Ok _ -> Alcotest.fail "payload shape lost"
+
+let test_minijson_roundtrip_nested_large () =
+  let rec eq a b =
+    match (a, b) with
+    | Minijson.Num x, Minijson.Num y -> x = y
+    | Minijson.List xs, Minijson.List ys ->
+        List.length xs = List.length ys && List.for_all2 eq xs ys
+    | Minijson.Obj xs, Minijson.Obj ys ->
+        List.length xs = List.length ys
+        && List.for_all2
+             (fun (k1, v1) (k2, v2) -> k1 = k2 && eq v1 v2)
+             xs ys
+    | x, y -> x = y
+  in
+  let leaf i =
+    Minijson.Obj
+      [
+        ("i", Minijson.Num (float_of_int i));
+        ("x", Minijson.Num (1.0 /. float_of_int (i + 3)));
+        ("s", Minijson.Str (Printf.sprintf "entry \"%d\"\nwith\tescapes" i));
+        ("b", if i mod 2 = 0 then Minijson.Bool true else Minijson.Null);
+      ]
+  in
+  let nested =
+    (* ~1000 leaves under five levels of wrapping: exercises the printer's
+       and parser's recursion and float round-tripping together *)
+    let rec wrap d v =
+      if d = 0 then v
+      else wrap (d - 1) (Minijson.Obj [ (Printf.sprintf "level%d" d, v) ])
+    in
+    wrap 5 (Minijson.List (List.init 1000 leaf))
+  in
+  match Minijson.parse (Minijson.render nested) with
+  | Error e -> Alcotest.fail ("large payload does not re-parse: " ^ e)
+  | Ok back ->
+      Alcotest.(check bool) "structurally identical after round-trip" true
+        (eq nested back)
+
+(* --- Attribution: the model -------------------------------------------------- *)
+
+let heat2d_problem = P.make S.heat2d ~space:[| 2048; 2048 |] ~time:512
+
+let test_model_attribution_sums () =
+  let params = H.Microbench.params Gpu.Arch.gtx980 in
+  let citer = H.Microbench.citer Gpu.Arch.gtx980 S.heat2d in
+  let configs =
+    [
+      Config.make_exn ~t_t:16 ~t_s:[| 16; 64 |] ~threads:[| 256 |];
+      Config.make_exn ~t_t:2 ~t_s:[| 4; 32 |] ~threads:[| 32 |];
+      Config.make_exn ~t_t:10 ~t_s:[| 30; 96 |] ~threads:[| 128 |];
+      Config.make_exn ~t_t:4 ~t_s:[| 8; 64 |] ~threads:[| 64 |];
+    ]
+  in
+  List.iter
+    (fun variant ->
+      List.iter
+        (fun cfg ->
+          match Model.attribution ~variant params ~citer heat2d_problem cfg with
+          | Error msg -> Alcotest.fail ("attribution rejected config: " ^ msg)
+          | Ok (pr, comps) ->
+              let sum = Attribution.total comps in
+              let rel = Float.abs (sum -. pr.Model.talg) /. pr.Model.talg in
+              if rel > 1e-9 then
+                Alcotest.fail
+                  (Printf.sprintf
+                     "components sum %.17g but talg %.17g (rel %.3e) for %s"
+                     sum pr.Model.talg rel (Config.id cfg));
+              Alcotest.(check bool) "no shared-memory time term" true
+                (comps.Attribution.shared_mem = 0.0);
+              Alcotest.(check bool) "launch term is positive" true
+                (comps.Attribution.launch > 0.0))
+        configs)
+    [ Model.Refined; Model.Paper_verbatim ]
+
+let test_model_attribution_matches_predict () =
+  let params = H.Microbench.params Gpu.Arch.gtx980 in
+  let citer = H.Microbench.citer Gpu.Arch.gtx980 S.heat2d in
+  let cfg = Config.make_exn ~t_t:16 ~t_s:[| 16; 64 |] ~threads:[| 256 |] in
+  match
+    ( Model.predict params ~citer heat2d_problem cfg,
+      Model.attribution params ~citer heat2d_problem cfg )
+  with
+  | Ok pr, Ok (pr', _) ->
+      Alcotest.(check bool) "attribution reuses the exact prediction" true
+        (pr = pr')
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+(* --- Attribution: the simulator ---------------------------------------------- *)
+
+let test_simulator_attribution_sums () =
+  let cfg = Config.make_exn ~t_t:16 ~t_s:[| 16; 64 |] ~threads:[| 256 |] in
+  match Lower.compile heat2d_problem cfg with
+  | Error e -> Alcotest.fail ("compile: " ^ e)
+  | Ok compiled -> (
+      match
+        Gpu.Simulator.price_sequence Gpu.Arch.gtx980
+          (Lower.kernel_sequence compiled)
+      with
+      | Error e -> Alcotest.fail ("price: " ^ e)
+      | Ok priced ->
+          Alcotest.(check bool) "both kernel families priced" true
+            (List.length priced = 2);
+          List.iter
+            (fun ((p : Gpu.Simulator.priced), _count) ->
+              List.iter
+                (fun salt ->
+                  let t = Gpu.Simulator.priced_time ~salt Gpu.Arch.gtx980 p in
+                  let comps =
+                    Gpu.Simulator.attribute_priced ~salt Gpu.Arch.gtx980 p
+                  in
+                  let sum = Attribution.total comps in
+                  let rel = Float.abs (sum -. t) /. t in
+                  if rel > 1e-9 then
+                    Alcotest.fail
+                      (Printf.sprintf
+                         "salt %d: components sum %.17g but priced_time %.17g \
+                          (rel %.3e)"
+                         salt sum t rel))
+                [ 0; 1; 2; 3; 4 ];
+              (* jitter off: the jitter component must vanish exactly *)
+              let plain =
+                Gpu.Simulator.attribute_priced ~jitter:false ~salt:0
+                  Gpu.Arch.gtx980 p
+              in
+              Alcotest.(check (float 0.0)) "no jitter term when disabled" 0.0
+                plain.Attribution.jitter)
+            priced)
+
+let test_attribution_accumulator () =
+  let acc = Attribution.create () in
+  let c v = { Attribution.zero with Attribution.compute = v } in
+  Attribution.record acc "small" (c 1.0);
+  Attribution.record acc "big" (c 5.0);
+  Attribution.record acc "medium" (c 2.0);
+  Alcotest.(check (float 1e-12)) "totals add" 8.0
+    (Attribution.total (Attribution.totals acc));
+  (match Attribution.top_k acc 2 with
+  | [ (l1, _); (l2, _) ] ->
+      Alcotest.(check string) "largest first" "big" l1;
+      Alcotest.(check string) "then next" "medium" l2
+  | _ -> Alcotest.fail "top_k 2 should keep two entries");
+  Alcotest.(check int) "entries keep insertion order" 3
+    (List.length (Attribution.entries acc))
+
+(* --- provably free: sweep output is identical with tracing on --------------- *)
+
+let test_sweep_identical_under_tracing () =
+  let experiment =
+    {
+      H.Experiments.arch = Gpu.Arch.gtx980;
+      problem = P.make S.heat2d ~space:[| 512; 512 |] ~time:128;
+    }
+  in
+  let csv_of sweep = H.Export.sweep_csv sweep.H.Sweep.points in
+  let plain = csv_of (H.Sweep.baseline ~limit:40 experiment) in
+  let traced =
+    with_tracing (fun () -> csv_of (H.Sweep.baseline ~limit:40 experiment))
+  in
+  Trace.reset ();
+  Alcotest.(check string) "sweep CSV byte-identical with tracing enabled"
+    plain traced
+
+let suite =
+  [
+    Alcotest.test_case "counter, gauge, histogram" `Quick
+      test_counter_gauge_histogram;
+    Alcotest.test_case "merge and absorb" `Quick test_merge_and_absorb;
+    Alcotest.test_case "trace gating" `Quick test_trace_gating;
+    Alcotest.test_case "trace records and exports" `Quick
+      test_trace_records_and_exports;
+    Alcotest.test_case "trace absorb keeps worker pid" `Quick
+      test_trace_absorb_preserves_worker_pid;
+    Alcotest.test_case "minijson non-finite floats" `Quick
+      test_minijson_nonfinite;
+    Alcotest.test_case "minijson nested/large round-trip" `Quick
+      test_minijson_roundtrip_nested_large;
+    Alcotest.test_case "model attribution sums to talg" `Quick
+      test_model_attribution_sums;
+    Alcotest.test_case "attribution reuses the prediction" `Quick
+      test_model_attribution_matches_predict;
+    Alcotest.test_case "simulator attribution sums to priced time" `Quick
+      test_simulator_attribution_sums;
+    Alcotest.test_case "attribution accumulator top-k" `Quick
+      test_attribution_accumulator;
+    Alcotest.test_case "sweep identical under tracing" `Quick
+      test_sweep_identical_under_tracing;
+  ]

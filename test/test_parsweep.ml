@@ -146,6 +146,106 @@ let test_pool_timeout () =
     results;
   Alcotest.(check int) "one task abandoned" 1 stats.Pool.failed
 
+(* --- Pool observability ----------------------------------------------------- *)
+
+(* each failure mode must carry the dead worker's flight-recorder tail: the
+   persisted span ring survives SIGKILL, so the failure report can say what
+   the worker was doing when it died *)
+
+let test_pool_crash_report_carries_flight_recorder () =
+  let f i =
+    if i = 3 then begin
+      Unix.kill (Unix.getpid ()) Sys.sigkill;
+      0
+    end
+    else i
+  in
+  let results, _ = Pool.map ~jobs:2 ~retries:0 ~f (Array.init 6 Fun.id) in
+  match results.(3) with
+  | Ok _ -> Alcotest.fail "crashing task reported Ok"
+  | Error msg ->
+      Alcotest.(check bool) "crash named" true
+        (Test_util.contains msg "worker crashed");
+      Alcotest.(check bool) "flight recorder attached" true
+        (Test_util.contains msg "flight recorder");
+      Alcotest.(check bool) "final span is the fatal task" true
+        (Test_util.contains msg "pool.task")
+
+let test_pool_timeout_report_carries_flight_recorder () =
+  let f i =
+    if i = 2 then Unix.sleepf 30.0;
+    i
+  in
+  let results, _ =
+    Pool.map ~jobs:2 ~timeout_s:0.4 ~retries:0 ~f (Array.init 4 Fun.id)
+  in
+  match results.(2) with
+  | Ok _ -> Alcotest.fail "hung task reported Ok"
+  | Error msg ->
+      Alcotest.(check bool) "timeout named" true
+        (Test_util.contains msg "timed out");
+      Alcotest.(check bool) "flight recorder attached" true
+        (Test_util.contains msg "flight recorder")
+
+let test_pool_retry_exhaustion_report_carries_flight_recorder () =
+  let f i =
+    if i = 1 then begin
+      Unix.kill (Unix.getpid ()) Sys.sigkill;
+      0
+    end
+    else i
+  in
+  let results, stats = Pool.map ~jobs:2 ~retries:2 ~f (Array.init 4 Fun.id) in
+  Alcotest.(check bool) "every retry crashed" true (stats.Pool.crashed >= 3);
+  match results.(1) with
+  | Ok _ -> Alcotest.fail "always-crashing task reported Ok"
+  | Error msg ->
+      Alcotest.(check bool) "flight recorder attached after final retry" true
+        (Test_util.contains msg "flight recorder")
+
+let obs_work_counter = Hextime_obs.Metrics.counter "test.parsweep.work"
+
+(* the fork-boundary fix: worker counter deltas are shipped back with each
+   result and absorbed, so parent-side totals match the in-process path *)
+let test_pool_counters_survive_fork () =
+  let f _ =
+    Hextime_obs.Metrics.incr obs_work_counter ~by:2;
+    0
+  in
+  let count run =
+    let before = Hextime_obs.Metrics.value obs_work_counter in
+    run ();
+    Hextime_obs.Metrics.value obs_work_counter - before
+  in
+  let serial =
+    count (fun () -> ignore (Pool.map ~jobs:1 ~f (Array.init 25 Fun.id)))
+  in
+  let forked =
+    count (fun () -> ignore (Pool.map ~jobs:3 ~f (Array.init 25 Fun.id)))
+  in
+  Alcotest.(check int) "in-process total" 50 serial;
+  Alcotest.(check int) "forked total equals in-process total" serial forked
+
+let test_pool_ships_worker_spans () =
+  Hextime_obs.Trace.enable ();
+  Fun.protect ~finally:(fun () ->
+      Hextime_obs.Trace.disable ();
+      Hextime_obs.Trace.reset ())
+  @@ fun () ->
+  Hextime_obs.Trace.reset ();
+  let f i = Hextime_obs.Trace.with_span "test.span" (fun () -> i) in
+  ignore (Pool.map ~jobs:2 ~f (Array.init 8 Fun.id));
+  let spans =
+    List.filter
+      (fun e -> e.Hextime_obs.Trace.ev_name = "test.span")
+      (Hextime_obs.Trace.events ())
+  in
+  Alcotest.(check int) "every worker span shipped to the parent" 8
+    (List.length spans);
+  let parent = Unix.getpid () in
+  Alcotest.(check bool) "spans carry worker pids, not the parent's" true
+    (List.for_all (fun e -> e.Hextime_obs.Trace.ev_pid <> parent) spans)
+
 (* --- Cache ---------------------------------------------------------------- *)
 
 let test_cache_roundtrip () =
