@@ -1,0 +1,44 @@
+module Gpu = Hextime_gpu
+module Attribution = Hextime_obs.Attribution
+
+(* Search kernels for: resident >= 2, chunks >= 2, last round depth = 1,
+   then compare priced_time vs attribute_priced sum. *)
+let () =
+  let arch = Gpu.Arch.gtx980 in
+  let found = ref false in
+  (try
+    for bx = 1 to 400 do
+      for chunks = 2 to 4 do
+        let k = Gpu.Kernel.{
+          label = Printf.sprintf "k%d-%d" bx chunks;
+          grid = [| bx; 1; 1 |];
+          threads_per_block = 256;
+          regs_per_thread = 32;
+          shared_words_per_block = 2048;
+          io_words_per_block = 4096 * chunks;
+          iter_points_per_block = 1024 * chunks;
+          instr_per_point = 8;
+        } in
+        match Gpu.Simulator.price arch k with
+        | Error _ -> ()
+        | Ok p ->
+          let resident = p.Gpu.Simulator.occ.Gpu.Occupancy.blocks_per_sm in
+          let blocks = bx in
+          let capacity = arch.Gpu.Arch.n_sm * resident in
+          let remainder = blocks mod capacity in
+          if resident >= 2 && remainder > 0 && remainder <= arch.Gpu.Arch.n_sm then begin
+            let t = Gpu.Simulator.priced_time ~jitter:false ~salt:0 arch p in
+            let comps = Gpu.Simulator.attribute_priced ~jitter:false ~salt:0 arch p in
+            let sum = Attribution.total comps in
+            let rel = Float.abs (sum -. t) /. t in
+            if rel > 1e-9 then begin
+              Printf.printf "MISMATCH %s: resident=%d blocks=%d remainder=%d priced=%.9g sum=%.9g rel=%.3e\n"
+                k.Gpu.Kernel.label resident blocks remainder t sum rel;
+              found := true;
+              raise Exit
+            end
+          end
+      done
+    done
+  with Exit -> ());
+  if not !found then print_endline "no mismatch found in search space"
