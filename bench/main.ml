@@ -1082,6 +1082,28 @@ let () =
   let oc = open_out "BENCH_hextime.json" in
   output_string oc (Minijson.render json);
   close_out oc;
-  print_endline "\nwrote BENCH_hextime.json"
+  print_endline "\nwrote BENCH_hextime.json";
+  (* hexwatch: the same figures go to the run ledger, so `hextime history`
+     shows the throughput trajectory alongside the accuracy runs *)
+  let ledger = Hextime_obs.Ledger.default_path () in
+  match
+    Hextime_obs.Ledger.append ~path:ledger
+      (Hextime_obs.Ledger.make ~kind:"bench"
+         ~code_version:H.Sweep.code_version
+         ~labels:[ ("scale", H.Experiments.scale_to_string scale) ]
+         ~metrics:
+           [
+             ("cold_sweep_points_per_sec", sweep_pps);
+             ("cold_sweep_points", float_of_int !n_points);
+             ("simulator_prices_per_point", invocations_per_point);
+             ("price_ns_per_kernel", price_ns);
+             ("eventsim_cycles_per_sec", es_cps);
+           ]
+         ~snapshot:
+           (Hextime_obs.Metrics.to_json (Hextime_obs.Metrics.snapshot ()))
+         ())
+  with
+  | Ok () -> Printf.printf "ledger: appended bench record to %s\n" ledger
+  | Error msg -> Printf.eprintf "hexwatch: ledger: %s\n" msg
 
 let () = print_endline "\nbench: done"

@@ -180,6 +180,43 @@ let with_obs profile metrics k =
   if metrics then prerr_string (Obs.Metrics.render (Obs.Metrics.snapshot ()));
   r
 
+(* --- hexwatch (run ledger) ----------------------------------------------- *)
+
+let ledger_arg =
+  Arg.(
+    value
+    & opt string (Obs.Ledger.default_path ())
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:
+          "hexwatch run-ledger file (default: $(b,HEXTIME_LEDGER), else \
+           hexwatch-ledger.jsonl).  Runs append one compact JSON record \
+           each; browse the trajectory with $(b,hextime history).")
+
+let no_ledger_arg =
+  Arg.(
+    value & flag
+    & info [ "no-ledger" ] ~doc:"Do not record this run in the ledger.")
+
+(* Recording is best-effort: a read-only checkout must not break a run. *)
+let ledger_record ~ledger ~no_ledger entry =
+  if not no_ledger then
+    match Obs.Ledger.append ~path:ledger entry with
+    | Ok () -> ()
+    | Error msg -> Format.eprintf "hexwatch: ledger: %s@." msg
+
+let sweep_stat_metrics ~elapsed_s (stats : Parsweep.stats) =
+  let total = float_of_int stats.Parsweep.total in
+  [
+    ("points", total);
+    ( "cache_hit_rate",
+      if stats.Parsweep.total = 0 then 0.0
+      else float_of_int stats.Parsweep.cache_hits /. total );
+    ("points_per_sec", if elapsed_s > 0.0 then total /. elapsed_s else 0.0);
+    ("elapsed_s", elapsed_s);
+  ]
+
+let metrics_snapshot () = Obs.Metrics.to_json (Obs.Metrics.snapshot ())
+
 (* --- predict ------------------------------------------------------------ *)
 
 let predict_cmd =
@@ -256,11 +293,12 @@ let tune_cmd =
       & info [ "frac" ] ~docv:"F"
           ~doc:"Keep shapes within F of the predicted minimum (paper: 0.10).")
   in
-  let run arch stencil space time frac profile metrics =
+  let run arch stencil space time frac profile metrics ledger no_ledger =
     with_obs profile metrics @@ fun () ->
     match problem_of stencil space time with
     | Error msg -> die "%s" msg
     | Ok problem ->
+        let t0 = Unix.gettimeofday () in
         let params = H.Microbench.params arch in
         let citer = H.Microbench.citer arch stencil in
         let space_eval = Optimizer.evaluate_space params ~citer problem in
@@ -283,6 +321,56 @@ let tune_cmd =
                 Config.pp o.Strategies.config
                 o.Strategies.measurement.Runner.time_s
                 o.Strategies.measurement.Runner.gflops o.Strategies.explored;
+              (* hexwatch: how far the pure-model pick (the Talg arg-min,
+                 no empirical exploration) lands from the tuned
+                 recommendation — 0.0 means inside the frac band *)
+              let argmin_metrics =
+                match
+                  match
+                    Space.to_config best.Optimizer.shape ~threads:[| 256 |]
+                  with
+                  | cfg -> Runner.measure arch problem cfg
+                  | exception Invalid_argument msg -> Error msg
+                with
+                | Error _ -> []
+                | Ok am ->
+                    let slowdown =
+                      (am.Runner.time_s /. o.Strategies.measurement.Runner.time_s)
+                      -. 1.0
+                    in
+                    let distance = Float.max 0.0 (slowdown -. frac) in
+                    Format.printf
+                      "model arg-min alone: %.4e s simulated (%+.1f%% vs \
+                       tuned; band distance %.3f)@."
+                      am.Runner.time_s (100.0 *. slowdown) distance;
+                    [
+                      ("argmin_time_s", am.Runner.time_s);
+                      ("argmin_gflops", am.Runner.gflops);
+                      ("argmin_band_distance", distance);
+                    ]
+              in
+              ledger_record ~ledger ~no_ledger
+                (Obs.Ledger.make ~kind:"tune"
+                   ~code_version:H.Sweep.code_version
+                   ~labels:
+                     [
+                       ("arch", arch.Gpu.Arch.name);
+                       ("stencil", stencil.Stencil.name);
+                       ("problem", Problem.id problem);
+                     ]
+                   ~metrics:
+                     ([
+                        ("feasible_shapes", float_of_int (List.length space_eval));
+                        ("candidates", float_of_int (List.length cands));
+                        ("explored", float_of_int o.Strategies.explored);
+                        ("frac", frac);
+                        ("talg_min", best.Optimizer.prediction.Model.talg);
+                        ("tuned_time_s", o.Strategies.measurement.Runner.time_s);
+                        ("tuned_gflops", o.Strategies.measurement.Runner.gflops);
+                        ("elapsed_s", Unix.gettimeofday () -. t0);
+                      ]
+                     @ argmin_metrics)
+                   ~snapshot:(metrics_snapshot ()) ());
               `Ok ()
         end
   in
@@ -290,7 +378,7 @@ let tune_cmd =
     Term.(
       ret
         (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ frac
-       $ profile_arg $ metrics_arg))
+       $ profile_arg $ metrics_arg $ ledger_arg $ no_ledger_arg))
   in
   Cmd.v
     (Cmd.info "tune"
@@ -436,15 +524,17 @@ let validate_cmd =
     Arg.(value & flag & info [ "plot" ] ~doc:"Render the ASCII scatter plot.")
   in
   let run arch stencil space time csv plot jobs cache_dir no_cache profile
-      metrics =
+      metrics ledger no_ledger =
     with_obs profile metrics @@ fun () ->
     match problem_of stencil space time with
     | Error msg -> die "%s" msg
     | Ok problem ->
+        let t0 = Unix.gettimeofday () in
         let e = { H.Experiments.arch; problem } in
         let full, stats =
           H.Sweep.run ~exec:(exec_of jobs cache_dir no_cache) e
         in
+        let elapsed_s = Unix.gettimeofday () -. t0 in
         let sweep = full.H.Sweep.points in
         if sweep = [] then die "no data point survived"
         else begin
@@ -452,6 +542,23 @@ let validate_cmd =
             H.Sweep.pp_drops full;
           let s = H.Validation.analyze sweep in
           Format.printf "%s: %a@." (H.Experiments.id e) H.Validation.pp_summary s;
+          ledger_record ~ledger ~no_ledger
+            (Obs.Ledger.make ~kind:"validate"
+               ~code_version:H.Sweep.code_version
+               ~labels:
+                 [
+                   ("experiment", H.Experiments.id e);
+                   ("arch", arch.Gpu.Arch.name);
+                   ("stencil", stencil.Stencil.name);
+                   ("jobs", string_of_int jobs);
+                 ]
+               ~metrics:
+                 (sweep_stat_metrics ~elapsed_s stats
+                 @ List.filter
+                     (fun (k, _) -> k <> "points")
+                     (H.Validation.metrics s))
+               ~groups:[ (H.Experiments.id e, H.Validation.metrics s) ]
+               ~snapshot:(metrics_snapshot ()) ());
           if plot then
             print_string
               (H.Scatter.render ~title:"predicted (x) vs measured (y)"
@@ -470,7 +577,8 @@ let validate_cmd =
     Term.(
       ret
         (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ csv $ plot
-       $ jobs_arg $ cache_dir_arg $ no_cache_arg $ profile_arg $ metrics_arg))
+       $ jobs_arg $ cache_dir_arg $ no_cache_arg $ profile_arg $ metrics_arg
+       $ ledger_arg $ no_ledger_arg))
   in
   Cmd.v
     (Cmd.info "validate"
@@ -1205,10 +1313,37 @@ let doctor_cmd =
     Term.(ret (const run $ const ()))
 
 let campaign_cmd =
-  let run scale jobs cache_dir no_cache profile metrics =
+  let run scale jobs cache_dir no_cache profile metrics ledger no_ledger =
     with_obs profile metrics @@ fun () ->
     let exec = exec_of jobs cache_dir no_cache in
-    print_string (H.Campaign.render (H.Campaign.estimate ~exec scale));
+    let t0 = Unix.gettimeofday () in
+    let est = H.Campaign.estimate ~exec scale in
+    let elapsed_s = Unix.gettimeofday () -. t0 in
+    print_string (H.Campaign.render est);
+    ledger_record ~ledger ~no_ledger
+      (Obs.Ledger.make ~kind:"campaign" ~code_version:H.Sweep.code_version
+         ~labels:
+           [
+             ("scale", H.Experiments.scale_to_string scale);
+             ("jobs", string_of_int jobs);
+           ]
+         ~metrics:
+           [
+             ("experiments", float_of_int est.H.Campaign.experiments);
+             ("data_points", float_of_int est.H.Campaign.data_points);
+             ("rejected_points", float_of_int est.H.Campaign.rejected_points);
+             ("compile_hours", est.H.Campaign.compile_hours);
+             ("run_hours", est.H.Campaign.run_hours);
+             ("total_days", est.H.Campaign.total_days);
+             ("elapsed_s", elapsed_s);
+             ( "points_per_sec",
+               if elapsed_s > 0.0 then
+                 float_of_int
+                   (est.H.Campaign.data_points + est.H.Campaign.rejected_points)
+                 /. elapsed_s
+               else 0.0 );
+           ]
+         ~snapshot:(metrics_snapshot ()) ());
     `Ok ()
   in
   Cmd.v
@@ -1220,7 +1355,7 @@ let campaign_cmd =
     Term.(
       ret
         (const run $ scale_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
-       $ profile_arg $ metrics_arg))
+       $ profile_arg $ metrics_arg $ ledger_arg $ no_ledger_arg))
 
 let report_cmd =
   let out =
@@ -1228,13 +1363,14 @@ let report_cmd =
       value & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
   in
-  let run scale out =
+  let run scale out ledger no_ledger =
+    let ledger = if no_ledger then None else Some ledger in
     match out with
     | None ->
-        print_string (H.Report.markdown scale);
+        print_string (H.Report.markdown ?ledger scale);
         `Ok ()
     | Some path -> (
-        match H.Report.write ~path scale with
+        match H.Report.write ?ledger ~path scale with
         | Ok () ->
             Format.printf "wrote %s@." path;
             `Ok ()
@@ -1242,8 +1378,11 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report"
-       ~doc:"Generate the markdown paper-vs-measured reproduction report.")
-    Term.(ret (const run $ scale_arg $ out))
+       ~doc:
+         "Generate the markdown paper-vs-measured reproduction report, \
+          ending with a trend section over the hexwatch ledger when one is \
+          present ($(b,--no-ledger) omits it).")
+    Term.(ret (const run $ scale_arg $ out $ ledger_arg $ no_ledger_arg))
 
 (* --- bench-compare ---------------------------------------------------------- *)
 
@@ -1357,6 +1496,181 @@ let bench_compare_cmd =
           tolerance band.  Used by CI as the bench-regression gate.")
     Term.(ret (const run $ baseline_arg $ current_arg $ tolerance_arg))
 
+(* --- history (hexwatch trend tables) ---------------------------------------- *)
+
+let history_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            "Only entries of this kind (validate | campaign | tune | bench).")
+  in
+  let last =
+    Arg.(
+      value & opt int 20
+      & info [ "last" ] ~docv:"N"
+          ~doc:"Show only the most recent N matching entries (0 = all).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt
+          (enum [ ("table", `Table); ("markdown", `Markdown); ("json", `Json) ])
+          `Table
+      & info [ "format" ] ~docv:"table|markdown|json" ~doc:"Output format.")
+  in
+  let columns =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "columns" ] ~docv:"C1,C2,..."
+          ~doc:
+            "Comma-separated metric columns (default: rmse_top, rmse_all, \
+             argmin_quality, points_per_sec, cache_hit_rate, \
+             cold_sweep_points_per_sec).  A column renders only if some \
+             entry carries it.")
+  in
+  let run ledger kind last format columns =
+    match Obs.Ledger.load ~path:ledger with
+    | Error msg -> die "history: %s" msg
+    | Ok { Obs.Ledger.entries; corrupt_lines; unknown_schema } ->
+        if corrupt_lines > 0 || unknown_schema > 0 then
+          Format.eprintf
+            "hexwatch: %s: skipped %d corrupt line(s) and %d record(s) with \
+             an unknown schema version@."
+            ledger corrupt_lines unknown_schema;
+        let entries = Obs.Ledger.filter ?kind entries in
+        let entries =
+          if last > 0 then Obs.Ledger.latest last entries else entries
+        in
+        if entries = [] then
+          Format.eprintf "hexwatch: %s: no matching entries@." ledger;
+        let columns = Option.map (String.split_on_char ',') columns in
+        (match format with
+        | `Table -> print_string (H.History.render ?columns entries)
+        | `Markdown -> print_string (H.History.markdown ?columns entries)
+        | `Json -> print_endline (Minijson.render (H.History.json entries)));
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:
+         "Render the hexwatch run ledger as a trend table: one row per \
+          recorded run (validate, campaign, tune, bench), oldest first, \
+          with the accuracy and throughput metrics as columns.  Corrupt \
+          ledger lines are skipped with a count on stderr, never fatal.")
+    Term.(ret (const run $ ledger_arg $ kind $ last $ format $ columns))
+
+(* --- accuracy-compare (the accuracy regression gate) ------------------------ *)
+
+let accuracy_compare_cmd =
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Committed ACCURACY_baseline.json to judge against.")
+  in
+  let write_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "write" ] ~docv:"FILE"
+          ~doc:
+            "Write the freshly collected figures to FILE — how the \
+             committed baseline is (re)generated after an intended model \
+             change.")
+  in
+  let tol name default what =
+    Arg.(
+      value & opt float default
+      & info [ "tol-" ^ name ] ~docv:"D"
+          ~doc:
+            (Printf.sprintf
+               "Allowed absolute %s of %s before the gate fails (default \
+                %g)."
+               what name default))
+  in
+  let tol_rmse_all = tol "rmse-all" 0.10 "increase" in
+  let tol_rmse_top = tol "rmse-top" 0.02 "increase" in
+  let tol_correlation = tol "correlation-top" 0.05 "decrease" in
+  let tol_argmin = tol "argmin-quality" 0.05 "decrease" in
+  let run scale baseline write t_all t_top t_corr t_argmin jobs cache_dir
+      no_cache profile metrics =
+    with_obs profile metrics @@ fun () ->
+    if baseline = None && write = None then
+      die "accuracy-compare: --baseline and/or --write is required"
+    else
+      let exec = exec_of jobs cache_dir no_cache in
+      let current = H.Accuracy.collect ~exec scale in
+      if current.H.Accuracy.rows = [] then
+        die "accuracy-compare: no experiment produced data at this scale"
+      else begin
+        print_string (H.Accuracy.render_table current);
+        let written =
+          match write with
+          | None -> Ok ()
+          | Some path -> (
+              match H.Accuracy.write ~path current with
+              | Ok () ->
+                  Format.printf "wrote %s@." path;
+                  Ok ()
+              | Error msg -> Error msg)
+        in
+        match written with
+        | Error msg -> die "accuracy-compare: %s" msg
+        | Ok () -> (
+            match baseline with
+            | None -> `Ok ()
+            | Some path -> (
+                match H.Accuracy.load ~path with
+                | Error msg -> die "accuracy-compare: %s" msg
+                | Ok base ->
+                    if base.H.Accuracy.scale <> scale then
+                      die
+                        "accuracy-compare: baseline %s was collected at \
+                         scale %s, not %s"
+                        path
+                        (H.Experiments.scale_to_string base.H.Accuracy.scale)
+                        (H.Experiments.scale_to_string scale)
+                    else begin
+                      let tol =
+                        {
+                          H.Accuracy.rmse_all = t_all;
+                          rmse_top = t_top;
+                          correlation_top = t_corr;
+                          argmin_quality = t_argmin;
+                        }
+                      in
+                      let drifts =
+                        H.Accuracy.compare ~tol ~baseline:base current
+                      in
+                      print_string (H.Accuracy.render_drifts drifts);
+                      if drifts = [] then `Ok ()
+                      else
+                        die
+                          "accuracy-compare: %d metric(s) drifted beyond \
+                           tolerance (baseline %s)"
+                          (List.length drifts) path
+                    end))
+      end
+  in
+  Cmd.v
+    (Cmd.info "accuracy-compare"
+       ~doc:
+         "Re-collect the model-accuracy figures (RMSE bands, top-band \
+          correlation, arg-min quality — Sections 5.3 and 6) for every \
+          experiment at a scale and fail if any metric regressed beyond \
+          tolerance against a committed baseline.  The accuracy twin of \
+          $(b,bench-compare); used by CI as the accuracy-regression gate.")
+    Term.(
+      ret
+        (const run $ scale_arg $ baseline_arg $ write_arg $ tol_rmse_all
+       $ tol_rmse_top $ tol_correlation $ tol_argmin $ jobs_arg
+       $ cache_dir_arg $ no_cache_arg $ profile_arg $ metrics_arg))
+
 let main_cmd =
   let doc =
     "analytical time modeling and optimal tile-size selection for GPGPU \
@@ -1387,6 +1701,13 @@ let main_cmd =
       report_cmd;
       ampl_cmd;
       bench_compare_cmd;
+      accuracy_compare_cmd;
+      history_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  (* hexwatch heartbeats: on for interactive stderr, off when piped/CI,
+     overridable with HEXTIME_PROGRESS=0|1.  Rendering goes to stderr
+     only, so machine-consumed stdout stays byte-identical either way. *)
+  Obs.Progress.auto_enable ();
+  exit (Cmd.eval main_cmd)

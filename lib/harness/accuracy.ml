@@ -1,0 +1,279 @@
+module Minijson = Hextime_prelude.Minijson
+module Tabulate = Hextime_prelude.Tabulate
+
+type row = { experiment : string; summary : Validation.summary }
+
+type t = {
+  scale : Experiments.scale;
+  code_version : string;
+  rows : row list;
+}
+
+let schema = "hextime-accuracy-v1"
+
+let collect ?exec scale =
+  let rows =
+    List.filter_map
+      (fun (e : Experiments.t) ->
+        match (Sweep.baseline ?exec e).Sweep.points with
+        | [] -> None
+        | points ->
+            Some
+              {
+                experiment = Experiments.id e;
+                summary = Validation.analyze points;
+              })
+      (Experiments.all scale)
+  in
+  { scale; code_version = Sweep.code_version; rows }
+
+let to_json t =
+  Minijson.Obj
+    [
+      ("schema", Minijson.Str schema);
+      ("scale", Minijson.Str (Experiments.scale_to_string t.scale));
+      ("code_version", Minijson.Str t.code_version);
+      ( "experiments",
+        Minijson.Obj
+          (List.map
+             (fun r ->
+               ( r.experiment,
+                 Minijson.Obj
+                   (List.map
+                      (fun (k, v) -> (k, Minijson.Num v))
+                      (Validation.metrics r.summary)) ))
+             t.rows) );
+    ]
+
+(* Summaries round-trip through their [Validation.metrics] rendering: the
+   baseline file stores exactly the fields the gate judges. *)
+let summary_of_fields fields =
+  let num name =
+    match Option.bind (List.assoc_opt name fields) Minijson.number with
+    | Some v -> v
+    | None -> nan
+  in
+  {
+    Validation.points = int_of_float (num "points");
+    rmse_all = num "rmse_all";
+    top_points = int_of_float (num "top_points");
+    rmse_top = num "rmse_top";
+    correlation_top = num "correlation_top";
+    best_gflops = num "best_gflops";
+    argmin_quality = num "argmin_quality";
+    argmin_in_band = num "argmin_in_band" = 1.0;
+  }
+
+let of_json json =
+  match Option.bind (Minijson.member "schema" json) Minijson.string with
+  | Some s when s = schema -> (
+      let scale =
+        match
+          Option.bind (Minijson.member "scale" json) Minijson.string
+        with
+        | Some s -> Experiments.scale_of_string s
+        | None -> Error "missing \"scale\""
+      in
+      match scale with
+      | Error e -> Error e
+      | Ok scale ->
+          Ok
+            {
+              scale;
+              code_version =
+                Option.value ~default:""
+                  (Option.bind
+                     (Minijson.member "code_version" json)
+                     Minijson.string);
+              rows =
+                (match Minijson.member "experiments" json with
+                | Some (Minijson.Obj exps) ->
+                    List.filter_map
+                      (fun (name, v) ->
+                        match v with
+                        | Minijson.Obj fields ->
+                            Some
+                              {
+                                experiment = name;
+                                summary = summary_of_fields fields;
+                              }
+                        | _ -> None)
+                      exps
+                | _ -> []);
+            })
+  | Some other -> Error (Printf.sprintf "unknown schema %S" other)
+  | None -> Error "missing \"schema\" field"
+
+let write ~path t = Export.write_file ~path (Minijson.render (to_json t))
+
+let load ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match Minijson.parse contents with
+      | Error e -> Error (path ^ ": " ^ e)
+      | Ok json -> (
+          match of_json json with
+          | Error e -> Error (path ^ ": " ^ e)
+          | Ok t -> Ok t))
+
+type tolerances = {
+  rmse_all : float;
+  rmse_top : float;
+  correlation_top : float;
+  argmin_quality : float;
+}
+
+let default_tolerances =
+  {
+    rmse_all = 0.10;
+    rmse_top = 0.02;
+    correlation_top = 0.05;
+    argmin_quality = 0.05;
+  }
+
+type drift = {
+  d_experiment : string;
+  d_metric : string;
+  d_baseline : float;
+  d_current : float;
+  d_allowed : string;
+}
+
+let compare ?(tol = default_tolerances) ~baseline current =
+  let drifts = ref [] in
+  let push d = drifts := d :: !drifts in
+  List.iter
+    (fun (b : row) ->
+      match
+        List.find_opt (fun (c : row) -> c.experiment = b.experiment)
+          current.rows
+      with
+      | None ->
+          push
+            {
+              d_experiment = b.experiment;
+              d_metric = "points";
+              d_baseline = float_of_int b.summary.Validation.points;
+              d_current = 0.0;
+              d_allowed = "experiment missing from current figures";
+            }
+      | Some c ->
+          let bs = b.summary and cs = c.summary in
+          (* higher is worse *)
+          let ceil_check metric bv cv allowed =
+            if
+              (not (Float.is_nan bv))
+              && (not (Float.is_nan cv))
+              && cv > bv +. allowed
+            then
+              push
+                {
+                  d_experiment = b.experiment;
+                  d_metric = metric;
+                  d_baseline = bv;
+                  d_current = cv;
+                  d_allowed = Printf.sprintf "<= %.4f" (bv +. allowed);
+                }
+          in
+          (* lower is worse *)
+          let floor_check metric bv cv allowed =
+            if
+              (not (Float.is_nan bv))
+              && (not (Float.is_nan cv))
+              && cv < bv -. allowed
+            then
+              push
+                {
+                  d_experiment = b.experiment;
+                  d_metric = metric;
+                  d_baseline = bv;
+                  d_current = cv;
+                  d_allowed = Printf.sprintf ">= %.4f" (bv -. allowed);
+                }
+          in
+          ceil_check "rmse_all" bs.Validation.rmse_all cs.Validation.rmse_all
+            tol.rmse_all;
+          ceil_check "rmse_top" bs.Validation.rmse_top cs.Validation.rmse_top
+            tol.rmse_top;
+          floor_check "correlation_top" bs.Validation.correlation_top
+            cs.Validation.correlation_top tol.correlation_top;
+          floor_check "argmin_quality" bs.Validation.argmin_quality
+            cs.Validation.argmin_quality tol.argmin_quality;
+          if bs.Validation.argmin_in_band && not cs.Validation.argmin_in_band
+          then
+            push
+              {
+                d_experiment = b.experiment;
+                d_metric = "argmin_in_band";
+                d_baseline = 1.0;
+                d_current = 0.0;
+                d_allowed = "predicted arg-min must stay in the top band";
+              })
+    baseline.rows;
+  List.rev !drifts
+
+let render_table t =
+  let tab =
+    Tabulate.create
+      ~title:
+        (Printf.sprintf "Accuracy figures (scale %s, %s)"
+           (Experiments.scale_to_string t.scale)
+           t.code_version)
+      [
+        ("experiment", Tabulate.Left);
+        ("points", Tabulate.Right);
+        ("RMSE all", Tabulate.Right);
+        ("RMSE top", Tabulate.Right);
+        ("r(top)", Tabulate.Right);
+        ("argmin", Tabulate.Right);
+        ("in band", Tabulate.Right);
+      ]
+  in
+  Tabulate.render
+    (List.fold_left
+       (fun tab r ->
+         let s = r.summary in
+         Tabulate.add_row tab
+           [
+             r.experiment;
+             string_of_int s.Validation.points;
+             Printf.sprintf "%.1f%%" (100.0 *. s.Validation.rmse_all);
+             Printf.sprintf "%.2f%%" (100.0 *. s.Validation.rmse_top);
+             Printf.sprintf "%.3f" s.Validation.correlation_top;
+             Printf.sprintf "%.1f%%" (100.0 *. s.Validation.argmin_quality);
+             (if s.Validation.argmin_in_band then "yes" else "NO");
+           ])
+       tab t.rows)
+
+let render_drifts = function
+  | [] -> "accuracy-compare: no drift\n"
+  | drifts ->
+      let tab =
+        Tabulate.create
+          ~title:"Accuracy drift beyond tolerance"
+          [
+            ("experiment", Tabulate.Left);
+            ("metric", Tabulate.Left);
+            ("baseline", Tabulate.Right);
+            ("current", Tabulate.Right);
+            ("required", Tabulate.Left);
+          ]
+      in
+      Tabulate.render
+        (List.fold_left
+           (fun tab d ->
+             Tabulate.add_row tab
+               [
+                 d.d_experiment;
+                 d.d_metric;
+                 Printf.sprintf "%.4f" d.d_baseline;
+                 Printf.sprintf "%.4f" d.d_current;
+                 d.d_allowed;
+               ])
+           tab drifts)

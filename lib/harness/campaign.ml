@@ -35,7 +35,11 @@ let estimate ?(compile_seconds_per_point = 20.0) ?(runs_per_point = 5)
     Hextime_obs.Trace.with_span "campaign.estimate"
       ~args:(fun () -> [ ("tasks", string_of_int (List.length tasks)) ])
       (fun () ->
-        Parsweep.map exec
+        Parsweep.map
+          ~label:
+            (Printf.sprintf "campaign %s"
+               (Experiments.scale_to_string scale))
+          exec
           ~key:(fun (e, config) -> measure_key e config)
           ~f:(fun ((e : Experiments.t), config) ->
             Hextime_obs.Trace.with_span "campaign.measure"

@@ -1,0 +1,73 @@
+module Ledger = Hextime_obs.Ledger
+module Minijson = Hextime_prelude.Minijson
+module Tabulate = Hextime_prelude.Tabulate
+
+let default_columns =
+  [
+    "rmse_top";
+    "rmse_all";
+    "argmin_quality";
+    "points_per_sec";
+    "cache_hit_rate";
+    "cold_sweep_points_per_sec";
+  ]
+
+let timestamp t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02d %02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+
+let columns_of requested entries =
+  List.filter
+    (fun c -> List.exists (fun e -> Ledger.metric e c <> None) entries)
+    requested
+
+let cell e col =
+  match Ledger.metric e col with
+  | None -> "-"
+  | Some v ->
+      (* percentages for the ratio-valued accuracy metrics, compact
+         significant digits for the rest *)
+      if
+        List.mem col
+          [ "rmse_top"; "rmse_all"; "argmin_quality"; "cache_hit_rate" ]
+      then Printf.sprintf "%.1f%%" (100.0 *. v)
+      else Tabulate.float_cell v
+
+let header_cells = [ "when"; "kind"; "rev"; "code" ]
+
+let row_cells cols e =
+  [
+    timestamp e.Ledger.time_unix;
+    e.Ledger.kind;
+    (if e.Ledger.git_rev = "" then "-" else e.Ledger.git_rev);
+    e.Ledger.code_version;
+  ]
+  @ List.map (cell e) cols
+
+let render ?(columns = default_columns) entries =
+  let cols = columns_of columns entries in
+  let tab =
+    Tabulate.create
+      (List.map (fun h -> (h, Tabulate.Left)) header_cells
+      @ List.map (fun c -> (c, Tabulate.Right)) cols)
+  in
+  Tabulate.render
+    (List.fold_left (fun tab e -> Tabulate.add_row tab (row_cells cols e)) tab
+       entries)
+
+let markdown ?(columns = default_columns) entries =
+  let cols = columns_of columns entries in
+  let b = Buffer.create 1024 in
+  let headers = header_cells @ cols in
+  Buffer.add_string b ("| " ^ String.concat " | " headers ^ " |\n");
+  Buffer.add_string b
+    ("|" ^ String.concat "" (List.map (fun _ -> "---|") headers) ^ "\n");
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        ("| " ^ String.concat " | " (row_cells cols e) ^ " |\n"))
+    entries;
+  Buffer.contents b
+
+let json entries = Minijson.List (List.map Ledger.to_json entries)

@@ -6,7 +6,13 @@
     with the paper's reference numbers inlined next to the measured ones —
     the artifact a reader needs to audit the reproduction. *)
 
-val markdown : Experiments.scale -> string
+val markdown : ?ledger:string -> Experiments.scale -> string
+(** [?ledger] names a hexwatch run-ledger file (see
+    {!Hextime_obs.Ledger}); when given and readable, the report ends with
+    a trend section over the most recent entries.  An absent or empty
+    ledger renders nothing — the report stays generatable on a fresh
+    checkout. *)
 
-val write : path:string -> Experiments.scale -> (unit, string) result
+val write :
+  ?ledger:string -> path:string -> Experiments.scale -> (unit, string) result
 (** Render and write to [path]. *)

@@ -76,7 +76,10 @@ let run ?limit ?(exec = Parsweep.serial) (e : Experiments.t) =
           ("configs", string_of_int (List.length configs));
         ])
       (fun () ->
-        Parsweep.map exec ~key:(point_key e) ~f:(evaluate params ~citer e)
+        Parsweep.map
+          ~label:("sweep " ^ Experiments.id e)
+          exec ~key:(point_key e)
+          ~f:(evaluate params ~citer e)
           configs)
   in
   let points, infeasible_model, infeasible_runner =

@@ -9,6 +9,8 @@ type summary = {
   rmse_top : float;
   correlation_top : float;
   best_gflops : float;
+  argmin_quality : float;
+  argmin_in_band : bool;
 }
 
 let scatter points =
@@ -17,11 +19,27 @@ let scatter points =
       (p.predicted.Model.talg, p.measured.Runner.time_s))
     points
 
+let argmin_point = function
+  | [] -> invalid_arg "Validation.argmin_point: empty sweep"
+  | p :: ps ->
+      List.fold_left
+        (fun (acc : Sweep.point) (q : Sweep.point) ->
+          if q.predicted.Model.talg < acc.predicted.Model.talg then q else acc)
+        p ps
+
 let analyze ?(top_within = 0.2) points =
   if points = [] then invalid_arg "Validation.analyze: empty sweep";
   let top = Sweep.top_performing ~within:top_within points in
   let pairs_all = scatter points in
   let pairs_top = scatter top in
+  let best = Sweep.best_gflops points in
+  (* Section 6's selection claim: the model's predicted arg-min must land
+     in the top-performing band.  Quality is the arg-min's measured
+     throughput relative to the sweep's best — 1.0 means the model picked
+     the actual winner. *)
+  let argmin_quality =
+    (argmin_point points).measured.Runner.gflops /. best
+  in
   {
     points = List.length points;
     rmse_all = Stats.rmse_relative pairs_all;
@@ -31,12 +49,28 @@ let analyze ?(top_within = 0.2) points =
       (if List.length pairs_top >= 2 then
          try Stats.pearson pairs_top with Invalid_argument _ -> nan
        else nan);
-    best_gflops = Sweep.best_gflops points;
+    best_gflops = best;
+    argmin_quality;
+    argmin_in_band = argmin_quality >= 1.0 -. top_within;
   }
+
+let metrics s =
+  [
+    ("points", float_of_int s.points);
+    ("rmse_all", s.rmse_all);
+    ("top_points", float_of_int s.top_points);
+    ("rmse_top", s.rmse_top);
+    ("correlation_top", s.correlation_top);
+    ("best_gflops", s.best_gflops);
+    ("argmin_quality", s.argmin_quality);
+    ("argmin_in_band", if s.argmin_in_band then 1.0 else 0.0);
+  ]
 
 let pp_summary ppf s =
   Format.fprintf ppf
     "%d points, RMSE(all)=%.1f%%, top band: %d points, RMSE(top)=%.1f%%, \
-     r(top)=%.3f, best=%.1f GF/s"
+     r(top)=%.3f, best=%.1f GF/s, argmin at %.0f%% of best (%s)"
     s.points (100.0 *. s.rmse_all) s.top_points (100.0 *. s.rmse_top)
     s.correlation_top s.best_gflops
+    (100.0 *. s.argmin_quality)
+    (if s.argmin_in_band then "in band" else "OUT OF BAND")

@@ -1,0 +1,185 @@
+module Minijson = Hextime_prelude.Minijson
+
+type entry = {
+  schema : int;
+  kind : string;
+  time_unix : float;
+  code_version : string;
+  git_rev : string;
+  labels : (string * string) list;
+  metrics : (string * float) list;
+  groups : (string * (string * float) list) list;
+  snapshot : Minijson.t option;
+}
+
+let schema_version = 1
+
+(* One subprocess per process lifetime: the rev cannot change under us, and
+   ledger appends must stay cheap enough to hang off every CLI run. *)
+let git_rev =
+  let memo = ref None in
+  fun () ->
+    match !memo with
+    | Some rev -> rev
+    | None ->
+        let rev =
+          match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+          | exception _ -> ""
+          | ic ->
+              let line = try input_line ic with End_of_file | Sys_error _ -> "" in
+              let status = try Unix.close_process_in ic with _ -> Unix.WEXITED 1 in
+              (match status with Unix.WEXITED 0 -> String.trim line | _ -> "")
+        in
+        memo := Some rev;
+        rev
+
+let make ?(labels = []) ?(metrics = []) ?(groups = []) ?snapshot ~kind
+    ~code_version () =
+  {
+    schema = schema_version;
+    kind;
+    time_unix = Unix.time ();
+    code_version;
+    git_rev = git_rev ();
+    labels;
+    metrics;
+    groups;
+    snapshot;
+  }
+
+let default_path () =
+  match Sys.getenv_opt "HEXTIME_LEDGER" with
+  | Some p when p <> "" -> p
+  | _ -> "hexwatch-ledger.jsonl"
+
+let str_fields kvs = List.map (fun (k, v) -> (k, Minijson.Str v)) kvs
+let num_fields kvs = List.map (fun (k, v) -> (k, Minijson.Num v)) kvs
+
+let to_json e =
+  Minijson.Obj
+    ([
+       ("schema", Minijson.Str "hexwatch-ledger");
+       ("version", Minijson.Num (float_of_int e.schema));
+       ("kind", Minijson.Str e.kind);
+       ("time_unix", Minijson.Num e.time_unix);
+       ("code_version", Minijson.Str e.code_version);
+       ("git_rev", Minijson.Str e.git_rev);
+       ("labels", Minijson.Obj (str_fields e.labels));
+       ("metrics", Minijson.Obj (num_fields e.metrics));
+       ( "groups",
+         Minijson.Obj
+           (List.map
+              (fun (name, kvs) -> (name, Minijson.Obj (num_fields kvs)))
+              e.groups) );
+     ]
+    @ match e.snapshot with None -> [] | Some s -> [ ("obs_metrics", s) ])
+
+let of_json json =
+  let str name = Option.bind (Minijson.member name json) Minijson.string in
+  let num name = Option.bind (Minijson.member name json) Minijson.number in
+  let obj_num_fields = function
+    | Some (Minijson.Obj fields) ->
+        List.filter_map
+          (fun (k, v) ->
+            match Minijson.number v with Some f -> Some (k, f) | None -> None)
+          fields
+    | _ -> []
+  in
+  match (str "schema", num "version", str "kind") with
+  | Some "hexwatch-ledger", Some version, Some kind ->
+      Ok
+        {
+          schema = int_of_float version;
+          kind;
+          time_unix = Option.value ~default:0.0 (num "time_unix");
+          code_version = Option.value ~default:"" (str "code_version");
+          git_rev = Option.value ~default:"" (str "git_rev");
+          labels =
+            (match Minijson.member "labels" json with
+            | Some (Minijson.Obj fields) ->
+                List.filter_map
+                  (fun (k, v) ->
+                    match Minijson.string v with
+                    | Some s -> Some (k, s)
+                    | None -> None)
+                  fields
+            | _ -> []);
+          metrics = obj_num_fields (Minijson.member "metrics" json);
+          groups =
+            (match Minijson.member "groups" json with
+            | Some (Minijson.Obj fields) ->
+                List.map
+                  (fun (name, v) -> (name, obj_num_fields (Some v)))
+                  fields
+            | _ -> []);
+          snapshot = Minijson.member "obs_metrics" json;
+        }
+  | _ -> Error "not a hexwatch ledger record"
+
+let append ~path e =
+  let line = Minijson.render_compact (to_json e) ^ "\n" in
+  match open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path with
+  | exception Sys_error msg -> Error msg
+  | oc ->
+      let r =
+        try
+          output_string oc line;
+          Ok ()
+        with Sys_error msg -> Error msg
+      in
+      close_out_noerr oc;
+      r
+
+type loaded = {
+  entries : entry list;
+  corrupt_lines : int;
+  unknown_schema : int;
+}
+
+let load ~path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let entries = ref [] in
+      let corrupt = ref 0 in
+      let unknown = ref 0 in
+      (try
+         while true do
+           match input_line ic with
+           | "" -> ()
+           | line -> (
+               match Minijson.parse line with
+               | Error _ -> incr corrupt
+               | Ok json -> (
+                   match of_json json with
+                   | Error _ -> incr corrupt
+                   | Ok e ->
+                       if e.schema = schema_version then
+                         entries := e :: !entries
+                       else incr unknown))
+         done
+       with End_of_file -> ());
+      close_in_noerr ic;
+      Ok
+        {
+          entries = List.rev !entries;
+          corrupt_lines = !corrupt;
+          unknown_schema = !unknown;
+        }
+
+let filter ?kind ?label entries =
+  List.filter
+    (fun e ->
+      (match kind with None -> true | Some k -> e.kind = k)
+      && match label with None -> true | Some kv -> List.mem kv e.labels)
+    entries
+
+let latest n entries =
+  let len = List.length entries in
+  if len <= n then entries
+  else List.filteri (fun i _ -> i >= len - n) entries
+
+let metric e name = List.assoc_opt name e.metrics
+
+let group_metric e ~group name =
+  Option.bind (List.assoc_opt group e.groups) (List.assoc_opt name)

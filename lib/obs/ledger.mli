@@ -1,0 +1,89 @@
+(** hexwatch: the persistent run ledger.
+
+    Every substantive run — a validation sweep, a campaign estimate, a
+    tuning session, a bench regeneration — appends one provenance-stamped
+    record to an append-only JSONL file.  The ledger is what turns the
+    repository's accuracy and throughput figures from printed-and-forgotten
+    numbers into a trajectory: [hextime history] renders trends over it and
+    CI uploads it as an artifact.
+
+    Records are one compact JSON object per line
+    ({!Hextime_prelude.Minijson.render_compact}), so the file survives
+    partial writes: {!load} tolerates a corrupt or truncated trailing line
+    (counted, not fatal) and skips records whose schema version it does not
+    understand — an old binary reading a newer ledger degrades gracefully. *)
+
+type entry = {
+  schema : int;  (** {!schema_version} at write time *)
+  kind : string;  (** "validate" | "campaign" | "tune" | "bench" | ... *)
+  time_unix : float;  (** seconds since the epoch, at {!make} time *)
+  code_version : string;
+      (** the sweep-layer code version (see {!Hextime_harness}); ties a
+          record to the model/simulator semantics that produced it *)
+  git_rev : string;  (** short commit hash, [""] when not in a checkout *)
+  labels : (string * string) list;
+      (** free-form provenance: arch, scale, stencil, jobs ... *)
+  metrics : (string * float) list;
+      (** scalar run figures: rmse_top, points_per_sec, cache_hit_rate ... *)
+  groups : (string * (string * float) list) list;
+      (** named sub-records, e.g. one {!Hextime_harness} validation summary
+          per stencil×machine experiment *)
+  snapshot : Hextime_prelude.Minijson.t option;
+      (** the final {!Metrics} snapshot of the run, if captured *)
+}
+
+val schema_version : int
+
+val git_rev : unit -> string
+(** Short [git rev-parse] of HEAD, or [""] outside a git checkout (the
+    result is memoised; the subprocess runs at most once). *)
+
+val make :
+  ?labels:(string * string) list ->
+  ?metrics:(string * float) list ->
+  ?groups:(string * (string * float) list) list ->
+  ?snapshot:Hextime_prelude.Minijson.t ->
+  kind:string ->
+  code_version:string ->
+  unit ->
+  entry
+(** Build a record stamped with the current time and {!git_rev}. *)
+
+val default_path : unit -> string
+(** [$HEXTIME_LEDGER] when set, else ["hexwatch-ledger.jsonl"] in the
+    working directory. *)
+
+val to_json : entry -> Hextime_prelude.Minijson.t
+
+val of_json : Hextime_prelude.Minijson.t -> (entry, string) result
+(** [Error] on records that are not hexwatch entries at all; an [Ok] entry
+    may still carry an unknown {!schema} (the caller decides — {!load}
+    skips them). *)
+
+val append : path:string -> entry -> (unit, string) result
+(** Append one line; creates the file (and nothing else) if missing.  The
+    line is written with a single [output_string] after the record is fully
+    rendered, so concurrent appenders interleave at line granularity. *)
+
+type loaded = {
+  entries : entry list;  (** oldest first, in file order *)
+  corrupt_lines : int;  (** unparseable or non-entry lines skipped *)
+  unknown_schema : int;  (** well-formed entries from a different schema *)
+}
+
+val load : path:string -> (loaded, string) result
+(** Read a whole ledger.  Only a missing/unreadable file is an [Error];
+    damaged content degrades to counted skips.  Blank lines are ignored. *)
+
+val filter :
+  ?kind:string -> ?label:string * string -> entry list -> entry list
+(** Keep entries matching the kind and/or carrying the given label pair. *)
+
+val latest : int -> entry list -> entry list
+(** The last [n] entries (oldest-first order preserved). *)
+
+val metric : entry -> string -> float option
+(** Scalar metric lookup. *)
+
+val group_metric : entry -> group:string -> string -> float option
+(** Metric lookup inside a named group. *)

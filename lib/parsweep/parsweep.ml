@@ -23,7 +23,7 @@ type stats = {
   failed : int;
 }
 
-let map exec ~key ~f tasks =
+let map ?label exec ~key ~f tasks =
   let arr = Array.of_list tasks in
   let n = Array.length arr in
   (* keys exist only to address the cache; without one, don't pay for
@@ -54,11 +54,32 @@ let map exec ~key ~f tasks =
     | Some c, Ok v -> Cache.put c ~key:keys.(todo.(j)) v
     | _ -> ()
   in
+  (* hexwatch heartbeat: one progress tracker per sweep, spanning cache
+     hits and computed points alike, so the status line and the
+     sweep.points_* gauges always describe the whole sweep *)
+  let progress =
+    match label with
+    | None -> None
+    | Some label -> Some (Hextime_obs.Progress.create ~total:n ~label ())
+  in
+  (match progress with
+  | Some p when !hits > 0 -> Hextime_obs.Progress.tick p ~done_:!hits
+  | _ -> ());
+  let on_progress ~done_ ~alive ~busy =
+    match progress with
+    | None -> ()
+    | Some p ->
+        Hextime_obs.Progress.tick p ~done_:(!hits + done_)
+          ~workers_alive:alive ~workers_busy:busy
+  in
   let outcomes, pstats =
     Pool.map ~jobs:exec.jobs ~timeout_s:exec.timeout_s ~retries:exec.retries
-      ~on_result ~f
+      ~on_result ~on_progress ~f
       (Array.map (fun i -> arr.(i)) todo)
   in
+  (match progress with
+  | Some p -> Hextime_obs.Progress.finish p
+  | None -> ());
   Array.iteri (fun j r -> results.(todo.(j)) <- Some r) outcomes;
   let out =
     Array.to_list

@@ -49,6 +49,7 @@ type stats = {
 }
 
 val map :
+  ?label:string ->
   exec ->
   key:('a -> string) ->
   f:('a -> 'b) ->
@@ -59,7 +60,13 @@ val map :
     {!Cache}); cached values are returned without executing [f].  [Error]
     marks engine-level failures only (task crashed/timed out beyond
     [retries]); domain-level rejection should live inside ['b].  Only [Ok]
-    results are persisted. *)
+    results are persisted.
+
+    [label] turns on the hexwatch heartbeat for this sweep: a
+    {!Hextime_obs.Progress} tracker spanning every task (cache hits
+    included) publishes points-done/rate/ETA gauges and — when progress
+    rendering is enabled — a [\r]-status line on stderr.  Omitting it
+    keeps the sweep silent, exactly as before. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 (** e.g. ["850 points: 840 cached, 10 computed"], appending retry/failure

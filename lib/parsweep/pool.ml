@@ -177,7 +177,7 @@ let spawn ~flight ~peers f (tasks : 'a array) =
         started = 0.0;
       }
 
-let in_process ~on_result ~f tasks results =
+let in_process ~on_result ~on_progress ~f tasks results =
   let completed = ref 0 in
   Array.iteri
     (fun i t ->
@@ -187,19 +187,22 @@ let in_process ~on_result ~f tasks results =
       Metrics.observe task_hist (Unix.gettimeofday () -. t0);
       results.(i) <- r;
       incr completed;
-      on_result i r)
+      on_result i r;
+      on_progress ~done_:!completed ~alive:0 ~busy:0)
     tasks;
   (results, { zero with completed = !completed })
 
 let map ?jobs ?(timeout_s = 600.0) ?(retries = 1) ?(on_result = fun _ _ -> ())
-    ~f (tasks : 'a array) =
+    ?(on_progress = fun ~done_:_ ~alive:_ ~busy:_ -> ()) ~f (tasks : 'a array)
+    =
   let n = Array.length tasks in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let results : 'b outcome array =
     Array.make n (Error "parsweep: not executed")
   in
   if n = 0 then (results, zero)
-  else if jobs <= 1 || n = 1 then in_process ~on_result ~f tasks results
+  else if jobs <= 1 || n = 1 then
+    in_process ~on_result ~on_progress ~f tasks results
   else begin
     (* a write to a just-died worker must surface as EPIPE, not kill us *)
     let prev_sigpipe =
@@ -282,7 +285,10 @@ let map ?jobs ?(timeout_s = 600.0) ?(retries = 1) ?(on_result = fun _ _ -> ())
     let record i r =
       results.(i) <- r;
       incr done_count;
-      on_result i r
+      on_result i r;
+      on_progress ~done_:!done_count ~alive:(List.length !workers)
+        ~busy:
+          (List.length (List.filter (fun w -> w.task <> None) !workers))
     in
     let handle_death w reason =
       incr crashed;

@@ -50,6 +50,7 @@ val map :
   ?timeout_s:float ->
   ?retries:int ->
   ?on_result:(int -> 'b outcome -> unit) ->
+  ?on_progress:(done_:int -> alive:int -> busy:int -> unit) ->
   f:('a -> 'b) ->
   'a array ->
   'b outcome array * stats
@@ -60,4 +61,8 @@ val map :
     worker; [retries] (default 1) bounds re-executions after a worker
     death.  [on_result] is called in the {e parent}, in completion order,
     as each result is recorded — the hook the cache layer uses to persist
-    points incrementally so an interrupted sweep can resume. *)
+    points incrementally so an interrupted sweep can resume.
+    [on_progress] is called in the parent after every recorded result with
+    the running completion count and the pool's worker liveness ([alive]
+    live workers of which [busy] have a task in flight; both 0 on the
+    in-process path) — the hexwatch heartbeat hook. *)

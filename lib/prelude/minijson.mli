@@ -20,6 +20,12 @@ val render : t -> string
     strings ["NaN"], ["Infinity"] and ["-Infinity"] (so they parse back as
     [Str], never as invalid bare [nan]/[inf] tokens). *)
 
+val render_compact : t -> string
+(** Like {!render} but on a single line with no trailing newline — one
+    record per line for JSONL artifacts (the hexwatch run ledger).  The
+    number and string encodings are identical to {!render}'s, so compact
+    output round-trips through {!parse} just the same. *)
+
 val parse : string -> (t, string) result
 (** Parse a complete JSON document; [Error] carries the offset and reason.
     Rejects trailing garbage. *)

@@ -211,6 +211,229 @@ let test_report_markdown () =
       "7.36e-03";
     ]
 
+(* --- hexwatch: arg-min quality on hand-built sweeps -------------------------- *)
+
+(* A synthetic sweep point: the model's opinion (talg) and the machine's
+   (time_s/gflops) are set independently, so the arg-min metric can be
+   checked against hand-computed values. *)
+let mk_point ~talg ~time_s ~gflops =
+  {
+    H.Sweep.config =
+      Hextime_tiling.Config.make_exn ~t_t:2 ~t_s:[| 4; 32 |] ~threads:[| 64 |];
+    predicted =
+      {
+        Hextime_core.Model.talg;
+        t_tile = talg;
+        m_transfer = 0.0;
+        c_compute = 0.0;
+        k = 1;
+        n_wavefronts = 1;
+        wavefront_blocks = 1;
+        sm_rounds = 1;
+        shared_words = 0;
+        io_words = 0;
+        chunks = 1;
+      };
+    measured =
+      {
+        Runner.time_s;
+        gflops;
+        resident_blocks = 1;
+        spilled_regs = 0;
+        limiting = Gpu.Occupancy.Threads;
+      };
+  }
+
+let test_argmin_quality () =
+  (* the model's favourite (smallest talg) is also the measured winner *)
+  let good =
+    H.Validation.analyze
+      [
+        mk_point ~talg:1.0 ~time_s:1.0 ~gflops:100.0;
+        mk_point ~talg:2.0 ~time_s:2.0 ~gflops:50.0;
+        mk_point ~talg:3.0 ~time_s:4.0 ~gflops:25.0;
+      ]
+  in
+  Alcotest.(check (float 1e-9)) "perfect pick" 1.0
+    good.H.Validation.argmin_quality;
+  Alcotest.(check bool) "perfect pick is in band" true
+    good.H.Validation.argmin_in_band;
+  (* the model's favourite measures at 40% of the sweep's best *)
+  let bad =
+    H.Validation.analyze
+      [
+        mk_point ~talg:1.0 ~time_s:2.5 ~gflops:40.0;
+        mk_point ~talg:2.0 ~time_s:1.0 ~gflops:100.0;
+        mk_point ~talg:3.0 ~time_s:4.0 ~gflops:25.0;
+      ]
+  in
+  Alcotest.(check (float 1e-9)) "mediocre pick" 0.4
+    bad.H.Validation.argmin_quality;
+  Alcotest.(check bool) "mediocre pick is out of band" false
+    bad.H.Validation.argmin_in_band;
+  (* just inside the default 20% band *)
+  let edge =
+    H.Validation.analyze
+      [
+        mk_point ~talg:1.0 ~time_s:1.25 ~gflops:80.0;
+        mk_point ~talg:2.0 ~time_s:1.0 ~gflops:100.0;
+      ]
+  in
+  Alcotest.(check (float 1e-9)) "edge pick" 0.8
+    edge.H.Validation.argmin_quality;
+  Alcotest.(check bool) "80% of best is in the 20% band" true
+    edge.H.Validation.argmin_in_band;
+  (* a wider band flips the verdict for the mediocre pick *)
+  let wide =
+    H.Validation.analyze ~top_within:0.65
+      [
+        mk_point ~talg:1.0 ~time_s:2.5 ~gflops:40.0;
+        mk_point ~talg:2.0 ~time_s:1.0 ~gflops:100.0;
+      ]
+  in
+  Alcotest.(check bool) "in band once the band is wide enough" true
+    wide.H.Validation.argmin_in_band
+
+let test_validation_metrics_shape () =
+  let s =
+    H.Validation.analyze
+      [
+        mk_point ~talg:1.0 ~time_s:1.0 ~gflops:100.0;
+        mk_point ~talg:2.0 ~time_s:2.0 ~gflops:50.0;
+      ]
+  in
+  let m = H.Validation.metrics s in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) ("metrics carry " ^ name) true
+        (List.mem_assoc name m))
+    [
+      "points"; "rmse_all"; "top_points"; "rmse_top"; "correlation_top";
+      "best_gflops"; "argmin_quality"; "argmin_in_band";
+    ];
+  Alcotest.(check (float 0.0)) "argmin_in_band encodes as 1.0" 1.0
+    (List.assoc "argmin_in_band" m)
+
+(* --- hexwatch: the accuracy gate --------------------------------------------- *)
+
+let acc_summary ?(rmse_all = 0.5) ?(rmse_top = 0.08) ?(correlation_top = 0.9)
+    ?(argmin_quality = 0.95) ?(argmin_in_band = true) () =
+  {
+    H.Validation.points = 850;
+    rmse_all;
+    top_points = 10;
+    rmse_top;
+    correlation_top;
+    best_gflops = 100.0;
+    argmin_quality;
+    argmin_in_band;
+  }
+
+let acc ?(scale = H.Experiments.Ci) rows =
+  {
+    H.Accuracy.scale;
+    code_version = "test-v1";
+    rows =
+      List.map
+        (fun (experiment, summary) -> { H.Accuracy.experiment; summary })
+        rows;
+  }
+
+let test_accuracy_json_roundtrip () =
+  let t =
+    acc
+      [
+        ("gtx980/heat2d", acc_summary ());
+        ("titanx/heat3d", acc_summary ~argmin_in_band:false ~rmse_top:0.31 ());
+      ]
+  in
+  match H.Accuracy.of_json (H.Accuracy.to_json t) with
+  | Error msg -> Alcotest.fail msg
+  | Ok t' ->
+      Alcotest.(check int) "rows survive" 2 (List.length t'.H.Accuracy.rows);
+      Alcotest.(check string) "code version" "test-v1"
+        t'.H.Accuracy.code_version;
+      let r' = List.nth t'.H.Accuracy.rows 1 in
+      Alcotest.(check string) "experiment name" "titanx/heat3d"
+        r'.H.Accuracy.experiment;
+      Alcotest.(check (float 0.0)) "rmse_top bit-exact" 0.31
+        r'.H.Accuracy.summary.H.Validation.rmse_top;
+      Alcotest.(check bool) "in-band flag survives" false
+        r'.H.Accuracy.summary.H.Validation.argmin_in_band
+
+let test_accuracy_compare () =
+  let baseline = acc [ ("e1", acc_summary ()); ("e2", acc_summary ()) ] in
+  (* identical figures: clean *)
+  Alcotest.(check int) "identical: no drift" 0
+    (List.length (H.Accuracy.compare ~baseline baseline));
+  (* improvements never drift *)
+  let better =
+    acc [ ("e1", acc_summary ~rmse_top:0.01 ~argmin_quality:1.0 ());
+          ("e2", acc_summary ()) ]
+  in
+  Alcotest.(check int) "improvement: no drift" 0
+    (List.length (H.Accuracy.compare ~baseline better));
+  (* a top-band RMSE regression beyond tolerance drifts *)
+  let worse = acc [ ("e1", acc_summary ~rmse_top:0.15 ()); ("e2", acc_summary ()) ] in
+  (match H.Accuracy.compare ~baseline worse with
+  | [ d ] ->
+      Alcotest.(check string) "drifting metric" "rmse_top" d.H.Accuracy.d_metric;
+      Alcotest.(check string) "drifting experiment" "e1" d.H.Accuracy.d_experiment
+  | ds -> Alcotest.failf "expected 1 drift, got %d" (List.length ds));
+  (* within tolerance: clean *)
+  let slightly =
+    acc [ ("e1", acc_summary ~rmse_top:0.09 ()); ("e2", acc_summary ()) ]
+  in
+  Alcotest.(check int) "within tolerance: no drift" 0
+    (List.length (H.Accuracy.compare ~baseline slightly));
+  (* a missing experiment drifts *)
+  let missing = acc [ ("e1", acc_summary ()) ] in
+  (match H.Accuracy.compare ~baseline missing with
+  | [ d ] -> Alcotest.(check string) "missing experiment" "e2" d.H.Accuracy.d_experiment
+  | ds -> Alcotest.failf "expected 1 drift, got %d" (List.length ds));
+  (* falling out of the band drifts regardless of tolerance *)
+  let out_of_band =
+    acc
+      [
+        ("e1", acc_summary ~argmin_quality:0.92 ~argmin_in_band:false ());
+        ("e2", acc_summary ());
+      ]
+  in
+  Alcotest.(check bool) "band exit drifts" true
+    (List.exists
+       (fun (d : H.Accuracy.drift) -> d.H.Accuracy.d_metric = "argmin_in_band")
+       (H.Accuracy.compare ~baseline out_of_band))
+
+(* --- hexwatch: history rendering --------------------------------------------- *)
+
+let test_history_render () =
+  let entry kind metrics =
+    Hextime_obs.Ledger.make ~metrics ~kind ~code_version:"test-v1" ()
+  in
+  let entries =
+    [
+      entry "validate" [ ("rmse_top", 0.0835); ("points_per_sec", 61234.0) ];
+      entry "bench" [ ("cold_sweep_points_per_sec", 152345.0) ];
+    ]
+  in
+  Alcotest.(check (list string))
+    "columns filtered to those present"
+    [ "rmse_top"; "points_per_sec"; "cold_sweep_points_per_sec" ]
+    (H.History.columns_of H.History.default_columns entries);
+  let table = H.History.render entries in
+  List.iter
+    (fun needle ->
+      let n = String.length needle and h = String.length table in
+      let rec go i = i + n <= h && (String.sub table i n = needle || go (i + 1)) in
+      Alcotest.(check bool) (Printf.sprintf "table has %S" needle) true (go 0))
+    [ "when"; "kind"; "validate"; "bench"; "8.3%"; "-" ];
+  let md = H.History.markdown entries in
+  Alcotest.(check bool) "markdown is a pipe table" true
+    (String.length md > 0 && md.[0] = '|');
+  match H.History.json entries with
+  | Hextime_prelude.Minijson.List [ _; _ ] -> ()
+  | _ -> Alcotest.fail "json renders one element per entry"
+
 let suite =
   [
     Alcotest.test_case "microbench ranges (Table 3)" `Quick test_microbench_ranges;
@@ -229,4 +452,12 @@ let suite =
     Alcotest.test_case "tables render" `Quick test_tables_render;
     Alcotest.test_case "fig4 surface" `Quick test_fig4_surface;
     Alcotest.test_case "report markdown" `Slow test_report_markdown;
+    Alcotest.test_case "argmin quality (hand-built sweeps)" `Quick
+      test_argmin_quality;
+    Alcotest.test_case "validation metrics shape" `Quick
+      test_validation_metrics_shape;
+    Alcotest.test_case "accuracy JSON round-trip" `Quick
+      test_accuracy_json_roundtrip;
+    Alcotest.test_case "accuracy compare gate" `Quick test_accuracy_compare;
+    Alcotest.test_case "history render" `Quick test_history_render;
   ]

@@ -378,6 +378,165 @@ let test_sweep_identical_under_tracing () =
   Alcotest.(check string) "sweep CSV byte-identical with tracing enabled"
     plain traced
 
+(* --- Ledger (hexwatch) ------------------------------------------------------ *)
+
+module Ledger = Obs.Ledger
+
+let mk_entry ?(kind = "validate") ?(labels = []) ?(metrics = []) ?(groups = [])
+    ?snapshot () =
+  Ledger.make ~labels ~metrics ~groups ?snapshot ~kind ~code_version:"test-v1"
+    ()
+
+let with_ledger_file f =
+  let path = Filename.temp_file "hexwatch" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () -> f path
+
+let append_exn path e =
+  match Ledger.append ~path e with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("append: " ^ msg)
+
+let load_exn path =
+  match Ledger.load ~path with
+  | Ok l -> l
+  | Error msg -> Alcotest.fail ("load: " ^ msg)
+
+let test_ledger_roundtrip () =
+  with_ledger_file @@ fun path ->
+  let e1 =
+    mk_entry ~kind:"validate"
+      ~labels:[ ("arch", "gtx980"); ("stencil", "heat2d") ]
+      ~metrics:[ ("rmse_top", 0.08375); ("points_per_sec", 61234.5625) ]
+      ~groups:[ ("gtx980/heat2d", [ ("rmse_all", 0.551); ("points", 850.0) ]) ]
+      ~snapshot:(Minijson.Obj [ ("counters", Minijson.Obj []) ])
+      ()
+  in
+  let e2 =
+    mk_entry ~kind:"bench"
+      ~metrics:[ ("cold_sweep_points_per_sec", 152345.0625) ]
+      ()
+  in
+  append_exn path e1;
+  append_exn path e2;
+  let l = load_exn path in
+  Alcotest.(check int) "no corrupt lines" 0 l.Ledger.corrupt_lines;
+  Alcotest.(check int) "no unknown-schema records" 0 l.Ledger.unknown_schema;
+  match l.Ledger.entries with
+  | [ r1; r2 ] ->
+      Alcotest.(check string) "kind" "validate" r1.Ledger.kind;
+      Alcotest.(check string) "code version" "test-v1" r1.Ledger.code_version;
+      Alcotest.(check (list (pair string string)))
+        "labels" e1.Ledger.labels r1.Ledger.labels;
+      (* %.17g rendering: floats survive the file bit-exactly *)
+      Alcotest.(check (option (float 0.0)))
+        "metric bit-exact" (Some 0.08375)
+        (Ledger.metric r1 "rmse_top");
+      Alcotest.(check (option (float 0.0)))
+        "group metric bit-exact" (Some 0.551)
+        (Ledger.group_metric r1 ~group:"gtx980/heat2d" "rmse_all");
+      Alcotest.(check bool) "snapshot survives" true (r1.Ledger.snapshot <> None);
+      Alcotest.(check (option (float 0.0)))
+        "second entry metric" (Some 152345.0625)
+        (Ledger.metric r2 "cold_sweep_points_per_sec");
+      Alcotest.(check bool) "timestamps non-decreasing" true
+        (r2.Ledger.time_unix >= r1.Ledger.time_unix)
+  | es -> Alcotest.failf "expected 2 entries, got %d" (List.length es)
+
+let test_ledger_corrupt_tolerance () =
+  with_ledger_file @@ fun path ->
+  append_exn path (mk_entry ());
+  (* garbage and a non-ledger JSON object in the middle *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "not json at all\n";
+  output_string oc "{\"schema\":\"something-else\"}\n";
+  close_out oc;
+  append_exn path (mk_entry ~kind:"bench" ());
+  (* a truncated trailing line: the crash-mid-append case *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "{\"schema\":\"hexwatch-ledger\",\"version\":1,\"kind\":\"tr";
+  close_out oc;
+  let l = load_exn path in
+  Alcotest.(check (list string))
+    "both good entries survive in order" [ "validate"; "bench" ]
+    (List.map (fun (e : Ledger.entry) -> e.Ledger.kind) l.Ledger.entries);
+  Alcotest.(check int) "corrupt lines counted" 3 l.Ledger.corrupt_lines;
+  Alcotest.(check int) "no unknown-schema records" 0 l.Ledger.unknown_schema
+
+let test_ledger_unknown_schema () =
+  with_ledger_file @@ fun path ->
+  append_exn path (mk_entry ());
+  (* a record from a future schema: well-formed, skipped, counted *)
+  append_exn path { (mk_entry ~kind:"campaign" ()) with Ledger.schema = 99 };
+  append_exn path (mk_entry ~kind:"bench" ());
+  let l = load_exn path in
+  Alcotest.(check (list string))
+    "current-schema entries kept" [ "validate"; "bench" ]
+    (List.map (fun (e : Ledger.entry) -> e.Ledger.kind) l.Ledger.entries);
+  Alcotest.(check int) "unknown schema counted" 1 l.Ledger.unknown_schema;
+  Alcotest.(check int) "not corrupt" 0 l.Ledger.corrupt_lines
+
+let test_ledger_filter_latest () =
+  let es =
+    [
+      mk_entry ~kind:"validate" ~labels:[ ("arch", "gtx980") ] ();
+      mk_entry ~kind:"bench" ();
+      mk_entry ~kind:"validate" ~labels:[ ("arch", "titanx") ] ();
+      mk_entry ~kind:"tune" ~labels:[ ("arch", "gtx980") ] ();
+    ]
+  in
+  Alcotest.(check int)
+    "filter by kind" 2
+    (List.length (Ledger.filter ~kind:"validate" es));
+  Alcotest.(check int)
+    "filter by label" 2
+    (List.length (Ledger.filter ~label:("arch", "gtx980") es));
+  Alcotest.(check (list string))
+    "filter by kind and label" [ "validate" ]
+    (List.map
+       (fun (e : Ledger.entry) -> e.Ledger.kind)
+       (Ledger.filter ~kind:"validate" ~label:("arch", "gtx980") es));
+  Alcotest.(check (list string))
+    "latest keeps tail in order" [ "validate"; "tune" ]
+    (List.map
+       (fun (e : Ledger.entry) -> e.Ledger.kind)
+       (Ledger.latest 2 es));
+  Alcotest.(check int) "latest larger than list" 4
+    (List.length (Ledger.latest 10 es))
+
+(* --- heartbeats are output-neutral ----------------------------------------- *)
+
+let test_sweep_identical_with_progress () =
+  let experiment =
+    {
+      H.Experiments.arch = Gpu.Arch.gtx980;
+      problem = P.make S.heat2d ~space:[| 512; 512 |] ~time:128;
+    }
+  in
+  let csv_of sweep = H.Export.sweep_csv sweep.H.Sweep.points in
+  let was_enabled = Obs.Progress.enabled () in
+  Obs.Progress.disable ();
+  let plain = csv_of (H.Sweep.baseline ~limit:40 experiment) in
+  let with_progress =
+    Obs.Progress.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        if not was_enabled then Obs.Progress.disable ())
+      (fun () -> csv_of (H.Sweep.baseline ~limit:40 experiment))
+  in
+  prerr_newline ();
+  Alcotest.(check string) "sweep CSV byte-identical with heartbeats enabled"
+    plain with_progress;
+  (* the heartbeat published its gauges even though rendering is throttled *)
+  let snap = Metrics.snapshot () in
+  let gauge name = List.assoc_opt name snap.Metrics.snap_gauges in
+  Alcotest.(check (option (float 0.0)))
+    "points_done gauge" (Some 40.0)
+    (gauge "sweep.points_done");
+  Alcotest.(check (option (float 0.0)))
+    "points_total gauge" (Some 40.0)
+    (gauge "sweep.points_total")
+
 let suite =
   [
     Alcotest.test_case "counter, gauge, histogram" `Quick
@@ -402,4 +561,13 @@ let suite =
       test_attribution_accumulator;
     Alcotest.test_case "sweep identical under tracing" `Quick
       test_sweep_identical_under_tracing;
+    Alcotest.test_case "ledger round-trip" `Quick test_ledger_roundtrip;
+    Alcotest.test_case "ledger corrupt-line tolerance" `Quick
+      test_ledger_corrupt_tolerance;
+    Alcotest.test_case "ledger unknown schema skipped" `Quick
+      test_ledger_unknown_schema;
+    Alcotest.test_case "ledger filter and latest" `Quick
+      test_ledger_filter_latest;
+    Alcotest.test_case "sweep identical with heartbeats" `Quick
+      test_sweep_identical_with_progress;
   ]
