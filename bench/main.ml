@@ -956,6 +956,58 @@ let () =
   Tabulate.print t
 
 (* ------------------------------------------------------------------ *)
+(* hexabs: symbolic pruning statistics.  The certificate and the
+   branch-and-bound run on the same fixed workload as the throughput
+   section (heat2d 512x512 T=128 on GTX 980), so the pruned-vs-enumerated
+   counts exported to BENCH_hextime.json stay comparable across runs. *)
+
+let hexabs_stats =
+  section "hexabs: symbolic feasibility and branch-and-bound pruning";
+  let module Hexabs = Hextime_analysis.Hexabs in
+  let module Space = Hextime_tileopt.Space in
+  let arch = Gpu.Arch.gtx980 in
+  let params = H.Microbench.params arch in
+  let problem = Problem.make Stencil.heat2d ~space:[| 512; 512 |] ~time:128 in
+  let citer = H.Microbench.citer arch Stencil.heat2d in
+  let tt, ts = Space.axes problem in
+  let l = Hexabs.lattice ~tt ~ts in
+  let cert = Hexabs.prove params problem l in
+  let exhaustive = List.length (Space.shapes params problem) in
+  let t =
+    Tabulate.create
+      [ ("metric", Tabulate.Left); ("count", Tabulate.Right) ]
+  in
+  let row t k v = Tabulate.add_row t [ k; string_of_int v ] in
+  let t = row t "lattice points" cert.Hexabs.cert_total_points in
+  let t = row t "points proven symbolically" cert.Hexabs.cert_proven_points in
+  let t = row t "points enumerated" cert.Hexabs.cert_enumerated_points in
+  let t = row t "boxes proven feasible" cert.Hexabs.cert_boxes_feasible in
+  let t = row t "boxes proven infeasible" cert.Hexabs.cert_boxes_infeasible in
+  let t = row t "boxes enumerated" cert.Hexabs.cert_boxes_enumerated in
+  let t = row t "splits" cert.Hexabs.cert_splits in
+  match Hexabs.minimize params ~citer problem l with
+  | Error msg ->
+      Tabulate.print t;
+      Printf.printf "branch-and-bound failed: %s\n" msg;
+      (cert, None, exhaustive)
+  | Ok bnb ->
+      let t = row t "exhaustive sweep evaluations" exhaustive in
+      let t = row t "b&b concrete evaluations" bnb.Hexabs.bnb_evals_concrete in
+      let t = row t "b&b interval evaluations" bnb.Hexabs.bnb_evals_bound in
+      let t = row t "b&b boxes pruned" bnb.Hexabs.bnb_boxes_pruned in
+      let t = row t "b&b live seed boxes" (List.length bnb.Hexabs.bnb_live) in
+      Tabulate.print t;
+      Printf.printf
+        "certificate decides %.1f%% of the lattice symbolically; \
+         branch-and-bound reproduces the exhaustive arg-min with %dx fewer \
+         concrete evaluations\n"
+        (100.0
+        *. float_of_int cert.Hexabs.cert_proven_points
+        /. float_of_int cert.Hexabs.cert_total_points)
+        (exhaustive / max 1 bnb.Hexabs.bnb_evals_concrete);
+      (cert, Some bnb, exhaustive)
+
+(* ------------------------------------------------------------------ *)
 (* Throughput trajectory: machine-readable hot-path numbers, exported
    to BENCH_hextime.json so CI can compare a run against the committed
    baseline (see bench/README.md and `hextime bench-compare`).
@@ -1078,6 +1130,41 @@ let () =
         ( "cold_sweep_speedup_vs_pre_refactor",
           Minijson.Num (sweep_pps /. pre_refactor_pps) );
       ]
+  in
+  (* hexabs: splice the symbolic-pruning counts measured above into the
+     same exported file, so CI can watch pruned-vs-enumerated alongside
+     throughput *)
+  let hexabs_cert, hexabs_bnb, hexabs_exhaustive = hexabs_stats in
+  let module Hexabs = Hextime_analysis.Hexabs in
+  let num i = Minijson.Num (float_of_int i) in
+  let hexabs_fields =
+    [
+      ("hexabs_lattice_points", num hexabs_cert.Hexabs.cert_total_points);
+      ("hexabs_feasible_points", num hexabs_cert.Hexabs.cert_feasible_points);
+      ("hexabs_proven_points", num hexabs_cert.Hexabs.cert_proven_points);
+      ( "hexabs_enumerated_points",
+        num hexabs_cert.Hexabs.cert_enumerated_points );
+      ("hexabs_exhaustive_evals", num hexabs_exhaustive);
+    ]
+    @
+    match hexabs_bnb with
+    | None -> []
+    | Some bnb ->
+        [
+          ("hexabs_bnb_evals_concrete", num bnb.Hexabs.bnb_evals_concrete);
+          ("hexabs_bnb_evals_bound", num bnb.Hexabs.bnb_evals_bound);
+          ("hexabs_bnb_boxes_pruned", num bnb.Hexabs.bnb_boxes_pruned);
+          ("hexabs_bnb_live_boxes", num (List.length bnb.Hexabs.bnb_live));
+          ( "hexabs_eval_reduction",
+            Minijson.Num
+              (float_of_int hexabs_exhaustive
+              /. float_of_int (max 1 bnb.Hexabs.bnb_evals_concrete)) );
+        ]
+  in
+  let json =
+    match json with
+    | Minijson.Obj fields -> Minijson.Obj (fields @ hexabs_fields)
+    | other -> other
   in
   let oc = open_out "BENCH_hextime.json" in
   output_string oc (Minijson.render json);

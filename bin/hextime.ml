@@ -760,27 +760,113 @@ let lint_cmd =
       & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
       & info [ "format" ] ~docv:"text|json" ~doc:"Output format.")
   in
-  let finish fmt reports ~linted ~skipped =
+  let fail_on =
+    Arg.(
+      value
+      & opt (enum [ ("error", `Error); ("warning", `Warning) ]) `Error
+      & info [ "fail-on" ] ~docv:"error|warning"
+          ~doc:
+            "Minimum severity that makes the exit status non-zero.  The \
+             default $(b,error) means warning-only reports are informational.")
+  in
+  let symbolic =
+    Arg.(
+      value & flag
+      & info [ "symbolic" ]
+          ~doc:
+            "With $(b,--sweep): prove whole sub-lattices free of resources \
+             and bounds findings first (hexabs abstract domains) and skip \
+             those passes on every configuration inside a proven-clean box.")
+  in
+  let fail_on_name = function `Error -> "error" | `Warning -> "warning" in
+  let failing_of fail_on reports =
+    List.filter
+      (fun r ->
+        match fail_on with
+        | `Error -> Hexlint.error_count r > 0
+        | `Warning -> r.Hexlint.findings <> [])
+      reports
+  in
+  let finish fmt fail_on reports ~linted ~skipped =
     let dirty = List.filter (fun r -> r.Hexlint.findings <> []) reports in
+    let failing = failing_of fail_on dirty in
     (match fmt with
     | `Json -> print_string (Hexlint.render_json dirty)
     | `Text ->
-        List.iter (fun r -> print_string (Hexlint.render_text r)) dirty;
+        print_string (Hexlint.render_sweep_text dirty);
         Printf.printf
           "linted %d configuration(s) (%d infeasible skipped): %s\n" linted
           skipped
           (if dirty = [] then "clean"
-           else Printf.sprintf "%d with findings" (List.length dirty)));
-    if dirty = [] then `Ok ()
+           else
+             Printf.sprintf "%d with findings, %d at or above --fail-on=%s"
+               (List.length dirty) (List.length failing)
+               (fail_on_name fail_on)));
+    if failing = [] then `Ok ()
     else
-      die "lint: findings in %d of %d configuration(s)" (List.length dirty)
-        linted
+      die "lint: findings at or above --fail-on=%s in %d of %d \
+           configuration(s)"
+        (fail_on_name fail_on) (List.length failing) linted
   in
-  let run arch stencil space time tile threads sweep scale fmt jobs cache_dir
-      no_cache profile metrics =
+  let run arch stencil space time tile threads sweep scale fmt fail_on
+      symbolic jobs cache_dir no_cache profile metrics =
     with_obs profile metrics @@ fun () ->
     if sweep then begin
+      let module Hexabs = Hextime_analysis.Hexabs in
       let exec = exec_of jobs cache_dir no_cache in
+      let experiments = H.Experiments.all scale in
+      (* symbolic pre-pass: per experiment and per thread count, a disjoint
+         cover of the tile lattice with box-level resources/bounds verdicts.
+         Configurations inside a proven-clean box skip those two passes —
+         the proof says they cannot produce findings there. *)
+      let covers =
+        if not symbolic then None
+        else begin
+          let tbl = Hashtbl.create 16 in
+          List.iter
+            (fun (e : H.Experiments.t) ->
+              let tt, ts = Space.axes e.problem in
+              let l = Hexabs.lattice ~tt ~ts in
+              let taxis = Array.of_list Space.thread_candidates in
+              let per_thread =
+                List.mapi
+                  (fun i t ->
+                    let cover =
+                      Hexabs.prove_clean e.arch e.problem l ~threads_axis:taxis
+                        ~threads:{ Hexabs.lo = i; hi = i }
+                    in
+                    ( t,
+                      List.filter_map
+                        (function b, Hexabs.Clean -> Some b | _ -> None)
+                        cover ))
+                  Space.thread_candidates
+              in
+              Hashtbl.replace tbl (H.Experiments.id e) (l, per_thread))
+            experiments;
+          Some tbl
+        end
+      in
+      let skip_for (e : H.Experiments.t) cfg =
+        match covers with
+        | None -> []
+        | Some tbl -> (
+            match Hashtbl.find_opt tbl (H.Experiments.id e) with
+            | None -> []
+            | Some (l, per_thread) -> (
+                match
+                  List.assoc_opt (Config.total_threads cfg) per_thread
+                with
+                | None -> []
+                | Some clean ->
+                    if
+                      List.exists
+                        (fun b ->
+                          Hexabs.contains l b ~t_t:cfg.Config.t_t
+                            ~t_s:cfg.Config.t_s)
+                        clean
+                    then [ "bounds"; "resources" ]
+                    else []))
+      in
       (* params/citer are computed per experiment in the parent, so forked
          workers inherit the warm micro-benchmark memos *)
       let tasks =
@@ -789,18 +875,28 @@ let lint_cmd =
             let params = H.Microbench.params e.arch in
             let citer = H.Microbench.citer e.arch e.problem.Problem.stencil in
             List.map
-              (fun cfg -> (e, params, citer, cfg))
+              (fun cfg -> (e, params, citer, cfg, skip_for e cfg))
               (Hextime_tileopt.Baseline.data_points params e.problem))
-          (H.Experiments.all scale)
+          experiments
       in
+      (if symbolic then
+         let proven =
+           List.length (List.filter (fun (_, _, _, _, s) -> s <> []) tasks)
+         in
+         Format.eprintf
+           "symbolic lint: resources+bounds proven clean box-wide for %d of \
+            %d configuration(s); per-config passes skipped there@."
+           proven (List.length tasks));
       let outcomes, stats =
         Parsweep.map exec
-          ~key:(fun ((e : H.Experiments.t), _, _, cfg) ->
-            Printf.sprintf "lint|%s|%s|%s" H.Sweep.code_version
-              (H.Experiments.id e) (Config.id cfg))
-          ~f:(fun ((e : H.Experiments.t), params, citer, cfg) ->
+          ~key:(fun ((e : H.Experiments.t), _, _, cfg, skip) ->
+            Printf.sprintf "lint|%s|%s|%s%s" H.Sweep.code_version
+              (H.Experiments.id e) (Config.id cfg)
+              (if skip = [] then "" else "|sym"))
+          ~f:(fun ((e : H.Experiments.t), params, citer, cfg, skip) ->
             match
-              Hexlint.lint_config params ~arch:e.arch ~citer e.problem cfg
+              Hexlint.lint_config ~skip params ~arch:e.arch ~citer e.problem
+                cfg
             with
             | Ok r -> Some r
             | Error _ -> None)
@@ -820,7 +916,7 @@ let lint_cmd =
       in
       (* stderr: keeps --format json output machine-parseable *)
       Format.eprintf "lint sweep: %a@." Parsweep.pp_stats stats;
-      finish fmt reports ~linted:!linted ~skipped:!skipped
+      finish fmt fail_on reports ~linted:!linted ~skipped:!skipped
     end
     else
       match tile with
@@ -844,17 +940,18 @@ let lint_cmd =
                         (match fmt with
                         | `Json -> print_string (Hexlint.render_json [ r ])
                         | `Text -> print_string (Hexlint.render_text r));
-                        if r.Hexlint.findings = [] then `Ok ()
+                        if failing_of fail_on [ r ] = [] then `Ok ()
                         else
-                          die "lint: %d finding(s)"
-                            (List.length r.Hexlint.findings))))
+                          die "lint: %d finding(s) at or above --fail-on=%s"
+                            (List.length r.Hexlint.findings)
+                            (fail_on_name fail_on))))
   in
   let term =
     Term.(
       ret
         (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ tile
-       $ threads $ sweep $ scale_arg $ format $ jobs_arg $ cache_dir_arg
-       $ no_cache_arg $ profile_arg $ metrics_arg))
+       $ threads $ sweep $ scale_arg $ format $ fail_on $ symbolic $ jobs_arg
+       $ cache_dir_arg $ no_cache_arg $ profile_arg $ metrics_arg))
   in
   Cmd.v
     (Cmd.info "lint"
@@ -862,8 +959,285 @@ let lint_cmd =
          "Run the hexlint static-analysis passes (races, bounds, bank \
           conflicts, resources, model conformance) on the lowered kernel IR \
           of one configuration, or of the whole feasible baseline sweep with \
-          $(b,--sweep).  Exits non-zero on any finding; with \
-          $(b,--format)=json only configurations with findings are printed.")
+          $(b,--sweep).  Exits non-zero when findings at or above \
+          $(b,--fail-on) (default: error) are present; with \
+          $(b,--format)=json only configurations with findings are printed.  \
+          $(b,--symbolic) proves sub-lattices clean before linting.")
+    term
+
+(* --- prove ------------------------------------------------------------------ *)
+
+let prove_cmd =
+  let module Hexabs = Hextime_analysis.Hexabs in
+  let sweep =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "Certify every experiment at the given $(b,--scale) instead of a \
+             single problem.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"text|json" ~doc:"Output format.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Cross-check the certificate point-for-point against exhaustive \
+             enumeration and the branch-and-bound arg-min against the \
+             exhaustive minimum; exit non-zero on any disagreement, or if \
+             more than 25% of the lattice had to be enumerated.")
+  in
+  let slack =
+    Arg.(
+      value & opt float 0.25
+      & info [ "slack" ] ~docv:"FRAC"
+          ~doc:
+            "Boxes whose certified lower bound is within this fraction of \
+             the optimum survive as live descent-seed regions.")
+  in
+  let regions =
+    Arg.(
+      value & flag
+      & info [ "regions" ]
+          ~doc:
+            "Print one line per certificate region in text mode (JSON output \
+             always carries the region list).")
+  in
+  let run_one ~check ~slack ~label arch params ~citer problem =
+    let tt, ts = Space.axes problem in
+    let l = Hexabs.lattice ~tt ~ts in
+    let cert = Hexabs.prove params problem l in
+    let bnb = Hexabs.minimize ~slack params ~citer problem l in
+    let failures = ref [] in
+    let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+    let enum_frac =
+      float_of_int cert.Hexabs.cert_enumerated_points
+      /. float_of_int (max 1 cert.Hexabs.cert_total_points)
+    in
+    if check then begin
+      let mism = ref 0 in
+      List.iter
+        (fun (pt : Hexabs.point) ->
+          let concrete = Hexabs.point_feasible params problem pt in
+          match
+            Hexabs.certificate_feasible cert l ~t_t:pt.Hexabs.p_tt
+              ~t_s:pt.Hexabs.p_ts
+          with
+          | Some c when c = concrete -> ()
+          | _ -> incr mism)
+        (Hexabs.members l (Hexabs.full_box l));
+      if !mism > 0 then
+        fail "certificate disagrees with enumeration at %d point(s)" !mism;
+      if enum_frac > 0.25 then
+        fail "prover enumerated %.1f%% of the lattice (budget 25%%)"
+          (100.0 *. enum_frac);
+      match bnb with
+      | Error msg -> fail "branch-and-bound failed: %s" msg
+      | Ok r ->
+          let ex_min =
+            List.fold_left
+              (fun acc (s : Space.shape) ->
+                match
+                  Hexabs.point_talg params ~citer problem
+                    { Hexabs.p_tt = s.Space.t_t; p_ts = s.Space.t_s }
+                with
+                | Some t -> min acc t
+                | None -> acc)
+              infinity
+              (Space.shapes params problem)
+          in
+          if r.Hexabs.bnb_talg <> ex_min then
+            fail
+              "branch-and-bound minimum %.17g differs from the exhaustive \
+               sweep's %.17g"
+              r.Hexabs.bnb_talg ex_min
+    end;
+    ignore arch;
+    (l, cert, bnb, enum_frac, List.rev !failures, label)
+  in
+  let region_json l (r : Hexabs.region) =
+    let (ttlo, tthi), ranges = Hexabs.value_ranges l r.Hexabs.r_box in
+    let pair (lo, hi) =
+      Minijson.List [ Num (float_of_int lo); Num (float_of_int hi) ]
+    in
+    Minijson.Obj
+      [
+        ("t_t", pair (ttlo, tthi));
+        ("t_s", Minijson.List (Array.to_list (Array.map pair ranges)));
+        ("verdict", Str (Hexabs.verdict_name r.Hexabs.r_verdict));
+        ( "constraint",
+          match Hexabs.verdict_constraint r.Hexabs.r_verdict with
+          | Some c -> Str c
+          | None -> Null );
+        ("points", Num (float_of_int r.Hexabs.r_points));
+      ]
+  in
+  let result_json (l, cert, bnb, enum_frac, failures, label) =
+    let n = float_of_int in
+    let bnb_json =
+      match bnb with
+      | Error msg -> Minijson.Obj [ ("error", Str msg) ]
+      | Ok (r : Hexabs.bnb) ->
+          Minijson.Obj
+            [
+              ( "best",
+                Str
+                  (Space.id
+                     {
+                       Space.t_t = r.Hexabs.bnb_best.Hexabs.p_tt;
+                       t_s = r.Hexabs.bnb_best.Hexabs.p_ts;
+                     }) );
+              ("talg", Num r.Hexabs.bnb_talg);
+              ("evals_concrete", Num (n r.Hexabs.bnb_evals_concrete));
+              ("evals_bound", Num (n r.Hexabs.bnb_evals_bound));
+              ("boxes_pruned", Num (n r.Hexabs.bnb_boxes_pruned));
+              ("boxes_visited", Num (n r.Hexabs.bnb_boxes_enumerated));
+              ("live_boxes", Num (n (List.length r.Hexabs.bnb_live)));
+            ]
+    in
+    Minijson.Obj
+      [
+        ("experiment", Str label);
+        ("lattice_points", Num (n cert.Hexabs.cert_total_points));
+        ("feasible_points", Num (n cert.Hexabs.cert_feasible_points));
+        ("proven_points", Num (n cert.Hexabs.cert_proven_points));
+        ("enumerated_points", Num (n cert.Hexabs.cert_enumerated_points));
+        ("enumerated_fraction", Num enum_frac);
+        ("boxes_feasible", Num (n cert.Hexabs.cert_boxes_feasible));
+        ("boxes_infeasible", Num (n cert.Hexabs.cert_boxes_infeasible));
+        ("boxes_enumerated", Num (n cert.Hexabs.cert_boxes_enumerated));
+        ("splits", Num (n cert.Hexabs.cert_splits));
+        ("bnb", bnb_json);
+        ("check_failures", Minijson.List (List.map (fun m -> Minijson.Str m) failures));
+        ("regions", Minijson.List (List.map (region_json l) cert.Hexabs.cert_regions));
+      ]
+  in
+  let print_text ~check ~print_regions (l, cert, bnb, enum_frac, failures, label)
+      =
+    Printf.printf "%s: %d lattice points, %d feasible\n" label
+      cert.Hexabs.cert_total_points cert.Hexabs.cert_feasible_points;
+    Printf.printf
+      "  certificate: %d feasible + %d infeasible boxes proven (%d points), \
+       %d boxes enumerated (%d points, %.1f%% of lattice), %d splits\n"
+      cert.Hexabs.cert_boxes_feasible cert.Hexabs.cert_boxes_infeasible
+      cert.Hexabs.cert_proven_points cert.Hexabs.cert_boxes_enumerated
+      cert.Hexabs.cert_enumerated_points
+      (100.0 *. enum_frac)
+      cert.Hexabs.cert_splits;
+    (match bnb with
+    | Error msg -> Printf.printf "  branch-and-bound: failed (%s)\n" msg
+    | Ok r ->
+        Printf.printf
+          "  branch-and-bound: %s -> Talg %.4e s; %d concrete + %d interval \
+           evaluation(s), %d boxes pruned, %d live seed box(es)\n"
+          (Space.id
+             {
+               Space.t_t = r.Hexabs.bnb_best.Hexabs.p_tt;
+               t_s = r.Hexabs.bnb_best.Hexabs.p_ts;
+             })
+          r.Hexabs.bnb_talg r.Hexabs.bnb_evals_concrete
+          r.Hexabs.bnb_evals_bound r.Hexabs.bnb_boxes_pruned
+          (List.length r.Hexabs.bnb_live));
+    if print_regions then
+      List.iter
+        (fun (r : Hexabs.region) ->
+          let (ttlo, tthi), ranges = Hexabs.value_ranges l r.Hexabs.r_box in
+          Printf.printf "  region tT[%d,%d]%s: %s (%d points)%s\n" ttlo tthi
+            (String.concat ""
+               (Array.to_list
+                  (Array.map
+                     (fun (lo, hi) -> Printf.sprintf " tS[%d,%d]" lo hi)
+                     ranges)))
+            (Hexabs.verdict_name r.Hexabs.r_verdict)
+            r.Hexabs.r_points
+            (match Hexabs.verdict_constraint r.Hexabs.r_verdict with
+            | Some c -> " — " ^ c
+            | None -> ""))
+        cert.Hexabs.cert_regions;
+    if check then
+      if failures = [] then Printf.printf "  check: PASS\n"
+      else
+        List.iter (fun m -> Printf.printf "  check: FAIL — %s\n" m) failures
+  in
+  let run arch stencil space time sweep scale fmt check slack regions profile
+      metrics =
+    with_obs profile metrics @@ fun () ->
+    let inputs =
+      if sweep then
+        Ok
+          (List.map
+             (fun (e : H.Experiments.t) ->
+               let params = H.Microbench.params e.arch in
+               let citer =
+                 H.Microbench.citer e.arch e.problem.Problem.stencil
+               in
+               (H.Experiments.id e, e.arch, params, citer, e.problem))
+             (H.Experiments.all scale))
+      else
+        match problem_of stencil space time with
+        | Error msg -> Error msg
+        | Ok problem ->
+            let params = H.Microbench.params arch in
+            let citer = H.Microbench.citer arch stencil in
+            Ok
+              [
+                ( Printf.sprintf "%s/%s" arch.Gpu.Arch.name
+                    (Problem.id problem),
+                  arch,
+                  params,
+                  citer,
+                  problem );
+              ]
+    in
+    match inputs with
+    | Error msg -> die "%s" msg
+    | Ok inputs ->
+        let results =
+          List.map
+            (fun (label, arch, params, citer, problem) ->
+              run_one ~check ~slack ~label arch params ~citer problem)
+            inputs
+        in
+        (match fmt with
+        | `Json ->
+            print_string
+              (Minijson.render (Minijson.List (List.map result_json results)))
+        | `Text ->
+            List.iter (print_text ~check ~print_regions:regions) results);
+        let failed =
+          List.concat_map (fun (_, _, _, _, fs, label) ->
+              List.map (fun m -> (label, m)) fs)
+            results
+        in
+        if failed = [] then `Ok ()
+        else begin
+          List.iter
+            (fun (label, m) -> Format.eprintf "prove: %s: %s@." label m)
+            failed;
+          die "prove: %d check failure(s)" (List.length failed)
+        end
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ sweep
+       $ scale_arg $ format $ check $ slack $ regions $ profile_arg
+       $ metrics_arg))
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:
+         "Certify the feasible tile-space region with the hexabs abstract \
+          domains (a disjoint box cover with per-box verdicts) and run the \
+          interval branch-and-bound arg-min search, printing the \
+          certificate and pruning statistics.  $(b,--check) cross-checks \
+          both against exhaustive enumeration.")
     term
 
 (* --- naive ------------------------------------------------------------------ *)
@@ -1688,6 +2062,7 @@ let main_cmd =
       trace_cmd;
       codegen_cmd;
       lint_cmd;
+      prove_cmd;
       naive_cmd;
       solve_cmd;
       tables_cmd;

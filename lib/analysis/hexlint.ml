@@ -432,7 +432,17 @@ type report = {
   findings : finding list;
 }
 
-let lint_config (params : Params.t) ~(arch : Arch.t) ~citer problem cfg =
+let pass_names =
+  [ "well-formed"; "races"; "bounds"; "banks"; "resources"; "conformance" ]
+
+let lint_config ?(skip = []) (params : Params.t) ~(arch : Arch.t) ~citer
+    problem cfg =
+  List.iter
+    (fun p ->
+      if not (List.mem p pass_names) then
+        invalid_arg (Printf.sprintf "Hexlint.lint_config: unknown pass %s" p))
+    skip;
+  let want p = not (List.mem p skip) in
   match Lower.ir_program problem cfg with
   | Error e -> Result.Error e
   | Ok prog -> (
@@ -441,33 +451,40 @@ let lint_config (params : Params.t) ~(arch : Arch.t) ~citer problem cfg =
       | Ok pr ->
           let per_kernel (k : Ir.kernel) =
             let wf =
-              match Ir.validate k with
-              | Ok () -> []
-              | Error msg ->
-                  [
-                    finding ~pass:"well-formed" ~severity:Error
-                      ~kernel:k.Ir.name "%s" msg;
-                  ]
+              if not (want "well-formed") then []
+              else
+                match Ir.validate k with
+                | Ok () -> []
+                | Error msg ->
+                    [
+                      finding ~pass:"well-formed" ~severity:Error
+                        ~kernel:k.Ir.name "%s" msg;
+                    ]
             in
             let banks =
-              match
-                Lower.workload problem cfg ~family:(hex_family k.Ir.family)
-              with
-              | Error msg ->
-                  [
-                    finding ~pass:"banks" ~severity:Error ~kernel:k.Ir.name
-                      "no priced workload for this family: %s" msg;
-                  ]
-              | Ok wl ->
-                  check_banks arch
-                    ~priced_stride:wl.Hextime_gpu.Workload.row_stride k
+              if not (want "banks") then []
+              else
+                match
+                  Lower.workload problem cfg ~family:(hex_family k.Ir.family)
+                with
+                | Error msg ->
+                    [
+                      finding ~pass:"banks" ~severity:Error ~kernel:k.Ir.name
+                        "no priced workload for this family: %s" msg;
+                    ]
+                | Ok wl ->
+                    check_banks arch
+                      ~priced_stride:wl.Hextime_gpu.Workload.row_stride k
             in
-            wf @ check_races k @ check_bounds k @ banks
-            @ check_resources arch k
+            wf
+            @ (if want "races" then check_races k else [])
+            @ (if want "bounds" then check_bounds k else [])
+            @ banks
+            @ if want "resources" then check_resources arch k else []
           in
           let findings =
             List.concat_map per_kernel prog.Ir.kernels
-            @ check_conformance pr prog
+            @ if want "conformance" then check_conformance pr prog else []
           in
           Ok
             {
@@ -500,6 +517,41 @@ let render_text r =
              f.pass f.kernel f.message))
       r.findings
   end;
+  Buffer.contents b
+
+let render_sweep_text reports =
+  (* identical findings repeat across hundreds of sweep configurations;
+     aggregate on (pass, severity, kernel, message) and report each once
+     with the number of configurations it occurred in *)
+  let tbl : (finding, int * string) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let where =
+        Printf.sprintf "%s %s on %s" r.problem_id r.config_id r.arch_name
+      in
+      List.iter
+        (fun f ->
+          match Hashtbl.find_opt tbl f with
+          | Some (n, first) -> Hashtbl.replace tbl f (n + 1, first)
+          | None ->
+              Hashtbl.add tbl f (1, where);
+              order := f :: !order)
+        r.findings)
+    reports;
+  let b = Buffer.create 256 in
+  let dirty = List.length (List.filter (fun r -> r.findings <> []) reports) in
+  if dirty > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "%d distinct finding(s) across %d configuration(s):\n"
+         (List.length !order) dirty);
+  List.iter
+    (fun f ->
+      let n, first = Hashtbl.find tbl f in
+      Buffer.add_string b
+        (Printf.sprintf "  [%s] %s: %s: %s — %d configuration(s), e.g. %s\n"
+           (severity_name f.severity) f.pass f.kernel f.message n first))
+    (List.rev !order);
   Buffer.contents b
 
 let json_escape s =

@@ -41,37 +41,174 @@ let feasible (p : Params.t) (problem : Problem.t) (cfg : Config.t) =
 
 type variant = Refined | Paper_verbatim
 
-(* c: Equations 9 / 15 / 27.  The hexagon rows come in equal-width pairs
-   (factor 2); each row of x points over the inner extents costs
-   ceil(x * inner / nV) * C_iter, plus one synchronisation per row.
+(* The whole term structure of Equations 3-30, written once against the
+   arithmetic signature.  [Calc (Arith.Scalar)] is today's concrete
+   evaluation — the scalar operations are the same primitives the inline
+   code used, applied to the same expression trees in the same order, so
+   the floats are bit-identical (the golden test freezes them).
+   [Calc (Arith.Interval)] evaluates the same terms over boxes of
+   (t_T, t_S) and returns certified enclosures; Hexabs builds its
+   feasibility certificates and branch-and-bound pruner on top.
 
-   [Paper_verbatim] sums the widths of Equation 4's idealised hexagon,
-   starting at x = t_s.  The two staggered tile families are not congruent
-   in the exact lattice: one family's base is wider by 2*order, so the
-   verbatim sum undercounts the computation by a factor (pitch - 2*order) /
-   pitch — negligible for realistic tiles but a spurious 2x at degenerate
-   shapes (t_s = 1, t_t = 2), which would hand the optimizer a false
-   minimum.  [Family_averaged] (the default) therefore uses the mean width
-   of the two families, x + order. *)
-let compute_time ?(variant = Refined) (p : Params.t) ~citer ~order
-    (cfg : Config.t) =
-  let rank = Config.rank cfg in
-  let inner = Array.fold_left ( * ) 1 (Array.sub cfg.t_s 1 (rank - 1)) in
-  let base =
-    match variant with
-    | Paper_verbatim -> cfg.t_s.(0)
-    | Refined -> cfg.t_s.(0) + order
-  in
-  let sum =
-    List.fold_left
-      (fun acc d ->
-        let x = base + (2 * order * d) in
-        acc + Ints.ceil_div (x * inner) p.n_vector)
-      0
-      (Ints.range 0 ((cfg.t_t / 2) - 1))
-  in
-  (2.0 *. citer *. float_of_int sum)
-  +. (float_of_int cfg.t_t *. p.tau_sync)
+   The footprint and wavefront geometry (Footprint.of_problem,
+   Hexgeom.wavefront_width / num_wavefronts) are restated here in the
+   generic arithmetic rather than called, because their closed forms must
+   be evaluated over abstract operands; the conformance tests pin the two
+   sides together. *)
+module Calc (A : Arith.S) = struct
+  type terms = {
+    c_talg : A.float_t;
+    c_t_tile : A.float_t;
+    c_m_transfer : A.float_t;
+    c_c_compute : A.float_t;
+    c_k : A.int_t;
+    c_n_wavefronts : A.int_t;
+    c_wavefront_blocks : A.int_t;
+    c_sm_rounds : A.int_t;
+    c_shared_words : A.int_t;
+    c_io_words : A.int_t;
+    c_chunks : A.int_t;
+  }
+
+  open A
+
+  let product arr lo len =
+    let acc = ref (int 1) in
+    for i = lo to Stdlib.( + ) lo (Stdlib.( - ) len 1) do
+      acc := !acc * arr.(i)
+    done;
+    !acc
+
+  let evaluate ?(variant = Refined) (p : Params.t) ~citer ~order ~word_factor
+      ~(space : int array) ~time ~(t_t : A.int_t) ~(t_s : A.int_t array) =
+    let rank = Array.length t_s in
+    let inner = product t_s 1 (Stdlib.( - ) rank 1) in
+    (* Footprint.of_problem's fields, restated generically *)
+    let mi_cross = t_s.(0) + (int (Stdlib.( * ) 2 order) * t_t) in
+    let m = mi_cross * inner in
+    let io_words = (m * int word_factor) + (m * int word_factor) in
+    let shared_words =
+      int 2
+      * product (Array.map (fun s -> s + (int order * t_t) + int 1) t_s) 0 rank
+      * int word_factor
+    in
+    let skew_span d = int space.(d) + (int order * t_t) in
+    let chunks =
+      match rank with
+      | 1 -> int 1
+      | 2 -> ceil_div (skew_span 1) t_s.(1)
+      | 3 ->
+          let r d = fdiv (to_float (skew_span d)) (to_float t_s.(d)) in
+          fceil_to_int (r 1 *. r 2)
+      | _ -> invalid_arg "Model.Calc: rank must be 1..3"
+    in
+    (* m': Equations 8 / 14 / 25 *)
+    let m_transfer =
+      (to_float io_words *. float p.l_word) +. (float 2.0 *. float p.tau_sync)
+    in
+    (* c: Equations 9 / 15 / 27.  The hexagon rows come in equal-width
+       pairs (factor 2); each row of x points over the inner extents costs
+       ceil(x * inner / nV) * C_iter, plus one synchronisation per row.
+
+       [Paper_verbatim] sums the widths of Equation 4's idealised hexagon,
+       starting at x = t_s.  The two staggered tile families are not
+       congruent in the exact lattice: one family's base is wider by
+       2*order, so the verbatim sum undercounts the computation by a factor
+       (pitch - 2*order) / pitch — negligible for realistic tiles but a
+       spurious 2x at degenerate shapes (t_s = 1, t_t = 2), which would
+       hand the optimizer a false minimum.  [Refined] (the default)
+       therefore uses the mean width of the two families, x + order. *)
+    let base =
+      match variant with
+      | Paper_verbatim -> t_s.(0)
+      | Refined -> t_s.(0) + int order
+    in
+    let sum =
+      sum_terms
+        ~terms:(tdiv t_t (int 2))
+        (fun d ->
+          let x = base + int (Stdlib.( * ) (Stdlib.( * ) 2 order) d) in
+          ceil_div (x * inner) (int p.n_vector))
+    in
+    let c_compute =
+      (float 2.0 *. float citer *. to_float sum)
+      +. (to_float t_t *. float p.tau_sync)
+    in
+    (* Equation 5: w = ceil(S1 / pitch), pitch = 2 t_S1 + order t_T *)
+    let wavefront_blocks =
+      ceil_div (int space.(0)) ((int 2 * t_s.(0)) + (int order * t_t))
+    in
+    (* Equation 11 bounds k by resources; a wavefront of w blocks can
+       additionally keep at most ceil(w / nSM) blocks per SM resident (the
+       paper's derivation assumes w >> k * nSM, where the clamp is
+       inactive).  shared_words >= 2 always, so hyperthreading_factor's
+       zero-guard is dead here. *)
+    let k =
+      imax (int 1)
+        (imin
+           (imin (int p.max_blocks_per_sm)
+              (tdiv (int p.shared_mem_per_sm) shared_words))
+           (ceil_div wavefront_blocks (int p.n_sm)))
+    in
+    (* T_tile(j): Equations 10/12 (1D) and 16/28/29 (2D/3D) at
+       hyper-threading factor j *)
+    let cf = to_float chunks in
+    let t_tile_at j =
+      if Stdlib.( = ) rank 1 then
+        if_eq j 1
+          ~then_:(fun () -> m_transfer +. c_compute (* Equation 10 *))
+          ~else_:(fun j ->
+            (* Equation 12 *)
+            m_transfer +. c_compute
+            +. (to_float (j - int 1) *. fmax m_transfer c_compute))
+      else
+        if_eq j 1
+          ~then_:(fun () ->
+            (m_transfer +. c_compute) *. cf (* Equations 16 / 28 *))
+          ~else_:(fun j ->
+            (* Equations 16 / 29 *)
+            m_transfer +. (to_float j *. fmax m_transfer c_compute *. cf))
+    in
+    let t_tile = t_tile_at k in
+    (* Equation 3 *)
+    let n_wavefronts = int 2 * ceil_div (int time) t_t in
+    let sm_rounds = ceil_div (ceil_div wavefront_blocks k) (int p.n_sm) in
+    (* Per-wavefront tile time.  Paper_verbatim applies Equation 2's
+       double ceiling, which charges the ragged final round as a full
+       k-deep round; Refined charges the final round at its actual depth,
+       which matters once k exceeds 2 (see the bench ablation). *)
+    let per_wavefront =
+      match variant with
+      | Paper_verbatim -> t_tile *. to_float sm_rounds
+      | Refined ->
+          let capacity = k * int p.n_sm in
+          let full = tdiv wavefront_blocks capacity in
+          let remainder = trem wavefront_blocks capacity in
+          let last =
+            if_eq remainder 0
+              ~then_:(fun () -> float 0.0)
+              ~else_:(fun r -> t_tile_at (ceil_div r (int p.n_sm)))
+          in
+          (to_float full *. t_tile) +. last
+    in
+    (* Equations 6 / 17 / 30 *)
+    let c_talg = to_float n_wavefronts *. (per_wavefront +. float p.t_sync) in
+    {
+      c_talg;
+      c_t_tile = t_tile;
+      c_m_transfer = m_transfer;
+      c_c_compute = c_compute;
+      c_k = k;
+      c_n_wavefronts = n_wavefronts;
+      c_wavefront_blocks = wavefront_blocks;
+      c_sm_rounds = sm_rounds;
+      c_shared_words = shared_words;
+      c_io_words = io_words;
+      c_chunks = chunks;
+    }
+end
+
+module Scalar_calc = Calc (Arith.Scalar)
 
 let predict ?variant (p : Params.t) ~citer (problem : Problem.t) (cfg : Config.t) =
   match feasible p problem cfg with
@@ -80,85 +217,24 @@ let predict ?variant (p : Params.t) ~citer (problem : Problem.t) (cfg : Config.t
       if citer <= 0.0 then Error "citer must be positive"
       else
         let order = problem.stencil.Stencil.order in
-        let fp = footprint_of problem cfg in
-        let mio = fp.Footprint.input_words + fp.Footprint.output_words in
-        (* m': Equations 8 / 14 / 25 *)
-        let m_transfer =
-          (float_of_int mio *. p.l_word) +. (2.0 *. p.tau_sync)
-        in
-        let c_compute = compute_time ?variant:(Option.map Fun.id variant) p ~citer ~order cfg in
-        let wavefront_blocks =
-          Hexgeom.wavefront_width ~order ~t_s:cfg.t_s.(0) ~t_t:cfg.t_t
-            ~space:problem.space.(0)
-        in
-        (* Equation 11 bounds k by resources; a wavefront of w blocks can
-           additionally keep at most ceil(w / nSM) blocks per SM resident
-           (the paper's derivation assumes w >> k * nSM, where the clamp is
-           inactive) *)
-        let k =
-          max 1
-            (min
-               (hyperthreading_factor p ~shared_words:fp.Footprint.shared_words)
-               (Ints.ceil_div wavefront_blocks p.n_sm))
-        in
-        let chunks = fp.Footprint.chunks in
-        (* T_tile(j): Equations 10/12 (1D) and 16/28/29 (2D/3D) at
-           hyper-threading factor j *)
-        let t_tile_at j =
-          let cf = float_of_int chunks in
-          match (Config.rank cfg, j) with
-          | 1, 1 -> m_transfer +. c_compute (* Equation 10 *)
-          | 1, _ ->
-              (* Equation 12 *)
-              m_transfer +. c_compute
-              +. (float_of_int (j - 1) *. max m_transfer c_compute)
-          | _, 1 -> (m_transfer +. c_compute) *. cf (* Equations 16 / 28 *)
-          | _, _ ->
-              (* Equations 16 / 29 *)
-              m_transfer
-              +. (float_of_int j *. max m_transfer c_compute *. cf)
-        in
-        let t_tile = t_tile_at k in
-        let n_wavefronts =
-          Hexgeom.num_wavefronts ~t_t:cfg.t_t ~time:problem.time
-        in
-        let sm_rounds =
-          Ints.ceil_div (Ints.ceil_div wavefront_blocks k) p.n_sm
-        in
-        (* Per-wavefront tile time.  Paper_verbatim applies Equation 2's
-           double ceiling, which charges the ragged final round as a full
-           k-deep round; Refined charges the final round at its actual
-           depth, which matters once k exceeds 2 (see the bench ablation). *)
-        let per_wavefront =
-          match Option.value variant ~default:Refined with
-          | Paper_verbatim -> t_tile *. float_of_int sm_rounds
-          | Refined ->
-              let capacity = k * p.n_sm in
-              let full = wavefront_blocks / capacity in
-              let remainder = wavefront_blocks mod capacity in
-              let last =
-                if remainder = 0 then 0.0
-                else t_tile_at (Ints.ceil_div remainder p.n_sm)
-              in
-              (float_of_int full *. t_tile) +. last
-        in
-        (* Equations 6 / 17 / 30 *)
-        let talg =
-          float_of_int n_wavefronts *. (per_wavefront +. p.t_sync)
+        let t =
+          Scalar_calc.evaluate ?variant p ~citer ~order
+            ~word_factor:(Problem.word_factor problem) ~space:problem.space
+            ~time:problem.time ~t_t:cfg.t_t ~t_s:cfg.t_s
         in
         Ok
           {
-            talg;
-            t_tile;
-            m_transfer;
-            c_compute;
-            k;
-            n_wavefronts;
-            wavefront_blocks;
-            sm_rounds;
-            shared_words = fp.Footprint.shared_words;
-            io_words = mio;
-            chunks;
+            talg = t.Scalar_calc.c_talg;
+            t_tile = t.Scalar_calc.c_t_tile;
+            m_transfer = t.Scalar_calc.c_m_transfer;
+            c_compute = t.Scalar_calc.c_c_compute;
+            k = t.Scalar_calc.c_k;
+            n_wavefronts = t.Scalar_calc.c_n_wavefronts;
+            wavefront_blocks = t.Scalar_calc.c_wavefront_blocks;
+            sm_rounds = t.Scalar_calc.c_sm_rounds;
+            shared_words = t.Scalar_calc.c_shared_words;
+            io_words = t.Scalar_calc.c_io_words;
+            chunks = t.Scalar_calc.c_chunks;
           }
 
 (* --- cost attribution ----------------------------------------------------- *)

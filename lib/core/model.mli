@@ -63,6 +63,46 @@ val predict :
     [citer] is the measured C_iter for this stencil on this machine
     (Table 4). *)
 
+(** The model's term structure, polymorphic over the arithmetic.
+    [Calc (Arith.Scalar)] is the concrete evaluation {!predict} runs —
+    bit-identical to the historical inline code (the golden test freezes
+    the floats).  [Calc (Arith.Interval)] evaluates the same terms over
+    boxes of [(t_T, t_S)] and returns certified enclosures: every concrete
+    evaluation at a point inside the box lands inside the corresponding
+    interval ({!Hextime_analysis.Hexabs} builds on this). *)
+module Calc (A : Arith.S) : sig
+  type terms = {
+    c_talg : A.float_t;
+    c_t_tile : A.float_t;
+    c_m_transfer : A.float_t;
+    c_c_compute : A.float_t;
+    c_k : A.int_t;
+    c_n_wavefronts : A.int_t;
+    c_wavefront_blocks : A.int_t;
+    c_sm_rounds : A.int_t;
+    c_shared_words : A.int_t;
+    c_io_words : A.int_t;
+    c_chunks : A.int_t;
+  }
+
+  val evaluate :
+    ?variant:variant ->
+    Params.t ->
+    citer:float ->
+    order:int ->
+    word_factor:int ->
+    space:int array ->
+    time:int ->
+    t_t:A.int_t ->
+    t_s:A.int_t array ->
+    terms
+  (** Evaluate every model term.  [order], [word_factor], [space] and
+      [time] are the problem-side constants; [t_t]/[t_s] are the abstract
+      tile coordinates.  Preconditions (asserted by the interval
+      arithmetic): rank 1..3, positive tile extents, even positive
+      [t_t]. *)
+end
+
 val hyperthreading_factor : Params.t -> shared_words:int -> int
 (** k from Equation 11 restricted to the shared-memory and MTB_SM terms:
     [min MTB_SM (M_SM / M_tile)]. *)

@@ -3,7 +3,9 @@ module Params = Hextime_core.Params
 module Problem = Hextime_stencil.Problem
 module Stencil = Hextime_stencil.Stencil
 module Config = Hextime_tiling.Config
+module Footprint = Hextime_tiling.Footprint
 module Det_hash = Hextime_prelude.Det_hash
+module Hexabs = Hextime_analysis.Hexabs
 
 type solution = {
   shape : Space.shape;
@@ -66,30 +68,66 @@ let descend ?variant params ~citer problem evals start =
   | None -> None
   | Some t -> Some (go start t)
 
-(* deterministic seed spread over the feasible space *)
-let seeds params problem ~restarts =
-  let all = Space.shapes params problem in
-  let n = List.length all in
+let spread ~salt ~restarts shapes =
+  let n = List.length shapes in
   if n = 0 then []
   else
     List.init restarts (fun i ->
-        let h =
-          Det_hash.create "descent-seed" |> fun h -> Det_hash.mix_int h i
-        in
+        let h = Det_hash.create salt |> fun h -> Det_hash.mix_int h i in
         let idx =
           Int64.to_int (Int64.rem (Det_hash.to_int64 h) (Int64.of_int n))
           |> abs
         in
-        List.nth all idx)
+        List.nth shapes idx)
 
-let solve ?variant ?(restarts = 8) params ~citer (problem : Problem.t) =
+(* deterministic seed spread over the whole feasible space *)
+let seeds params problem ~restarts =
+  spread ~salt:"descent-seed" ~restarts (Space.shapes params problem)
+
+(* seed spread drawn from the boxes Hexabs' branch-and-bound left alive:
+   the certified arg-min first, then a deterministic spread over the live
+   boxes' capacity-feasible members.  The live boxes all carry a lower
+   bound within the pruner's slack of the optimum, so every restart lands
+   in a provably promising region instead of a uniform draw. *)
+let symbolic_seeds ?variant params ~citer problem ~restarts =
+  let tt, ts = Space.axes problem in
+  let l = Hexabs.lattice ~tt ~ts in
+  match Hexabs.minimize ?variant params ~citer problem l with
+  | Error _ -> None
+  | Ok r ->
+      let word_factor = Problem.word_factor problem in
+      let order = problem.stencil.Stencil.order in
+      let shared_limit = params.Params.shared_mem_per_block in
+      let shape_of (pt : Hexabs.point) =
+        { Space.t_t = pt.Hexabs.p_tt; t_s = pt.Hexabs.p_ts }
+      in
+      let fits (s : Space.shape) =
+        Footprint.shared_words_of ~word_factor ~order ~t_t:s.Space.t_t
+          s.Space.t_s
+        <= shared_limit
+      in
+      let pool =
+        List.concat_map (fun b -> Hexabs.members l b) r.Hexabs.bnb_live
+        |> List.map shape_of |> List.filter fits
+      in
+      let best = shape_of r.Hexabs.bnb_best in
+      Some (best :: spread ~salt:"descent-seed-live" ~restarts:(restarts - 1) pool)
+
+let solve ?variant ?(restarts = 8) ?(seed_mode = `Symbolic) params ~citer
+    (problem : Problem.t) =
   if restarts <= 0 then Error "restarts must be positive"
   else
     let evals = ref 0 in
+    let seed_list =
+      match seed_mode with
+      | `Uniform -> seeds params problem ~restarts
+      | `Symbolic -> (
+          match symbolic_seeds ?variant params ~citer problem ~restarts with
+          | Some s -> s
+          | None -> seeds params problem ~restarts)
+    in
     let outcomes =
-      List.filter_map
-        (descend ?variant params ~citer problem evals)
-        (seeds params problem ~restarts)
+      List.filter_map (descend ?variant params ~citer problem evals) seed_list
     in
     match outcomes with
     | [] -> Error "no feasible starting point"

@@ -24,6 +24,7 @@ type solution = {
 val solve :
   ?variant:Hextime_core.Model.variant ->
   ?restarts:int ->
+  ?seed_mode:[ `Uniform | `Symbolic ] ->
   Hextime_core.Params.t ->
   citer:float ->
   Hextime_stencil.Problem.t ->
@@ -31,7 +32,15 @@ val solve :
 (** Run the solver ([restarts] deterministic starts, default 8).  [variant]
     selects the objective: the default refined model is comparatively
     smooth; [Paper_verbatim] has the ceiling-induced plateaus the paper's
-    solvers struggled with. *)
+    solvers struggled with.
+
+    [seed_mode] picks the restart spread.  [`Symbolic] (the default) runs
+    {!Hextime_analysis.Hexabs.minimize} first and draws the seeds from
+    the boxes its branch-and-bound left alive — the certified arg-min
+    plus a deterministic spread over the near-optimal regions — falling
+    back to [`Uniform] if the lattice has no feasible point.  [`Uniform]
+    is the historical behaviour: a deterministic hash spread over all of
+    {!Space.shapes}. *)
 
 val optimality_gap :
   ?variant:Hextime_core.Model.variant ->

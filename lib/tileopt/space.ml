@@ -23,47 +23,56 @@ let inner_candidates ~limit =
 let to_config shape ~threads =
   Config.make_exn ~t_t:shape.t_t ~t_s:shape.t_s ~threads
 
-let shapes (p : Params.t) (problem : Problem.t) =
-  let stencil = problem.stencil in
-  let rank = stencil.Stencil.rank in
+(* the product lattice the enumeration filters: t_t candidates bounded by
+   2 * T, and per-dimension tile-size candidates bounded by the problem
+   extent.  Exposed so Hexabs can prove facts about whole sub-lattices of
+   exactly the space [shapes] enumerates. *)
+let axes (problem : Problem.t) =
+  let rank = problem.stencil.Stencil.rank in
   let space = problem.space in
+  let tt =
+    Array.of_list (List.filter (fun t -> t <= 2 * problem.time) t_t_candidates)
+  in
+  let ts =
+    match rank with
+    | 1 -> [| Array.of_list (hex_candidates ~limit:space.(0)) |]
+    | 2 ->
+        [|
+          Array.of_list (hex_candidates ~limit:space.(0));
+          Array.of_list (inner_candidates ~limit:space.(1));
+        |]
+    | 3 ->
+        [|
+          Array.of_list (hex_candidates ~limit:space.(0));
+          Array.of_list (mid_candidates ~limit:space.(1));
+          Array.of_list (inner_candidates ~limit:space.(2));
+        |]
+    | _ -> assert false
+  in
+  (tt, ts)
+
+let shapes (p : Params.t) (problem : Problem.t) =
   (* feasibility probe: the shared-memory footprint depends only on the
      shape, so ask Footprint for that single number instead of building a
      throwaway Config and full footprint for each of the thousands of
      candidates *)
   let word_factor = Problem.word_factor problem in
-  let order = stencil.Stencil.order in
+  let order = problem.stencil.Stencil.order in
   let shared_limit = p.Params.shared_mem_per_block in
   let fits shape =
     Footprint.shared_words_of ~word_factor ~order ~t_t:shape.t_t shape.t_s
     <= shared_limit
   in
-  let dims_candidates =
-    match rank with
-    | 1 -> [ [ hex_candidates ~limit:space.(0) ] ]
-    | 2 ->
-        [ [ hex_candidates ~limit:space.(0); inner_candidates ~limit:space.(1) ] ]
-    | 3 ->
-        [
-          [
-            hex_candidates ~limit:space.(0);
-            mid_candidates ~limit:space.(1);
-            inner_candidates ~limit:space.(2);
-          ];
-        ]
-    | _ -> assert false
-  in
+  let tt_axis, ts_axes = axes problem in
   let rec product = function
     | [] -> [ [] ]
     | axis :: rest ->
         let tails = product rest in
         List.concat_map (fun v -> List.map (fun tl -> v :: tl) tails) axis
   in
-  let tile_tuples =
-    match dims_candidates with [ axes ] -> product axes | _ -> assert false
-  in
-  (* the filter below already bounds t_t by 2 * problem.time; no second
-     check is needed inside the expansion *)
+  let tile_tuples = product (Array.to_list (Array.map Array.to_list ts_axes)) in
+  (* the axes already bound t_t by 2 * problem.time; no second check is
+     needed inside the expansion *)
   List.concat_map
     (fun t_t ->
       List.filter_map
@@ -71,7 +80,7 @@ let shapes (p : Params.t) (problem : Problem.t) =
           let shape = { t_t; t_s = Array.of_list tup } in
           if fits shape then Some shape else None)
         tile_tuples)
-    (List.filter (fun t -> t <= 2 * problem.time) t_t_candidates)
+    (Array.to_list tt_axis)
 
 let id s =
   Printf.sprintf "tT%d-tS%s" s.t_t

@@ -16,6 +16,14 @@ val shapes :
     to 128 and inner sizes up to 512, which comfortably contains the
     capacity-feasible region for the architectures studied. *)
 
+val axes : Hextime_stencil.Problem.t -> int array * int array array
+(** [(t_t candidates, per-dimension tile-size candidates)] — the sorted
+    product lattice that {!shapes} filters.  Every shape {!shapes} returns
+    is a point of this lattice; the lattice additionally contains the
+    capacity-infeasible points (shared-memory footprint over the per-block
+    cap) that {!shapes} drops.  {!Hextime_analysis.Hexabs} proves facts
+    about whole sub-boxes of exactly this lattice. *)
+
 val to_config : shape -> threads:int array -> Hextime_tiling.Config.t
 (** Attach thread counts; raises [Invalid_argument] if invalid. *)
 

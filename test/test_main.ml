@@ -16,4 +16,5 @@ let () =
       ("parsweep", Test_parsweep.suite);
       ("obs", Test_obs.suite);
       ("extensions", Test_extensions.suite);
+      ("hexabs", Test_hexabs.suite);
     ]

@@ -267,9 +267,58 @@ let test_explain () =
           Alcotest.(check bool) (Printf.sprintf "has %S" needle) true (go 0))
         [ "eq 3"; "eq 5"; "eq 11"; "T_alg"; "compute-bound" ]
 
+(* Bit-identity of the Calc(Scalar) refactor: Model.predict routed through
+   the arithmetic-signature functor must reproduce the frozen golden
+   predictions (test/golden_model.ml, captured before the refactor) with
+   every float bit and every discrete count identical. *)
+let test_golden_bit_identity () =
+  let module H = Hextime_harness in
+  let module Baseline = Hextime_tileopt.Baseline in
+  let regenerated =
+    List.concat_map
+      (fun (e : H.Experiments.t) ->
+        let params = H.Microbench.params e.arch in
+        let citer = H.Microbench.citer e.arch e.problem.P.stencil in
+        let arr = Array.of_list (Baseline.data_points params e.problem) in
+        let n = Array.length arr in
+        let picks = [ 0; n / 3; n / 2; 2 * n / 3; n - 1 ] in
+        List.concat_map
+          (fun i ->
+            let cfg = arr.(i) in
+            List.filter_map
+              (fun (vn, v) ->
+                match Model.predict ~variant:v params ~citer e.problem cfg with
+                | Error _ -> None
+                | Ok pr ->
+                    Some
+                      (Printf.sprintf
+                         "%s|%s|%s|%.17g|%.17g|%.17g|%.17g|%d|%d|%d|%d|%d|%d|%d"
+                         (H.Experiments.id e) (C.id cfg) vn pr.Model.talg
+                         pr.Model.t_tile pr.Model.m_transfer
+                         pr.Model.c_compute pr.Model.k pr.Model.n_wavefronts
+                         pr.Model.wavefront_blocks pr.Model.sm_rounds
+                         pr.Model.shared_words pr.Model.io_words
+                         pr.Model.chunks))
+              [ ("refined", Model.Refined); ("verbatim", Model.Paper_verbatim) ])
+          picks)
+      (H.Experiments.all H.Experiments.Ci)
+  in
+  Alcotest.(check int)
+    "golden line count"
+    (List.length Golden_model.lines)
+    (List.length regenerated);
+  List.iteri
+    (fun i (want, got) ->
+      if want <> got then
+        Alcotest.failf "golden line %d drifted:\n  want %s\n  got  %s" i want
+          got)
+    (List.combine Golden_model.lines regenerated)
+
 let suite =
   [
     Alcotest.test_case "params" `Quick test_params;
+    Alcotest.test_case "golden predictions bit-identical" `Slow
+      test_golden_bit_identity;
     Alcotest.test_case "hyperthreading factor (eq 11)" `Quick test_hyperthreading_factor;
     Alcotest.test_case "feasibility (eq 31)" `Quick test_feasible;
     Alcotest.test_case "1D hand evaluation (eqs 3-12)" `Quick test_1d_hand_evaluation;
