@@ -135,8 +135,31 @@ let no_cache_arg =
     value & flag
     & info [ "no-cache" ] ~doc:"Disable the on-disk sweep cache entirely.")
 
-let exec_of jobs cache_dir no_cache =
-  let e = Parsweep.default ~jobs ?cache_dir () in
+let backend_arg =
+  let parse = function
+    | "fork" -> Ok `Fork
+    | "domains" -> Ok `Domains
+    | s ->
+        Error
+          (`Msg (Printf.sprintf "unknown backend %S (expected fork|domains)" s))
+  in
+  let print ppf b =
+    Format.pp_print_string ppf
+      (match b with `Fork -> "fork" | `Domains -> "domains")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `Fork
+    & info [ "backend" ] ~docv:"fork|domains"
+        ~doc:
+          "Parallel sweep backend.  $(b,fork): worker processes with \
+           per-task fault isolation, timeouts and retries.  $(b,domains): \
+           worker domains of this process sharing the heap — much higher \
+           point throughput, but a crashing task takes the process down.  \
+           Results are identical either way.")
+
+let exec_of ?(backend = `Fork) jobs cache_dir no_cache =
+  let e = Parsweep.default ~backend ~jobs ?cache_dir () in
   if no_cache then { e with Parsweep.cache = None } else e
 
 (* --- observability (hexscope) ------------------------------------------- *)
@@ -523,8 +546,8 @@ let validate_cmd =
   let plot =
     Arg.(value & flag & info [ "plot" ] ~doc:"Render the ASCII scatter plot.")
   in
-  let run arch stencil space time csv plot jobs cache_dir no_cache profile
-      metrics ledger no_ledger =
+  let run arch stencil space time csv plot backend jobs cache_dir no_cache
+      profile metrics ledger no_ledger =
     with_obs profile metrics @@ fun () ->
     match problem_of stencil space time with
     | Error msg -> die "%s" msg
@@ -532,7 +555,7 @@ let validate_cmd =
         let t0 = Unix.gettimeofday () in
         let e = { H.Experiments.arch; problem } in
         let full, stats =
-          H.Sweep.run ~exec:(exec_of jobs cache_dir no_cache) e
+          H.Sweep.run ~exec:(exec_of ~backend jobs cache_dir no_cache) e
         in
         let elapsed_s = Unix.gettimeofday () -. t0 in
         let sweep = full.H.Sweep.points in
@@ -577,8 +600,8 @@ let validate_cmd =
     Term.(
       ret
         (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ csv $ plot
-       $ jobs_arg $ cache_dir_arg $ no_cache_arg $ profile_arg $ metrics_arg
-       $ ledger_arg $ no_ledger_arg))
+       $ backend_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg $ profile_arg
+       $ metrics_arg $ ledger_arg $ no_ledger_arg))
   in
   Cmd.v
     (Cmd.info "validate"
@@ -1687,9 +1710,10 @@ let doctor_cmd =
     Term.(ret (const run $ const ()))
 
 let campaign_cmd =
-  let run scale jobs cache_dir no_cache profile metrics ledger no_ledger =
+  let run scale backend jobs cache_dir no_cache profile metrics ledger
+      no_ledger =
     with_obs profile metrics @@ fun () ->
-    let exec = exec_of jobs cache_dir no_cache in
+    let exec = exec_of ~backend jobs cache_dir no_cache in
     let t0 = Unix.gettimeofday () in
     let est = H.Campaign.estimate ~exec scale in
     let elapsed_s = Unix.gettimeofday () -. t0 in
@@ -1728,8 +1752,8 @@ let campaign_cmd =
           rejected configurations are counted separately.")
     Term.(
       ret
-        (const run $ scale_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
-       $ profile_arg $ metrics_arg $ ledger_arg $ no_ledger_arg))
+        (const run $ scale_arg $ backend_arg $ jobs_arg $ cache_dir_arg
+       $ no_cache_arg $ profile_arg $ metrics_arg $ ledger_arg $ no_ledger_arg))
 
 let report_cmd =
   let out =
@@ -1822,6 +1846,8 @@ let bench_compare_cmd =
         let metrics =
           [
             "cold_sweep_points_per_sec";
+            "fork_cold_sweep_points_per_sec";
+            "domains_cold_sweep_points_per_sec";
             "price_ns_per_kernel";
             "eventsim_cycles_per_sec";
             "simulator_prices_per_point";
@@ -1846,6 +1872,42 @@ let bench_compare_cmd =
         (* the gate: cold-sweep throughput must not regress beyond the
            tolerance band; the other metrics are reported but advisory *)
         let gate = "cold_sweep_points_per_sec" in
+        (* in-file invariant, not a baseline delta: when the current file
+           reports both backends, the domains pool must deliver at least
+           twice the fork pool's cold-sweep throughput — that ratio is the
+           whole point of the backend.  Old baselines without the fields
+           are fine; a current file missing them is too (pre-domains
+           bench binary judged by a newer CLI). *)
+        let domains_gate () =
+          match
+            ( field "fork_cold_sweep_points_per_sec" cur,
+              field "domains_cold_sweep_points_per_sec" cur )
+          with
+          | Some fork, Some domains when fork > 0.0 -> (
+              (* with a single worker both backends degenerate to the
+                 serial path, so the ratio is meaningless: only enforce
+                 when the parallel sweeps actually fanned out *)
+              match field "sweep_jobs" cur with
+              | Some jobs when jobs >= 2.0 ->
+                  if domains >= 2.0 *. fork then begin
+                    Printf.printf
+                      "bench-compare: ok — domains backend %.1f >= 2x fork \
+                       %.1f\n"
+                      domains fork;
+                    `Ok ()
+                  end
+                  else
+                    die
+                      "bench-compare: domains backend too slow: %.1f points/s \
+                       < 2x fork backend %.1f"
+                      domains fork
+              | _ ->
+                  Printf.printf
+                    "bench-compare: domains-vs-fork gate skipped (sweep_jobs \
+                     < 2)\n";
+                  `Ok ())
+          | _ -> `Ok ()
+        in
         match (field gate base, field gate cur) with
         | Some b, Some c ->
             let floor = b *. (1.0 -. tolerance) in
@@ -1853,7 +1915,7 @@ let bench_compare_cmd =
               Printf.printf
                 "bench-compare: ok — %s %.1f vs baseline %.1f (floor %.1f)\n" gate
                 c b floor;
-              `Ok ()
+              domains_gate ()
             end
             else
               die

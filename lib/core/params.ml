@@ -25,6 +25,20 @@ let of_microbenchmarks (arch : Hextime_gpu.Arch.t) ~l_word ~tau_sync ~t_sync =
     t_sync;
   }
 
+(* Pricing digest: everything but [arch_name], mirroring Arch.mix_pricing —
+   the analytical model reads only these numbers, so a renamed architecture
+   producing the same measured constants digests identically. *)
+let mix_pricing h t =
+  let module D = Hextime_prelude.Det_hash in
+  let h = D.mix_int h t.n_sm in
+  let h = D.mix_int h t.n_vector in
+  let h = D.mix_int h t.shared_mem_per_sm in
+  let h = D.mix_int h t.shared_mem_per_block in
+  let h = D.mix_int h t.max_blocks_per_sm in
+  let h = D.mix_float h t.l_word in
+  let h = D.mix_float h t.tau_sync in
+  D.mix_float h t.t_sync
+
 let l_per_gb t = t.l_word *. 1e9 /. 4.0
 
 let pp ppf t =

@@ -61,6 +61,31 @@ let find name =
   | Some a -> a
   | None -> raise Not_found
 
+(* Every field the simulator prices from — and deliberately NOT [name].
+   The incremental sweep cache keys points by this digest, so renaming an
+   architecture (or adding an unrelated preset) re-prices nothing, while
+   touching any number a kernel's time depends on invalidates exactly the
+   affected points. *)
+let mix_pricing h a =
+  let module D = Hextime_prelude.Det_hash in
+  let h = D.mix_int h a.n_sm in
+  let h = D.mix_int h a.n_vector in
+  let h = D.mix_int h a.warp_size in
+  let h = D.mix_int h a.shared_mem_per_sm in
+  let h = D.mix_int h a.shared_mem_per_block in
+  let h = D.mix_int h a.registers_per_sm in
+  let h = D.mix_int h a.max_regs_per_thread in
+  let h = D.mix_int h a.max_blocks_per_sm in
+  let h = D.mix_int h a.max_threads_per_sm in
+  let h = D.mix_int h a.max_threads_per_block in
+  let h = D.mix_int h a.shared_banks in
+  let h = D.mix_float h a.clock_ghz in
+  let h = D.mix_float h a.dram_bandwidth_gbs in
+  let h = D.mix_float h a.dram_efficiency in
+  let h = D.mix_int h a.dram_latency_cycles in
+  let h = D.mix_float h a.launch_overhead_s in
+  D.mix_int h a.sync_cycles
+
 let cycle_s a = 1e-9 /. a.clock_ghz
 let seconds_of_cycles a c = c *. cycle_s a
 

@@ -39,6 +39,12 @@ val presets : t list
 val find : string -> t
 (** Look up a preset by name; raises [Not_found]. *)
 
+val mix_pricing : Hextime_prelude.Det_hash.t -> t -> Hextime_prelude.Det_hash.t
+(** Fold every pricing-relevant field — everything except [name] — into a
+    digest state.  Two architectures with equal digests price every kernel
+    identically, so the sweep cache keys points by this (a renamed preset
+    is a warm cache hit; a changed clock or bandwidth is not). *)
+
 val cycle_s : t -> float
 (** Duration of one SM cycle in seconds. *)
 

@@ -56,6 +56,15 @@ module Memo = Hashtbl.Make (struct
 end)
 
 let memo : result Memo.t = Memo.create 64
+
+(* The memo is shared by every domain of the process: the domains-based
+   sweep pool (Parsweep.Dpool) prices points concurrently and an unguarded
+   Hashtbl resize under concurrent [add]s corrupts the table.  The critical
+   section is a lookup or a lookup+insert of a tiny record — contention is
+   negligible next to the pricing work around it, and the worst duplicate
+   work race (two domains both missing the same cold key) is resolved by
+   both computing the identical pure result. *)
+let memo_mutex = Mutex.create ()
 let memo_hits = Hextime_obs.Metrics.counter "occupancy.memo_hit"
 let memo_misses = Hextime_obs.Metrics.counter "occupancy.memo_miss"
 
@@ -64,14 +73,18 @@ let calculate (arch : Arch.t) req =
   if req.shared_words < 0 || req.regs_per_thread < 0 then
     invalid_arg "Occupancy: negative resource request";
   let key = (arch, req) in
-  match Memo.find_opt memo key with
+  let cached =
+    Mutex.protect memo_mutex (fun () -> Memo.find_opt memo key)
+  in
+  match cached with
   | Some r ->
       Hextime_obs.Metrics.incr memo_hits;
       r
   | None ->
       Hextime_obs.Metrics.incr memo_misses;
       let r = calculate_uncached arch req in
-      Memo.add memo key r;
+      Mutex.protect memo_mutex (fun () ->
+          if not (Memo.mem memo key) then Memo.add memo key r);
       r
 
 let fits arch req = (calculate arch req).blocks_per_sm >= 1

@@ -24,7 +24,9 @@ val calculate : Arch.t -> request -> result
 (** Raises [Invalid_argument] for non-positive thread counts or negative
     resources.  Valid results are memoised per (architecture, request)
     pair: the sweep's request space is tiny and the pricing hot path asks
-    about the same requests thousands of times. *)
+    about the same requests thousands of times.  The memo is mutex-guarded,
+    so concurrent calls from the domains-based sweep pool are safe and
+    share warm entries. *)
 
 val fits : Arch.t -> request -> bool
 (** Whether at least one block can be resident. *)

@@ -142,12 +142,15 @@ let iterations (arch : Gpu.Arch.t) (w : Gpu.Workload.t) =
       0 w.Gpu.Workload.rows
 
 let citer_once ~precision arch stencil ~sample =
+  (* seed from the pricing digests, not the names: renaming an architecture
+     or a linear stencil must not reshuffle the sampled shapes, or the mean
+     shifts and a pricing-neutral rename would cold-miss the sweep cache *)
   let h =
     Det_hash.create "citer"
     |> fun h ->
-    Det_hash.mix_string h arch.Gpu.Arch.name
+    Gpu.Arch.mix_pricing h arch
     |> fun h ->
-    Det_hash.mix_string h stencil.Stencil.name
+    Stencil.mix_pricing h stencil
     |> fun h -> Det_hash.mix_int h sample
   in
   match random_shape h stencil with

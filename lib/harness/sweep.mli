@@ -26,7 +26,10 @@ type sweep = {
 val code_version : string
 (** Cache-key namespace tag for sweep-layer results.  Bump when the model,
     the lowering, the simulator or the measurement protocol changes: stale
-    cache entries must miss, not resurface. *)
+    cache entries must miss, not resurface.  Keys additionally digest the
+    point's pricing inputs (architecture numbers, model parameters, citer,
+    problem structure — names excluded), so an edit that leaves pricing
+    unchanged re-prices nothing on a warm cache. *)
 
 val subsample : int option -> 'a list -> 'a list
 (** [subsample (Some n) xs] keeps [n] evenly spaced elements, always

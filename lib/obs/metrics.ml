@@ -3,8 +3,20 @@ module Tabulate = Hextime_prelude.Tabulate
 
 (* --- live metric handles ------------------------------------------------- *)
 
-type counter = { c_name : string; mutable c : int }
+(* Counters are Atomic-backed: the domains-based sweep pool (Parsweep.Dpool)
+   runs [f] on several domains of one process, all bumping the same handles,
+   and the serial == fork == domains totals contract requires every bump to
+   land.  Gauges and histograms are multi-field updates, so they serialise
+   through [registry_mutex] instead — they are off the per-point hot path
+   (progress ticks, per-task latency). *)
+type counter = { c_name : string; c : int Atomic.t }
 type gauge = { g_name : string; mutable g : float; mutable g_set : bool }
+
+(* One lock for registration, gauge/histogram mutation and snapshotting.
+   Counter increments stay lock-free. *)
+let registry_mutex = Mutex.create ()
+
+let locked f = Mutex.protect registry_mutex f
 
 (* log2-bucketed: bucket [i] counts observations v with 2^(i-bucket_bias-1)
    <= v < 2^(i-bucket_bias); bucket 0 additionally holds everything at or
@@ -31,14 +43,16 @@ let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 8
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 8
 
 let counter name =
+  locked @@ fun () ->
   match Hashtbl.find_opt counters name with
   | Some c -> c
   | None ->
-      let c = { c_name = name; c = 0 } in
+      let c = { c_name = name; c = Atomic.make 0 } in
       Hashtbl.add counters name c;
       c
 
 let gauge name =
+  locked @@ fun () ->
   match Hashtbl.find_opt gauges name with
   | Some g -> g
   | None ->
@@ -47,6 +61,7 @@ let gauge name =
       g
 
 let histogram name =
+  locked @@ fun () ->
   match Hashtbl.find_opt histograms name with
   | Some h -> h
   | None ->
@@ -63,10 +78,11 @@ let histogram name =
       Hashtbl.add histograms name h;
       h
 
-let incr ?(by = 1) c = c.c <- c.c + by
-let value c = c.c
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.c by)
+let value c = Atomic.get c.c
 
 let set g v =
+  locked @@ fun () ->
   g.g <- v;
   g.g_set <- true
 
@@ -78,6 +94,7 @@ let bucket_of v =
     max 0 (min (bucket_count - 1) (e + bucket_bias))
 
 let observe h v =
+  locked @@ fun () ->
   h.h_count <- h.h_count + 1;
   h.h_sum <- h.h_sum +. v;
   if v < h.h_min then h.h_min <- v;
@@ -104,8 +121,9 @@ type snapshot = {
 let sorted_by_name xs = List.sort (fun (a, _) (b, _) -> String.compare a b) xs
 
 let snapshot () =
+  locked @@ fun () ->
   let cs =
-    Hashtbl.fold (fun name c acc -> (name, c.c) :: acc) counters []
+    Hashtbl.fold (fun name c acc -> (name, Atomic.get c.c) :: acc) counters []
   in
   let gs =
     Hashtbl.fold
@@ -140,7 +158,8 @@ let empty =
   { snap_counters = []; snap_gauges = []; snap_histograms = [] }
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c <- 0) counters;
+  locked @@ fun () ->
+  Hashtbl.iter (fun _ c -> Atomic.set c.c 0) counters;
   Hashtbl.iter
     (fun _ g ->
       g.g <- 0.0;
@@ -202,6 +221,7 @@ let absorb s =
   List.iter
     (fun (name, hs) ->
       let h = histogram name in
+      locked @@ fun () ->
       h.h_count <- h.h_count + hs.hs_count;
       h.h_sum <- h.h_sum +. hs.hs_sum;
       if hs.hs_min < h.h_min then h.h_min <- hs.hs_min;

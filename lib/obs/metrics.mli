@@ -1,17 +1,23 @@
 (** Process-wide metrics registry: named counters, gauges and log2-bucketed
     histograms.
 
-    Counters are always on — incrementing one is a single [int] mutation, so
-    hot paths (simulator pricing, cache lookups, eventsim fast-forward)
-    register their handles at module-load time and bump them
-    unconditionally.  The registry only pays for rendering when a
-    [snapshot] is taken.
+    Counters are always on — incrementing one is a single lock-free
+    [Atomic] add, so hot paths (simulator pricing, cache lookups, eventsim
+    fast-forward) register their handles at module-load time and bump them
+    unconditionally, from any domain.  The registry only pays for rendering
+    when a [snapshot] is taken.
+
+    The registry is domain-safe: counters are [Atomic]-backed and gauge
+    sets, histogram observations, registration and snapshots serialise
+    through one internal mutex, so the domains-based sweep pool
+    ([Parsweep.Dpool]) produces exactly the totals the serial and forked
+    paths produce.
 
     Snapshots are pure, marshal-safe data.  A forked worker calls [reset]
     when it starts serving (dropping counts inherited from the parent
     image), then ships [snapshot () ] back with each result; the
     coordinator [absorb]s them, which fixes the classic fork-loses-counters
-    hole. *)
+    hole.  Domain workers need no such dance — they share the registry. *)
 
 type counter
 type gauge

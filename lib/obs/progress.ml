@@ -1,3 +1,5 @@
+module Ints = Hextime_prelude.Ints
+
 let on = ref false
 let enable () = on := true
 let disable () = on := false
@@ -57,13 +59,16 @@ let publish t ~done_ ~alive ~busy ~rate ~eta =
 
 let render t ~done_ ~alive ~busy ~rate ~eta =
   let eta_text =
-    if eta <= 0.0 || Float.is_nan eta then ""
+    if eta <= 0.0 || not (Float.is_finite eta) then ""
     else if eta >= 3600.0 then Printf.sprintf ", eta %.1fh" (eta /. 3600.0)
     else if eta >= 60.0 then Printf.sprintf ", eta %.0fm" (eta /. 60.0)
     else Printf.sprintf ", eta %.0fs" eta
   in
+  (* total = 0 means "unknown": render a bare count, never a n/0 percent *)
   let counts =
-    if t.total > 0 then Printf.sprintf "%d/%d" done_ t.total
+    if t.total > 0 then
+      Printf.sprintf "%d/%d (%d%%)" done_ t.total
+        (Ints.clamp ~lo:0 ~hi:100 (done_ * 100 / t.total))
     else string_of_int done_
   in
   let workers =
@@ -80,11 +85,24 @@ let tick ?(workers_alive = 0) ?(workers_busy = 0) t ~done_ =
     let last = done_ = t.total && t.total > 0 in
     if now -. t.last_emit >= interval_s || last then begin
       t.last_emit <- now;
+      (* The first tick can land within the clock's granularity of [create]
+         (a warm cache answers instantly), making elapsed zero or nearly so:
+         done / elapsed then publishes an infinite or garbage
+         sweep.points_per_sec gauge and a nonsense ETA.  Until a millisecond
+         has passed there is no rate worth reporting — publish 0 and let the
+         next throttled tick carry the real figure.  A clock step backwards
+         (negative elapsed) is clamped the same way. *)
       let elapsed = now -. t.started in
-      let rate = if elapsed > 0.0 then float_of_int done_ /. elapsed else 0.0 in
+      let rate =
+        if elapsed < 1e-3 then 0.0
+        else
+          let r = float_of_int done_ /. elapsed in
+          if Float.is_finite r then r else 0.0
+      in
       let eta =
         if t.total > 0 && rate > 0.0 then
-          float_of_int (t.total - done_) /. rate
+          let e = float_of_int (t.total - done_) /. rate in
+          if Float.is_finite e then Float.max 0.0 e else 0.0
         else 0.0
       in
       publish t ~done_ ~alive:workers_alive ~busy:workers_busy ~rate ~eta;

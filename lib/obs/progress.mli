@@ -13,6 +13,11 @@
       rendering is {!enabled};
     - an instant trace event ([hexwatch.heartbeat]) when tracing is on.
 
+    Published rates and ETAs are always finite: ticks landing within the
+    clock's granularity of the sweep start (instant warm-cache answers)
+    report a rate of 0 rather than dividing by a near-zero elapsed time,
+    and an unknown total (0) renders a bare count, never a percentage.
+
     Rendering is {b off unless stderr is a TTY} (overridable with
     [$HEXTIME_PROGRESS=1]/[0] or {!enable}/{!disable}), and always writes
     to stderr: stdout and CSV artifacts stay byte-identical with

@@ -22,9 +22,14 @@ let enable () = enabled_flag := true
 let disable () = enabled_flag := false
 let enabled () = !enabled_flag
 
-(* Collected events, newest first. *)
+(* Collected events, newest first.  The buffer is shared by every domain of
+   the process (the domains-based sweep pool records spans concurrently), so
+   all mutation goes through [buffer_mutex]; the tid column carries the
+   recording domain so a merged trace lays domain workers out side by side
+   exactly as forked workers are laid out by pid. *)
 let buffer : event list ref = ref []
 let count = ref 0
+let buffer_mutex = Mutex.create ()
 
 let make ?(cat = "hextime") ?(args = []) ?(ph = "X") ?(dur_us = 0.0) ~ts_us
     name =
@@ -35,31 +40,34 @@ let make ?(cat = "hextime") ?(args = []) ?(ph = "X") ?(dur_us = 0.0) ~ts_us
     ev_ts_us = ts_us;
     ev_dur_us = dur_us;
     ev_pid = Unix.getpid ();
-    ev_tid = 0;
+    ev_tid = (Domain.self () :> int);
     ev_args = args;
   }
 
 let emit ev =
+  Mutex.protect buffer_mutex @@ fun () ->
   buffer := ev :: !buffer;
   incr count
 
-let events () = List.rev !buffer
-let num_events () = !count
+let events () = Mutex.protect buffer_mutex (fun () -> List.rev !buffer)
+let num_events () = Mutex.protect buffer_mutex (fun () -> !count)
 
 let recent n =
   let rec take k = function
     | [] -> []
     | x :: xs -> if k = 0 then [] else x :: take (k - 1) xs
   in
-  List.rev (take n !buffer)
+  Mutex.protect buffer_mutex (fun () -> List.rev (take n !buffer))
 
 let drain () =
-  let evs = events () in
+  Mutex.protect buffer_mutex @@ fun () ->
+  let evs = List.rev !buffer in
   buffer := [];
   count := 0;
   evs
 
 let reset () =
+  Mutex.protect buffer_mutex @@ fun () ->
   buffer := [];
   count := 0
 

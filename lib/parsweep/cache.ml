@@ -34,9 +34,45 @@ let rec mkdir_p dir =
     | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* [put] writes through "<entry>.tmp.<pid>" then renames.  A writer that is
+   SIGKILLed between the two (the fork pool kills timed-out workers with
+   exactly that signal) leaks its temp file forever — no code path ever
+   looked at them again.  Sweep them when a cache is opened: a temp file
+   whose embedded pid no longer exists belongs to a dead writer and can
+   never be renamed, so it is garbage.  [kill pid 0] probes existence
+   without signalling; EPERM means the pid is alive but owned by someone
+   else, so only ESRCH (and a pid that doesn't parse) condemns the file.
+   A racing live writer is never touched, and losing the race to remove a
+   file some other opener already swept is fine. *)
+let sweep_stale_tmp dir =
+  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.iter
+    (fun name ->
+      match String.rindex_opt name '.' with
+      | None -> ()
+      | Some dot ->
+          let stem = String.sub name 0 dot in
+          let suffix = String.sub name (dot + 1) (String.length name - dot - 1) in
+          if Filename.check_suffix stem ".tmp" then begin
+            let dead =
+              match int_of_string_opt suffix with
+              | None -> true (* ".tmp.garbage": no live writer can own it *)
+              | Some pid when pid <= 0 -> true
+              | Some pid -> (
+                  match Unix.kill pid 0 with
+                  | () -> false
+                  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> true
+                  | exception Unix.Unix_error (_, _, _) -> false)
+            in
+            if dead then
+              try Sys.remove (Filename.concat dir name) with Sys_error _ -> ()
+          end)
+    entries
+
 let create ?dir () =
   let dir = match dir with Some d -> d | None -> default_dir () in
   mkdir_p dir;
+  sweep_stale_tmp dir;
   { dir; hits = 0; misses = 0; writes = 0 }
 
 let dir t = t.dir
@@ -47,6 +83,8 @@ let path_of t key =
   in
   Filename.concat t.dir (Printf.sprintf "%016Lx.bin" h)
 
+let entry_path = path_of
+
 let get (type a) t ~key : a option =
   match open_in_bin (path_of t key) with
   | exception Sys_error _ ->
@@ -54,8 +92,15 @@ let get (type a) t ~key : a option =
       Metrics.incr miss_counter;
       None
   | ic ->
+      (* Only the failures a damaged entry can actually produce are a miss:
+         Marshal raises [Failure] on corrupt bytes, [End_of_file] on
+         truncation, and the read can hit [Sys_error].  The old catch-all
+         also swallowed [Out_of_memory] and [Stack_overflow], silently
+         re-pricing a point the machine was too loaded to deserialise —
+         those must propagate. *)
       let entry : (string * a) option =
-        try Some (Marshal.from_channel ic) with _ -> None
+        try Some (Marshal.from_channel ic)
+        with Failure _ | End_of_file | Sys_error _ -> None
       in
       close_in_noerr ic;
       (match entry with

@@ -10,9 +10,10 @@
     restarting it skips every point that finished before the kill.
 
     Entries are keyed by an arbitrary string; callers are expected to build
-    keys that determine the value completely — for sweep results that is
-    [(code-version, arch, problem, config)], see
-    {!Hextime_harness.Sweep.code_version}.  The key is stored inside the
+    keys that determine the value completely — for sweep results that is a
+    code-version tag plus a digest of the point's pricing inputs (see
+    {!Hextime_harness.Sweep.code_version}), so pricing-neutral edits stay
+    warm hits.  The key is stored inside the
     entry and verified on read, so filename-hash collisions degrade to
     cache misses, never to wrong results.
 
@@ -31,9 +32,18 @@ val default_dir : unit -> string
 
 val create : ?dir:string -> unit -> t
 (** Open (creating directories as needed) a cache rooted at [dir],
-    defaulting to {!default_dir}.  Hit/miss/write counters start at zero. *)
+    defaulting to {!default_dir}.  Hit/miss/write counters start at zero.
+    Stale write-temp files (["*.tmp.<pid>"] left behind by a writer that
+    was SIGKILLed between write and rename — the fork pool kills timed-out
+    workers exactly that way) are swept here: a temp whose pid is no
+    longer alive is removed; temps of live writers are left alone. *)
 
 val dir : t -> string
+
+val entry_path : t -> string -> string
+(** [entry_path t key] is the file a [put] of [key] renames into place —
+    exposed so tests can fabricate filename-hash collisions and damaged
+    entries without reverse-engineering the hash. *)
 
 val get : t -> key:string -> 'a option
 (** Look the key up; [None] on absence, key mismatch (hash collision) or an

@@ -1,0 +1,96 @@
+module Metrics = Hextime_obs.Metrics
+module Trace = Hextime_obs.Trace
+
+(* These names intentionally collide with the fork pool's: Metrics handles
+   are interned by name, so both backends bump the same live counters and
+   the "pool.tasks" total a sweep reports is backend-independent. *)
+let tasks_counter = Metrics.counter "pool.tasks"
+let task_hist = Metrics.histogram "pool.task_seconds"
+
+let in_process ~on_result ~on_progress ~f (tasks : 'a array) results =
+  let completed = ref 0 in
+  Array.iteri
+    (fun i t ->
+      let t0 = Unix.gettimeofday () in
+      let r = try Ok (f t) with e -> Error (Printexc.to_string e) in
+      Metrics.incr tasks_counter;
+      Metrics.observe task_hist (Unix.gettimeofday () -. t0);
+      results.(i) <- r;
+      incr completed;
+      on_result i r;
+      on_progress ~done_:!completed ~alive:0 ~busy:0)
+    tasks;
+  (results, { Pool.completed = !completed; crashed = 0; retried = 0; failed = 0 })
+
+let map ?jobs ?(timeout_s = 600.0) ?(retries = 1) ?(on_result = fun _ _ -> ())
+    ?(on_progress = fun ~done_:_ ~alive:_ ~busy:_ -> ()) ~f (tasks : 'a array)
+    =
+  (* No per-task timeout or retry on this backend: workers share the heap,
+     so the only way to stop a runaway task would be to kill the whole
+     process.  The parameters are accepted for signature parity with
+     {!Pool.map} and ignored. *)
+  ignore timeout_s;
+  ignore retries;
+  let n = Array.length tasks in
+  let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+  let results : 'b Pool.outcome array =
+    Array.make n (Error "parsweep: not executed")
+  in
+  if n = 0 then
+    (results, { Pool.completed = 0; crashed = 0; retried = 0; failed = 0 })
+  else if jobs <= 1 || n = 1 then in_process ~on_result ~on_progress ~f tasks results
+  else begin
+    let jobs = min jobs n in
+    (* Work distribution is one atomic counter: each worker claims the next
+       unclaimed index.  Results land at their task index — every slot is
+       written by exactly one domain, so the array needs no lock.  Only the
+       recording callbacks do: [on_result] persists to the (single) cache
+       and [on_progress] drives one progress tracker, neither of which is
+       domain-safe, so both run under [record_mutex] along with the
+       completion count they observe. *)
+    let next = Atomic.make 0 in
+    let done_count = ref 0 in
+    let record_mutex = Mutex.create () in
+    let completed = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let t0 = Unix.gettimeofday () in
+          let ts_us = Trace.now_us () in
+          let r = try Ok (f tasks.(i)) with e -> Error (Printexc.to_string e) in
+          let dt = Unix.gettimeofday () -. t0 in
+          if Trace.enabled () then
+            Trace.emit
+              (Trace.make ~cat:"pool" ~ph:"X" ~ts_us ~dur_us:(dt *. 1e6)
+                 ~args:[ ("index", string_of_int i) ]
+                 "pool.task");
+          Metrics.incr tasks_counter;
+          Metrics.observe task_hist dt;
+          results.(i) <- r;
+          ignore (Atomic.fetch_and_add completed 1);
+          Mutex.protect record_mutex (fun () ->
+              incr done_count;
+              on_result i r;
+              (* in-flight = claimed but not yet recorded, capped at the
+                 domain count (claims past [n] are refused loop exits) *)
+              let claimed = min n (Atomic.get next) in
+              let busy = max 0 (min jobs (claimed - !done_count)) in
+              on_progress ~done_:!done_count ~alive:jobs ~busy);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let others = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    (* the calling domain is the jobs-th worker, not an idle coordinator *)
+    worker ();
+    List.iter Domain.join others;
+    ( results,
+      {
+        Pool.completed = Atomic.get completed;
+        crashed = 0;
+        retried = 0;
+        failed = 0;
+      } )
+  end

@@ -1,0 +1,51 @@
+(** Domains-based worker pool: run a pure function over an array of tasks
+    on [N] domains of this process, sharing the heap.
+
+    This is the fork pool's high-throughput sibling.  {!Pool} buys fault
+    isolation (a crashing or runaway task cannot take the sweep down) at
+    the price of a fork per worker and a [Marshal] round-trip per result;
+    for the simulator's microsecond-scale points that marshalling tax
+    dominates.  Here workers are [Domain.spawn]ed into the same address
+    space: tasks are claimed off one atomic counter, results are written
+    by reference into their output slot, and the warm state the sweep
+    depends on — the {!Hextime_gpu.Occupancy} memo, the
+    {!Hextime_obs.Metrics} registry, the trace buffer — is shared live
+    rather than snapshotted and merged, all three being domain-safe.
+
+    The trade-offs, explicitly:
+
+    - {b No fault isolation.}  An exception in [f] is still caught and
+      returned as [Error], but a segfault, OOM-kill or infinite loop
+      takes the whole process with it.  [timeout_s] and [retries] are
+      accepted for signature parity with {!Pool.map} and {e ignored} —
+      there is no safe way to kill a domain.  Sweeps of untrusted or
+      experimental model code should stay on the fork backend.
+    - {b Shared mutable state must be domain-safe.}  Everything the
+      harness's [f] touches is (memo mutex, atomic counters, mutexed
+      trace buffer); new global state reachable from a sweep must follow
+      suit.
+
+    Determinism: identical to the other paths — results land at their
+    task index, [f] is deterministic, so serial, fork and domains runs
+    return bit-identical results (CI [cmp]s the CSVs).
+
+    [on_result] and [on_progress] are serialised under one internal
+    mutex (they feed the cache and the progress tracker, which are not
+    domain-safe) and may be called from any worker domain.  Stats:
+    [completed] counts every executed task; [crashed], [retried] and
+    [failed] are always 0 on this backend. *)
+
+val map :
+  ?jobs:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?on_result:(int -> 'b Pool.outcome -> unit) ->
+  ?on_progress:(done_:int -> alive:int -> busy:int -> unit) ->
+  f:('a -> 'b) ->
+  'a array ->
+  'b Pool.outcome array * Pool.stats
+(** [map ~f tasks] evaluates [f] on every task across [jobs] domains
+    (default {!Pool.default_jobs}; the calling domain works too, so
+    [jobs] domains run in total).  [jobs <= 1] or fewer than two tasks
+    runs in-process with no spawning, semantics identical to
+    {!Pool.map}'s in-process path. *)

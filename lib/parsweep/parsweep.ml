@@ -1,18 +1,23 @@
 module Cache = Cache
 module Pool = Pool
+module Dpool = Dpool
+
+type backend = [ `Fork | `Domains ]
 
 type exec = {
   jobs : int;
   cache : Cache.t option;
   timeout_s : float;
   retries : int;
+  backend : backend;
 }
 
-let serial = { jobs = 1; cache = None; timeout_s = 600.0; retries = 1 }
+let serial =
+  { jobs = 1; cache = None; timeout_s = 600.0; retries = 1; backend = `Fork }
 
-let default ?jobs ?cache_dir () =
+let default ?(backend = `Fork) ?jobs ?cache_dir () =
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
-  { serial with jobs; cache = Some (Cache.create ?dir:cache_dir ()) }
+  { serial with jobs; cache = Some (Cache.create ?dir:cache_dir ()); backend }
 
 type stats = {
   total : int;
@@ -72,8 +77,11 @@ let map ?label exec ~key ~f tasks =
         Hextime_obs.Progress.tick p ~done_:(!hits + done_)
           ~workers_alive:alive ~workers_busy:busy
   in
+  let backend_map =
+    match exec.backend with `Fork -> Pool.map | `Domains -> Dpool.map
+  in
   let outcomes, pstats =
-    Pool.map ~jobs:exec.jobs ~timeout_s:exec.timeout_s ~retries:exec.retries
+    backend_map ~jobs:exec.jobs ~timeout_s:exec.timeout_s ~retries:exec.retries
       ~on_result ~on_progress ~f
       (Array.map (fun i -> arr.(i)) todo)
   in

@@ -21,12 +21,24 @@
 
 module Cache = Cache
 module Pool = Pool
+module Dpool = Dpool
+
+type backend = [ `Fork | `Domains ]
+(** How cache misses are executed in parallel.  [`Fork]: worker processes
+    ({!Pool}) with per-task fault isolation, timeouts and retries —
+    robust, but pays a [Marshal] round-trip per result.  [`Domains]:
+    worker domains of this process ({!Dpool}) sharing the heap and the
+    occupancy memo — results pass by reference, an order of magnitude
+    cheaper per point, but a runaway or crashing task takes the process
+    down ([timeout_s]/[retries] are ignored).  Identical results either
+    way; [jobs <= 1] runs in-process regardless. *)
 
 type exec = {
-  jobs : int;  (** worker processes; [<= 1] runs in-process *)
+  jobs : int;  (** workers; [<= 1] runs in-process *)
   cache : Cache.t option;  (** [None] disables memoisation *)
-  timeout_s : float;  (** per-task wall-clock bound in a worker *)
-  retries : int;  (** re-executions after a worker death *)
+  timeout_s : float;  (** per-task wall-clock bound ([`Fork] only) *)
+  retries : int;  (** re-executions after a worker death ([`Fork] only) *)
+  backend : backend;
 }
 
 val serial : exec
@@ -34,10 +46,11 @@ val serial : exec
     harness had before the engine existed.  Library entry points taking
     [?exec] default to this. *)
 
-val default : ?jobs:int -> ?cache_dir:string -> unit -> exec
+val default : ?backend:backend -> ?jobs:int -> ?cache_dir:string -> unit -> exec
 (** The CLI default: [jobs] from {!Pool.default_jobs} (the [$HEXTIME_JOBS]
-    override, else all cores) and a cache at [cache_dir] (default
-    {!Cache.default_dir}, which honours [$HEXTIME_CACHE_DIR]). *)
+    override, else all cores), a cache at [cache_dir] (default
+    {!Cache.default_dir}, which honours [$HEXTIME_CACHE_DIR]), and the
+    [`Fork] backend unless overridden. *)
 
 type stats = {
   total : int;

@@ -78,12 +78,14 @@ let flight_report dir pid =
         pid (List.length evs)
         (String.concat "\n  " (List.map Trace.render_event evs))
 
+(* Both pools (fork here, domains in Dpool) size themselves through this
+   one function, so $HEXTIME_JOBS is parsed exactly once and 0/negative
+   values are rejected in exactly one place — the old version parsed the
+   string twice (once in the guard, once in the branch body). *)
 let default_jobs () =
-  match Sys.getenv_opt "HEXTIME_JOBS" with
-  | Some s when (match int_of_string_opt s with Some n -> n >= 1 | None -> false)
-    ->
-      int_of_string s
-  | _ -> max 1 (Domain.recommended_domain_count ())
+  match Option.bind (Sys.getenv_opt "HEXTIME_JOBS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> max 1 (Domain.recommended_domain_count ())
 
 type worker = {
   pid : int;

@@ -43,7 +43,10 @@ type stats = {
 
 val default_jobs : unit -> int
 (** [$HEXTIME_JOBS] if set to a positive integer, else the machine's
-    recommended parallelism ([Domain.recommended_domain_count]). *)
+    recommended parallelism ([Domain.recommended_domain_count]).
+    Non-numeric, zero and negative values fall back to the machine
+    default.  {!Dpool} sizes itself through this same function, so the
+    two backends always agree on the job count. *)
 
 val map :
   ?jobs:int ->

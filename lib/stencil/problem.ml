@@ -38,6 +38,13 @@ let id p =
 
 let pp ppf p = Format.pp_print_string ppf (id p)
 
+let mix_pricing h p =
+  let module D = Hextime_prelude.Det_hash in
+  let h = Stencil.mix_pricing h p.stencil in
+  let h = Array.fold_left D.mix_int h p.space in
+  let h = D.mix_int h p.time in
+  D.mix_int h (match p.precision with F32 -> 0 | F64 -> 1)
+
 let paper_sizes_2d =
   List.concat_map
     (fun s ->

@@ -37,6 +37,12 @@ val id : t -> string
 
 val pp : Format.formatter -> t -> unit
 
+val mix_pricing :
+  Hextime_prelude.Det_hash.t -> t -> Hextime_prelude.Det_hash.t
+(** Fold the instance's pricing inputs (stencil structure via
+    {!Stencil.mix_pricing}, extents, time steps, precision) into a digest
+    state — the problem component of the sweep cache's incremental keys. *)
+
 (** {1 The paper's problem-size grids (Section 5)} *)
 
 val paper_sizes_2d : (int array * int) list

@@ -57,6 +57,32 @@ let make ~name ~rank ?(transcendentals = 0) ?flops rule =
 
 let offsets s = rule_offsets s.rule
 
+(* Pricing digest: the structure the model and simulator price from —
+   footprint, arithmetic counts and (for linear rules) the exact taps.
+   The name is folded in only for [Nonlinear] rules, whose [eval] closure
+   is opaque: there the name is the only available discriminator between
+   two rules with identical offsets (changes to a built-in eval body are
+   covered by the sweep's code-version tag instead). *)
+let mix_pricing h s =
+  let module D = Hextime_prelude.Det_hash in
+  let mix_offset h off = Array.fold_left D.mix_int h off in
+  let h = D.mix_int h s.rank in
+  let h = D.mix_int h s.order in
+  let h = D.mix_int h s.flops in
+  let h = D.mix_int h s.loads in
+  let h = D.mix_int h s.transcendentals in
+  match s.rule with
+  | Linear { taps; constant } ->
+      let h = D.mix_int h 0 in
+      let h = D.mix_float h constant in
+      List.fold_left
+        (fun h { offset; weight } -> D.mix_float (mix_offset h offset) weight)
+        h taps
+  | Nonlinear { offsets; _ } ->
+      let h = D.mix_int h 1 in
+      let h = D.mix_string h s.name in
+      List.fold_left mix_offset h offsets
+
 let apply s read =
   match s.rule with
   | Linear { taps; constant } ->

@@ -44,6 +44,14 @@ val make :
 val offsets : t -> int array list
 (** The dependence footprint (relative offsets read at time [t-1]). *)
 
+val mix_pricing :
+  Hextime_prelude.Det_hash.t -> t -> Hextime_prelude.Det_hash.t
+(** Fold the stencil's pricing-relevant structure (rank, order, operation
+    counts, and the rule's taps/offsets) into a digest state.  For
+    [Linear] rules the name is {e excluded} — a renamed but structurally
+    identical stencil digests the same; for [Nonlinear] rules the name is
+    included, standing in for the opaque [eval] closure. *)
+
 val apply : t -> (int array -> float) -> float
 (** [apply s read] evaluates the update rule given a neighbour reader. *)
 

@@ -92,9 +92,10 @@ let test_sweep_limit () =
   Alcotest.(check bool) "limit respected" true (List.length limited <= 50)
 
 let test_sweep_cache_versioning () =
-  (* the priced-kernel refactor changed what a cached point means, so the
-     key namespace was bumped: v2 entries must miss, not resurface *)
-  Alcotest.(check string) "namespace" "hextime-sweep-v3" H.Sweep.code_version;
+  (* the priced-kernel refactor changed what a cached point means (v2→v3),
+     and the move to digest keys re-seeded the citer sampler (v3→v4), so
+     the key namespace was bumped: older entries must miss, not resurface *)
+  Alcotest.(check string) "namespace" "hextime-sweep-v4" H.Sweep.code_version;
   let module Parsweep = Hextime_parsweep.Parsweep in
   let dir =
     Filename.concat

@@ -537,6 +537,39 @@ let test_sweep_identical_with_progress () =
     "points_total gauge" (Some 40.0)
     (gauge "sweep.points_total")
 
+(* the first-tick bugfix: a tick landing within the clock's granularity of
+   the sweep start used to divide by a near-zero elapsed time and publish an
+   infinite sweep.points_per_sec; and an unknown total (0) used to render
+   [done * 100 / 0].  Both must stay finite / guarded. *)
+let test_progress_first_tick_is_finite () =
+  let was_enabled = Obs.Progress.enabled () in
+  Obs.Progress.disable ();
+  let t = Obs.Progress.create ~total:10 ~label:"hexwatch-test" () in
+  Obs.Progress.tick t ~done_:5;
+  let snap = Metrics.snapshot () in
+  let gauge name = List.assoc_opt name snap.Metrics.snap_gauges in
+  (match gauge "sweep.points_per_sec" with
+  | None -> Alcotest.fail "rate gauge missing"
+  | Some r ->
+      Alcotest.(check bool) "rate finite" true (Float.is_finite r);
+      Alcotest.(check (float 0.0)) "instant tick reports zero rate" 0.0 r);
+  (match gauge "sweep.eta_seconds" with
+  | None -> Alcotest.fail "eta gauge missing"
+  | Some e ->
+      Alcotest.(check bool) "eta finite and non-negative" true
+        (Float.is_finite e && e >= 0.0));
+  Obs.Progress.finish t;
+  (* unknown total, rendering on: the bare-count path must not divide by
+     [total = 0] *)
+  Obs.Progress.enable ();
+  Fun.protect
+    ~finally:(fun () -> if not was_enabled then Obs.Progress.disable ())
+    (fun () ->
+      let s = Obs.Progress.create ~label:"hexwatch-test-unknown" () in
+      Obs.Progress.tick s ~done_:3;
+      Obs.Progress.finish s;
+      prerr_newline ())
+
 let suite =
   [
     Alcotest.test_case "counter, gauge, histogram" `Quick
@@ -570,4 +603,6 @@ let suite =
       test_ledger_filter_latest;
     Alcotest.test_case "sweep identical with heartbeats" `Quick
       test_sweep_identical_with_progress;
+    Alcotest.test_case "first heartbeat tick stays finite" `Quick
+      test_progress_first_tick_is_finite;
   ]

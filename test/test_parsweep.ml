@@ -5,6 +5,7 @@
 
 module Parsweep = Hextime_parsweep.Parsweep
 module Pool = Hextime_parsweep.Pool
+module Dpool = Hextime_parsweep.Dpool
 module Cache = Hextime_parsweep.Cache
 module Gpu = Hextime_gpu
 module S = Hextime_stencil.Stencil
@@ -422,6 +423,190 @@ let test_runner_reports_binding_kernel () =
   Alcotest.(check bool) "limit diagnosis from the same kernel" true
     (binding.Gpu.Simulator.limiting = m.Runner.limiting)
 
+(* --- Dpool (the domains backend) -------------------------------------------- *)
+
+let test_dpool_matches_serial () =
+  let tasks = Array.init 50 (fun i -> i) in
+  let f i = (i * i) + 7 in
+  let serial, _ = Pool.map ~jobs:1 ~f tasks in
+  let domains, stats = Dpool.map ~jobs:4 ~f tasks in
+  Alcotest.(check (array ok)) "point-for-point identical" serial domains;
+  Alcotest.(check int) "all completed" 50 stats.Pool.completed;
+  Alcotest.(check int) "no crashes" 0 stats.Pool.crashed;
+  Alcotest.(check int) "nothing abandoned" 0 stats.Pool.failed
+
+let test_dpool_exception_becomes_error () =
+  let f i = if i = 3 then failwith "boom" else i in
+  let results, stats = Dpool.map ~jobs:2 ~f (Array.init 6 Fun.id) in
+  (match results.(3) with
+  | Error msg ->
+      Alcotest.(check bool) "message preserved" true
+        (Test_util.contains msg "boom")
+  | Ok _ -> Alcotest.fail "exception not surfaced");
+  Array.iteri
+    (fun i r -> if i <> 3 then Alcotest.(check ok) "others fine" (Ok i) r)
+    results;
+  (* a caught exception is a completed task; domains can't crash a worker *)
+  Alcotest.(check int) "no crashes" 0 stats.Pool.crashed
+
+(* the Atomic-counter requirement: domain workers bump the same process-wide
+   counters the serial path does, so serial == fork == domains totals hold *)
+let test_dpool_counters_match_serial () =
+  let f _ =
+    Hextime_obs.Metrics.incr obs_work_counter ~by:2;
+    0
+  in
+  let count run =
+    let before = Hextime_obs.Metrics.value obs_work_counter in
+    run ();
+    Hextime_obs.Metrics.value obs_work_counter - before
+  in
+  let serial =
+    count (fun () -> ignore (Pool.map ~jobs:1 ~f (Array.init 25 Fun.id)))
+  in
+  let domains =
+    count (fun () -> ignore (Dpool.map ~jobs:3 ~f (Array.init 25 Fun.id)))
+  in
+  Alcotest.(check int) "in-process total" 50 serial;
+  Alcotest.(check int) "domains total equals in-process total" serial domains
+
+let test_sweep_domains_identical_to_serial () =
+  let serial = H.Sweep.baseline experiment in
+  let domains =
+    H.Sweep.baseline
+      ~exec:{ Parsweep.serial with Parsweep.jobs = 3; backend = `Domains }
+      experiment
+  in
+  Alcotest.(check bool) "sweep non-trivial" true
+    (List.length serial.H.Sweep.points > 100);
+  check_sweeps_equal "domains vs serial" serial domains
+
+(* --- incremental re-sweeps --------------------------------------------------- *)
+
+(* the acceptance criterion for digest keying: an edit that leaves every
+   pricing input unchanged (here: renaming the architecture) re-evaluates
+   zero points on a warm cache *)
+let test_pricing_neutral_rename_stays_warm () =
+  let cache = Cache.create ~dir:(fresh_dir ()) () in
+  let exec = { Parsweep.serial with Parsweep.cache = Some cache } in
+  let cold, cold_stats = H.Sweep.run ~limit:40 ~exec experiment in
+  Alcotest.(check bool) "cold run computed" true
+    (cold_stats.Parsweep.computed > 0);
+  let renamed =
+    {
+      experiment with
+      H.Experiments.arch = { Gpu.Arch.gtx980 with Gpu.Arch.name = "gtx980-renamed" };
+    }
+  in
+  let warm, warm_stats = H.Sweep.run ~limit:40 ~exec renamed in
+  Alcotest.(check int) "rename re-prices nothing" 0 warm_stats.Parsweep.computed;
+  Alcotest.(check int) "every point answered warm" warm_stats.Parsweep.total
+    warm_stats.Parsweep.cache_hits;
+  check_sweeps_equal "renamed warm vs cold" cold warm
+
+(* --- cache hygiene ----------------------------------------------------------- *)
+
+let test_cache_sweeps_stale_tmp_files () =
+  let dir = fresh_dir () in
+  (* a real dead pid: fork a child and reap it *)
+  let dead_pid =
+    match Unix.fork () with
+    | 0 -> Unix._exit 0
+    | pid ->
+        ignore (Unix.waitpid [] pid);
+        pid
+  in
+  let write name =
+    let oc = open_out_bin (Filename.concat dir name) in
+    output_string oc "half-written entry";
+    close_out oc
+  in
+  let dead_tmp = Printf.sprintf "00000000deadbeef.bin.tmp.%d" dead_pid in
+  let live_tmp = Printf.sprintf "00000000cafef00d.bin.tmp.%d" (Unix.getpid ()) in
+  write dead_tmp;
+  write live_tmp;
+  write "0000000000bad1de.bin.tmp.notapid";
+  let c = Cache.create ~dir () in
+  let files = Array.to_list (Sys.readdir dir) in
+  Alcotest.(check bool) "dead writer's temp removed" false
+    (List.mem dead_tmp files);
+  Alcotest.(check bool) "live writer's temp kept" true (List.mem live_tmp files);
+  Alcotest.(check bool) "unparseable temp removed" false
+    (List.mem "0000000000bad1de.bin.tmp.notapid" files);
+  Cache.put c ~key:"k" 1;
+  Alcotest.(check (option int)) "cache functional after the sweep" (Some 1)
+    (Cache.get c ~key:"k")
+
+let test_default_jobs_env_validation () =
+  let with_env v f =
+    let old = Sys.getenv_opt "HEXTIME_JOBS" in
+    Unix.putenv "HEXTIME_JOBS" v;
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.putenv "HEXTIME_JOBS" (Option.value old ~default:""))
+      f
+  in
+  (* "" parses as no override, so this is the machine default *)
+  let machine = with_env "" (fun () -> Pool.default_jobs ()) in
+  Alcotest.(check bool) "machine default positive" true (machine >= 1);
+  List.iter
+    (fun v ->
+      Alcotest.(check int)
+        (Printf.sprintf "HEXTIME_JOBS=%S falls back to the machine default" v)
+        machine
+        (with_env v (fun () -> Pool.default_jobs ())))
+    [ "0"; "-3"; "garbage" ];
+  Alcotest.(check int) "valid override honoured" 4
+    (with_env "4" (fun () -> Pool.default_jobs ()))
+
+(* --- cache round-trips under QCheck ------------------------------------------ *)
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let n = in_channel_length ic in
+  let bytes = really_input_string ic n in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc bytes;
+  close_out oc
+
+let prop_cache_roundtrip_and_collision =
+  QCheck.Test.make ~name:"round-trip + fabricated filename collisions" ~count:25
+    QCheck.(pair (pair small_string small_string) (small_list small_int))
+    (fun ((k1, k2), v) ->
+      let c = Cache.create ~dir:(fresh_dir ()) () in
+      Cache.put c ~key:k1 v;
+      let roundtrip = (Cache.get c ~key:k1 : int list option) = Some v in
+      let collision_safe =
+        k1 = k2
+        || begin
+             (* simulate two keys hashing to the same filename: k1's entry
+                lands where a put of k2 would; the stored key is verified on
+                read, so the collision must read as a miss, never as k1's
+                value *)
+             copy_file (Cache.entry_path c k1) (Cache.entry_path c k2);
+             (Cache.get c ~key:k2 : int list option) = None
+           end
+      in
+      roundtrip && collision_safe)
+
+let prop_cache_truncated_entry_is_a_miss =
+  QCheck.Test.make ~name:"truncated entries miss, never crash" ~count:25
+    QCheck.(pair small_string (int_bound 64))
+    (fun (k, cut) ->
+      let c = Cache.create ~dir:(fresh_dir ()) () in
+      Cache.put c ~key:k [ 1; 2; 3 ];
+      let path = Cache.entry_path c k in
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let keep = min cut (max 0 (n - 1)) in
+      let bytes = really_input_string ic keep in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc bytes;
+      close_out oc;
+      (Cache.get c ~key:k : int list option) = None)
+
 let suite =
   [
     Alcotest.test_case "subsample endpoints" `Quick test_subsample_endpoints;
@@ -442,6 +627,10 @@ let suite =
       test_cache_corrupt_entry_is_a_miss;
     Alcotest.test_case "map resumes from cache" `Quick
       test_map_resumes_from_cache;
+    (* forks a child for a dead pid, so it must run before any test that
+       spawns domains: OCaml 5 forbids Unix.fork once domains exist *)
+    Alcotest.test_case "stale write-temps swept" `Quick
+      test_cache_sweeps_stale_tmp_files;
     Alcotest.test_case "sweep parallel = serial" `Quick
       test_sweep_parallel_identical_to_serial;
     Alcotest.test_case "warm cache never simulates" `Quick
@@ -450,4 +639,17 @@ let suite =
       test_campaign_accounts_for_every_configuration;
     Alcotest.test_case "runner reports binding kernel" `Quick
       test_runner_reports_binding_kernel;
+    Alcotest.test_case "dpool = serial" `Quick test_dpool_matches_serial;
+    Alcotest.test_case "dpool exception -> Error" `Quick
+      test_dpool_exception_becomes_error;
+    Alcotest.test_case "dpool counters = serial" `Quick
+      test_dpool_counters_match_serial;
+    Alcotest.test_case "sweep domains = serial" `Quick
+      test_sweep_domains_identical_to_serial;
+    Alcotest.test_case "pricing-neutral rename stays warm" `Quick
+      test_pricing_neutral_rename_stays_warm;
+    Alcotest.test_case "HEXTIME_JOBS validation" `Quick
+      test_default_jobs_env_validation;
+    QCheck_alcotest.to_alcotest prop_cache_roundtrip_and_collision;
+    QCheck_alcotest.to_alcotest prop_cache_truncated_entry_is_a_miss;
   ]
