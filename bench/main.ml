@@ -1120,6 +1120,69 @@ let () =
         done)
   in
   let es_cps = es_cycles *. float_of_int es_reps /. es_s in
+  (* hexserve warm path: requests/sec and exact client-side latency
+     percentiles over one connection.  The server runs in a domain, so
+     this must come after every fork-backend sweep above — OCaml 5
+     forbids Unix.fork once a domain has been spawned.  The index holds
+     the ci experiment grid; every ask below hits it warm. *)
+  let module Serve = Hextime_serve in
+  let serve_socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hextime-bench-%d.sock" (Unix.getpid ()))
+  in
+  let serve_index_path = Filename.temp_file "hextime-bench-index" ".json" in
+  let index = Serve.Index.create () in
+  List.iter
+    (fun (ex : H.Experiments.t) ->
+      match
+        Serve.Advisor.solve ex.H.Experiments.arch ex.H.Experiments.problem
+      with
+      | Ok a ->
+          Serve.Index.add index
+            (Serve.Index.entry_of_answer ex.H.Experiments.arch
+               ex.H.Experiments.problem a)
+      | Error _ -> ())
+    (H.Experiments.all H.Experiments.Ci);
+  (match Serve.Index.save index ~path:serve_index_path with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let srv =
+    Domain.spawn (fun () ->
+        Serve.Server.run ~index_path:serve_index_path ~exec:Parsweep.serial
+          ~socket_path:serve_socket ())
+  in
+  let fd =
+    match Serve.Client.connect ~attempts:200 ~socket_path:serve_socket () with
+    | Ok fd -> fd
+    | Error e -> failwith e
+  in
+  let asks = 2000 in
+  let lat = Array.make asks 0.0 in
+  let serve_t0 = Unix.gettimeofday () in
+  for i = 0 to asks - 1 do
+    let a = Unix.gettimeofday () in
+    (match
+       Serve.Client.ask fd ~arch:"gtx980" ~stencil:"heat2d"
+         ~space:[| 512; 512 |] ~time:128
+     with
+    | Ok (Serve.Proto.Warm, _, _) -> ()
+    | Ok _ -> failwith "bench: warm ask answered cold"
+    | Error e -> failwith e);
+    lat.(i) <- (Unix.gettimeofday () -. a) *. 1e6
+  done;
+  let serve_elapsed = Unix.gettimeofday () -. serve_t0 in
+  let serve_rps = float_of_int asks /. serve_elapsed in
+  Array.sort compare lat;
+  let pct p =
+    lat.(min (asks - 1) (int_of_float (ceil (p *. float_of_int asks)) - 1))
+  in
+  let serve_p50 = pct 0.50 in
+  let serve_p99 = pct 0.99 in
+  (match Serve.Client.shutdown fd with Ok () -> () | Error e -> failwith e);
+  Serve.Client.close fd;
+  ignore (Domain.join srv : Serve.Server.summary);
+  Sys.remove serve_index_path;
   (* the same cold sweep measured (same machine class, same best-of-3
      methodology) at the commit before the priced-kernel refactor; kept
      here so the exported file documents the trajectory, not just the
@@ -1137,6 +1200,10 @@ let () =
     domains_pps par_jobs (domains_pps /. fork_pps);
   Printf.printf "price               %10.1f ns/kernel\n" price_ns;
   Printf.printf "eventsim            %10.3e simulated cycles/sec\n" es_cps;
+  Printf.printf "serve, warm asks    %10.1f requests/sec (%d asks, 1 client)\n"
+    serve_rps asks;
+  Printf.printf "  warm p50 / p99    %10.1f / %.1f us round-trip\n" serve_p50
+    serve_p99;
   let json =
     Minijson.Obj
       [
@@ -1150,6 +1217,9 @@ let () =
         ("simulator_prices_per_point", Minijson.Num invocations_per_point);
         ("price_ns_per_kernel", Minijson.Num price_ns);
         ("eventsim_cycles_per_sec", Minijson.Num es_cps);
+        ("serve_requests_per_sec", Minijson.Num serve_rps);
+        ("serve_warm_p50_us", Minijson.Num serve_p50);
+        ("serve_warm_p99_us", Minijson.Num serve_p99);
         ("pre_refactor_cold_sweep_points_per_sec", Minijson.Num pre_refactor_pps);
         ( "cold_sweep_speedup_vs_pre_refactor",
           Minijson.Num (sweep_pps /. pre_refactor_pps) );
@@ -1211,6 +1281,8 @@ let () =
              ("simulator_prices_per_point", invocations_per_point);
              ("price_ns_per_kernel", price_ns);
              ("eventsim_cycles_per_sec", es_cps);
+             ("serve_requests_per_sec", serve_rps);
+             ("serve_warm_p99_us", serve_p99);
            ]
          ~snapshot:
            (Hextime_obs.Metrics.to_json (Hextime_obs.Metrics.snapshot ()))

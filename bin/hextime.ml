@@ -158,8 +158,31 @@ let backend_arg =
            point throughput, but a crashing task takes the process down.  \
            Results are identical either way.")
 
-let exec_of ?(backend = `Fork) jobs cache_dir no_cache =
+let timeout_arg =
+  Arg.(
+    value
+    & opt float Parsweep.Pool.default_timeout_s
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock timeout per sweep task chunk before the worker is \
+           killed and the chunk's tasks retried individually.  Enforced by \
+           the $(b,fork) backend only; the $(b,domains) backend warns and \
+           ignores it (shared-heap workers cannot be killed in isolation).")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt int Parsweep.Pool.default_retries
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "How many times a crashed or timed-out task is retried (as a \
+           singleton, isolating the poison point) before being reported \
+           failed.  Fork backend only, like $(b,--timeout).")
+
+let exec_of ?(backend = `Fork) ?(timeout_s = Parsweep.Pool.default_timeout_s)
+    ?(retries = Parsweep.Pool.default_retries) jobs cache_dir no_cache =
   let e = Parsweep.default ~backend ~jobs ?cache_dir () in
+  let e = { e with Parsweep.timeout_s; retries } in
   if no_cache then { e with Parsweep.cache = None } else e
 
 (* --- observability (hexscope) ------------------------------------------- *)
@@ -546,8 +569,8 @@ let validate_cmd =
   let plot =
     Arg.(value & flag & info [ "plot" ] ~doc:"Render the ASCII scatter plot.")
   in
-  let run arch stencil space time csv plot backend jobs cache_dir no_cache
-      profile metrics ledger no_ledger =
+  let run arch stencil space time csv plot backend jobs timeout_s retries
+      cache_dir no_cache profile metrics ledger no_ledger =
     with_obs profile metrics @@ fun () ->
     match problem_of stencil space time with
     | Error msg -> die "%s" msg
@@ -555,7 +578,9 @@ let validate_cmd =
         let t0 = Unix.gettimeofday () in
         let e = { H.Experiments.arch; problem } in
         let full, stats =
-          H.Sweep.run ~exec:(exec_of ~backend jobs cache_dir no_cache) e
+          H.Sweep.run
+            ~exec:(exec_of ~backend ~timeout_s ~retries jobs cache_dir no_cache)
+            e
         in
         let elapsed_s = Unix.gettimeofday () -. t0 in
         let sweep = full.H.Sweep.points in
@@ -600,8 +625,8 @@ let validate_cmd =
     Term.(
       ret
         (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ csv $ plot
-       $ backend_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg $ profile_arg
-       $ metrics_arg $ ledger_arg $ no_ledger_arg))
+       $ backend_arg $ jobs_arg $ timeout_arg $ retries_arg $ cache_dir_arg
+       $ no_cache_arg $ profile_arg $ metrics_arg $ ledger_arg $ no_ledger_arg))
   in
   Cmd.v
     (Cmd.info "validate"
@@ -1851,6 +1876,9 @@ let bench_compare_cmd =
             "price_ns_per_kernel";
             "eventsim_cycles_per_sec";
             "simulator_prices_per_point";
+            "serve_requests_per_sec";
+            "serve_warm_p50_us";
+            "serve_warm_p99_us";
           ]
         in
         let t =
@@ -1908,6 +1936,45 @@ let bench_compare_cmd =
                   `Ok ())
           | _ -> `Ok ()
         in
+        (* in-file invariant: a warm answer from the tile-advisor index must
+           come back in under a millisecond at the 99th percentile — that is
+           the headline promise of the serving layer.  A current file
+           without the field (pre-serve bench binary) passes untested. *)
+        let serve_gate () =
+          match field "serve_warm_p99_us" cur with
+          | Some p99 when p99 > 1000.0 ->
+              die "bench-compare: serve warm p99 too slow: %.1f us > 1000 us"
+                p99
+          | Some p99 -> (
+              Printf.printf
+                "bench-compare: ok — serve warm p99 %.1f us <= 1000 us\n" p99;
+              (* and like the cold sweep, warm throughput must not regress
+                 beyond the tolerance band vs the committed baseline (old
+                 baselines without the field pass untested) *)
+              match
+                (field "serve_requests_per_sec" base,
+                 field "serve_requests_per_sec" cur)
+              with
+              | Some b, Some c ->
+                  let floor = b *. (1.0 -. tolerance) in
+                  if c >= floor then begin
+                    Printf.printf
+                      "bench-compare: ok — serve_requests_per_sec %.1f vs \
+                       baseline %.1f (floor %.1f)\n"
+                      c b floor;
+                    `Ok ()
+                  end
+                  else
+                    die
+                      "bench-compare: serve_requests_per_sec regressed beyond \
+                       tolerance: %.1f < %.1f (baseline %.1f)"
+                      c floor b
+              | _ -> `Ok ())
+          | None ->
+              Printf.printf
+                "bench-compare: serve gate skipped (no serve_warm_p99_us)\n";
+              `Ok ()
+        in
         match (field gate base, field gate cur) with
         | Some b, Some c ->
             let floor = b *. (1.0 -. tolerance) in
@@ -1915,7 +1982,9 @@ let bench_compare_cmd =
               Printf.printf
                 "bench-compare: ok — %s %.1f vs baseline %.1f (floor %.1f)\n" gate
                 c b floor;
-              domains_gate ()
+              match domains_gate () with
+              | `Ok () -> serve_gate ()
+              | `Error _ as e -> e
             end
             else
               die
@@ -2107,6 +2176,269 @@ let accuracy_compare_cmd =
        $ tol_rmse_top $ tol_correlation $ tol_argmin $ jobs_arg
        $ cache_dir_arg $ no_cache_arg $ profile_arg $ metrics_arg))
 
+(* --- hexserve (index / serve / ask) ------------------------------------------ *)
+
+module Serve = Hextime_serve
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "hextime.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path the advisor serves on.")
+
+let index_path_arg =
+  Arg.(
+    value
+    & opt string "hextime-index.json"
+    & info [ "index" ] ~docv:"FILE" ~doc:"Arg-min index snapshot file.")
+
+let index_cmd =
+  let run scale out backend jobs timeout_s retries cache_dir no_cache profile
+      metrics ledger no_ledger =
+    with_obs profile metrics @@ fun () ->
+    let exec = exec_of ~backend ~timeout_s ~retries jobs cache_dir no_cache in
+    let t0 = Unix.gettimeofday () in
+    let experiments = H.Experiments.all scale in
+    let outcomes, stats =
+      Parsweep.map ~label:"index build" exec
+        ~key:(fun (e : H.Experiments.t) ->
+          Serve.Advisor.request_key e.H.Experiments.arch e.H.Experiments.problem)
+        ~f:(fun (e : H.Experiments.t) ->
+          Serve.Advisor.solve e.H.Experiments.arch e.H.Experiments.problem)
+        experiments
+    in
+    let index = Serve.Index.create () in
+    let failed = ref 0 in
+    List.iter2
+      (fun (e : H.Experiments.t) outcome ->
+        match outcome with
+        | Ok (Ok answer) ->
+            Serve.Index.add index
+              (Serve.Index.entry_of_answer e.H.Experiments.arch
+                 e.H.Experiments.problem answer)
+        | Ok (Error msg) | Error msg ->
+            incr failed;
+            Format.eprintf "hexserve: %s: %s@." (H.Experiments.id e) msg)
+      experiments outcomes;
+    let elapsed_s = Unix.gettimeofday () -. t0 in
+    match Serve.Index.save index ~path:out with
+    | Error msg -> die "index: %s" msg
+    | Ok () ->
+        Format.printf "sweep: %a@." Parsweep.pp_stats stats;
+        Format.printf "indexed %d experiment(s) (%d failed) in %.2f s -> %s@."
+          (Serve.Index.size index) !failed elapsed_s out;
+        ledger_record ~ledger ~no_ledger
+          (Obs.Ledger.make ~kind:"index" ~code_version:Serve.Advisor.code_version
+             ~labels:
+               [
+                 ("scale", H.Experiments.scale_to_string scale);
+                 ("output", out);
+                 ("jobs", string_of_int jobs);
+               ]
+             ~metrics:
+               (sweep_stat_metrics ~elapsed_s stats
+               @ [
+                   ("entries", float_of_int (Serve.Index.size index));
+                   ("failed", float_of_int !failed);
+                 ])
+             ~snapshot:(metrics_snapshot ()) ());
+        if !failed > 0 then die "index: %d experiment(s) failed" !failed
+        else `Ok ()
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "hextime-index.json"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Where to write the index snapshot.")
+  in
+  Cmd.v
+    (Cmd.info "index"
+       ~doc:
+         "Precompute the arg-min index: solve the tile-advisory problem \
+          for every experiment at a scale (through the parallel pool and \
+          its disk cache) and write the digest-keyed snapshot that \
+          $(b,hextime serve) answers warm queries from.")
+    Term.(
+      ret
+        (const run $ scale_arg $ out $ backend_arg $ jobs_arg $ timeout_arg
+       $ retries_arg $ cache_dir_arg $ no_cache_arg $ profile_arg
+       $ metrics_arg $ ledger_arg $ no_ledger_arg))
+
+let serve_cmd =
+  let max_requests =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-requests" ] ~docv:"N"
+          ~doc:
+            "Exit after answering N ask requests (smoke tests and CI; \
+             default: serve until $(b,shutdown)).")
+  in
+  let no_index =
+    Arg.(
+      value & flag
+      & info [ "no-index" ]
+          ~doc:
+            "Serve without an index file: every first ask is a cold miss, \
+             answers live only in memory.")
+  in
+  let run socket index_path no_index max_requests backend jobs timeout_s
+      retries cache_dir no_cache profile metrics ledger no_ledger =
+    with_obs profile metrics @@ fun () ->
+    let exec = exec_of ~backend ~timeout_s ~retries jobs cache_dir no_cache in
+    let index_path = if no_index then None else Some index_path in
+    let t0 = Unix.gettimeofday () in
+    let on_ready () =
+      Format.eprintf "hexserve: listening on %s (index: %s)@." socket
+        (Option.value ~default:"none" index_path)
+    in
+    match
+      Serve.Server.run ?index_path ~exec ?max_requests ~on_ready
+        ~socket_path:socket ()
+    with
+    | exception Unix.Unix_error (err, fn, arg) ->
+        die "serve: %s(%s): %s" fn arg (Unix.error_message err)
+    | summary ->
+        let elapsed_s = Unix.gettimeofday () -. t0 in
+        Format.printf
+          "served %d request(s): %d warm, %d cold, %d error(s) in %.2f s@."
+          summary.Serve.Server.requests summary.Serve.Server.warm_hits
+          summary.Serve.Server.cold_misses summary.Serve.Server.errors
+          elapsed_s;
+        ledger_record ~ledger ~no_ledger
+          (Obs.Ledger.make ~kind:"serve"
+             ~code_version:Serve.Advisor.code_version
+             ~labels:[ ("socket", socket) ]
+             ~metrics:
+               [
+                 ("requests", float_of_int summary.Serve.Server.requests);
+                 ("warm_hits", float_of_int summary.Serve.Server.warm_hits);
+                 ("cold_misses", float_of_int summary.Serve.Server.cold_misses);
+                 ("errors", float_of_int summary.Serve.Server.errors);
+                 ("elapsed_s", elapsed_s);
+                 ( "requests_per_sec",
+                   if elapsed_s > 0.0 then
+                     float_of_int summary.Serve.Server.requests /. elapsed_s
+                   else 0.0 );
+               ]
+             ~snapshot:(metrics_snapshot ()) ());
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the tile-advisor service on a Unix-domain socket: warm \
+          queries are answered from the precomputed arg-min index in O(1); \
+          concurrent cold misses are batched through the parallel pool, \
+          answered exactly, and written back into the index.")
+    Term.(
+      ret
+        (const run $ socket_arg $ index_path_arg $ no_index $ max_requests
+       $ backend_arg $ jobs_arg $ timeout_arg $ retries_arg $ cache_dir_arg
+       $ no_cache_arg $ profile_arg $ metrics_arg $ ledger_arg $ no_ledger_arg))
+
+let ask_cmd =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"text|json" ~doc:"Output format.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Recompute the exhaustive-sweep arg-min in-process and fail \
+             unless the served answer matches it bit-exactly (the \
+             cold-path correctness oracle; slow).")
+  in
+  let wait =
+    Arg.(
+      value & opt float 5.0
+      & info [ "wait" ] ~docv:"SECONDS"
+          ~doc:"How long to keep retrying the connect while the server \
+                starts up.")
+  in
+  let config_equal (a : Config.t) (b : Config.t) =
+    a.Config.t_t = b.Config.t_t && a.Config.t_s = b.Config.t_s
+    && a.Config.threads = b.Config.threads
+  in
+  let run arch stencil space time socket format check wait =
+    let attempts = max 1 (int_of_float (wait /. 0.05)) in
+    match Serve.Client.connect ~attempts ~socket_path:socket () with
+    | Error msg -> die "ask: %s" msg
+    | Ok fd -> (
+        let reply =
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close fd)
+            (fun () ->
+              Serve.Client.ask fd ~arch:arch.Gpu.Arch.name
+                ~stencil:stencil.Stencil.name ~space ~time)
+        in
+        match reply with
+        | Error msg -> die "ask: %s" msg
+        | Ok (source, entry, latency_us) -> (
+            (match format with
+            | `Json ->
+                print_endline
+                  (Minijson.render_compact
+                     (Serve.Proto.reply_to_json
+                        (Serve.Proto.Answer { source; entry; latency_us })))
+            | `Text ->
+                Format.printf
+                  "recommended: %a  (Talg %.4e s, %s answer, %.0f us \
+                   server-side)@."
+                  Config.pp entry.Serve.Index.e_config
+                  entry.Serve.Index.e_talg
+                  (Serve.Proto.source_to_string source)
+                  latency_us);
+            if not check then `Ok ()
+            else
+              match problem_of stencil space time with
+              | Error msg -> die "check: %s" msg
+              | Ok problem -> (
+                  let params = H.Microbench.params arch in
+                  let citer = H.Microbench.citer arch stencil in
+                  let space_eval =
+                    Optimizer.evaluate_space params ~citer problem
+                  in
+                  if space_eval = [] then die "check: empty feasible space"
+                  else
+                    let best = Optimizer.best space_eval in
+                    match Serve.Advisor.config_of_shape best.Optimizer.shape with
+                    | Error msg -> die "check: %s" msg
+                    | Ok expected ->
+                        let talg = best.Optimizer.prediction.Model.talg in
+                        if
+                          config_equal expected entry.Serve.Index.e_config
+                          && talg = entry.Serve.Index.e_talg
+                        then begin
+                          Format.printf
+                            "check: matches the exhaustive arg-min (%d \
+                             feasible shapes)@."
+                            (List.length space_eval);
+                          `Ok ()
+                        end
+                        else
+                          die
+                            "check: served %s (Talg %.6e) but the exhaustive \
+                             arg-min is %s (Talg %.6e)"
+                            (Config.id entry.Serve.Index.e_config)
+                            entry.Serve.Index.e_talg (Config.id expected) talg)))
+  in
+  Cmd.v
+    (Cmd.info "ask"
+       ~doc:
+         "Query a running $(b,hextime serve) for the recommended tile \
+          configuration of one problem instance.")
+    Term.(
+      ret
+        (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ socket_arg
+       $ format $ check $ wait))
+
 let main_cmd =
   let doc =
     "analytical time modeling and optimal tile-size selection for GPGPU \
@@ -2140,6 +2472,9 @@ let main_cmd =
       bench_compare_cmd;
       accuracy_compare_cmd;
       history_cmd;
+      index_cmd;
+      serve_cmd;
+      ask_cmd;
     ]
 
 let () =

@@ -233,6 +233,55 @@ let absorb s =
         hs.hs_buckets)
     s.snap_histograms
 
+(* --- quantiles ------------------------------------------------------------ *)
+
+(* Rank-based estimation over the log2 buckets.  Walk the sparse bucket
+   list until the cumulative count covers rank q*(n-1)+1, then interpolate
+   geometrically inside the covering bucket [2^(i-bias-1), 2^(i-bias)) —
+   the midpoint rule on a log scale, which bounds the relative error by
+   the bucket ratio (2x) and is exact for single-observation buckets
+   clamped against hs_min/hs_max. *)
+let quantile hs q =
+  if hs.hs_count = 0 || not (Float.is_finite q) || q < 0.0 || q > 1.0 then
+    None
+  else if q = 0.0 then Some hs.hs_min
+  else if q = 1.0 then Some hs.hs_max
+  else begin
+    let n = hs.hs_count in
+    let rank = (q *. float_of_int (n - 1)) +. 1.0 in
+    let rec walk seen = function
+      | [] -> Some hs.hs_max (* rounding: the rank fell off the end *)
+      | (i, c) :: rest ->
+          let seen' = seen + c in
+          if float_of_int seen' >= rank then begin
+            (* bucket i holds observations in [lo, hi); interpolate the
+               within-bucket position on a log scale *)
+            let lo, hi =
+              if i = 0 then (hs.hs_min, Float.ldexp 1.0 (-bucket_bias))
+              else
+                ( Float.ldexp 1.0 (i - bucket_bias - 1),
+                  Float.ldexp 1.0 (i - bucket_bias) )
+            in
+            let frac =
+              (rank -. float_of_int seen) /. float_of_int c
+            in
+            let frac = Float.max 0.0 (Float.min 1.0 frac) in
+            let v =
+              if lo > 0.0 && Float.is_finite lo && hi > lo then
+                exp (log lo +. (frac *. (log hi -. log lo)))
+              else hi
+            in
+            (* the true extrema are known exactly: never report outside
+               [hs_min, hs_max] *)
+            Some (Float.max hs.hs_min (Float.min hs.hs_max v))
+          end
+          else walk seen' rest
+    in
+    walk 0 hs.hs_buckets
+  end
+
+let quantiles = [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ]
+
 (* --- export --------------------------------------------------------------- *)
 
 let bucket_label i =
@@ -255,18 +304,24 @@ let to_json s =
              (fun (k, hs) ->
                ( k,
                  Minijson.Obj
-                   [
-                     ("count", num (float_of_int hs.hs_count));
-                     ("sum", num hs.hs_sum);
-                     ("min", num hs.hs_min);
-                     ("max", num hs.hs_max);
-                     ( "buckets",
-                       Minijson.Obj
-                         (List.map
-                            (fun (i, c) ->
-                              (bucket_label i, num (float_of_int c)))
-                            hs.hs_buckets) );
-                   ] ))
+                   ([
+                      ("count", num (float_of_int hs.hs_count));
+                      ("sum", num hs.hs_sum);
+                      ("min", num hs.hs_min);
+                      ("max", num hs.hs_max);
+                    ]
+                   @ List.filter_map
+                       (fun (label, q) ->
+                         Option.map (fun v -> (label, num v)) (quantile hs q))
+                       quantiles
+                   @ [
+                       ( "buckets",
+                         Minijson.Obj
+                           (List.map
+                              (fun (i, c) ->
+                                (bucket_label i, num (float_of_int c)))
+                              hs.hs_buckets) );
+                     ]) ))
              s.snap_histograms) );
     ]
 
@@ -279,10 +334,18 @@ let render s =
     (fun (k, hs) ->
       if hs.hs_count = 0 then pf "%-40s (empty)\n" k
       else
-        pf "%-40s n=%d mean=%s min=%s max=%s\n" k hs.hs_count
+        pf "%-40s n=%d mean=%s min=%s max=%s%s\n" k hs.hs_count
           (Tabulate.seconds_cell (hs.hs_sum /. float_of_int hs.hs_count))
           (Tabulate.seconds_cell hs.hs_min)
-          (Tabulate.seconds_cell hs.hs_max))
+          (Tabulate.seconds_cell hs.hs_max)
+          (String.concat ""
+             (List.filter_map
+                (fun (label, q) ->
+                  Option.map
+                    (fun v ->
+                      Printf.sprintf " %s=%s" label (Tabulate.seconds_cell v))
+                    (quantile hs q))
+                quantiles)))
     s.snap_histograms;
   Buffer.contents buf
 

@@ -70,6 +70,19 @@ val merge : snapshot -> snapshot -> snapshot
     snapshots back in. *)
 val absorb : snapshot -> unit
 
+val quantile : hist_snapshot -> float -> float option
+(** [quantile hs q] estimates the [q]-quantile ([0.0 <= q <= 1.0]) of the
+    recorded observations from the log2 buckets: rank-based bucket walk
+    with geometric interpolation inside the covering bucket, clamped to
+    the exactly-known [hs_min, hs_max].  The relative error is bounded by
+    the bucket ratio (2x).  [None] on an empty histogram or out-of-range
+    [q].  [q = 0.0] returns [hs_min] and [q = 1.0] returns [hs_max]
+    exactly. *)
+
+val quantiles : (string * float) list
+(** The quantiles rendered by {!to_json} and {!render}:
+    [("p50", 0.5); ("p90", 0.9); ("p99", 0.99)]. *)
+
 val find_counter : snapshot -> string -> int option
 val to_json : snapshot -> Hextime_prelude.Minijson.t
 

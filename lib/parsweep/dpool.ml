@@ -22,15 +22,29 @@ let in_process ~on_result ~on_progress ~f (tasks : 'a array) results =
     tasks;
   (results, { Pool.completed = !completed; crashed = 0; retried = 0; failed = 0 })
 
-let map ?jobs ?(timeout_s = 600.0) ?(retries = 1) ?(on_result = fun _ _ -> ())
+(* No per-task timeout or retry on this backend: workers share the heap,
+   so the only way to stop a runaway task would be to kill the whole
+   process.  The parameters are accepted for signature parity with
+   {!Pool.map} — but silently dropping an {e explicit} fault-isolation
+   request is a trap, so the first map that receives non-default values
+   says so on stderr (once per process; domain-safe via the exchange). *)
+let options_warned = Atomic.make false
+
+let warn_ignored_options ~timeout_s ~retries =
+  if
+    (timeout_s <> Pool.default_timeout_s || retries <> Pool.default_retries)
+    && not (Atomic.exchange options_warned true)
+  then
+    prerr_endline
+      "hextime: warning: timeout/retries are ignored by the domains backend \
+       (domain workers share the heap, so a runaway task cannot be killed \
+       in isolation); use the fork backend to enforce them"
+
+let map ?jobs ?(timeout_s = Pool.default_timeout_s)
+    ?(retries = Pool.default_retries) ?(on_result = fun _ _ -> ())
     ?(on_progress = fun ~done_:_ ~alive:_ ~busy:_ -> ()) ~f (tasks : 'a array)
     =
-  (* No per-task timeout or retry on this backend: workers share the heap,
-     so the only way to stop a runaway task would be to kill the whole
-     process.  The parameters are accepted for signature parity with
-     {!Pool.map} and ignored. *)
-  ignore timeout_s;
-  ignore retries;
+  warn_ignored_options ~timeout_s ~retries;
   let n = Array.length tasks in
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
   let results : 'b Pool.outcome array =

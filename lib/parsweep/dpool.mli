@@ -18,8 +18,10 @@
       returned as [Error], but a segfault, OOM-kill or infinite loop
       takes the whole process with it.  [timeout_s] and [retries] are
       accepted for signature parity with {!Pool.map} and {e ignored} —
-      there is no safe way to kill a domain.  Sweeps of untrusted or
-      experimental model code should stay on the fork backend.
+      there is no safe way to kill a domain.  Passing a non-default
+      value prints a one-time warning to stderr rather than silently
+      dropping the request.  Sweeps of untrusted or experimental model
+      code should stay on the fork backend.
     - {b Shared mutable state must be domain-safe.}  Everything the
       harness's [f] touches is (memo mutex, atomic counters, mutexed
       trace buffer); new global state reachable from a sweep must follow

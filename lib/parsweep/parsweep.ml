@@ -13,7 +13,13 @@ type exec = {
 }
 
 let serial =
-  { jobs = 1; cache = None; timeout_s = 600.0; retries = 1; backend = `Fork }
+  {
+    jobs = 1;
+    cache = None;
+    timeout_s = Pool.default_timeout_s;
+    retries = Pool.default_retries;
+    backend = `Fork;
+  }
 
 let default ?(backend = `Fork) ?jobs ?cache_dir () =
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
@@ -77,13 +83,15 @@ let map ?label exec ~key ~f tasks =
         Hextime_obs.Progress.tick p ~done_:(!hits + done_)
           ~workers_alive:alive ~workers_busy:busy
   in
-  let backend_map =
-    match exec.backend with `Fork -> Pool.map | `Domains -> Dpool.map
-  in
+  let misses = Array.map (fun i -> arr.(i)) todo in
   let outcomes, pstats =
-    backend_map ~jobs:exec.jobs ~timeout_s:exec.timeout_s ~retries:exec.retries
-      ~on_result ~on_progress ~f
-      (Array.map (fun i -> arr.(i)) todo)
+    match exec.backend with
+    | `Fork ->
+        Pool.map ~jobs:exec.jobs ~timeout_s:exec.timeout_s
+          ~retries:exec.retries ~on_result ~on_progress ~f misses
+    | `Domains ->
+        Dpool.map ~jobs:exec.jobs ~timeout_s:exec.timeout_s
+          ~retries:exec.retries ~on_result ~on_progress ~f misses
   in
   (match progress with
   | Some p -> Hextime_obs.Progress.finish p

@@ -22,15 +22,18 @@ let timeout_counter = Metrics.counter "pool.timeouts"
 let failure_counter = Metrics.counter "pool.failures"
 let task_hist = Metrics.histogram "pool.task_seconds"
 
-(* Everything a worker sends back per task: the outcome, plus the task's
-   metrics delta and span events.  The worker resets its registry at serve
-   start (dropping state inherited through the fork) and again after each
-   snapshot, so absorbing every envelope leaves the coordinator's totals
-   exactly as if the work had run in-process — this is the fix for
-   fork-boundary counter loss. *)
+(* Everything a worker sends back per chunk: one (index, outcome, seconds)
+   triple per task executed, plus the chunk's metrics delta and span
+   events.  The worker resets its registry at serve start (dropping state
+   inherited through the fork) and again after each snapshot, so absorbing
+   every envelope leaves the coordinator's totals exactly as if the work
+   had run in-process — this is the fix for fork-boundary counter loss.
+   Batching several tasks per envelope amortizes the dominant fork-backend
+   cost — one Marshal round-trip and one registry snapshot per point — over
+   the whole chunk. *)
 type 'b envelope = {
-  env_index : int;
-  env_outcome : 'b outcome;
+  env_results : (int * 'b outcome * float) list;
+      (* (task index, outcome, task seconds measured in the worker) *)
   env_metrics : Metrics.snapshot;
   env_spans : Trace.event list;
 }
@@ -87,12 +90,17 @@ let default_jobs () =
   | Some n when n >= 1 -> n
   | Some _ | None -> max 1 (Domain.recommended_domain_count ())
 
+(* Shared with Dpool and Parsweep.serial so "the caller left the
+   fault-isolation knobs alone" is decidable in one place. *)
+let default_timeout_s = 600.0
+let default_retries = 1
+
 type worker = {
   pid : int;
   to_child : out_channel;
   from_fd : Unix.file_descr;
   from_child : in_channel;
-  mutable task : int option;  (* index currently executing, if any *)
+  mutable task : int list;  (* chunk currently executing, [] when idle *)
   mutable started : float;  (* assignment time, for the timeout check *)
 }
 
@@ -130,35 +138,45 @@ let spawn ~flight ~peers f (tasks : 'a array) =
         ring := take flight_limit (ev :: !ring)
       in
       let rec serve () =
-        match (Marshal.from_channel ic : int) with
+        match (Marshal.from_channel ic : int list) with
         | exception _ -> Unix._exit 0
-        | i when i < 0 -> Unix._exit 0
-        | i ->
-            let t0 = Trace.now_us () in
-            push
-              (Trace.make ~cat:"pool" ~ph:"B" ~ts_us:t0
-                 ~args:[ ("index", string_of_int i) ]
-                 "pool.task");
-            persist_flight flight (List.rev !ring);
-            let r : 'b outcome =
-              try Ok (f tasks.(i)) with e -> Error (Printexc.to_string e)
+        | [] -> Unix._exit 0
+        | chunk ->
+            let spans_acc = ref [] in
+            let results =
+              List.map
+                (fun i ->
+                  let t0 = Trace.now_us () in
+                  push
+                    (Trace.make ~cat:"pool" ~ph:"B" ~ts_us:t0
+                       ~args:[ ("index", string_of_int i) ]
+                       "pool.task");
+                  persist_flight flight (List.rev !ring);
+                  let r : 'b outcome =
+                    try Ok (f tasks.(i))
+                    with e -> Error (Printexc.to_string e)
+                  in
+                  let t1 = Trace.now_us () in
+                  let task_ev =
+                    Trace.make ~cat:"pool" ~ph:"X" ~ts_us:t0
+                      ~dur_us:(t1 -. t0)
+                      ~args:[ ("index", string_of_int i) ]
+                      "pool.task"
+                  in
+                  if Trace.enabled () then Trace.emit task_ev;
+                  let spans = Trace.drain () in
+                  List.iter push
+                    (match spans with [] -> [ task_ev ] | evs -> evs);
+                  spans_acc := List.rev_append spans !spans_acc;
+                  persist_flight flight (List.rev !ring);
+                  (i, r, (t1 -. t0) /. 1e6))
+                chunk
             in
-            let task_ev =
-              Trace.make ~cat:"pool" ~ph:"X" ~ts_us:t0
-                ~dur_us:(Trace.now_us () -. t0)
-                ~args:[ ("index", string_of_int i) ]
-                "pool.task"
-            in
-            if Trace.enabled () then Trace.emit task_ev;
-            let spans = Trace.drain () in
-            List.iter push (match spans with [] -> [ task_ev ] | evs -> evs);
-            persist_flight flight (List.rev !ring);
             let env =
               {
-                env_index = i;
-                env_outcome = r;
+                env_results = results;
                 env_metrics = Metrics.snapshot ();
-                env_spans = spans;
+                env_spans = List.rev !spans_acc;
               }
             in
             Metrics.reset ();
@@ -175,7 +193,7 @@ let spawn ~flight ~peers f (tasks : 'a array) =
         to_child = Unix.out_channel_of_descr task_w;
         from_fd = res_r;
         from_child = Unix.in_channel_of_descr res_r;
-        task = None;
+        task = [];
         started = 0.0;
       }
 
@@ -194,11 +212,23 @@ let in_process ~on_result ~on_progress ~f tasks results =
     tasks;
   (results, { zero with completed = !completed })
 
-let map ?jobs ?(timeout_s = 600.0) ?(retries = 1) ?(on_result = fun _ _ -> ())
+(* Chunk sizing: large enough to amortize the per-envelope Marshal
+   round-trip and metrics snapshot, small enough that every worker gets
+   several assignment rounds (load balance) and a mid-chunk death loses
+   little work.  Retries always run as singleton chunks, so a poison task
+   only ever re-kills a chunk of one. *)
+let default_chunk ~jobs n = max 1 (min 64 (n / (jobs * 4)))
+
+let map ?jobs ?chunk ?(timeout_s = default_timeout_s)
+    ?(retries = default_retries)
+    ?(on_result = fun _ _ -> ())
     ?(on_progress = fun ~done_:_ ~alive:_ ~busy:_ -> ()) ~f (tasks : 'a array)
     =
   let n = Array.length tasks in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let chunk =
+    match chunk with Some c -> max 1 c | None -> default_chunk ~jobs n
+  in
   let results : 'b outcome array =
     Array.make n (Error "parsweep: not executed")
   in
@@ -232,16 +262,19 @@ let map ?jobs ?(timeout_s = 600.0) ?(retries = 1) ?(on_result = fun _ _ -> ())
     let attempts = Array.make n 0 in
     let next = ref 0 in
     let requeue = Queue.create () in
-    let take_task () =
+    let take_chunk () =
+      (* requeued tasks ran on a worker that died: re-execute them alone so
+         a poison task cannot take innocent chunk-mates down twice *)
       match Queue.take_opt requeue with
-      | Some i -> Some i
+      | Some i -> [ i ]
       | None ->
           if !next < n then begin
-            let i = !next in
-            incr next;
-            Some i
+            let k = min chunk (n - !next) in
+            let c = List.init k (fun j -> !next + j) in
+            next := !next + k;
+            c
           end
-          else None
+          else []
     in
     let done_count = ref 0 in
     let completed = ref 0 in
@@ -253,7 +286,7 @@ let map ?jobs ?(timeout_s = 600.0) ?(retries = 1) ?(on_result = fun _ _ -> ())
     let reap pid = try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> () in
     let stop_worker w =
       (try
-         Marshal.to_channel w.to_child (-1) [];
+         Marshal.to_channel w.to_child ([] : int list) [];
          flush w.to_child
        with Sys_error _ | Unix.Unix_error _ -> ());
       close_out_noerr w.to_child;
@@ -268,20 +301,20 @@ let map ?jobs ?(timeout_s = 600.0) ?(retries = 1) ?(on_result = fun _ _ -> ())
       close_in_noerr w.from_child
     in
     let assign w =
-      match take_task () with
-      | None ->
+      match take_chunk () with
+      | [] ->
           remove w;
           stop_worker w
-      | Some i -> (
-          attempts.(i) <- attempts.(i) + 1;
-          w.task <- Some i;
+      | c -> (
+          List.iter (fun i -> attempts.(i) <- attempts.(i) + 1) c;
+          w.task <- c;
           w.started <- Unix.gettimeofday ();
           try
-            Marshal.to_channel w.to_child i [];
+            Marshal.to_channel w.to_child c [];
             flush w.to_child
           with Sys_error _ | Unix.Unix_error _ ->
             (* already dead: its result pipe reports EOF on the next
-               select round and the task is retried there *)
+               select round and the chunk is retried there *)
             ())
     in
     let record i r =
@@ -290,15 +323,17 @@ let map ?jobs ?(timeout_s = 600.0) ?(retries = 1) ?(on_result = fun _ _ -> ())
       on_result i r;
       on_progress ~done_:!done_count ~alive:(List.length !workers)
         ~busy:
-          (List.length (List.filter (fun w -> w.task <> None) !workers))
+          (List.length (List.filter (fun w -> w.task <> []) !workers))
     in
     let handle_death w reason =
       incr crashed;
       Metrics.incr crash_counter;
-      (match w.task with
-      | None -> ()
-      | Some i ->
-          w.task <- None;
+      let in_flight = w.task in
+      w.task <- [];
+      (* the flight report must be rendered before remove_flight below *)
+      let report = lazy (flight_report flight w.pid) in
+      List.iter
+        (fun i ->
           if attempts.(i) <= retries then begin
             incr retried;
             Metrics.incr retry_counter;
@@ -309,8 +344,9 @@ let map ?jobs ?(timeout_s = 600.0) ?(retries = 1) ?(on_result = fun _ _ -> ())
             Metrics.incr failure_counter;
             (* fold the dead worker's persisted span tail into the report:
                the last thing it was doing survives the kill *)
-            record i (Error (reason ^ flight_report flight w.pid))
-          end);
+            record i (Error (reason ^ Lazy.force report))
+          end)
+        in_flight;
       remove_flight flight w.pid;
       remove w;
       kill_worker w;
@@ -326,17 +362,17 @@ let map ?jobs ?(timeout_s = 600.0) ?(retries = 1) ?(on_result = fun _ _ -> ())
     done;
     List.iter assign !workers;
     while !done_count < n do
-      let busy = List.filter (fun w -> w.task <> None) !workers in
+      let busy = List.filter (fun w -> w.task <> []) !workers in
       if busy = [] then
         (* every worker died without a task in flight (or assignment raced
            a death): push the remaining work onto a fresh worker *)
-        match take_task () with
-        | None ->
+        match take_chunk () with
+        | [] ->
             (* nobody busy and nothing pending: every unrecorded slot kept
                its initial [Error]; stop rather than spin *)
             done_count := n
-        | Some i ->
-            Queue.add i requeue;
+        | c ->
+            List.iter (fun i -> Queue.add i requeue) c;
             let w = spawn ~flight ~peers:!workers f tasks in
             workers := w :: !workers;
             assign w
@@ -362,19 +398,21 @@ let map ?jobs ?(timeout_s = 600.0) ?(retries = 1) ?(on_result = fun _ _ -> ())
                 | env ->
                     Metrics.absorb env.env_metrics;
                     Trace.absorb env.env_spans;
-                    Metrics.incr tasks_counter;
-                    Metrics.observe task_hist
-                      (Unix.gettimeofday () -. w.started);
-                    incr completed;
-                    record env.env_index env.env_outcome;
-                    w.task <- None;
+                    List.iter
+                      (fun (i, r, secs) ->
+                        Metrics.incr tasks_counter;
+                        Metrics.observe task_hist secs;
+                        incr completed;
+                        record i r)
+                      env.env_results;
+                    w.task <- [];
                     assign w))
           readable;
         let now = Unix.gettimeofday () in
         List.iter
           (fun w ->
             match w.task with
-            | Some _ when now -. w.started > timeout_s ->
+            | _ :: _ when now -. w.started > timeout_s ->
                 Metrics.incr timeout_counter;
                 handle_death w
                   (Printf.sprintf "parsweep: worker timed out after %.0fs"

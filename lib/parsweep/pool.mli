@@ -5,16 +5,22 @@
     everything the closure captures — memoized micro-benchmark tables
     included) through the fork, so only task {e indices} travel parent to
     worker and only marshalled results travel back.  The parent hands out
-    one task at a time over a pipe and collects [(index, result)] pairs in
-    a [select] loop, so fast workers are never idle behind slow ones and at
-    most one message is ever in flight per pipe.
+    {e chunks} of consecutive indices over a pipe and collects one result
+    envelope per chunk in a [select] loop, so fast workers are never idle
+    behind slow ones and at most one message is ever in flight per pipe.
+    Chunking amortizes the per-message cost (a [Marshal] round-trip plus a
+    metrics-registry snapshot) over several tasks — for micro-task sweeps
+    this is the difference between the fork backend running at a few
+    thousand points per second and keeping up with the serial engine.
 
     Fault isolation: an exception inside [f] is caught in the worker and
     returned as [Error]; a worker that dies (crash, OOM-kill, [exit]) or
-    exceeds the per-task timeout is reaped, its task is retried on a fresh
-    worker up to [retries] times, and only then recorded as [Error] — one
-    pathological configuration cannot take down a campaign, and the other
-    results are unaffected.
+    exceeds the per-chunk timeout is reaped, every task of its in-flight
+    chunk is retried up to [retries] times — {e as singleton chunks}, so a
+    poison task cannot take innocent chunk-mates down twice — and only a
+    task whose every attempt died is recorded as [Error].  One pathological
+    configuration cannot take down a campaign, and the other results are
+    unaffected.
 
     Determinism: results land in the output array at their task index, so
     the collected output is ordered exactly as the input regardless of
@@ -48,8 +54,17 @@ val default_jobs : unit -> int
     default.  {!Dpool} sizes itself through this same function, so the
     two backends always agree on the job count. *)
 
+val default_timeout_s : float
+(** The [timeout_s] default (600s).  Shared with {!Dpool} so the domains
+    backend can tell an explicit fault-isolation request apart from the
+    untouched default. *)
+
+val default_retries : int
+(** The [retries] default (1). *)
+
 val map :
   ?jobs:int ->
+  ?chunk:int ->
   ?timeout_s:float ->
   ?retries:int ->
   ?on_result:(int -> 'b outcome -> unit) ->
@@ -60,12 +75,18 @@ val map :
 (** [map ~f tasks] evaluates [f] on every task.  [jobs] defaults to
     {!default_jobs}; [jobs <= 1] (or fewer than two tasks) runs in-process
     with identical semantics — exceptions still become [Error] — and no
-    forking.  [timeout_s] (default 600) bounds one task's wall-clock in a
-    worker; [retries] (default 1) bounds re-executions after a worker
-    death.  [on_result] is called in the {e parent}, in completion order,
-    as each result is recorded — the hook the cache layer uses to persist
-    points incrementally so an interrupted sweep can resume.
-    [on_progress] is called in the parent after every recorded result with
-    the running completion count and the pool's worker liveness ([alive]
-    live workers of which [busy] have a task in flight; both 0 on the
-    in-process path) — the hexwatch heartbeat hook. *)
+    forking.  [chunk] is the number of tasks batched per worker message
+    (default [max 1 (min 64 (n / (jobs * 4)))]: small inputs degrade to
+    one task per message, large sweeps amortize the marshalling overhead
+    while still giving every worker several assignment rounds).  Results
+    land at their task index whatever the chunking, so output is
+    bit-identical to a serial run for a deterministic [f].  [timeout_s]
+    (default 600) bounds one {e chunk}'s wall-clock in a worker; [retries]
+    (default 1) bounds re-executions of each task after a worker death.
+    [on_result] is called in the {e parent}, in completion order, as each
+    result is recorded — the hook the cache layer uses to persist points
+    incrementally so an interrupted sweep can resume.  [on_progress] is
+    called in the parent after every recorded result with the running
+    completion count and the pool's worker liveness ([alive] live workers
+    of which [busy] have a chunk in flight; both 0 on the in-process
+    path) — the hexwatch heartbeat hook. *)

@@ -1,0 +1,81 @@
+module Arch = Hextime_gpu.Arch
+module Problem = Hextime_stencil.Problem
+module Params = Hextime_core.Params
+module Model = Hextime_core.Model
+module Config = Hextime_tiling.Config
+module Space = Hextime_tileopt.Space
+module Descent = Hextime_tileopt.Descent
+module Attribution = Hextime_obs.Attribution
+module Det_hash = Hextime_prelude.Det_hash
+module Microbench = Hextime_harness.Microbench
+
+(* Bump whenever the recommendation a digest maps to can change meaning:
+   the model, the solver's arg-min semantics, or the thread-selection rule.
+   Index entries and request keys from older code must miss. *)
+let code_version = "hextime-serve-v1"
+
+type answer = {
+  a_config : Config.t;
+  a_talg : float;
+  a_components : Attribution.components;
+}
+
+(* The same digest-the-pricing-inputs scheme as Sweep.point_key, minus the
+   per-point configuration: a request's answer is a function of exactly
+   the code version, the architecture's numeric description, the derived
+   model parameters, the stencil's measured C_iter, and the problem
+   instance.  Renaming an architecture or reshuffling presets leaves the
+   key unchanged; touching any number the recommendation depends on
+   invalidates it. *)
+let request_key (arch : Arch.t) (problem : Problem.t) =
+  let params = Microbench.params arch in
+  let citer = Microbench.citer arch problem.Problem.stencil in
+  let h = Det_hash.create "hextime-ask" in
+  let h = Det_hash.mix_string h code_version in
+  let h = Arch.mix_pricing h arch in
+  let h = Params.mix_pricing h params in
+  let h = Det_hash.mix_float h citer in
+  let h = Problem.mix_pricing h problem in
+  Printf.sprintf "ask|%s|%016Lx" code_version (Det_hash.to_int64 h)
+
+(* Thread-per-block choice for the recommended configuration.  Talg does
+   not depend on threads (a deliberate model property, Section 7), so the
+   arg-min is a shape; 256 is the empirical default the CLI's tune
+   command uses for the pure-model pick, with a fallback for shapes whose
+   structural constraints reject it. *)
+let config_of_shape (shape : Space.shape) =
+  let try_threads n =
+    match Space.to_config shape ~threads:[| n |] with
+    | cfg -> Some cfg
+    | exception Invalid_argument _ -> None
+  in
+  match try_threads 256 with
+  | Some cfg -> Ok cfg
+  | None -> (
+      match try_threads 128 with
+      | Some cfg -> Ok cfg
+      | None -> Error "advisor: no valid thread count for the arg-min shape")
+
+let solve (arch : Arch.t) (problem : Problem.t) =
+  let params = Microbench.params arch in
+  let citer = Microbench.citer arch problem.Problem.stencil in
+  (* `Symbolic seeds the multi-start descent with Hexabs' certified
+     branch-and-bound arg-min first; descent only ever accepts strict
+     improvements and the cross-restart fold keeps the first optimum, so
+     the returned shape is exactly the certified (= exhaustive) arg-min
+     at ~1 concrete model evaluation instead of a full enumeration. *)
+  match Descent.solve ~seed_mode:`Symbolic params ~citer problem with
+  | Error e -> Error e
+  | Ok sol -> (
+      match config_of_shape sol.Descent.shape with
+      | Error e -> Error e
+      | Ok cfg -> (
+          match Model.attribution params ~citer problem cfg with
+          | Error e -> Error (Printf.sprintf "advisor: attribution: %s" e)
+          | Ok (prediction, components) ->
+              Ok
+                {
+                  a_config = cfg;
+                  a_talg = prediction.Model.talg;
+                  a_components = components;
+                }))

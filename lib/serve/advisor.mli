@@ -1,0 +1,42 @@
+(** The tile advisor's answer computation: one (architecture, problem)
+    query in, one recommended configuration out.
+
+    This is the hexserve cold path and the index builder's worker, shared
+    so a cold miss served live and an index entry built offline are
+    guaranteed to agree.  The solver is {!Hextime_tileopt.Descent.solve}
+    in its [`Symbolic] seed mode: {!Hextime_analysis.Hexabs.minimize}
+    certifies the Talg arg-min over the tile lattice with ~1 concrete
+    model evaluation, the descent polishes from that seed (a no-op at the
+    optimum, by construction), and the answer carries the predicted Talg
+    plus its Section-5 cost attribution. *)
+
+val code_version : string
+(** Versions {!request_key} and the index schema together: bump it and
+    every cached recommendation misses. *)
+
+type answer = {
+  a_config : Hextime_tiling.Config.t;  (** recommended configuration *)
+  a_talg : float;  (** predicted T_alg at the recommendation, seconds *)
+  a_components : Hextime_obs.Attribution.components;
+      (** Section-5 breakdown of [a_talg] *)
+}
+
+val request_key : Hextime_gpu.Arch.t -> Hextime_stencil.Problem.t -> string
+(** Digest of everything the answer depends on — code version, the
+    architecture's pricing numbers, the derived model parameters, the
+    measured C_iter, the problem instance — in the style of
+    [Sweep.point_key]: pricing-neutral edits (renames, preset reshuffles)
+    keep the key, pricing changes invalidate it.  Forces the (memoized)
+    micro-benchmarks for the architecture on first use. *)
+
+val config_of_shape :
+  Hextime_tileopt.Space.shape -> (Hextime_tiling.Config.t, string) result
+(** Attach the serving thread-count policy (256 threads per block, falling
+    back to 128 when the shape's structural constraints reject it). *)
+
+val solve :
+  Hextime_gpu.Arch.t ->
+  Hextime_stencil.Problem.t ->
+  (answer, string) result
+(** Compute the recommendation from scratch (the cold path).  Returns the
+    exhaustive-sweep arg-min configuration without the exhaustive sweep. *)

@@ -1,0 +1,34 @@
+(** Client side of the hexserve protocol: one blocking round-trip per
+    call over a connected Unix-domain socket.  Connections are cheap and
+    reusable — [hextime ask] opens one, the bench holds one open across
+    thousands of warm queries. *)
+
+val connect :
+  ?attempts:int ->
+  ?delay_s:float ->
+  socket_path:string ->
+  unit ->
+  (Unix.file_descr, string) result
+(** Connect to a serving socket.  With [attempts > 1], retries every
+    [delay_s] seconds (default 50ms) — for racing a server that is still
+    starting up. *)
+
+val close : Unix.file_descr -> unit
+
+val ask :
+  Unix.file_descr ->
+  arch:string ->
+  stencil:string ->
+  space:int array ->
+  time:int ->
+  (Proto.source * Index.entry * float, string) result
+(** One advisory query.  Returns the answer provenance ([Warm]/[Cold]),
+    the index entry (recommended config, predicted Talg, attribution) and
+    the server-side latency in microseconds. *)
+
+val stats : Unix.file_descr -> (Hextime_prelude.Minijson.t, string) result
+(** The server's metrics snapshot (counters and latency histograms with
+    p50/p90/p99). *)
+
+val shutdown : Unix.file_descr -> (unit, string) result
+(** Ask the server to exit after replying. *)

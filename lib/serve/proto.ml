@@ -1,0 +1,170 @@
+module Minijson = Hextime_prelude.Minijson
+
+(* A frame is a 4-byte big-endian payload length followed by that many
+   bytes of compact JSON.  Length-prefixing keeps the protocol trivially
+   incremental — the server never has to find a message boundary inside a
+   byte stream — and the cap below bounds what a confused or hostile
+   client can make the server allocate. *)
+let max_frame = 1 lsl 20
+
+let write_frame fd json =
+  let payload = Bytes.unsafe_of_string (Minijson.render_compact json) in
+  let n = Bytes.length payload in
+  if n > max_frame then invalid_arg "Proto.write_frame: frame too large";
+  let header = Bytes.create 4 in
+  Bytes.set_uint8 header 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 header 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 header 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 header 3 (n land 0xff);
+  let write_all b =
+    let len = Bytes.length b in
+    let off = ref 0 in
+    while !off < len do
+      off := !off + Unix.write fd b !off (len - !off)
+    done
+  in
+  write_all header;
+  write_all payload
+
+(* [Ok None] is a clean end-of-stream (the client closed between frames);
+   anything malformed — short header, oversized length, truncated payload,
+   unparseable JSON — is an [Error]. *)
+let read_frame fd =
+  let read_exactly n =
+    let b = Bytes.create n in
+    let off = ref 0 in
+    let eof = ref false in
+    while (not !eof) && !off < n do
+      match Unix.read fd b !off (n - !off) with
+      | 0 -> eof := true
+      | k -> off := !off + k
+    done;
+    if !eof then None else Some b
+  in
+  match read_exactly 4 with
+  | None -> Ok None
+  | Some header -> (
+      let n =
+        (Bytes.get_uint8 header 0 lsl 24)
+        lor (Bytes.get_uint8 header 1 lsl 16)
+        lor (Bytes.get_uint8 header 2 lsl 8)
+        lor Bytes.get_uint8 header 3
+      in
+      if n > max_frame then
+        Error (Printf.sprintf "frame length %d exceeds limit %d" n max_frame)
+      else
+        match read_exactly n with
+        | None -> Error "truncated frame"
+        | Some payload -> (
+            match Minijson.parse (Bytes.unsafe_to_string payload) with
+            | Error e -> Error (Printf.sprintf "bad frame payload: %s" e)
+            | Ok json -> Ok (Some json)))
+
+(* --- requests -------------------------------------------------------------- *)
+
+type request =
+  | Ask of { arch : string; stencil : string; space : int array; time : int }
+  | Stats
+  | Shutdown
+
+let ints_to_json xs =
+  Minijson.List
+    (List.map (fun i -> Minijson.Num (float_of_int i)) (Array.to_list xs))
+
+let request_to_json = function
+  | Ask { arch; stencil; space; time } ->
+      Minijson.Obj
+        [
+          ("op", Minijson.Str "ask");
+          ("arch", Minijson.Str arch);
+          ("stencil", Minijson.Str stencil);
+          ("space", ints_to_json space);
+          ("time", Minijson.Num (float_of_int time));
+        ]
+  | Stats -> Minijson.Obj [ ("op", Minijson.Str "stats") ]
+  | Shutdown -> Minijson.Obj [ ("op", Minijson.Str "shutdown") ]
+
+let str name j = Option.bind (Minijson.member name j) Minijson.string
+
+let ints name j =
+  match Minijson.member name j with
+  | Some (Minijson.List xs) ->
+      let vals = List.filter_map Minijson.number xs in
+      if List.length vals = List.length xs then
+        Some (Array.of_list (List.map int_of_float vals))
+      else None
+  | _ -> None
+
+let request_of_json j =
+  match str "op" j with
+  | Some "ask" -> (
+      match
+        ( str "arch" j,
+          str "stencil" j,
+          ints "space" j,
+          Option.bind (Minijson.member "time" j) Minijson.number )
+      with
+      | Some arch, Some stencil, Some space, Some time ->
+          Ok (Ask { arch; stencil; space; time = int_of_float time })
+      | _ -> Error "ask: requires arch, stencil, space, time")
+  | Some "stats" -> Ok Stats
+  | Some "shutdown" -> Ok Shutdown
+  | Some op -> Error (Printf.sprintf "unknown op %S" op)
+  | None -> Error "request has no op field"
+
+(* --- replies --------------------------------------------------------------- *)
+
+type source = Warm | Cold
+
+let source_to_string = function Warm -> "warm" | Cold -> "cold"
+
+let source_of_string = function
+  | "warm" -> Some Warm
+  | "cold" -> Some Cold
+  | _ -> None
+
+type reply =
+  | Answer of { source : source; entry : Index.entry; latency_us : float }
+  | Stats_reply of Minijson.t
+  | Error_reply of string
+
+let reply_to_json = function
+  | Answer { source; entry; latency_us } ->
+      let fields =
+        match Index.entry_to_json entry with
+        | Minijson.Obj fs -> fs
+        | _ -> []
+      in
+      Minijson.Obj
+        (("status", Minijson.Str "ok")
+        :: ("source", Minijson.Str (source_to_string source))
+        :: ("latency_us", Minijson.Num latency_us)
+        :: fields)
+  | Stats_reply metrics ->
+      Minijson.Obj
+        [ ("status", Minijson.Str "ok"); ("metrics", metrics) ]
+  | Error_reply msg ->
+      Minijson.Obj
+        [ ("status", Minijson.Str "error"); ("message", Minijson.Str msg) ]
+
+let reply_of_json j =
+  match str "status" j with
+  | Some "error" ->
+      Ok
+        (Error_reply
+           (Option.value ~default:"unknown error" (str "message" j)))
+  | Some "ok" -> (
+      match Minijson.member "metrics" j with
+      | Some metrics -> Ok (Stats_reply metrics)
+      | None -> (
+          match
+            ( Option.bind (str "source" j) source_of_string,
+              Index.entry_of_json j,
+              Option.bind (Minijson.member "latency_us" j) Minijson.number )
+          with
+          | Some source, Ok entry, Some latency_us ->
+              Ok (Answer { source; entry; latency_us })
+          | _, Error e, _ -> Error e
+          | _ -> Error "answer: missing source or latency_us"))
+  | Some s -> Error (Printf.sprintf "unknown status %S" s)
+  | None -> Error "reply has no status field"

@@ -1,0 +1,47 @@
+(** The hexserve wire protocol: length-prefixed compact JSON frames over a
+    Unix-domain stream socket.
+
+    Each frame is a 4-byte big-endian payload length followed by one
+    compact {!Hextime_prelude.Minijson} document; frames at most
+    {!max_frame} bytes.  Requests are [ask] (one advisory query), [stats]
+    (the server's metrics snapshot) and [shutdown]; replies carry a
+    [status] field plus either the answer entry (with its [warm]/[cold]
+    provenance and server-side latency) or an error message.  See
+    [docs/SERVING.md] for the JSON schemas. *)
+
+val max_frame : int
+
+val write_frame : Unix.file_descr -> Hextime_prelude.Minijson.t -> unit
+(** Blocking write of one frame.  Raises [Unix.Unix_error] on a broken
+    connection and [Invalid_argument] past {!max_frame}. *)
+
+val read_frame :
+  Unix.file_descr -> (Hextime_prelude.Minijson.t option, string) result
+(** Blocking read of one frame.  [Ok None] is a clean end-of-stream
+    between frames; truncation, an oversized length prefix or unparseable
+    payload is [Error]. *)
+
+(** {1 Requests} *)
+
+type request =
+  | Ask of { arch : string; stencil : string; space : int array; time : int }
+  | Stats
+  | Shutdown
+
+val request_to_json : request -> Hextime_prelude.Minijson.t
+val request_of_json : Hextime_prelude.Minijson.t -> (request, string) result
+
+(** {1 Replies} *)
+
+type source = Warm | Cold
+
+val source_to_string : source -> string
+val source_of_string : string -> source option
+
+type reply =
+  | Answer of { source : source; entry : Index.entry; latency_us : float }
+  | Stats_reply of Hextime_prelude.Minijson.t
+  | Error_reply of string
+
+val reply_to_json : reply -> Hextime_prelude.Minijson.t
+val reply_of_json : Hextime_prelude.Minijson.t -> (reply, string) result

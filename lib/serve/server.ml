@@ -1,0 +1,260 @@
+module Arch = Hextime_gpu.Arch
+module Stencil = Hextime_stencil.Stencil
+module Problem = Hextime_stencil.Problem
+module Parsweep = Hextime_parsweep.Parsweep
+module Metrics = Hextime_obs.Metrics
+
+(* Serving telemetry.  The latency histograms power the p50/p90/p99
+   estimates Metrics.quantile exposes in snapshots — the bench additionally
+   measures warm latency exactly, client-side. *)
+let requests_counter = Metrics.counter "serve.requests"
+let warm_counter = Metrics.counter "serve.warm_hits"
+let cold_counter = Metrics.counter "serve.cold_misses"
+let error_counter = Metrics.counter "serve.errors"
+let warm_hist = Metrics.histogram "serve.warm_seconds"
+let cold_hist = Metrics.histogram "serve.cold_seconds"
+
+type summary = {
+  requests : int;  (** ask requests answered (warm + cold + rejected) *)
+  warm_hits : int;
+  cold_misses : int;
+  errors : int;
+}
+
+type state = {
+  index : Index.t;
+  index_path : string option;
+  exec : Parsweep.exec;
+  mutable dirty : bool;
+  mutable requests : int;
+  mutable warm_hits : int;
+  mutable cold_misses : int;
+  mutable errors : int;
+}
+
+(* Resolve the textual request against the preset tables.  This is also
+   where the (memoized) micro-benchmarks for an unseen architecture are
+   forced, via Advisor.request_key. *)
+let resolve (arch_name : string) (stencil_name : string) space time =
+  match Arch.find arch_name with
+  | exception Not_found ->
+      Error (Printf.sprintf "unknown architecture %S" arch_name)
+  | arch -> (
+      match Stencil.find stencil_name with
+      | exception Not_found ->
+          Error (Printf.sprintf "unknown stencil %S" stencil_name)
+      | stencil -> (
+          match Problem.make stencil ~space ~time with
+          | exception Invalid_argument msg -> Error msg
+          | problem -> Ok (arch, problem)))
+
+(* Warm every (architecture, stencil) micro-benchmark memo the index
+   mentions before accepting connections, so the first live request for an
+   indexed context pays one hash lookup and not a micro-benchmark
+   campaign.  Computing the request digest forces exactly the memos a
+   lookup needs (Microbench.params and citer). *)
+let warm_memos index =
+  List.iter
+    (fun (e : Index.entry) ->
+      match
+        resolve e.Index.e_arch e.Index.e_stencil e.Index.e_space e.Index.e_time
+      with
+      | Error _ -> ()
+      | Ok (arch, problem) -> ignore (Advisor.request_key arch problem : string))
+    (Index.entries index)
+
+let persist st =
+  match st.index_path with
+  | Some path when st.dirty -> (
+      match Index.save st.index ~path with
+      | Ok () -> st.dirty <- false
+      | Error msg -> Format.eprintf "hexserve: index save: %s@." msg)
+  | _ -> ()
+
+(* One queued cold request: who asked, for what, and when it arrived. *)
+type pending = {
+  p_fd : Unix.file_descr;
+  p_arch : Arch.t;
+  p_problem : Problem.t;
+  p_key : string;
+  p_t0 : float;
+}
+
+let send_reply fd reply =
+  try Proto.write_frame fd (Proto.reply_to_json reply)
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
+let answer_error st fd msg =
+  st.errors <- st.errors + 1;
+  Metrics.incr error_counter;
+  send_reply fd (Proto.Error_reply msg)
+
+(* Solve every queued cold miss as one batch through the Parsweep pool:
+   concurrent misses from independent clients amortize pool startup and
+   land in the disk cache under their request digests, then write back
+   into the in-memory index (and its on-disk snapshot) so the next ask is
+   warm. *)
+let solve_batch st (pending : pending list) =
+  let tasks =
+    List.fold_left
+      (fun acc p -> if List.mem_assoc p.p_key acc then acc else (p.p_key, p) :: acc)
+      [] pending
+    |> List.rev_map snd
+  in
+  let outcomes, _stats =
+    Parsweep.map ~label:"serve cold batch" st.exec
+      ~key:(fun p -> p.p_key)
+      ~f:(fun p -> Advisor.solve p.p_arch p.p_problem)
+      tasks
+  in
+  let solved = Hashtbl.create (List.length tasks) in
+  List.iter2
+    (fun (p : pending) outcome ->
+      match outcome with
+      | Ok (Ok answer) ->
+          let entry = Index.entry_of_answer p.p_arch p.p_problem answer in
+          Index.add st.index entry;
+          st.dirty <- true;
+          Hashtbl.replace solved p.p_key (Ok entry)
+      | Ok (Error msg) | Error msg -> Hashtbl.replace solved p.p_key (Error msg))
+    tasks outcomes;
+  persist st;
+  List.iter
+    (fun (p : pending) ->
+      st.requests <- st.requests + 1;
+      Metrics.incr requests_counter;
+      match Hashtbl.find_opt solved p.p_key with
+      | Some (Ok entry) ->
+          st.cold_misses <- st.cold_misses + 1;
+          Metrics.incr cold_counter;
+          let dt = Unix.gettimeofday () -. p.p_t0 in
+          Metrics.observe cold_hist dt;
+          send_reply p.p_fd
+            (Proto.Answer
+               { source = Proto.Cold; entry; latency_us = dt *. 1e6 })
+      | Some (Error msg) -> answer_error st p.p_fd ("advisor: " ^ msg)
+      | None -> answer_error st p.p_fd "advisor: batch lost the request")
+    pending
+
+let stats_json () = Metrics.to_json (Metrics.snapshot ())
+
+let run ?index_path ?(exec = Parsweep.serial) ?max_requests
+    ?(on_ready = fun () -> ()) ~socket_path () =
+  let index =
+    match index_path with
+    | None -> Index.create ()
+    | Some path ->
+        if Sys.file_exists path then
+          match Index.load ~path with
+          | Ok idx -> idx
+          | Error msg ->
+              Format.eprintf
+                "hexserve: %s — starting with an empty index@." msg;
+              Index.create ()
+        else Index.create ()
+  in
+  warm_memos index;
+  let st =
+    {
+      index;
+      index_path;
+      exec;
+      dirty = false;
+      requests = 0;
+      warm_hits = 0;
+      cold_misses = 0;
+      errors = 0;
+    }
+  in
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  Unix.bind listener (Unix.ADDR_UNIX socket_path);
+  Unix.listen listener 64;
+  on_ready ();
+  let clients = ref [] in
+  let close_client fd =
+    clients := List.filter (fun c -> c <> fd) !clients;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let running = ref true in
+  let budget_left () =
+    match max_requests with None -> true | Some n -> st.requests < n
+  in
+  while !running && budget_left () do
+    match Unix.select (listener :: !clients) [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+        let cold_queue = ref [] in
+        List.iter
+          (fun fd ->
+            if fd = listener then begin
+              match Unix.accept listener with
+              | client, _ -> clients := client :: !clients
+              | exception Unix.Unix_error _ -> ()
+            end
+            else
+              match Proto.read_frame fd with
+              | Ok None -> close_client fd
+              | Error msg ->
+                  answer_error st fd msg;
+                  close_client fd
+              | Ok (Some json) -> (
+                  let t0 = Unix.gettimeofday () in
+                  match Proto.request_of_json json with
+                  | Error msg ->
+                      st.requests <- st.requests + 1;
+                      Metrics.incr requests_counter;
+                      answer_error st fd msg
+                  | Ok Proto.Stats ->
+                      send_reply fd (Proto.Stats_reply (stats_json ()))
+                  | Ok Proto.Shutdown ->
+                      send_reply fd (Proto.Stats_reply (stats_json ()));
+                      running := false
+                  | Ok (Proto.Ask { arch; stencil; space; time }) -> (
+                      match resolve arch stencil space time with
+                      | Error msg ->
+                          st.requests <- st.requests + 1;
+                          Metrics.incr requests_counter;
+                          answer_error st fd msg
+                      | Ok (arch, problem) -> (
+                          let key = Advisor.request_key arch problem in
+                          match Index.find st.index key with
+                          | Some entry ->
+                              st.requests <- st.requests + 1;
+                              Metrics.incr requests_counter;
+                              st.warm_hits <- st.warm_hits + 1;
+                              Metrics.incr warm_counter;
+                              let dt = Unix.gettimeofday () -. t0 in
+                              Metrics.observe warm_hist dt;
+                              send_reply fd
+                                (Proto.Answer
+                                   {
+                                     source = Proto.Warm;
+                                     entry;
+                                     latency_us = dt *. 1e6;
+                                   })
+                          | None ->
+                              cold_queue :=
+                                {
+                                  p_fd = fd;
+                                  p_arch = arch;
+                                  p_problem = problem;
+                                  p_key = key;
+                                  p_t0 = t0;
+                                }
+                                :: !cold_queue))))
+          readable;
+        (match List.rev !cold_queue with
+        | [] -> ()
+        | pending -> solve_batch st pending)
+  done;
+  persist st;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !clients;
+  (try Unix.close listener with Unix.Unix_error _ -> ());
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  {
+    requests = st.requests;
+    warm_hits = st.warm_hits;
+    cold_misses = st.cold_misses;
+    errors = st.errors;
+  }

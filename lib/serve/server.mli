@@ -1,0 +1,39 @@
+(** The hexserve advisory server: a single-binary Unix-domain-socket
+    service answering tile-size queries from the precomputed arg-min
+    {!Index} with O(1) warm lookups, and batching concurrent cold misses
+    through the {!Hextime_parsweep.Parsweep} pool.
+
+    The request loop is a single-threaded [select] multiplexer.  Warm hits
+    are answered inside the drain round; cold misses accumulated during a
+    round are solved as {e one} pool batch ({!Advisor.solve} per unique
+    digest), written back into the in-memory index, persisted atomically
+    to [index_path] and only then answered — so the next ask for any of
+    them is warm.  Telemetry (counters [serve.requests],
+    [serve.warm_hits], [serve.cold_misses], [serve.errors]; latency
+    histograms [serve.warm_seconds], [serve.cold_seconds]) flows through
+    {!Hextime_obs.Metrics} and is visible via the [stats] request. *)
+
+type summary = {
+  requests : int;  (** ask requests answered (warm + cold + rejected) *)
+  warm_hits : int;
+  cold_misses : int;
+  errors : int;
+}
+
+val run :
+  ?index_path:string ->
+  ?exec:Hextime_parsweep.Parsweep.exec ->
+  ?max_requests:int ->
+  ?on_ready:(unit -> unit) ->
+  socket_path:string ->
+  unit ->
+  summary
+(** Serve until a [shutdown] request arrives, or until [max_requests] ask
+    requests have been answered.  [index_path] is loaded if it exists
+    (stale or malformed indexes are discarded with a warning) and is the
+    write-back target for cold-miss answers; without it the index lives
+    only in memory.  [exec] drives the cold-path batch (default
+    {!Hextime_parsweep.Parsweep.serial} — callers that spawned domains
+    must not use the fork backend).  [on_ready] fires after the socket is
+    bound and listening, before the first accept: tests use it to release
+    clients.  The socket file is unlinked on exit. *)

@@ -570,10 +570,94 @@ let test_progress_first_tick_is_finite () =
       Obs.Progress.finish s;
       prerr_newline ())
 
+(* --- quantiles over log2 histograms ---------------------------------------- *)
+
+let test_histogram_quantiles () =
+  let h = Metrics.histogram "test.obs.quantiles" in
+  (* 100 observations near 1.5 and one far outlier: the median must stay
+     in the dense bucket and only the extreme ranks may reach the tail *)
+  for _ = 1 to 100 do
+    Metrics.observe h 1.5
+  done;
+  Metrics.observe h 1000.0;
+  let snap = Metrics.snapshot () in
+  match List.assoc_opt "test.obs.quantiles" snap.Metrics.snap_histograms with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some hs ->
+      let q p =
+        match Metrics.quantile hs p with
+        | Some v -> v
+        | None -> Alcotest.failf "quantile %g returned None" p
+      in
+      Alcotest.(check (float 0.0)) "q=0 is exactly the min" 1.5 (q 0.0);
+      Alcotest.(check (float 0.0)) "q=1 is exactly the max" 1000.0 (q 1.0);
+      (* 1.5 lands in bucket [1,2): the estimate must not leave it *)
+      Alcotest.(check bool) "p50 stays in the dense bucket" true
+        (q 0.5 >= 1.5 && q 0.5 < 2.0);
+      (* rank 100 of 101 tops out the dense bucket: the estimate may reach
+         its upper edge but must not jump to the outlier's magnitude *)
+      Alcotest.(check bool) "p99 rank still precedes the outlier" true
+        (q 0.99 <= 2.0);
+      Alcotest.(check bool) "quantiles are monotone" true
+        (q 0.5 <= q 0.9 && q 0.9 <= q 0.99 && q 0.99 <= q 1.0);
+      (* single observation: every quantile collapses to it *)
+      let one =
+        {
+          Metrics.hs_count = 1;
+          hs_sum = 3.0;
+          hs_min = 3.0;
+          hs_max = 3.0;
+          hs_buckets = [ (66, 1) ];
+        }
+      in
+      Alcotest.(check (option (float 0.0))) "singleton p50" (Some 3.0)
+        (Metrics.quantile one 0.5);
+      (* degenerate inputs answer None, never crash *)
+      let empty =
+        {
+          Metrics.hs_count = 0;
+          hs_sum = 0.0;
+          hs_min = 0.0;
+          hs_max = 0.0;
+          hs_buckets = [];
+        }
+      in
+      Alcotest.(check (option (float 0.0))) "empty histogram" None
+        (Metrics.quantile empty 0.5);
+      Alcotest.(check (option (float 0.0))) "q out of range" None
+        (Metrics.quantile hs 1.5);
+      Alcotest.(check (option (float 0.0))) "q NaN" None
+        (Metrics.quantile hs Float.nan)
+
+let test_quantiles_in_snapshot_json () =
+  let h = Metrics.histogram "test.obs.quantjson" in
+  List.iter (Metrics.observe h) [ 0.001; 0.002; 0.004 ];
+  let json = Metrics.to_json (Metrics.snapshot ()) in
+  let hist_json =
+    Option.bind (Minijson.member "histograms" json)
+      (Minijson.member "test.obs.quantjson")
+  in
+  match hist_json with
+  | None -> Alcotest.fail "histogram missing from metrics JSON"
+  | Some hj ->
+      List.iter
+        (fun (label, _) ->
+          match Option.bind (Minijson.member label hj) Minijson.number with
+          | Some v ->
+              Alcotest.(check bool)
+                (label ^ " within [min, max]")
+                true
+                (v >= 0.001 && v <= 0.004)
+          | None -> Alcotest.failf "%s missing from histogram JSON" label)
+        Metrics.quantiles
+
 let suite =
   [
     Alcotest.test_case "counter, gauge, histogram" `Quick
       test_counter_gauge_histogram;
+    Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+    Alcotest.test_case "quantiles exported in snapshot JSON" `Quick
+      test_quantiles_in_snapshot_json;
     Alcotest.test_case "merge and absorb" `Quick test_merge_and_absorb;
     Alcotest.test_case "trace gating" `Quick test_trace_gating;
     Alcotest.test_case "trace records and exports" `Quick

@@ -147,6 +147,44 @@ let test_pool_timeout () =
     results;
   Alcotest.(check int) "one task abandoned" 1 stats.Pool.failed
 
+(* chunking: many points per fork-task envelope amortizes the marshal and
+   scheduling overhead; results, ordering and fault isolation must be
+   unchanged relative to the one-task-per-message protocol *)
+
+let test_pool_explicit_chunking_identity () =
+  let tasks = Array.init 100 Fun.id in
+  let f i = (i * 3) + 1 in
+  let serial, _ = Pool.map ~jobs:1 ~f tasks in
+  let chunked, stats = Pool.map ~jobs:4 ~chunk:8 ~f tasks in
+  Alcotest.(check (array ok)) "chunked results point-for-point identical"
+    serial chunked;
+  Alcotest.(check int) "all completed" 100 stats.Pool.completed;
+  Alcotest.(check int) "no crashes" 0 stats.Pool.crashed
+
+let test_pool_chunked_crash_retried_as_singletons () =
+  let marker = Filename.temp_file "hextime-chunk-retry" ".marker" in
+  Sys.remove marker;
+  let f i =
+    if i = 7 && not (Sys.file_exists marker) then begin
+      close_out (open_out marker);
+      Unix.kill (Unix.getpid ()) Sys.sigkill;
+      0 (* unreachable *)
+    end
+    else i * 2
+  in
+  let results, stats =
+    Pool.map ~jobs:2 ~chunk:5 ~retries:1 ~f (Array.init 20 Fun.id)
+  in
+  Sys.remove marker;
+  (* the whole chunk died with the worker, but every task in it — poison
+     point included — recovers via singleton retries *)
+  Array.iteri
+    (fun i r -> Alcotest.(check ok) "retry recovered" (Ok (i * 2)) r)
+    results;
+  Alcotest.(check bool) "death observed" true (stats.Pool.crashed >= 1);
+  Alcotest.(check bool) "chunk tasks retried" true (stats.Pool.retried >= 1);
+  Alcotest.(check int) "nothing abandoned" 0 stats.Pool.failed
+
 (* --- Pool observability ----------------------------------------------------- *)
 
 (* each failure mode must carry the dead worker's flight-recorder tail: the
@@ -622,6 +660,10 @@ let suite =
     Alcotest.test_case "pool retries exhausted" `Quick
       test_pool_retries_exhausted;
     Alcotest.test_case "pool timeout" `Quick test_pool_timeout;
+    Alcotest.test_case "pool explicit chunking identity" `Quick
+      test_pool_explicit_chunking_identity;
+    Alcotest.test_case "pool chunked crash retried as singletons" `Quick
+      test_pool_chunked_crash_retried_as_singletons;
     Alcotest.test_case "cache roundtrip" `Quick test_cache_roundtrip;
     Alcotest.test_case "cache corrupt entry" `Quick
       test_cache_corrupt_entry_is_a_miss;

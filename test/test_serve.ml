@@ -1,0 +1,320 @@
+(* hexserve: the precomputed arg-min index, the wire protocol, and the
+   advisor service.  The load-bearing properties: an index survives a
+   save/load round-trip with bit-identical answers, the cold path returns
+   exactly the exhaustive-sweep arg-min on every accuracy-baseline
+   experiment, and concurrent clients get deterministic answers.
+
+   These tests spawn domains (the server runs in one), so this suite must
+   be registered LAST: OCaml 5 forbids Unix.fork once domains exist, and
+   every fork-backend pool test precedes us. *)
+
+module Serve = Hextime_serve
+module Advisor = Serve.Advisor
+module Index = Serve.Index
+module Proto = Serve.Proto
+module Server = Serve.Server
+module Client = Serve.Client
+module Parsweep = Hextime_parsweep.Parsweep
+module Gpu = Hextime_gpu
+module S = Hextime_stencil.Stencil
+module P = Hextime_stencil.Problem
+module Config = Hextime_tiling.Config
+module Attribution = Hextime_obs.Attribution
+module Optimizer = Hextime_tileopt.Optimizer
+module Model = Hextime_core.Model
+module Minijson = Hextime_prelude.Minijson
+module H = Hextime_harness
+
+let fresh_path =
+  let counter = ref 0 in
+  fun suffix ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hextime-serve-%d-%d%s" (Unix.getpid ()) !counter suffix)
+
+let config_equal (a : Config.t) (b : Config.t) =
+  a.Config.t_t = b.Config.t_t && a.Config.t_s = b.Config.t_s
+  && a.Config.threads = b.Config.threads
+
+let components_equal (a : Attribution.components) (b : Attribution.components)
+    =
+  a.Attribution.compute = b.Attribution.compute
+  && a.Attribution.global_mem = b.Attribution.global_mem
+  && a.Attribution.shared_mem = b.Attribution.shared_mem
+  && a.Attribution.sync = b.Attribution.sync
+  && a.Attribution.launch = b.Attribution.launch
+  && a.Attribution.jitter = b.Attribution.jitter
+
+let entry_of (e : H.Experiments.t) =
+  match Advisor.solve e.H.Experiments.arch e.H.Experiments.problem with
+  | Ok a ->
+      Index.entry_of_answer e.H.Experiments.arch e.H.Experiments.problem a
+  | Error msg -> Alcotest.failf "%s: %s" (H.Experiments.id e) msg
+
+(* --- wire protocol ---------------------------------------------------------- *)
+
+let test_proto_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let requests =
+    [
+      Proto.Ask
+        { arch = "gtx980"; stencil = "heat2d"; space = [| 512; 512 |]; time = 128 };
+      Proto.Stats;
+      Proto.Shutdown;
+    ]
+  in
+  List.iter (fun r -> Proto.write_frame a (Proto.request_to_json r)) requests;
+  List.iter
+    (fun r ->
+      match Proto.read_frame b with
+      | Ok (Some json) -> (
+          match Proto.request_of_json json with
+          | Ok r' ->
+              Alcotest.(check bool) "request round-trips" true (r = r')
+          | Error e -> Alcotest.fail e)
+      | Ok None -> Alcotest.fail "unexpected end of stream"
+      | Error e -> Alcotest.fail e)
+    requests;
+  (* a reply carrying a real index entry round-trips field-for-field *)
+  let entry = entry_of (List.hd (H.Experiments.all H.Experiments.Ci)) in
+  let reply = Proto.Answer { source = Proto.Warm; entry; latency_us = 12.5 } in
+  Proto.write_frame a (Proto.reply_to_json reply);
+  (match Proto.read_frame b with
+  | Ok (Some json) -> (
+      match Proto.reply_of_json json with
+      | Ok (Proto.Answer { source; entry = e'; latency_us }) ->
+          Alcotest.(check bool) "source" true (source = Proto.Warm);
+          Alcotest.(check (float 0.0)) "latency" 12.5 latency_us;
+          Alcotest.(check string) "key" entry.Index.e_key e'.Index.e_key;
+          Alcotest.(check bool) "config" true
+            (config_equal entry.Index.e_config e'.Index.e_config);
+          Alcotest.(check (float 0.0)) "talg bit-identical" entry.Index.e_talg
+            e'.Index.e_talg
+      | Ok _ -> Alcotest.fail "reply decoded to the wrong arm"
+      | Error e -> Alcotest.fail e)
+  | Ok None -> Alcotest.fail "unexpected end of stream"
+  | Error e -> Alcotest.fail e);
+  (* closing the writer is a clean EOF on the reader, not an error *)
+  Unix.close a;
+  match Proto.read_frame b with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "phantom frame after close"
+  | Error e -> Alcotest.failf "clean close misread as %s" e
+
+(* --- index round-trip ------------------------------------------------------- *)
+
+let test_index_roundtrip () =
+  let experiments = H.Experiments.all H.Experiments.Ci in
+  let index = Index.create () in
+  List.iter (fun e -> Index.add index (entry_of e)) experiments;
+  Alcotest.(check int) "one entry per experiment" (List.length experiments)
+    (Index.size index);
+  let path = fresh_path ".json" in
+  (match Index.save index ~path with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let loaded =
+    match Index.load ~path with Ok t -> t | Error m -> Alcotest.fail m
+  in
+  Sys.remove path;
+  Alcotest.(check int) "loaded size" (Index.size index) (Index.size loaded);
+  List.iter
+    (fun (e : Index.entry) ->
+      match Index.find loaded e.Index.e_key with
+      | None -> Alcotest.failf "entry %s lost in round-trip" e.Index.e_key
+      | Some e' ->
+          Alcotest.(check bool) "config identical" true
+            (config_equal e.Index.e_config e'.Index.e_config);
+          Alcotest.(check (float 0.0)) "talg bit-identical" e.Index.e_talg
+            e'.Index.e_talg;
+          Alcotest.(check bool) "attribution bit-identical" true
+            (components_equal e.Index.e_components e'.Index.e_components))
+    (Index.entries index)
+
+let test_index_rejects_stale_code_version () =
+  let index = Index.create () in
+  Index.add index (entry_of (List.hd (H.Experiments.all H.Experiments.Ci)));
+  let stale =
+    match Index.to_json index with
+    | Minijson.Obj fields ->
+        Minijson.Obj
+          (List.map
+             (function
+               | "code_version", _ ->
+                   ("code_version", Minijson.Str "hextime-serve-v0")
+               | kv -> kv)
+             fields)
+    | _ -> Alcotest.fail "index JSON is not an object"
+  in
+  match Index.of_json stale with
+  | Error msg ->
+      Alcotest.(check bool) "error names the stale version" true
+        (Test_util.contains msg "hextime-serve-v0")
+  | Ok _ -> Alcotest.fail "stale code_version accepted"
+
+(* --- cold path: exact exhaustive arg-min ------------------------------------ *)
+
+(* On every accuracy-baseline experiment, the advisor's certified-seed
+   descent must land on the configuration the exhaustive model sweep picks
+   — same tiles, bit-identical predicted Talg.  This is the guarantee that
+   a cold miss served live agrees with `hextime tune`. *)
+let test_cold_path_matches_exhaustive_argmin () =
+  let experiments = H.Experiments.all H.Experiments.Ci in
+  Alcotest.(check int) "accuracy-baseline experiment count" 12
+    (List.length experiments);
+  List.iter
+    (fun (e : H.Experiments.t) ->
+      let id = H.Experiments.id e in
+      let arch = e.H.Experiments.arch in
+      let problem = e.H.Experiments.problem in
+      let params = H.Microbench.params arch in
+      let citer = H.Microbench.citer arch problem.P.stencil in
+      let space_eval = Optimizer.evaluate_space params ~citer problem in
+      if space_eval = [] then Alcotest.failf "%s: empty feasible space" id;
+      let best = Optimizer.best space_eval in
+      let expected =
+        match Advisor.config_of_shape best.Optimizer.shape with
+        | Ok c -> c
+        | Error m -> Alcotest.failf "%s: %s" id m
+      in
+      match Advisor.solve arch problem with
+      | Error msg -> Alcotest.failf "%s: %s" id msg
+      | Ok a ->
+          Alcotest.(check bool)
+            (id ^ ": config is the exhaustive arg-min")
+            true
+            (config_equal expected a.Advisor.a_config);
+          Alcotest.(check (float 0.0))
+            (id ^ ": Talg bit-exact")
+            best.Optimizer.prediction.Model.talg a.Advisor.a_talg)
+    experiments
+
+(* --- the server ------------------------------------------------------------- *)
+
+let connect socket_path =
+  match Client.connect ~attempts:200 ~socket_path () with
+  | Ok fd -> fd
+  | Error m -> Alcotest.fail m
+
+let ask fd (e : H.Experiments.t) =
+  Client.ask fd
+    ~arch:e.H.Experiments.arch.Gpu.Arch.name
+    ~stencil:e.H.Experiments.problem.P.stencil.S.name
+    ~space:e.H.Experiments.problem.P.space
+    ~time:e.H.Experiments.problem.P.time
+
+let test_serve_cold_warm_writeback_and_concurrency () =
+  let socket_path = fresh_path ".sock" in
+  let index_path = fresh_path ".json" in
+  let experiments = H.Experiments.all H.Experiments.Ci in
+  let e0 = List.hd experiments in
+  let srv =
+    Domain.spawn (fun () ->
+        Server.run ~index_path ~exec:Parsweep.serial ~socket_path ())
+  in
+  (* cold first — the server starts with no index file *)
+  let fd = connect socket_path in
+  let cold_entry =
+    match ask fd e0 with
+    | Ok (Proto.Cold, entry, _) -> entry
+    | Ok (Proto.Warm, _, _) ->
+        Alcotest.fail "first ask answered warm from an empty index"
+    | Error msg -> Alcotest.failf "first ask failed: %s" msg
+  in
+  (* same connection, same question: warm now, same answer *)
+  (match ask fd e0 with
+  | Ok (Proto.Warm, entry, _) ->
+      Alcotest.(check bool) "warm answer identical to the cold one" true
+        (config_equal cold_entry.Index.e_config entry.Index.e_config
+        && cold_entry.Index.e_talg = entry.Index.e_talg)
+  | Ok (Proto.Cold, _, _) -> Alcotest.fail "repeat ask missed the index"
+  | Error msg -> Alcotest.failf "repeat ask failed: %s" msg);
+  (* a malformed ask is an error reply, not a dead server *)
+  (match
+     Client.ask fd ~arch:"gtx980" ~stencil:"no-such-stencil"
+       ~space:[| 64; 64 |] ~time:8
+   with
+  | Error msg ->
+      Alcotest.(check bool) "error names the unknown stencil" true
+        (Test_util.contains msg "no-such-stencil")
+  | Ok _ -> Alcotest.fail "unknown stencil answered");
+  Client.close fd;
+  (* concurrent clients, one per experiment: answers must be deterministic
+     — every client gets exactly what the in-process advisor computes *)
+  let clients =
+    List.map
+      (fun e ->
+        Domain.spawn (fun () ->
+            let fd = connect socket_path in
+            let r = ask fd e in
+            Client.close fd;
+            r))
+      experiments
+  in
+  let replies = List.map Domain.join clients in
+  List.iter2
+    (fun e reply ->
+      let expected = entry_of e in
+      match reply with
+      | Ok ((_ : Proto.source), entry, _) ->
+          Alcotest.(check bool)
+            (H.Experiments.id e ^ ": served = in-process advisor")
+            true
+            (config_equal expected.Index.e_config entry.Index.e_config
+            && expected.Index.e_talg = entry.Index.e_talg)
+      | Error msg -> Alcotest.failf "%s: %s" (H.Experiments.id e) msg)
+    experiments replies;
+  (* shutdown, then the write-back index must hold every asked problem *)
+  let fd = connect socket_path in
+  (match Client.shutdown fd with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Client.close fd;
+  let summary = Domain.join srv in
+  Alcotest.(check bool) "server saw warm hits" true
+    (summary.Server.warm_hits >= 1);
+  Alcotest.(check bool) "server saw cold misses" true
+    (summary.Server.cold_misses >= 1);
+  let written =
+    match Index.load ~path:index_path with
+    | Ok t -> t
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check int) "write-back persisted every distinct problem"
+    (List.length experiments) (Index.size written);
+  (* a fresh server over the written index answers warm immediately *)
+  let srv2 =
+    Domain.spawn (fun () ->
+        Server.run ~index_path ~exec:Parsweep.serial ~max_requests:1
+          ~socket_path ())
+  in
+  let fd = connect socket_path in
+  (match ask fd e0 with
+  | Ok (Proto.Warm, entry, _) ->
+      Alcotest.(check bool) "reloaded answer identical" true
+        (config_equal cold_entry.Index.e_config entry.Index.e_config)
+  | Ok (Proto.Cold, _, _) -> Alcotest.fail "persisted index not used"
+  | Error msg -> Alcotest.failf "ask against reloaded index failed: %s" msg);
+  Client.close fd;
+  let summary2 = Domain.join srv2 in
+  Sys.remove index_path;
+  Alcotest.(check int) "second server answered warm" 1
+    summary2.Server.warm_hits
+
+let suite =
+  [
+    Alcotest.test_case "proto frame round-trip" `Quick test_proto_roundtrip;
+    Alcotest.test_case "index save/load round-trip" `Quick
+      test_index_roundtrip;
+    Alcotest.test_case "index rejects stale code version" `Quick
+      test_index_rejects_stale_code_version;
+    Alcotest.test_case "cold path = exhaustive arg-min (12 experiments)"
+      `Quick test_cold_path_matches_exhaustive_argmin;
+    Alcotest.test_case "serve: cold, warm, write-back, concurrent clients"
+      `Quick test_serve_cold_warm_writeback_and_concurrency;
+  ]
