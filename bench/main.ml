@@ -1147,10 +1147,11 @@ let () =
   (match Serve.Index.save index ~path:serve_index_path with
   | Ok () -> ()
   | Error e -> failwith e);
+  let serve_access_log = Filename.temp_file "hextime-bench-access" ".jsonl" in
   let srv =
     Domain.spawn (fun () ->
         Serve.Server.run ~index_path:serve_index_path ~exec:Parsweep.serial
-          ~socket_path:serve_socket ())
+          ~access_log_path:serve_access_log ~socket_path:serve_socket ())
   in
   let fd =
     match Serve.Client.connect ~attempts:200 ~socket_path:serve_socket () with
@@ -1166,7 +1167,7 @@ let () =
        Serve.Client.ask fd ~arch:"gtx980" ~stencil:"heat2d"
          ~space:[| 512; 512 |] ~time:128
      with
-    | Ok (Serve.Proto.Warm, _, _) -> ()
+    | Ok { Serve.Proto.source = Serve.Proto.Warm; _ } -> ()
     | Ok _ -> failwith "bench: warm ask answered cold"
     | Error e -> failwith e);
     lat.(i) <- (Unix.gettimeofday () -. a) *. 1e6
@@ -1179,10 +1180,26 @@ let () =
   in
   let serve_p50 = pct 0.50 in
   let serve_p99 = pct 0.99 in
+  (* one full OpenMetrics exposition per round-trip: render + frame cost of
+     the hexpulse scrape path (the metrics frame serves the same payload
+     GET /metrics does) *)
+  let scrapes = 64 in
+  let scrape_lat = Array.make scrapes 0.0 in
+  for i = 0 to scrapes - 1 do
+    let a = Unix.gettimeofday () in
+    (match Serve.Client.metrics fd with
+    | Ok text when String.length text > 0 -> ()
+    | Ok _ -> failwith "bench: empty exposition"
+    | Error e -> failwith e);
+    scrape_lat.(i) <- (Unix.gettimeofday () -. a) *. 1e6
+  done;
+  Array.sort compare scrape_lat;
+  let serve_scrape_us = scrape_lat.(scrapes / 2) in
   (match Serve.Client.shutdown fd with Ok () -> () | Error e -> failwith e);
   Serve.Client.close fd;
   ignore (Domain.join srv : Serve.Server.summary);
   Sys.remove serve_index_path;
+  Sys.remove serve_access_log;
   (* the same cold sweep measured (same machine class, same best-of-3
      methodology) at the commit before the priced-kernel refactor; kept
      here so the exported file documents the trajectory, not just the
@@ -1204,6 +1221,8 @@ let () =
     serve_rps asks;
   Printf.printf "  warm p50 / p99    %10.1f / %.1f us round-trip\n" serve_p50
     serve_p99;
+  Printf.printf "  metrics scrape    %10.1f us median (%d scrapes)\n"
+    serve_scrape_us scrapes;
   let json =
     Minijson.Obj
       [
@@ -1220,6 +1239,7 @@ let () =
         ("serve_requests_per_sec", Minijson.Num serve_rps);
         ("serve_warm_p50_us", Minijson.Num serve_p50);
         ("serve_warm_p99_us", Minijson.Num serve_p99);
+        ("serve_metrics_scrape_us", Minijson.Num serve_scrape_us);
         ("pre_refactor_cold_sweep_points_per_sec", Minijson.Num pre_refactor_pps);
         ( "cold_sweep_speedup_vs_pre_refactor",
           Minijson.Num (sweep_pps /. pre_refactor_pps) );
@@ -1283,6 +1303,7 @@ let () =
              ("eventsim_cycles_per_sec", es_cps);
              ("serve_requests_per_sec", serve_rps);
              ("serve_warm_p99_us", serve_p99);
+             ("serve_metrics_scrape_us", serve_scrape_us);
            ]
          ~snapshot:
            (Hextime_obs.Metrics.to_json (Hextime_obs.Metrics.snapshot ()))

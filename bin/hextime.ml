@@ -1879,6 +1879,7 @@ let bench_compare_cmd =
             "serve_requests_per_sec";
             "serve_warm_p50_us";
             "serve_warm_p99_us";
+            "serve_metrics_scrape_us";
           ]
         in
         let t =
@@ -2010,7 +2011,10 @@ let history_cmd =
       & opt (some string) None
       & info [ "kind" ] ~docv:"KIND"
           ~doc:
-            "Only entries of this kind (validate | campaign | tune | bench).")
+            "Only entries of this kind (validate | campaign | tune | bench \
+             | serve | audit — $(b,audit) rows are the serving drift \
+             monitor's verdicts; useful columns: rel_err, in_band, \
+             argmin_match).")
   in
   let last =
     Arg.(
@@ -2284,8 +2288,84 @@ let serve_cmd =
             "Serve without an index file: every first ask is a cold miss, \
              answers live only in memory.")
   in
-  let run socket index_path no_index max_requests backend jobs timeout_s
-      retries cache_dir no_cache profile metrics ledger no_ledger =
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Also answer plain-HTTP $(b,GET /metrics) (OpenMetrics text) on \
+             127.0.0.1:PORT.  0 picks an ephemeral port, reported on \
+             stderr.")
+  in
+  let access_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one structured JSONL record per answered request \
+             (req_id, key, warm/cold, latency, result digest or error).")
+  in
+  let slow_us =
+    Arg.(
+      value & opt float infinity
+      & info [ "slow-us" ] ~docv:"US"
+          ~doc:
+            "Slow-query threshold: a cold solve slower than this logs its \
+             Section-5 cost attribution in the access log (default: \
+             never).")
+  in
+  let slo_window_s =
+    Arg.(
+      value & opt float 10.0
+      & info [ "slo-window-s" ] ~docv:"SECONDS"
+          ~doc:"Rolling SLO window duration.")
+  in
+  let slo_p99_us =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo-p99-us" ] ~docv:"US"
+          ~doc:
+            "SLO: per-window p99 latency objective; violations show up in \
+             the $(b,slo.p99_ok) and $(b,slo.windows_violated) gauges.")
+  in
+  let slo_warm_ratio =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo-warm-ratio" ] ~docv:"R"
+          ~doc:"SLO: per-window warm-hit ratio objective (0..1).")
+  in
+  let audit_rate =
+    Arg.(
+      value & opt int 0
+      & info [ "audit-rate" ] ~docv:"N"
+          ~doc:
+            "Drift monitor: re-verify every Nth warm answer against the \
+             exhaustive arg-min, off the request path (0 disables).  \
+             Verdicts append $(b,audit) ledger records and drive the \
+             $(b,serve.drift_alarm) gauge.")
+  in
+  let audit_cold =
+    Arg.(
+      value & flag
+      & info [ "audit-cold" ]
+          ~doc:"Drift monitor: also audit every cold-miss answer.")
+  in
+  let drift_min_ratio =
+    Arg.(
+      value & opt float 0.99
+      & info [ "drift-min-ratio" ] ~docv:"R"
+          ~doc:
+            "Trip $(b,serve.drift_alarm) when the rolling audited in-band \
+             ratio drops below R.")
+  in
+  let run socket index_path no_index max_requests metrics_port access_log
+      slow_us slo_window_s slo_p99_us slo_warm_ratio audit_rate audit_cold
+      drift_min_ratio backend jobs timeout_s retries cache_dir no_cache
+      profile metrics ledger no_ledger =
     with_obs profile metrics @@ fun () ->
     let exec = exec_of ~backend ~timeout_s ~retries jobs cache_dir no_cache in
     let index_path = if no_index then None else Some index_path in
@@ -2294,8 +2374,22 @@ let serve_cmd =
       Format.eprintf "hexserve: listening on %s (index: %s)@." socket
         (Option.value ~default:"none" index_path)
     in
+    let on_http_port port =
+      Format.eprintf "hexserve: metrics on http://127.0.0.1:%d/metrics@." port
+    in
+    let slo =
+      {
+        Obs.Slo.default_spec with
+        Obs.Slo.window_s = slo_window_s;
+        p99_us = slo_p99_us;
+        warm_ratio = slo_warm_ratio;
+      }
+    in
     match
       Serve.Server.run ?index_path ~exec ?max_requests ~on_ready
+        ?http_port:metrics_port ~on_http_port ?access_log_path:access_log
+        ~slow_us ~slo ~audit_rate ~audit_cold ~drift_min_ratio
+        ?ledger_path:(if no_ledger then None else Some ledger)
         ~socket_path:socket ()
     with
     | exception Unix.Unix_error (err, fn, arg) ->
@@ -2307,6 +2401,13 @@ let serve_cmd =
           summary.Serve.Server.requests summary.Serve.Server.warm_hits
           summary.Serve.Server.cold_misses summary.Serve.Server.errors
           elapsed_s;
+        if summary.Serve.Server.audits > 0 then
+          Format.printf "audited %d answer(s): %d out of band%s@."
+            summary.Serve.Server.audits
+            summary.Serve.Server.audits_out_of_band
+            (if summary.Serve.Server.drift_alarm then
+               " — DRIFT ALARM"
+             else "");
         ledger_record ~ledger ~no_ledger
           (Obs.Ledger.make ~kind:"serve"
              ~code_version:Serve.Advisor.code_version
@@ -2317,6 +2418,12 @@ let serve_cmd =
                  ("warm_hits", float_of_int summary.Serve.Server.warm_hits);
                  ("cold_misses", float_of_int summary.Serve.Server.cold_misses);
                  ("errors", float_of_int summary.Serve.Server.errors);
+                 ("audits", float_of_int summary.Serve.Server.audits);
+                 ( "audits_out_of_band",
+                   float_of_int summary.Serve.Server.audits_out_of_band );
+                 ( "drift_alarm",
+                   if summary.Serve.Server.drift_alarm then 1.0 else 0.0 );
+                 ("scrapes", float_of_int summary.Serve.Server.scrapes);
                  ("elapsed_s", elapsed_s);
                  ( "requests_per_sec",
                    if elapsed_s > 0.0 then
@@ -2324,7 +2431,12 @@ let serve_cmd =
                    else 0.0 );
                ]
              ~snapshot:(metrics_snapshot ()) ());
-        `Ok ()
+        if summary.Serve.Server.drift_alarm then
+          die
+            "serve: drift alarm tripped (%d/%d audited answers out of band)"
+            summary.Serve.Server.audits_out_of_band
+            summary.Serve.Server.audits
+        else `Ok ()
   in
   Cmd.v
     (Cmd.info "serve"
@@ -2332,10 +2444,16 @@ let serve_cmd =
          "Run the tile-advisor service on a Unix-domain socket: warm \
           queries are answered from the precomputed arg-min index in O(1); \
           concurrent cold misses are batched through the parallel pool, \
-          answered exactly, and written back into the index.")
+          answered exactly, and written back into the index.  hexpulse \
+          telemetry — OpenMetrics scraping, a JSONL access log, rolling \
+          SLO windows and the online drift monitor — hangs off the \
+          $(b,--metrics-port), $(b,--access-log), $(b,--slo-*) and \
+          $(b,--audit-*) flags.")
     Term.(
       ret
         (const run $ socket_arg $ index_path_arg $ no_index $ max_requests
+       $ metrics_port $ access_log $ slow_us $ slo_window_s $ slo_p99_us
+       $ slo_warm_ratio $ audit_rate $ audit_cold $ drift_min_ratio
        $ backend_arg $ jobs_arg $ timeout_arg $ retries_arg $ cache_dir_arg
        $ no_cache_arg $ profile_arg $ metrics_arg $ ledger_arg $ no_ledger_arg))
 
@@ -2380,13 +2498,18 @@ let ask_cmd =
         in
         match reply with
         | Error msg -> die "ask: %s" msg
-        | Ok (source, entry, latency_us) -> (
+        | Ok answer -> (
+            let { Serve.Proto.source; entry; latency_us; req_id; server } =
+              answer
+            in
             (match format with
             | `Json ->
+                (* passes the server-assigned req_id and the uptime_s /
+                   index_entries / requests_in_flight vitals through
+                   verbatim *)
                 print_endline
                   (Minijson.render_compact
-                     (Serve.Proto.reply_to_json
-                        (Serve.Proto.Answer { source; entry; latency_us })))
+                     (Serve.Proto.reply_to_json (Serve.Proto.Answer answer)))
             | `Text ->
                 Format.printf
                   "recommended: %a  (Talg %.4e s, %s answer, %.0f us \
@@ -2394,7 +2517,13 @@ let ask_cmd =
                   Config.pp entry.Serve.Index.e_config
                   entry.Serve.Index.e_talg
                   (Serve.Proto.source_to_string source)
-                  latency_us);
+                  latency_us;
+                if req_id <> "" then
+                  Format.printf "server: req %s%s@." req_id
+                    (String.concat ""
+                       (List.map
+                          (fun (k, v) -> Printf.sprintf ", %s %.0f" k v)
+                          server)));
             if not check then `Ok ()
             else
               match problem_of stencil space time with
@@ -2439,6 +2568,329 @@ let ask_cmd =
         (const run $ arch_arg $ stencil_arg $ space_arg $ time_arg $ socket_arg
        $ format $ check $ wait))
 
+(* --- metrics-verify (scrape checker) ----------------------------------------- *)
+
+(* Raw-Unix HTTP GET against the serve metrics endpoint, so CI needs no
+   curl: one request, read to EOF, split the body off the headers. *)
+let http_get_metrics ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+      with
+      | exception Unix.Unix_error (err, _, _) ->
+          Error
+            (Printf.sprintf "connect 127.0.0.1:%d: %s" port
+               (Unix.error_message err))
+      | () -> (
+          let request =
+            "GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: \
+             close\r\n\r\n"
+          in
+          let payload = Bytes.of_string request in
+          let len = Bytes.length payload in
+          let off = ref 0 in
+          while !off < len do
+            off := !off + Unix.write fd payload !off (len - !off)
+          done;
+          let buf = Buffer.create 8192 in
+          let chunk = Bytes.create 8192 in
+          let rec drain () =
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                drain ()
+          in
+          drain ();
+          let response = Buffer.contents buf in
+          let split marker =
+            let mlen = String.length marker in
+            let rec find i =
+              if i + mlen > String.length response then None
+              else if String.sub response i mlen = marker then Some i
+              else find (i + 1)
+            in
+            find 0
+          in
+          match split "\r\n\r\n" with
+          | None -> Error "malformed HTTP response (no header terminator)"
+          | Some i ->
+              let headers = String.sub response 0 i in
+              let body =
+                String.sub response (i + 4) (String.length response - i - 4)
+              in
+              let status_ok =
+                match String.index_opt headers ' ' with
+                | Some j ->
+                    String.length headers >= j + 4
+                    && String.sub headers (j + 1) 3 = "200"
+                | None -> false
+              in
+              if status_ok then Ok body
+              else
+                Error
+                  (Printf.sprintf "HTTP status line: %s"
+                     (match String.index_opt headers '\r' with
+                     | Some j -> String.sub headers 0 j
+                     | None -> headers))))
+
+let required_serve_families =
+  [
+    "serve_requests";
+    "serve_warm_hits";
+    "serve_cold_misses";
+    "serve_errors";
+    "serve_warm_seconds";
+    "serve_cold_seconds";
+    "serve_uptime_s";
+    "serve_index_entries";
+    "serve_drift_alarm";
+  ]
+
+let metrics_verify_cmd =
+  let file =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Exposition file to check (instead of scraping --port).")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:
+            "Scrape http://127.0.0.1:PORT/metrics (a running $(b,hextime \
+             serve --metrics-port)).")
+  in
+  let extra_require =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "require" ] ~docv:"F1,F2,..."
+          ~doc:
+            "Comma-separated metric families that must be present, in \
+             addition to the serve built-ins.")
+  in
+  let expect_gauges =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string float) []
+      & info [ "expect-gauge" ] ~docv:"NAME=VALUE"
+          ~doc:
+            "Fail unless the label-free sample NAME is present with this \
+             exact value (repeatable) — e.g. \
+             $(b,--expect-gauge serve_drift_alarm=0).")
+  in
+  let run file port extra_require expect_gauges =
+    let text =
+      match (file, port) with
+      | Some _, Some _ -> Error "metrics-verify: pass FILE or --port, not both"
+      | None, None -> Error "metrics-verify: pass an exposition FILE or --port"
+      | Some path, None -> (
+          match open_in_bin path with
+          | exception Sys_error msg -> Error msg
+          | ic ->
+              Fun.protect
+                ~finally:(fun () -> close_in ic)
+                (fun () -> Ok (really_input_string ic (in_channel_length ic))))
+      | None, Some port -> http_get_metrics ~port
+    in
+    match text with
+    | Error msg -> die "metrics-verify: %s" msg
+    | Ok text -> (
+        let require =
+          required_serve_families
+          @
+          match extra_require with
+          | None -> []
+          | Some list -> String.split_on_char ',' list
+        in
+        match Obs.Openmetrics.validate ~require text with
+        | Error msg -> die "metrics-verify: %s" msg
+        | Ok { Obs.Openmetrics.families; samples } -> (
+            match Obs.Openmetrics.parse text with
+            | Error msg -> die "metrics-verify: %s" msg
+            | Ok parsed -> (
+                let bad =
+                  List.filter_map
+                    (fun (name, expected) ->
+                      match Obs.Openmetrics.value parsed name with
+                      | None -> Some (name, "absent")
+                      | Some v when v = expected -> None
+                      | Some v -> Some (name, Printf.sprintf "%g" v))
+                    expect_gauges
+                in
+                match bad with
+                | [] ->
+                    Format.printf
+                      "metrics-verify: ok — %d families, %d samples%s@."
+                      families samples
+                      (if expect_gauges = [] then ""
+                       else
+                         Printf.sprintf ", %d expectation(s) met"
+                           (List.length expect_gauges));
+                    `Ok ()
+                | bad ->
+                    die "metrics-verify: %s"
+                      (String.concat "; "
+                         (List.map
+                            (fun (name, got) ->
+                              Printf.sprintf "expected %s, got %s" name got)
+                            bad)))))
+  in
+  Cmd.v
+    (Cmd.info "metrics-verify"
+       ~doc:
+         "Check an OpenMetrics exposition — a saved file or a live scrape \
+          of $(b,hextime serve --metrics-port) — for format validity \
+          (cumulative ordered histogram buckets closed by +Inf, \
+          non-negative counters), the presence of the serving metric \
+          families, and exact expected gauge values.  CI's scrape gate.")
+    Term.(ret (const run $ file $ port $ extra_require $ expect_gauges))
+
+(* --- dash (TTY serving dashboard) -------------------------------------------- *)
+
+let dash_cmd =
+  let watch =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "watch" ] ~docv:"SECONDS"
+          ~doc:"Redraw every SECONDS until interrupted.")
+  in
+  let fmt_f name families =
+    match Obs.Openmetrics.value families name with
+    | Some v when Float.is_integer v && Float.abs v < 1e15 ->
+        Printf.sprintf "%.0f" v
+    | Some v -> Printf.sprintf "%.3g" v
+    | None -> "-"
+  in
+  let render_live families =
+    let v = fmt_f in
+    let b = Buffer.create 1024 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+    line "hexserve — up %s s, %s index entries, %s in flight"
+      (v "serve_uptime_s" families)
+      (v "serve_index_entries" families)
+      (v "serve_requests_in_flight" families);
+    line "requests   %8s   warm %8s   cold %8s   errors %8s"
+      (v "serve_requests_total" families)
+      (v "serve_warm_hits_total" families)
+      (v "serve_cold_misses_total" families)
+      (v "serve_errors_total" families);
+    line "warm p50   %8s us        p99 %8s us"
+      (v "serve_warm_p50_us" families)
+      (v "serve_warm_p99_us" families);
+    line "slo window p50 %s us, p99 %s us, error rate %s, warm ratio %s"
+      (v "slo_window_p50_us" families)
+      (v "slo_window_p99_us" families)
+      (v "slo_window_error_rate" families)
+      (v "slo_window_warm_ratio" families);
+    line "slo        budget burn %s, windows violated %s"
+      (v "slo_error_budget_burn" families)
+      (v "slo_windows_violated" families);
+    line "drift      audits %s (%s out of band), in-band ratio %s, ALARM %s"
+      (v "serve_audits_total" families)
+      (v "serve_audits_out_of_band_total" families)
+      (v "serve_audit_inband_ratio" families)
+      (v "serve_drift_alarm" families);
+    line "scrapes    %s http, %s access-log lines"
+      (v "serve_http_scrapes_total" families)
+      (v "serve_access_log_lines_total" families);
+    Buffer.contents b
+  in
+  let render_ledger path =
+    match Obs.Ledger.load ~path with
+    | Error msg -> Error msg
+    | Ok { Obs.Ledger.entries; _ } -> (
+        let serve = Obs.Ledger.filter ~kind:"serve" entries in
+        let audits = Obs.Ledger.filter ~kind:"audit" entries in
+        match (serve, audits) with
+        | [], [] -> Error (path ^ ": no serve or audit records")
+        | serve, audits ->
+            let b = Buffer.create 1024 in
+            let line fmt =
+              Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt
+            in
+            line "hexserve (offline — from ledger %s)" path;
+            (match Obs.Ledger.latest 1 serve with
+            | [ e ] ->
+                let m name =
+                  match Obs.Ledger.metric e name with
+                  | Some v -> Printf.sprintf "%.0f" v
+                  | None -> "-"
+                in
+                line
+                  "last run:  %s requests (%s warm, %s cold, %s errors), %s \
+                   audits (%s out of band), drift alarm %s"
+                  (m "requests") (m "warm_hits") (m "cold_misses")
+                  (m "errors") (m "audits") (m "audits_out_of_band")
+                  (m "drift_alarm")
+            | _ -> ());
+            let oob =
+              List.length
+                (List.filter
+                   (fun e -> Obs.Ledger.metric e "in_band" = Some 0.0)
+                   audits)
+            in
+            if audits <> [] then
+              line "audit records: %d total, %d out of band"
+                (List.length audits) oob;
+            Ok (Buffer.contents b))
+  in
+  let draw socket ledger =
+    match Serve.Client.connect ~socket_path:socket () with
+    | Ok fd -> (
+        let metrics =
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close fd)
+            (fun () -> Serve.Client.metrics fd)
+        in
+        match metrics with
+        | Error msg -> Error msg
+        | Ok text -> (
+            match Obs.Openmetrics.parse text with
+            | Error msg -> Error msg
+            | Ok families -> Ok (render_live families)))
+    | Error _ -> render_ledger ledger
+  in
+  let run socket ledger watch =
+    match watch with
+    | None -> (
+        match draw socket ledger with
+        | Ok text ->
+            print_string text;
+            `Ok ()
+        | Error msg -> die "dash: %s" msg)
+    | Some interval ->
+        let interval = Float.max 0.1 interval in
+        let rec loop () =
+          (* clear screen + home, like watch(1) *)
+          print_string "\027[2J\027[H";
+          (match draw socket ledger with
+          | Ok text -> print_string text
+          | Error msg -> Printf.printf "dash: %s\n" msg);
+          Printf.printf "\n(every %.1fs — ctrl-c to quit)\n%!" interval;
+          ignore (Unix.select [] [] [] interval);
+          loop ()
+        in
+        loop ()
+  in
+  Cmd.v
+    (Cmd.info "dash"
+       ~doc:
+         "One-screen serving dashboard: scrape a live $(b,hextime serve) \
+          over the $(b,metrics) frame (vitals, latency quantiles, SLO \
+          windows, drift monitor) — or, when the socket is down, summarize \
+          the last serve run and audit verdicts from the hexwatch ledger.  \
+          $(b,--watch) redraws continuously.")
+    Term.(ret (const run $ socket_arg $ ledger_arg $ watch))
+
 let main_cmd =
   let doc =
     "analytical time modeling and optimal tile-size selection for GPGPU \
@@ -2475,6 +2927,8 @@ let main_cmd =
       index_cmd;
       serve_cmd;
       ask_cmd;
+      metrics_verify_cmd;
+      dash_cmd;
     ]
 
 let () =

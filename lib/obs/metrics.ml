@@ -93,6 +93,12 @@ let bucket_of v =
     (* v in [2^(e-1), 2^e) *)
     max 0 (min (bucket_count - 1) (e + bucket_bias))
 
+(* Exclusive upper bound of bucket [i]: observations land in
+   [bucket_upper (i-1), bucket_upper i).  The edge buckets additionally
+   absorb whatever was clamped into them, so an exposition format on top
+   of these bounds needs its own +Inf bucket (see Openmetrics). *)
+let bucket_upper i = Float.ldexp 1.0 (i - bucket_bias)
+
 let observe h v =
   locked @@ fun () ->
   h.h_count <- h.h_count + 1;
@@ -241,16 +247,22 @@ let absorb s =
    the midpoint rule on a log scale, which bounds the relative error by
    the bucket ratio (2x) and is exact for single-observation buckets
    clamped against hs_min/hs_max. *)
+(* An empty histogram has no quantiles: every estimate is NaN, never a
+   stray infinity leaked from the hs_min/hs_max sentinels (those are
+   +inf/-inf before the first observation, and the q=0/q=1 shortcuts and
+   the min/max clamp would otherwise surface them).  NaN survives
+   Minijson deterministically (rendered as the string "NaN"), so empty
+   histograms keep a stable JSON shape instead of dropping keys. *)
 let quantile hs q =
   if hs.hs_count = 0 || not (Float.is_finite q) || q < 0.0 || q > 1.0 then
-    None
-  else if q = 0.0 then Some hs.hs_min
-  else if q = 1.0 then Some hs.hs_max
+    Float.nan
+  else if q = 0.0 then hs.hs_min
+  else if q = 1.0 then hs.hs_max
   else begin
     let n = hs.hs_count in
     let rank = (q *. float_of_int (n - 1)) +. 1.0 in
     let rec walk seen = function
-      | [] -> Some hs.hs_max (* rounding: the rank fell off the end *)
+      | [] -> hs.hs_max (* rounding: the rank fell off the end *)
       | (i, c) :: rest ->
           let seen' = seen + c in
           if float_of_int seen' >= rank then begin
@@ -273,7 +285,7 @@ let quantile hs q =
             in
             (* the true extrema are known exactly: never report outside
                [hs_min, hs_max] *)
-            Some (Float.max hs.hs_min (Float.min hs.hs_max v))
+            Float.max hs.hs_min (Float.min hs.hs_max v)
           end
           else walk seen' rest
     in
@@ -310,9 +322,8 @@ let to_json s =
                       ("min", num hs.hs_min);
                       ("max", num hs.hs_max);
                     ]
-                   @ List.filter_map
-                       (fun (label, q) ->
-                         Option.map (fun v -> (label, num v)) (quantile hs q))
+                   @ List.map
+                       (fun (label, q) -> (label, num (quantile hs q)))
                        quantiles
                    @ [
                        ( "buckets",
@@ -339,12 +350,10 @@ let render s =
           (Tabulate.seconds_cell hs.hs_min)
           (Tabulate.seconds_cell hs.hs_max)
           (String.concat ""
-             (List.filter_map
+             (List.map
                 (fun (label, q) ->
-                  Option.map
-                    (fun v ->
-                      Printf.sprintf " %s=%s" label (Tabulate.seconds_cell v))
-                    (quantile hs q))
+                  Printf.sprintf " %s=%s" label
+                    (Tabulate.seconds_cell (quantile hs q)))
                 quantiles)))
     s.snap_histograms;
   Buffer.contents buf

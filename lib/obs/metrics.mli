@@ -39,6 +39,24 @@ val set : gauge -> float -> unit
     clamp to the edge buckets). *)
 val observe : histogram -> float -> unit
 
+(** {1 Bucket geometry}
+
+    Shared by consumers that build histogram-shaped data outside the
+    registry (per-window SLO accumulators) or re-render the buckets in
+    another exposition format (OpenMetrics cumulative buckets). *)
+
+val bucket_count : int
+(** Number of log2 buckets ([129]). *)
+
+val bucket_of : float -> int
+(** Index of the bucket an observation lands in (edge buckets absorb
+    out-of-range and non-finite values). *)
+
+val bucket_upper : int -> float
+(** Exclusive upper bound of bucket [i] ([2^(i-64)]); observations in
+    bucket [i] satisfy [bucket_upper (i-1) <= v < bucket_upper i], modulo
+    the edge-bucket clamping above. *)
+
 (** {1 Snapshots} *)
 
 type hist_snapshot = {
@@ -70,14 +88,16 @@ val merge : snapshot -> snapshot -> snapshot
     snapshots back in. *)
 val absorb : snapshot -> unit
 
-val quantile : hist_snapshot -> float -> float option
+val quantile : hist_snapshot -> float -> float
 (** [quantile hs q] estimates the [q]-quantile ([0.0 <= q <= 1.0]) of the
     recorded observations from the log2 buckets: rank-based bucket walk
     with geometric interpolation inside the covering bucket, clamped to
     the exactly-known [hs_min, hs_max].  The relative error is bounded by
-    the bucket ratio (2x).  [None] on an empty histogram or out-of-range
-    [q].  [q = 0.0] returns [hs_min] and [q = 1.0] returns [hs_max]
-    exactly. *)
+    the bucket ratio (2x).  [Float.nan] on an empty histogram or an
+    out-of-range [q] — never an infinity leaked from the min/max
+    sentinels; Minijson renders it deterministically as ["NaN"], so JSON
+    consumers see a stable shape.  [q = 0.0] returns [hs_min] and
+    [q = 1.0] returns [hs_max] exactly. *)
 
 val quantiles : (string * float) list
 (** The quantiles rendered by {!to_json} and {!render}:

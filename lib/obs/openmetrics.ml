@@ -1,0 +1,349 @@
+(* OpenMetrics / Prometheus text exposition over a Metrics snapshot.
+
+   One renderer and one (deliberately small) parser live together so the
+   `hextime metrics-verify` checker and the golden tests validate exactly
+   what the server serves.  The output is compatible with both the
+   Prometheus text format (0.0.4) and OpenMetrics: counters carry the
+   `_total` suffix, histograms are rendered as cumulative `_bucket{le=...}`
+   series closed by `+Inf` plus `_sum`/`_count`, and the document ends with
+   `# EOF`. *)
+
+(* --- rendering ------------------------------------------------------------- *)
+
+(* Metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.  Registry names use dots as
+   separators ("serve.warm_seconds"); anything outside the grammar maps to
+   '_' so every registered metric is exposable. *)
+let metric_name s =
+  let ok_head c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+  in
+  let ok c = ok_head c || (c >= '0' && c <= '9') in
+  let b = Bytes.of_string s in
+  Bytes.iteri
+    (fun i c ->
+      let keep = if i = 0 then ok_head c || (c >= '0' && c <= '9') else ok c in
+      if not keep then Bytes.set b i '_')
+    b;
+  let s' = Bytes.unsafe_to_string b in
+  if s' = "" then "_"
+  else if ok_head s'.[0] then s'
+  else "_" ^ s'
+
+(* Label values: backslash, double-quote and newline get backslash-escaped
+   (the exposition format's only escapes). *)
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Sample values.  Integral floats render without an exponent so counters
+   stay greppable; +Inf/-Inf/NaN use the exposition spellings. *)
+let value_str f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let render (s : Metrics.snapshot) =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (k, v) ->
+      let n = metric_name k in
+      pf "# TYPE %s counter\n" n;
+      pf "%s_total %d\n" n v)
+    s.Metrics.snap_counters;
+  List.iter
+    (fun (k, v) ->
+      let n = metric_name k in
+      pf "# TYPE %s gauge\n" n;
+      pf "%s %s\n" n (value_str v))
+    s.Metrics.snap_gauges;
+  List.iter
+    (fun (k, (hs : Metrics.hist_snapshot)) ->
+      let n = metric_name k in
+      pf "# TYPE %s histogram\n" n;
+      let cum = ref 0 in
+      List.iter
+        (fun (i, c) ->
+          cum := !cum + c;
+          pf "%s_bucket{le=\"%s\"} %d\n" n
+            (value_str (Metrics.bucket_upper i))
+            !cum)
+        hs.Metrics.hs_buckets;
+      pf "%s_bucket{le=\"+Inf\"} %d\n" n hs.Metrics.hs_count;
+      pf "%s_sum %s\n" n (value_str hs.Metrics.hs_sum);
+      pf "%s_count %d\n" n hs.Metrics.hs_count)
+    s.Metrics.snap_histograms;
+  pf "# EOF\n";
+  Buffer.contents buf
+
+(* --- parsing --------------------------------------------------------------- *)
+
+type sample = {
+  s_name : string;  (* full sample name, suffixes included *)
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+type family = {
+  f_name : string;
+  f_type : string;  (* "counter" | "gauge" | "histogram" | ... *)
+  f_samples : sample list;  (* in document order *)
+}
+
+let parse_value s =
+  match s with
+  | "NaN" -> Some Float.nan
+  | "+Inf" | "Inf" -> Some Float.infinity
+  | "-Inf" -> Some Float.neg_infinity
+  | s -> float_of_string_opt s
+
+(* name{k="v",...} — unescapes the three label escapes. *)
+let parse_labels s =
+  let n = String.length s in
+  let rec skip_ws i = if i < n && s.[i] = ' ' then skip_ws (i + 1) else i in
+  let rec go i acc =
+    let i = skip_ws i in
+    if i >= n then None
+    else if s.[i] = '}' then if i = n - 1 then Some (List.rev acc) else None
+    else begin
+      (* label name up to '=' *)
+      match String.index_from_opt s i '=' with
+      | None -> None
+      | Some eq ->
+          let name = String.trim (String.sub s i (eq - i)) in
+          if eq + 1 >= n || s.[eq + 1] <> '"' then None
+          else begin
+            (* scan the quoted value, honouring escapes *)
+            let buf = Buffer.create 16 in
+            let rec scan j =
+              if j >= n then None
+              else
+                match s.[j] with
+                | '"' -> Some j
+                | '\\' when j + 1 < n ->
+                    (match s.[j + 1] with
+                    | 'n' -> Buffer.add_char buf '\n'
+                    | '"' -> Buffer.add_char buf '"'
+                    | '\\' -> Buffer.add_char buf '\\'
+                    | c ->
+                        Buffer.add_char buf '\\';
+                        Buffer.add_char buf c);
+                    scan (j + 2)
+                | c ->
+                    Buffer.add_char buf c;
+                    scan (j + 1)
+            in
+            match scan (eq + 2) with
+            | None -> None
+            | Some close ->
+                let acc = (name, Buffer.contents buf) :: acc in
+                let i = skip_ws (close + 1) in
+                if i < n && s.[i] = ',' then go (i + 1) acc
+                else if i < n && s.[i] = '}' then
+                  if i = n - 1 then Some (List.rev acc) else None
+                else None
+          end
+    end
+  in
+  go 0 []
+
+let parse_sample line =
+  (* split "name[{labels}] value" at the first space outside braces *)
+  let n = String.length line in
+  match String.index_opt line '{' with
+  | Some b -> (
+      match String.rindex_opt line '}' with
+      | None -> None
+      | Some e when e > b && e + 1 < n && line.[e + 1] = ' ' -> (
+          let name = String.sub line 0 b in
+          let labels_s = String.sub line (b + 1) (e - b) in
+          let value_s = String.trim (String.sub line (e + 2) (n - e - 2)) in
+          match (parse_labels labels_s, parse_value value_s) with
+          | Some labels, Some v ->
+              Some { s_name = name; s_labels = labels; s_value = v }
+          | _ -> None)
+      | Some _ -> None)
+  | None -> (
+      match String.index_opt line ' ' with
+      | None -> None
+      | Some sp -> (
+          let name = String.sub line 0 sp in
+          let value_s = String.trim (String.sub line (sp + 1) (n - sp - 1)) in
+          match parse_value value_s with
+          | Some v -> Some { s_name = name; s_labels = []; s_value = v }
+          | None -> None))
+
+let belongs_to fam sample_name =
+  sample_name = fam
+  || List.exists
+       (fun suffix -> sample_name = fam ^ suffix)
+       [ "_total"; "_bucket"; "_sum"; "_count"; "_created" ]
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno families current = function
+    | [] -> Ok (List.rev (match current with None -> families | Some f -> f :: families))
+    | line :: rest -> (
+        let lineno = lineno + 1 in
+        let fail fmt =
+          Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m)) fmt
+        in
+        match line with
+        | "" -> go lineno families current rest
+        | line when String.length line >= 7 && String.sub line 0 7 = "# TYPE " -> (
+            match
+              String.split_on_char ' '
+                (String.trim (String.sub line 7 (String.length line - 7)))
+            with
+            | [ name; ty ] ->
+                let families =
+                  match current with None -> families | Some f -> f :: families
+                in
+                go lineno families
+                  (Some { f_name = name; f_type = ty; f_samples = [] })
+                  rest
+            | _ -> fail "malformed TYPE line %S" line)
+        | line when String.length line >= 1 && line.[0] = '#' ->
+            (* HELP / UNIT / EOF / free comments *)
+            go lineno families current rest
+        | line -> (
+            match parse_sample line with
+            | None -> fail "malformed sample line %S" line
+            | Some s -> (
+                match current with
+                | Some f when belongs_to f.f_name s.s_name ->
+                    go lineno families
+                      (Some { f with f_samples = f.f_samples @ [ s ] })
+                      rest
+                | Some f ->
+                    fail "sample %S outside its family (current family %S)"
+                      s.s_name f.f_name
+                | None -> fail "sample %S before any TYPE line" s.s_name)))
+  in
+  go 0 [] None lines
+
+(* --- lookups ---------------------------------------------------------------- *)
+
+let find families name =
+  List.find_opt (fun f -> f.f_name = name) families
+
+let value families name =
+  List.find_map
+    (fun f ->
+      List.find_map
+        (fun s ->
+          if s.s_name = name && s.s_labels = [] then Some s.s_value else None)
+        f.f_samples)
+    families
+
+(* --- validation ------------------------------------------------------------- *)
+
+type summary = { families : int; samples : int }
+
+let validate_histogram f =
+  let buckets =
+    List.filter (fun s -> s.s_name = f.f_name ^ "_bucket") f.f_samples
+  in
+  let count =
+    List.find_opt (fun s -> s.s_name = f.f_name ^ "_count") f.f_samples
+  in
+  let sum = List.find_opt (fun s -> s.s_name = f.f_name ^ "_sum") f.f_samples in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match (count, sum) with
+  | None, _ -> err "histogram %s: missing _count" f.f_name
+  | _, None -> err "histogram %s: missing _sum" f.f_name
+  | Some count, Some _ -> (
+      let les =
+        List.map
+          (fun s ->
+            match List.assoc_opt "le" s.s_labels with
+            | Some le -> Ok (le, s.s_value)
+            | None -> err "histogram %s: bucket without le label" f.f_name)
+          buckets
+      in
+      match List.find_opt Result.is_error les with
+      | Some (Error e) -> Error e
+      | Some (Ok _) | None -> (
+          let les = List.filter_map Result.to_option les in
+          (* cumulative and ordered: counts never decrease, bounds increase *)
+          let rec check prev_le prev_cum = function
+            | [] -> Ok ()
+            | (le_s, cum) :: rest -> (
+                match parse_value le_s with
+                | None -> err "histogram %s: bad le %S" f.f_name le_s
+                | Some le ->
+                    if le <= prev_le then
+                      err "histogram %s: le %S out of order" f.f_name le_s
+                    else if cum < prev_cum then
+                      err "histogram %s: bucket counts not cumulative (%g < %g)"
+                        f.f_name cum prev_cum
+                    else check le cum rest)
+          in
+          match check Float.neg_infinity 0.0 les with
+          | Error e -> Error e
+          | Ok () -> (
+              match List.rev les with
+              | [] -> err "histogram %s: no buckets" f.f_name
+              | (last_le, last_cum) :: _ ->
+                  if last_le <> "+Inf" then
+                    err "histogram %s: last bucket is %S, not +Inf" f.f_name
+                      last_le
+                  else if last_cum <> count.s_value then
+                    err "histogram %s: +Inf bucket %g <> _count %g" f.f_name
+                      last_cum count.s_value
+                  else Ok ())))
+
+let validate ?(require = []) text =
+  match parse text with
+  | Error e -> Error e
+  | Ok families -> (
+      let missing =
+        List.filter (fun r -> not (List.exists (fun f -> f.f_name = r) families)) require
+      in
+      if missing <> [] then
+        Error
+          (Printf.sprintf "missing required families: %s"
+             (String.concat ", " missing))
+      else
+        let rec check = function
+          | [] ->
+              Ok
+                {
+                  families = List.length families;
+                  samples =
+                    List.fold_left
+                      (fun acc f -> acc + List.length f.f_samples)
+                      0 families;
+                }
+          | f :: rest -> (
+              match f.f_type with
+              | "histogram" -> (
+                  match validate_histogram f with
+                  | Error e -> Error e
+                  | Ok () -> check rest)
+              | "counter" -> (
+                  match
+                    List.find_opt
+                      (fun s ->
+                        s.s_name = f.f_name ^ "_total" && s.s_value < 0.0)
+                      f.f_samples
+                  with
+                  | Some s ->
+                      Error
+                        (Printf.sprintf "counter %s: negative value %g"
+                           f.f_name s.s_value)
+                  | None -> check rest)
+              | _ -> check rest)
+        in
+        check families)

@@ -1,0 +1,53 @@
+(** OpenMetrics / Prometheus text exposition over {!Metrics} snapshots.
+
+    [render] turns a snapshot into the scrape payload `hextime serve`
+    answers on `GET /metrics` and in the `metrics` wire frame: counters
+    with the [_total] suffix, gauges verbatim, and log2 histograms as
+    cumulative [_bucket{le="..."}] series closed by a [+Inf] bucket plus
+    [_sum]/[_count], terminated by [# EOF].  Registry dots become
+    underscores ([serve.warm_seconds] -> [serve_warm_seconds]).
+
+    The same module carries a minimal parser and validator for the
+    format, shared by [hextime metrics-verify] and the golden tests, so
+    what is checked is exactly what is served. *)
+
+val render : Metrics.snapshot -> string
+
+val metric_name : string -> string
+(** Sanitize a registry name into the exposition grammar
+    [[a-zA-Z_:][a-zA-Z0-9_:]*] (every other character becomes ['_']). *)
+
+val escape_label_value : string -> string
+(** The exposition format's label-value escapes: backslash, double-quote
+    and newline are backslash-escaped; everything else passes through. *)
+
+val value_str : float -> string
+(** Sample-value rendering ([NaN]/[+Inf]/[-Inf] spelled as the format
+    requires; integral values without an exponent). *)
+
+(** {1 Parsing and validation} *)
+
+type sample = {
+  s_name : string;  (** full sample name, suffixes included *)
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+type family = {
+  f_name : string;
+  f_type : string;  (** counter, gauge, histogram, ... *)
+  f_samples : sample list;  (** in document order *)
+}
+
+val parse : string -> (family list, string) result
+
+val find : family list -> string -> family option
+val value : family list -> string -> float option
+(** First label-free sample with that exact name, across families. *)
+
+type summary = { families : int; samples : int }
+
+val validate : ?require:string list -> string -> (summary, string) result
+(** Parse, then check: every [require]d family is present, histogram
+    bucket series are cumulative and ordered with a final [+Inf] bucket
+    equal to [_count] and a [_sum] sample, counters are non-negative. *)

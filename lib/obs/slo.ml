@@ -1,0 +1,215 @@
+(* Rolling SLO windows for the serving path.
+
+   The server records every answered request into the current
+   fixed-duration window; when the wall clock crosses a window boundary
+   the window closes, its latency quantiles are estimated from per-window
+   log2 buckets (the same geometry and estimator as Metrics histograms),
+   the SLO spec is evaluated against it, and the verdicts land in slo.*
+   gauges so a scrape sees the serving health of the last closed window
+   plus the violation count and error-budget burn across the whole ring.
+
+   Everything is driven by caller-supplied timestamps — nothing here reads
+   the clock — so tests can roll windows deterministically. *)
+
+type spec = {
+  window_s : float;  (* window duration *)
+  windows : int;  (* ring capacity of closed windows *)
+  p99_us : float option;  (* SLO: window p99 latency at most this *)
+  warm_ratio : float option;  (* SLO: warm hits / requests at least this *)
+  error_budget : float;  (* allowed per-window error rate (burn = rate/budget) *)
+}
+
+let default_spec =
+  {
+    window_s = 10.0;
+    windows = 12;
+    p99_us = None;
+    warm_ratio = None;
+    error_budget = 1e-3;
+  }
+
+type window = {
+  w_start : float;
+  w_end : float;
+  w_requests : int;
+  w_errors : int;
+  w_warm : int;
+  w_cold : int;
+  w_p50_us : float;  (* NaN when the window saw no requests *)
+  w_p99_us : float;
+  w_error_rate : float;  (* NaN when empty *)
+  w_warm_ratio : float;  (* NaN when empty *)
+  w_p99_ok : bool;  (* true when no threshold is set or it held *)
+  w_warm_ok : bool;
+}
+
+let window_ok w = w.w_p99_ok && w.w_warm_ok
+
+type t = {
+  spec : spec;
+  mutable cur_start : float;
+  mutable requests : int;
+  mutable errors : int;
+  mutable warm : int;
+  mutable cold : int;
+  mutable lat_count : int;
+  mutable lat_sum : float;
+  mutable lat_min : float;
+  mutable lat_max : float;
+  lat_buckets : int array;
+  mutable closed : window list;  (* newest first, length <= spec.windows *)
+}
+
+(* Gauges describing the last closed window and the ring.  Set on window
+   close only: a scrape between closes sees the freshest complete window,
+   never a half-filled one. *)
+let g_p50 = Metrics.gauge "slo.window_p50_us"
+let g_p99 = Metrics.gauge "slo.window_p99_us"
+let g_error_rate = Metrics.gauge "slo.window_error_rate"
+let g_warm_ratio = Metrics.gauge "slo.window_warm_ratio"
+let g_p99_ok = Metrics.gauge "slo.p99_ok"
+let g_warm_ok = Metrics.gauge "slo.warm_ratio_ok"
+let g_burn = Metrics.gauge "slo.error_budget_burn"
+let g_violated = Metrics.gauge "slo.windows_violated"
+let g_windows = Metrics.gauge "slo.windows"
+
+let create ?(spec = default_spec) ~now () =
+  if spec.window_s <= 0.0 then invalid_arg "Slo.create: window_s must be > 0";
+  if spec.windows <= 0 then invalid_arg "Slo.create: windows must be > 0";
+  {
+    spec;
+    cur_start = now;
+    requests = 0;
+    errors = 0;
+    warm = 0;
+    cold = 0;
+    lat_count = 0;
+    lat_sum = 0.0;
+    lat_min = infinity;
+    lat_max = neg_infinity;
+    lat_buckets = Array.make Metrics.bucket_count 0;
+    closed = [];
+  }
+
+let hist_snapshot t : Metrics.hist_snapshot =
+  let buckets = ref [] in
+  for i = Metrics.bucket_count - 1 downto 0 do
+    if t.lat_buckets.(i) > 0 then
+      buckets := (i, t.lat_buckets.(i)) :: !buckets
+  done;
+  {
+    Metrics.hs_count = t.lat_count;
+    hs_sum = t.lat_sum;
+    hs_min = t.lat_min;
+    hs_max = t.lat_max;
+    hs_buckets = !buckets;
+  }
+
+let rec take n = function
+  | [] -> []
+  | x :: xs -> if n = 0 then [] else x :: take (n - 1) xs
+
+let bool_gauge g b = Metrics.set g (if b then 1.0 else 0.0)
+
+let close_window t =
+  let hs = hist_snapshot t in
+  let p50_us = Metrics.quantile hs 0.5 *. 1e6 in
+  let p99_us = Metrics.quantile hs 0.99 *. 1e6 in
+  let reqs = t.requests in
+  let error_rate =
+    if reqs = 0 then Float.nan
+    else float_of_int t.errors /. float_of_int reqs
+  in
+  let warm_ratio =
+    if reqs = 0 then Float.nan else float_of_int t.warm /. float_of_int reqs
+  in
+  (* NaN comparisons are false, so an empty window violates nothing *)
+  let p99_ok =
+    match t.spec.p99_us with None -> true | Some thr -> not (p99_us > thr)
+  in
+  let warm_ok =
+    match t.spec.warm_ratio with
+    | None -> true
+    | Some thr -> not (warm_ratio < thr)
+  in
+  let w =
+    {
+      w_start = t.cur_start;
+      w_end = t.cur_start +. t.spec.window_s;
+      w_requests = reqs;
+      w_errors = t.errors;
+      w_warm = t.warm;
+      w_cold = t.cold;
+      w_p50_us = p50_us;
+      w_p99_us = p99_us;
+      w_error_rate = error_rate;
+      w_warm_ratio = warm_ratio;
+      w_p99_ok = p99_ok;
+      w_warm_ok = warm_ok;
+    }
+  in
+  t.closed <- take t.spec.windows (w :: t.closed);
+  t.cur_start <- w.w_end;
+  t.requests <- 0;
+  t.errors <- 0;
+  t.warm <- 0;
+  t.cold <- 0;
+  t.lat_count <- 0;
+  t.lat_sum <- 0.0;
+  t.lat_min <- infinity;
+  t.lat_max <- neg_infinity;
+  Array.fill t.lat_buckets 0 Metrics.bucket_count 0;
+  (* export the closed window and the ring verdicts *)
+  Metrics.set g_p50 w.w_p50_us;
+  Metrics.set g_p99 w.w_p99_us;
+  Metrics.set g_error_rate w.w_error_rate;
+  Metrics.set g_warm_ratio w.w_warm_ratio;
+  bool_gauge g_p99_ok w.w_p99_ok;
+  bool_gauge g_warm_ok w.w_warm_ok;
+  Metrics.set g_burn
+    (if Float.is_nan w.w_error_rate then 0.0
+     else w.w_error_rate /. t.spec.error_budget);
+  Metrics.set g_violated
+    (float_of_int
+       (List.length (List.filter (fun w -> not (window_ok w)) t.closed)));
+  Metrics.set g_windows (float_of_int (List.length t.closed))
+
+let tick t ~now =
+  let gap = now -. t.cur_start in
+  if gap >= t.spec.window_s then begin
+    let behind = int_of_float (gap /. t.spec.window_s) in
+    if behind > t.spec.windows then begin
+      (* long idle stretch: closing thousands of empty windows one by one
+         buys nothing — close a ring's worth, then jump to the present *)
+      for _ = 1 to t.spec.windows do
+        close_window t
+      done;
+      let skipped =
+        float_of_int (behind - t.spec.windows) *. t.spec.window_s
+      in
+      t.cur_start <- t.cur_start +. skipped
+    end
+    else
+      for _ = 1 to behind do
+        close_window t
+      done
+  end
+
+let observe t ~now ~warm ~error ~latency_s =
+  tick t ~now;
+  t.requests <- t.requests + 1;
+  if error then t.errors <- t.errors + 1
+  else if warm then t.warm <- t.warm + 1
+  else t.cold <- t.cold + 1;
+  t.lat_count <- t.lat_count + 1;
+  t.lat_sum <- t.lat_sum +. latency_s;
+  if latency_s < t.lat_min then t.lat_min <- latency_s;
+  if latency_s > t.lat_max then t.lat_max <- latency_s;
+  let i = Metrics.bucket_of latency_s in
+  t.lat_buckets.(i) <- t.lat_buckets.(i) + 1
+
+let windows t = t.closed
+let spec t = t.spec
+
+let violated t =
+  List.length (List.filter (fun w -> not (window_ok w)) t.closed)

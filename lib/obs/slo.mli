@@ -1,0 +1,70 @@
+(** Rolling SLO windows over the serving path.
+
+    A ring of fixed-duration windows: each answered request is recorded
+    into the current window ([observe]); when the caller-supplied clock
+    crosses a boundary ([tick], or the [observe] itself) the window
+    closes, p50/p99 are estimated from per-window log2 latency buckets
+    (same geometry and {!Metrics.quantile} estimator as the registry
+    histograms), the spec is evaluated, and the verdicts are exported as
+    [slo.*] gauges:
+
+    - [slo.window_p50_us], [slo.window_p99_us], [slo.window_error_rate],
+      [slo.window_warm_ratio] — the last {e closed} window;
+    - [slo.p99_ok], [slo.warm_ratio_ok] — 1/0 verdicts for that window;
+    - [slo.error_budget_burn] — window error rate over the allowed budget
+      (>1 means the budget is burning faster than allowed);
+    - [slo.windows_violated], [slo.windows] — ring-wide counts.
+
+    Timestamps are always passed in; nothing here reads the clock. *)
+
+type spec = {
+  window_s : float;  (** window duration (default 10 s) *)
+  windows : int;  (** ring capacity of closed windows (default 12) *)
+  p99_us : float option;  (** SLO: window p99 latency at most this *)
+  warm_ratio : float option;  (** SLO: warm-hit ratio at least this *)
+  error_budget : float;
+      (** allowed per-window error rate; burn = rate / budget (default 1e-3) *)
+}
+
+val default_spec : spec
+
+type window = {
+  w_start : float;
+  w_end : float;
+  w_requests : int;
+  w_errors : int;
+  w_warm : int;
+  w_cold : int;
+  w_p50_us : float;  (** NaN when the window saw no requests *)
+  w_p99_us : float;
+  w_error_rate : float;  (** NaN when empty *)
+  w_warm_ratio : float;  (** NaN when empty *)
+  w_p99_ok : bool;  (** true when no threshold is set or it held *)
+  w_warm_ok : bool;
+}
+
+val window_ok : window -> bool
+
+type t
+
+val create : ?spec:spec -> now:float -> unit -> t
+(** Raises [Invalid_argument] on a non-positive window duration or ring
+    size. *)
+
+val observe :
+  t -> now:float -> warm:bool -> error:bool -> latency_s:float -> unit
+(** Record one answered request (rolls windows first if [now] crossed a
+    boundary).  Errors count toward the error rate; their latency is
+    still recorded. *)
+
+val tick : t -> now:float -> unit
+(** Roll past-due windows without recording anything (the serving loop
+    calls this every iteration so windows close during idle periods).  A
+    gap longer than the whole ring closes one ring of empty windows and
+    jumps to the present. *)
+
+val windows : t -> window list
+(** Closed windows, newest first, at most [spec.windows]. *)
+
+val violated : t -> int
+val spec : t -> spec

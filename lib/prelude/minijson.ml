@@ -8,8 +8,7 @@ type t =
 
 (* --- rendering ---------------------------------------------------------- *)
 
-let escape s =
-  let buf = Buffer.create (String.length s + 2) in
+let add_escaped buf s =
   String.iter
     (fun c ->
       match c with
@@ -21,7 +20,11 @@ let escape s =
       | c when Char.code c < 0x20 ->
           Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buf c)
-    s;
+    s
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  add_escaped buf s;
   Buffer.contents buf
 
 (* JSON has no literal for non-finite numbers; emitting %g's "nan"/"inf"

@@ -26,6 +26,16 @@ val render_compact : t -> string
     number and string encodings are identical to {!render}'s, so compact
     output round-trips through {!parse} just the same. *)
 
+val render_number : float -> string
+(** {!render}'s number encoding alone: integral values without an
+    exponent, [%.17g] otherwise, non-finite values as the quoted strings
+    above.  For callers that stream JSON into a buffer themselves (the
+    serving access log) and must stay byte-identical with {!render}. *)
+
+val add_escaped : Buffer.t -> string -> unit
+(** {!render}'s string-content escaping alone, appended to a buffer
+    (quotes not included). *)
+
 val parse : string -> (t, string) result
 (** Parse a complete JSON document; [Error] carries the offset and reason.
     Rejects trailing garbage. *)

@@ -1,0 +1,50 @@
+(** Structured JSONL access log for the serving loop.
+
+    One compact JSON record per answered request: [ts] (unix seconds),
+    [req_id], [key] (request digest; [""] when the request never
+    resolved to one), [source] ([warm]/[cold]/[error]), [latency_us],
+    optionally [digest] (the recommended configuration's stable id),
+    [error] (the message sent to the client), and — for cold solves
+    over the slow-query threshold — [slow: true] plus the answer's
+    Section-5 cost [attribution].
+
+    Records are buffered, not flushed per line: a per-record flush is a
+    write syscall on the warm path (~10% of the whole round-trip in the
+    A/B bench).  Each line is a single [output_string], so records
+    never tear; the serving loop calls {!maybe_flush} once per drain
+    round, which flushes at most once per second, and {!close} flushes
+    the tail — a tailing consumer sees whole records at most a second
+    late.
+
+    Every record also bumps the [serve.access_log_lines] counter, so the
+    log's write rate is itself scrapeable. *)
+
+type t
+
+val open_ : path:string -> (t, string) result
+(** Append mode; the file is created if missing. *)
+
+val log :
+  t ->
+  ts:float ->
+  req_id:string ->
+  key:string ->
+  source:string ->
+  latency_us:float ->
+  ?digest:string ->
+  ?error:string ->
+  ?attribution:Hextime_prelude.Minijson.t ->
+  unit ->
+  unit
+(** Best-effort: write failures (disk full, rotated directory) are
+    swallowed — the serving loop must not die for its log. *)
+
+val maybe_flush : t -> now:float -> unit
+(** Flush buffered records if at least a second has passed since the
+    last flush (best-effort, like {!log}). *)
+
+val path : t -> string
+val lines : t -> int
+
+val close : t -> unit
+(** Flushes buffered records, then closes. *)

@@ -8,6 +8,8 @@ module Descent = Hextime_tileopt.Descent
 module Attribution = Hextime_obs.Attribution
 module Det_hash = Hextime_prelude.Det_hash
 module Microbench = Hextime_harness.Microbench
+module Optimizer = Hextime_tileopt.Optimizer
+module Trace = Hextime_obs.Trace
 
 (* Bump whenever the recommendation a digest maps to can change meaning:
    the model, the solver's arg-min semantics, or the thread-selection rule.
@@ -56,26 +58,96 @@ let config_of_shape (shape : Space.shape) =
       | Some cfg -> Ok cfg
       | None -> Error "advisor: no valid thread count for the arg-min shape")
 
-let solve (arch : Arch.t) (problem : Problem.t) =
+let solve ?(req_id = "") (arch : Arch.t) (problem : Problem.t) =
+  (* The span carries the serving request id, so a slow cold solve in a
+     trace dump is attributable to the request that paid for it. *)
+  Trace.with_span "advisor.solve" ~cat:"serve"
+    ~args:(fun () ->
+      [
+        ("req_id", req_id);
+        ("arch", arch.Arch.name);
+        ("stencil", problem.Problem.stencil.Hextime_stencil.Stencil.name);
+      ])
+    (fun () ->
+      let params = Microbench.params arch in
+      let citer = Microbench.citer arch problem.Problem.stencil in
+      (* `Symbolic seeds the multi-start descent with Hexabs' certified
+         branch-and-bound arg-min first; descent only ever accepts strict
+         improvements and the cross-restart fold keeps the first optimum, so
+         the returned shape is exactly the certified (= exhaustive) arg-min
+         at ~1 concrete model evaluation instead of a full enumeration. *)
+      match Descent.solve ~seed_mode:`Symbolic params ~citer problem with
+      | Error e -> Error e
+      | Ok sol -> (
+          match config_of_shape sol.Descent.shape with
+          | Error e -> Error e
+          | Ok cfg -> (
+              match Model.attribution params ~citer problem cfg with
+              | Error e -> Error (Printf.sprintf "advisor: attribution: %s" e)
+              | Ok (prediction, components) ->
+                  Ok
+                    {
+                      a_config = cfg;
+                      a_talg = prediction.Model.talg;
+                      a_components = components;
+                    })))
+
+(* --- online drift auditing ------------------------------------------------- *)
+
+type audit = {
+  au_exact_talg : float;
+  au_config_talg : float;
+  au_served_talg : float;
+  au_rel_err : float;
+  au_in_band : bool;
+  au_argmin_match : bool;
+  au_feasible : int;
+}
+
+(* Re-verify a served answer against the ground truth the index is supposed
+   to cache: the exhaustive arg-min over the feasible space, recomputed with
+   the *current* model.  Two independent failure modes both land out of
+   band: a configuration that was never (or is no longer) within the
+   paper's 20% band of the arg-min, and a stale served Talg that no longer
+   matches what the model says about that same configuration. *)
+let audit ?(band_tol = 0.2) (arch : Arch.t) (problem : Problem.t)
+    ~(config : Config.t) ~(talg : float) =
   let params = Microbench.params arch in
   let citer = Microbench.citer arch problem.Problem.stencil in
-  (* `Symbolic seeds the multi-start descent with Hexabs' certified
-     branch-and-bound arg-min first; descent only ever accepts strict
-     improvements and the cross-restart fold keeps the first optimum, so
-     the returned shape is exactly the certified (= exhaustive) arg-min
-     at ~1 concrete model evaluation instead of a full enumeration. *)
-  match Descent.solve ~seed_mode:`Symbolic params ~citer problem with
-  | Error e -> Error e
-  | Ok sol -> (
-      match config_of_shape sol.Descent.shape with
-      | Error e -> Error e
-      | Ok cfg -> (
-          match Model.attribution params ~citer problem cfg with
-          | Error e -> Error (Printf.sprintf "advisor: attribution: %s" e)
-          | Ok (prediction, components) ->
-              Ok
-                {
-                  a_config = cfg;
-                  a_talg = prediction.Model.talg;
-                  a_components = components;
-                }))
+  match Optimizer.evaluate_space params ~citer problem with
+  | [] -> Error "audit: empty feasible space"
+  | evaluated ->
+      let exact = Optimizer.best evaluated in
+      let exact_talg = exact.Optimizer.prediction.Model.talg in
+      let config_talg =
+        match Model.predict params ~citer problem config with
+        | Ok p -> p.Model.talg
+        | Error _ -> Float.nan
+      in
+      let rel_err = (config_talg -. exact_talg) /. exact_talg in
+      (* NaN-safe: a rejected config (config_talg = NaN) fails both
+         comparisons and lands out of band, as it should. *)
+      let in_band =
+        config_talg <= (1.0 +. band_tol) *. exact_talg
+        && Float.abs (talg -. config_talg) <= 1e-9 *. Float.abs config_talg
+      in
+      let argmin_match =
+        (* threads excluded: Talg is thread-independent by construction,
+           so the serving thread policy is not part of the arg-min. *)
+        let best_shape = exact.Optimizer.shape in
+        match config_of_shape best_shape with
+        | Error _ -> false
+        | Ok best_cfg ->
+            config.Config.t_t = best_cfg.Config.t_t
+            && config.Config.t_s = best_cfg.Config.t_s
+      in
+      Ok
+        {
+          au_exact_talg = exact_talg;
+          au_config_talg = config_talg;
+          au_served_talg = talg;
+          au_rel_err = rel_err;
+          au_in_band = in_band;
+          au_argmin_match = argmin_match;
+          au_feasible = List.length evaluated;
+        }

@@ -35,8 +35,52 @@ val config_of_shape :
     back to 128 when the shape's structural constraints reject it). *)
 
 val solve :
+  ?req_id:string ->
   Hextime_gpu.Arch.t ->
   Hextime_stencil.Problem.t ->
   (answer, string) result
 (** Compute the recommendation from scratch (the cold path).  Returns the
-    exhaustive-sweep arg-min configuration without the exhaustive sweep. *)
+    exhaustive-sweep arg-min configuration without the exhaustive sweep.
+    When tracing is enabled the solve is wrapped in an [advisor.solve]
+    span carrying [req_id] (the serving request id), so a slow cold solve
+    is attributable to the request that paid for it. *)
+
+(** {1 Online drift auditing}
+
+    The paper's structural-accuracy claim — the optimistic model is
+    accurate on the top band and its arg-min stays in-band — validated
+    {e live} against a served answer instead of offline against a
+    baseline file. *)
+
+type audit = {
+  au_exact_talg : float;
+      (** predicted Talg of the exhaustive-sweep arg-min, recomputed now *)
+  au_config_talg : float;
+      (** the model's {e current} prediction for the served configuration
+          (NaN if the model now rejects it) *)
+  au_served_talg : float;  (** the Talg the client was told *)
+  au_rel_err : float;
+      (** relative Talg error of the served answer vs the exhaustive
+          arg-min: [(config_talg - exact_talg) / exact_talg] *)
+  au_in_band : bool;
+      (** the served configuration's current prediction is within
+          [band_tol] of the exhaustive arg-min {e and} the served Talg
+          still matches the model's prediction for it (a stale index
+          fails either way) *)
+  au_argmin_match : bool;
+      (** served tile shape equals the exhaustive arg-min's (threads
+          excluded: Talg is thread-independent by construction) *)
+  au_feasible : int;  (** feasible shapes enumerated by the audit *)
+}
+
+val audit :
+  ?band_tol:float ->
+  Hextime_gpu.Arch.t ->
+  Hextime_stencil.Problem.t ->
+  config:Hextime_tiling.Config.t ->
+  talg:float ->
+  (audit, string) result
+(** Re-verify a served answer against the exhaustive arg-min.
+    [band_tol] defaults to [0.2], the paper's Section-6 20% band (the
+    same tolerance the offline accuracy gate uses for [argmin_in_band]).
+    [Error] only when the feasible space is empty. *)

@@ -21,14 +21,22 @@ val ask :
   stencil:string ->
   space:int array ->
   time:int ->
-  (Proto.source * Index.entry * float, string) result
-(** One advisory query.  Returns the answer provenance ([Warm]/[Cold]),
-    the index entry (recommended config, predicted Talg, attribution) and
-    the server-side latency in microseconds. *)
+  (Proto.answer, string) result
+(** One advisory query.  The answer carries the provenance
+    ([Warm]/[Cold]), the index entry (recommended config, predicted Talg,
+    attribution), the server-side latency in microseconds, the server's
+    request id and the server vitals ([uptime_s], [index_entries],
+    [requests_in_flight]). *)
 
-val stats : Unix.file_descr -> (Hextime_prelude.Minijson.t, string) result
+val stats :
+  Unix.file_descr ->
+  (Hextime_prelude.Minijson.t * (string * float) list, string) result
 (** The server's metrics snapshot (counters and latency histograms with
-    p50/p90/p99). *)
+    p50/p90/p99) plus the server vitals assoc. *)
+
+val metrics : Unix.file_descr -> (string, string) result
+(** The OpenMetrics text exposition — byte-identical to what the
+    plain-HTTP [GET /metrics] endpoint serves. *)
 
 val shutdown : Unix.file_descr -> (unit, string) result
 (** Ask the server to exit after replying. *)

@@ -65,6 +65,7 @@ let read_frame fd =
 type request =
   | Ask of { arch : string; stencil : string; space : int array; time : int }
   | Stats
+  | Metrics
   | Shutdown
 
 let ints_to_json xs =
@@ -82,6 +83,7 @@ let request_to_json = function
           ("time", Minijson.Num (float_of_int time));
         ]
   | Stats -> Minijson.Obj [ ("op", Minijson.Str "stats") ]
+  | Metrics -> Minijson.Obj [ ("op", Minijson.Str "metrics") ]
   | Shutdown -> Minijson.Obj [ ("op", Minijson.Str "shutdown") ]
 
 let str name j = Option.bind (Minijson.member name j) Minijson.string
@@ -108,6 +110,7 @@ let request_of_json j =
           Ok (Ask { arch; stencil; space; time = int_of_float time })
       | _ -> Error "ask: requires arch, stencil, space, time")
   | Some "stats" -> Ok Stats
+  | Some "metrics" -> Ok Metrics
   | Some "shutdown" -> Ok Shutdown
   | Some op -> Error (Printf.sprintf "unknown op %S" op)
   | None -> Error "request has no op field"
@@ -123,13 +126,39 @@ let source_of_string = function
   | "cold" -> Some Cold
   | _ -> None
 
+type answer = {
+  source : source;
+  entry : Index.entry;
+  latency_us : float;
+  req_id : string;
+  server : (string * float) list;
+}
+
 type reply =
-  | Answer of { source : source; entry : Index.entry; latency_us : float }
-  | Stats_reply of Minijson.t
+  | Answer of answer
+  | Stats_reply of { metrics : Minijson.t; server : (string * float) list }
+  | Metrics_reply of string
   | Error_reply of string
 
+let server_to_json = function
+  | [] -> []
+  | kvs ->
+      [
+        ( "server",
+          Minijson.Obj (List.map (fun (k, v) -> (k, Minijson.Num v)) kvs) );
+      ]
+
+let server_of_json j =
+  match Minijson.member "server" j with
+  | Some (Minijson.Obj fields) ->
+      List.filter_map
+        (fun (k, v) ->
+          match Minijson.number v with Some f -> Some (k, f) | None -> None)
+        fields
+  | _ -> []
+
 let reply_to_json = function
-  | Answer { source; entry; latency_us } ->
+  | Answer { source; entry; latency_us; req_id; server } ->
       let fields =
         match Index.entry_to_json entry with
         | Minijson.Obj fs -> fs
@@ -139,10 +168,17 @@ let reply_to_json = function
         (("status", Minijson.Str "ok")
         :: ("source", Minijson.Str (source_to_string source))
         :: ("latency_us", Minijson.Num latency_us)
-        :: fields)
-  | Stats_reply metrics ->
+        :: ((if req_id = "" then []
+             else [ ("req_id", Minijson.Str req_id) ])
+           @ fields @ server_to_json server))
+  | Stats_reply { metrics; server } ->
       Minijson.Obj
-        [ ("status", Minijson.Str "ok"); ("metrics", metrics) ]
+        (("status", Minijson.Str "ok")
+        :: ("metrics", metrics)
+        :: server_to_json server)
+  | Metrics_reply text ->
+      Minijson.Obj
+        [ ("status", Minijson.Str "ok"); ("exposition", Minijson.Str text) ]
   | Error_reply msg ->
       Minijson.Obj
         [ ("status", Minijson.Str "error"); ("message", Minijson.Str msg) ]
@@ -154,16 +190,26 @@ let reply_of_json j =
         (Error_reply
            (Option.value ~default:"unknown error" (str "message" j)))
   | Some "ok" -> (
-      match Minijson.member "metrics" j with
-      | Some metrics -> Ok (Stats_reply metrics)
-      | None -> (
+      match (str "exposition" j, Minijson.member "metrics" j) with
+      | Some text, _ -> Ok (Metrics_reply text)
+      | None, Some metrics ->
+          Ok (Stats_reply { metrics; server = server_of_json j })
+      | None, None -> (
           match
             ( Option.bind (str "source" j) source_of_string,
               Index.entry_of_json j,
               Option.bind (Minijson.member "latency_us" j) Minijson.number )
           with
           | Some source, Ok entry, Some latency_us ->
-              Ok (Answer { source; entry; latency_us })
+              Ok
+                (Answer
+                   {
+                     source;
+                     entry;
+                     latency_us;
+                     req_id = Option.value ~default:"" (str "req_id" j);
+                     server = server_of_json j;
+                   })
           | _, Error e, _ -> Error e
           | _ -> Error "answer: missing source or latency_us"))
   | Some s -> Error (Printf.sprintf "unknown status %S" s)

@@ -4,10 +4,12 @@
     Each frame is a 4-byte big-endian payload length followed by one
     compact {!Hextime_prelude.Minijson} document; frames at most
     {!max_frame} bytes.  Requests are [ask] (one advisory query), [stats]
-    (the server's metrics snapshot) and [shutdown]; replies carry a
-    [status] field plus either the answer entry (with its [warm]/[cold]
-    provenance and server-side latency) or an error message.  See
-    [docs/SERVING.md] for the JSON schemas. *)
+    (the server's metrics snapshot plus server vitals), [metrics] (the
+    OpenMetrics text exposition, the same payload `GET /metrics` serves)
+    and [shutdown]; replies carry a [status] field plus either the answer
+    entry (with its [warm]/[cold] provenance, request id and server-side
+    latency) or an error message.  See [docs/SERVING.md] for the JSON
+    schemas. *)
 
 val max_frame : int
 
@@ -26,6 +28,7 @@ val read_frame :
 type request =
   | Ask of { arch : string; stencil : string; space : int array; time : int }
   | Stats
+  | Metrics
   | Shutdown
 
 val request_to_json : request -> Hextime_prelude.Minijson.t
@@ -38,9 +41,21 @@ type source = Warm | Cold
 val source_to_string : source -> string
 val source_of_string : string -> source option
 
+type answer = {
+  source : source;
+  entry : Index.entry;
+  latency_us : float;
+  req_id : string;  (** server-assigned request id; [""] when unknown *)
+  server : (string * float) list;
+      (** server vitals riding along with every answer and stats reply:
+          [uptime_s], [index_entries], [requests_in_flight] *)
+}
+
 type reply =
-  | Answer of { source : source; entry : Index.entry; latency_us : float }
-  | Stats_reply of Hextime_prelude.Minijson.t
+  | Answer of answer
+  | Stats_reply of { metrics : Hextime_prelude.Minijson.t;
+                     server : (string * float) list }
+  | Metrics_reply of string  (** OpenMetrics text exposition *)
   | Error_reply of string
 
 val reply_to_json : reply -> Hextime_prelude.Minijson.t

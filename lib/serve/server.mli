@@ -8,16 +8,42 @@
     round are solved as {e one} pool batch ({!Advisor.solve} per unique
     digest), written back into the in-memory index, persisted atomically
     to [index_path] and only then answered — so the next ask for any of
-    them is warm.  Telemetry (counters [serve.requests],
-    [serve.warm_hits], [serve.cold_misses], [serve.errors]; latency
-    histograms [serve.warm_seconds], [serve.cold_seconds]) flows through
-    {!Hextime_obs.Metrics} and is visible via the [stats] request. *)
+    them is warm.
+
+    {b hexpulse} — the serving telemetry stack layered on
+    {!Hextime_obs.Metrics}:
+
+    - counters [serve.requests], [serve.warm_hits], [serve.cold_misses],
+      [serve.errors], [serve.audits], [serve.audits_out_of_band],
+      [serve.http_scrapes], [serve.access_log_lines]; latency histograms
+      [serve.warm_seconds], [serve.cold_seconds];
+    - vitals gauges [serve.uptime_s], [serve.index_entries],
+      [serve.requests_in_flight] (also riding along in every answer and
+      stats reply), scrape-time quantile gauges [serve.warm_p50_us],
+      [serve.warm_p99_us];
+    - rolling SLO windows ({!Hextime_obs.Slo}, [slo.*] gauges) fed by
+      every answered request and ticked each loop iteration;
+    - the drift monitor: sampled served answers re-verified against the
+      exhaustive arg-min ({!Advisor.audit}) off the request path, each
+      verdict appended as an [audit] ledger record and folded into
+      [serve.audit_inband_ratio]; [serve.drift_alarm] latches to 1 while
+      the rolling in-band ratio is below [drift_min_ratio].
+
+    Everything is visible three ways: the [stats] frame (JSON snapshot),
+    the [metrics] frame and plain-HTTP [GET /metrics] on [http_port]
+    (both the same {!Hextime_obs.Openmetrics} text exposition), and the
+    structured JSONL access log ({!Access_log}) with per-request ids and
+    slow-cold-solve attribution dumps. *)
 
 type summary = {
   requests : int;  (** ask requests answered (warm + cold + rejected) *)
   warm_hits : int;
   cold_misses : int;
   errors : int;
+  audits : int;  (** drift audits executed *)
+  audits_out_of_band : int;  (** audits whose answer fell out of band *)
+  drift_alarm : bool;  (** alarm state at shutdown *)
+  scrapes : int;  (** HTTP [GET /metrics] requests served *)
 }
 
 val run :
@@ -25,6 +51,15 @@ val run :
   ?exec:Hextime_parsweep.Parsweep.exec ->
   ?max_requests:int ->
   ?on_ready:(unit -> unit) ->
+  ?http_port:int ->
+  ?on_http_port:(int -> unit) ->
+  ?access_log_path:string ->
+  ?slow_us:float ->
+  ?slo:Hextime_obs.Slo.spec ->
+  ?audit_rate:int ->
+  ?audit_cold:bool ->
+  ?drift_min_ratio:float ->
+  ?ledger_path:string ->
   socket_path:string ->
   unit ->
   summary
@@ -32,8 +67,20 @@ val run :
     requests have been answered.  [index_path] is loaded if it exists
     (stale or malformed indexes are discarded with a warning) and is the
     write-back target for cold-miss answers; without it the index lives
-    only in memory.  [exec] drives the cold-path batch (default
-    {!Hextime_parsweep.Parsweep.serial} — callers that spawned domains
-    must not use the fork backend).  [on_ready] fires after the socket is
-    bound and listening, before the first accept: tests use it to release
-    clients.  The socket file is unlinked on exit. *)
+    only in memory.  [exec] drives the cold-path batch and the audit
+    batches (default {!Hextime_parsweep.Parsweep.serial} — callers that
+    spawned domains must not use the fork backend).  [on_ready] fires
+    after the sockets are bound and listening, before the first accept:
+    tests use it to release clients.  The socket file is unlinked on
+    exit.
+
+    hexpulse knobs: [http_port] additionally binds a loopback TCP socket
+    answering [GET /metrics] ([0] picks an ephemeral port, reported via
+    [on_http_port]).  [access_log_path] appends one JSONL record per
+    answered request; a cold solve slower than [slow_us] (default: never)
+    logs its Section-5 attribution alongside.  [slo] configures the
+    rolling windows (default {!Hextime_obs.Slo.default_spec}).
+    [audit_rate] [> 0] re-verifies every Nth warm answer against the
+    exhaustive arg-min; [audit_cold] also audits every cold solve.
+    Verdicts append [audit] records to [ledger_path] and drive
+    [serve.drift_alarm] against [drift_min_ratio] (default [0.99]). *)

@@ -584,11 +584,7 @@ let test_histogram_quantiles () =
   match List.assoc_opt "test.obs.quantiles" snap.Metrics.snap_histograms with
   | None -> Alcotest.fail "histogram missing from snapshot"
   | Some hs ->
-      let q p =
-        match Metrics.quantile hs p with
-        | Some v -> v
-        | None -> Alcotest.failf "quantile %g returned None" p
-      in
+      let q p = Metrics.quantile hs p in
       Alcotest.(check (float 0.0)) "q=0 is exactly the min" 1.5 (q 0.0);
       Alcotest.(check (float 0.0)) "q=1 is exactly the max" 1000.0 (q 1.0);
       (* 1.5 lands in bucket [1,2): the estimate must not leave it *)
@@ -610,9 +606,10 @@ let test_histogram_quantiles () =
           hs_buckets = [ (66, 1) ];
         }
       in
-      Alcotest.(check (option (float 0.0))) "singleton p50" (Some 3.0)
+      Alcotest.(check (float 0.0)) "singleton p50" 3.0
         (Metrics.quantile one 0.5);
-      (* degenerate inputs answer None, never crash *)
+      (* degenerate inputs answer NaN — consistently, never a crash and
+         never an infinity leaked from the min/max sentinels *)
       let empty =
         {
           Metrics.hs_count = 0;
@@ -622,12 +619,18 @@ let test_histogram_quantiles () =
           hs_buckets = [];
         }
       in
-      Alcotest.(check (option (float 0.0))) "empty histogram" None
-        (Metrics.quantile empty 0.5);
-      Alcotest.(check (option (float 0.0))) "q out of range" None
-        (Metrics.quantile hs 1.5);
-      Alcotest.(check (option (float 0.0))) "q NaN" None
-        (Metrics.quantile hs Float.nan)
+      Alcotest.(check bool) "empty histogram is NaN" true
+        (Float.is_nan (Metrics.quantile empty 0.5));
+      Alcotest.(check bool) "empty histogram q=0 is NaN too" true
+        (Float.is_nan (Metrics.quantile empty 0.0));
+      Alcotest.(check bool) "q out of range is NaN" true
+        (Float.is_nan (Metrics.quantile hs 1.5));
+      Alcotest.(check bool) "q NaN is NaN" true
+        (Float.is_nan (Metrics.quantile hs Float.nan));
+      (* and the JSON rendering of an empty histogram's quantiles is the
+         deterministic string NaN, not a crash or a bare token *)
+      let json = Minijson.render_compact (Minijson.Num (Metrics.quantile empty 0.5)) in
+      Alcotest.(check string) "NaN renders as a string" "\"NaN\"" json
 
 let test_quantiles_in_snapshot_json () =
   let h = Metrics.histogram "test.obs.quantjson" in
@@ -650,6 +653,239 @@ let test_quantiles_in_snapshot_json () =
                 (v >= 0.001 && v <= 0.004)
           | None -> Alcotest.failf "%s missing from histogram JSON" label)
         Metrics.quantiles
+
+(* --- OpenMetrics exposition (hexpulse) -------------------------------------- *)
+
+module Openmetrics = Obs.Openmetrics
+
+(* The full text a scraper sees for a known snapshot, byte for byte:
+   counters with _total, gauges verbatim, log2 histogram re-rendered as
+   cumulative le buckets closed by +Inf, # EOF terminator, dots and dashes
+   sanitized to underscores. *)
+let test_openmetrics_golden () =
+  let hist =
+    {
+      Metrics.hs_count = 3;
+      hs_sum = 0.75;
+      hs_min = 0.1;
+      hs_max = 0.4;
+      hs_buckets = [ (Metrics.bucket_of 0.1, 2); (Metrics.bucket_of 0.4, 1) ];
+    }
+  in
+  let snap =
+    {
+      Metrics.snap_counters = [ ("serve.requests", 3) ];
+      snap_gauges = [ ("serve.drift_alarm", 0.0); ("weird-name.g", 1.5) ];
+      snap_histograms = [ ("serve.warm_seconds", hist) ];
+    }
+  in
+  let expected =
+    "# TYPE serve_requests counter\n" ^ "serve_requests_total 3\n"
+    ^ "# TYPE serve_drift_alarm gauge\n" ^ "serve_drift_alarm 0\n"
+    ^ "# TYPE weird_name_g gauge\n" ^ "weird_name_g 1.5\n"
+    ^ "# TYPE serve_warm_seconds histogram\n"
+    ^ "serve_warm_seconds_bucket{le=\"0.125\"} 2\n"
+    ^ "serve_warm_seconds_bucket{le=\"0.5\"} 3\n"
+    ^ "serve_warm_seconds_bucket{le=\"+Inf\"} 3\n"
+    ^ "serve_warm_seconds_sum 0.75\n" ^ "serve_warm_seconds_count 3\n"
+    ^ "# EOF\n"
+  in
+  let rendered = Openmetrics.render snap in
+  Alcotest.(check string) "golden exposition" expected rendered;
+  match
+    Openmetrics.validate
+      ~require:[ "serve_requests"; "serve_drift_alarm"; "serve_warm_seconds" ]
+      rendered
+  with
+  | Error e -> Alcotest.fail e
+  | Ok { Openmetrics.families; samples } ->
+      Alcotest.(check int) "families" 4 families;
+      Alcotest.(check int) "samples" 8 samples
+
+let test_openmetrics_label_escaping () =
+  let nasty = "a\\b\"c\nd" in
+  Alcotest.(check string) "escapes" "a\\\\b\\\"c\\nd"
+    (Openmetrics.escape_label_value nasty);
+  let text =
+    "# TYPE x gauge\nx{path=\""
+    ^ Openmetrics.escape_label_value nasty
+    ^ "\"} 1\n# EOF\n"
+  in
+  match Openmetrics.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok families -> (
+      match Openmetrics.find families "x" with
+      | None -> Alcotest.fail "family x missing"
+      | Some f -> (
+          match f.Openmetrics.f_samples with
+          | [ s ] ->
+              Alcotest.(check (list (pair string string)))
+                "round-trips through the escapes"
+                [ ("path", nasty) ]
+                s.Openmetrics.s_labels
+          | _ -> Alcotest.fail "expected exactly one sample"))
+
+(* A live registry histogram survives the render -> parse -> validate
+   round-trip, and the parsed cumulative series agrees with the registry's
+   own counts. *)
+let test_openmetrics_registry_roundtrip () =
+  let h = Metrics.histogram "test.obs.omh" in
+  List.iter (Metrics.observe h) [ 0.001; 0.002; 0.004; 0.1; 100.0 ];
+  let text = Openmetrics.render (Metrics.snapshot ()) in
+  (match Openmetrics.validate text with
+  | Error e -> Alcotest.fail e
+  | Ok _ -> ());
+  match Openmetrics.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok families -> (
+      Alcotest.(check (option (float 0.0)))
+        "count sample" (Some 5.0)
+        (Openmetrics.value families "test_obs_omh_count");
+      Alcotest.(check bool) "sum sample close" true
+        (match Openmetrics.value families "test_obs_omh_sum" with
+        | Some s -> Float.abs (s -. 100.107) < 1e-9
+        | None -> false);
+      match Openmetrics.find families "test_obs_omh" with
+      | None -> Alcotest.fail "histogram family missing"
+      | Some f ->
+          let inf_bucket =
+            List.find_opt
+              (fun s ->
+                s.Openmetrics.s_name = "test_obs_omh_bucket"
+                && s.Openmetrics.s_labels = [ ("le", "+Inf") ])
+              f.Openmetrics.f_samples
+          in
+          Alcotest.(check (option (float 0.0)))
+            "+Inf bucket equals count" (Some 5.0)
+            (Option.map (fun s -> s.Openmetrics.s_value) inf_bucket))
+
+let test_openmetrics_rejects_malformed () =
+  let broken what text =
+    match Openmetrics.validate text with
+    | Ok _ -> Alcotest.failf "%s passed validation" what
+    | Error _ -> ()
+  in
+  broken "non-cumulative buckets"
+    ("# TYPE h histogram\n" ^ "h_bucket{le=\"1\"} 5\n"
+   ^ "h_bucket{le=\"2\"} 3\n" ^ "h_bucket{le=\"+Inf\"} 5\n" ^ "h_sum 1\n"
+   ^ "h_count 5\n# EOF\n");
+  broken "no +Inf closing bucket"
+    ("# TYPE h histogram\n" ^ "h_bucket{le=\"1\"} 5\n" ^ "h_sum 1\n"
+   ^ "h_count 5\n# EOF\n");
+  broken "+Inf disagrees with count"
+    ("# TYPE h histogram\n" ^ "h_bucket{le=\"+Inf\"} 4\n" ^ "h_sum 1\n"
+   ^ "h_count 5\n# EOF\n");
+  broken "negative counter"
+    "# TYPE c counter\nc_total -1\n# EOF\n";
+  broken "sample before any TYPE" "orphan 1\n# EOF\n";
+  match Openmetrics.validate ~require:[ "absent_family" ] "# EOF\n" with
+  | Ok _ -> Alcotest.fail "missing required family passed"
+  | Error msg ->
+      let contains ~needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) "names the missing family" true
+        (contains ~needle:"absent_family" msg)
+
+(* --- rolling SLO windows (hexpulse) ------------------------------------------ *)
+
+let test_slo_windows_roll_and_judge () =
+  let spec =
+    {
+      Obs.Slo.window_s = 10.0;
+      windows = 4;
+      p99_us = Some 500.0;
+      warm_ratio = Some 0.5;
+      error_budget = 0.01;
+    }
+  in
+  let t = Obs.Slo.create ~spec ~now:0.0 () in
+  (* window [0,10): 4 warm fast answers, 1 cold fast, 1 error *)
+  for i = 1 to 4 do
+    Obs.Slo.observe t ~now:(float_of_int i) ~warm:true ~error:false
+      ~latency_s:100e-6
+  done;
+  Obs.Slo.observe t ~now:5.0 ~warm:false ~error:false ~latency_s:200e-6;
+  Obs.Slo.observe t ~now:6.0 ~warm:false ~error:true ~latency_s:0.01;
+  Alcotest.(check int) "nothing closed yet" 0 (List.length (Obs.Slo.windows t));
+  (* crossing the boundary closes [0,10) *)
+  Obs.Slo.tick t ~now:10.5;
+  (match Obs.Slo.windows t with
+  | [ w ] ->
+      Alcotest.(check int) "requests" 6 w.Obs.Slo.w_requests;
+      Alcotest.(check int) "errors" 1 w.Obs.Slo.w_errors;
+      Alcotest.(check int) "warm" 4 w.Obs.Slo.w_warm;
+      Alcotest.(check int) "cold" 1 w.Obs.Slo.w_cold;
+      Alcotest.(check (float 0.0)) "window bounds" 0.0 w.Obs.Slo.w_start;
+      Alcotest.(check (float 0.0)) "window end" 10.0 w.Obs.Slo.w_end;
+      (* p50 over {100us x4, 200us, 10ms}: rank answer stays in the 100us
+         dense bucket region, far under the 500us objective; p99 reaches
+         the 10ms outlier and violates it *)
+      Alcotest.(check bool) "p50 below objective" true
+        (w.Obs.Slo.w_p50_us < 500.0);
+      Alcotest.(check bool) "p99 above objective" true
+        (w.Obs.Slo.w_p99_us > 500.0);
+      Alcotest.(check bool) "p99 verdict: violated" false w.Obs.Slo.w_p99_ok;
+      (* warm ratio 4/6 >= 0.5 holds *)
+      Alcotest.(check bool) "warm verdict: ok" true w.Obs.Slo.w_warm_ok;
+      Alcotest.(check bool) "window_ok is the conjunction" false
+        (Obs.Slo.window_ok w)
+  | ws -> Alcotest.failf "expected 1 closed window, got %d" (List.length ws));
+  Alcotest.(check int) "violated count" 1 (Obs.Slo.violated t);
+  (* the verdict gauges describe the closed window *)
+  let snap = Metrics.snapshot () in
+  let gauge name = List.assoc_opt name snap.Metrics.snap_gauges in
+  Alcotest.(check (option (float 0.0))) "p99_ok gauge" (Some 0.0)
+    (gauge "slo.p99_ok");
+  Alcotest.(check (option (float 0.0))) "warm_ok gauge" (Some 1.0)
+    (gauge "slo.warm_ratio_ok");
+  (* error rate 1/6 over budget 0.01 burns at ~16.7x *)
+  (match gauge "slo.error_budget_burn" with
+  | None -> Alcotest.fail "burn gauge missing"
+  | Some burn ->
+      Alcotest.(check bool) "budget burning" true
+        (burn > 16.0 && burn < 17.0));
+  (* an idle stretch longer than the whole ring: closes a ring of empty
+     windows (NaN quantiles, no violations) and jumps to the present *)
+  Obs.Slo.tick t ~now:1000.0;
+  let ws = Obs.Slo.windows t in
+  Alcotest.(check int) "ring is full" 4 (List.length ws);
+  (match ws with
+  | w :: _ ->
+      Alcotest.(check int) "latest window is empty" 0 w.Obs.Slo.w_requests;
+      Alcotest.(check bool) "empty p99 is NaN" true
+        (Float.is_nan w.Obs.Slo.w_p99_us);
+      Alcotest.(check bool) "empty window violates nothing" true
+        (Obs.Slo.window_ok w)
+  | [] -> Alcotest.fail "ring empty after idle tick");
+  (* the pre-idle violated window has rolled out of the ring *)
+  Alcotest.(check int) "violations aged out" 0 (Obs.Slo.violated t);
+  (* observations after the jump land in a window anchored at the present *)
+  Obs.Slo.observe t ~now:1001.0 ~warm:true ~error:false ~latency_s:50e-6;
+  Obs.Slo.tick t ~now:1011.0;
+  match Obs.Slo.windows t with
+  | w :: _ ->
+      Alcotest.(check int) "post-jump window caught it" 1
+        w.Obs.Slo.w_requests
+  | [] -> Alcotest.fail "no window after the jump"
+
+let test_slo_create_validates () =
+  (match
+     Obs.Slo.create
+       ~spec:{ Obs.Slo.default_spec with Obs.Slo.window_s = 0.0 }
+       ~now:0.0 ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "window_s = 0 accepted");
+  match
+    Obs.Slo.create
+      ~spec:{ Obs.Slo.default_spec with Obs.Slo.windows = 0 }
+      ~now:0.0 ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "windows = 0 accepted"
 
 let suite =
   [
@@ -689,4 +925,15 @@ let suite =
       test_sweep_identical_with_progress;
     Alcotest.test_case "first heartbeat tick stays finite" `Quick
       test_progress_first_tick_is_finite;
+    Alcotest.test_case "openmetrics golden exposition" `Quick
+      test_openmetrics_golden;
+    Alcotest.test_case "openmetrics label escaping" `Quick
+      test_openmetrics_label_escaping;
+    Alcotest.test_case "openmetrics registry round-trip" `Quick
+      test_openmetrics_registry_roundtrip;
+    Alcotest.test_case "openmetrics rejects malformed" `Quick
+      test_openmetrics_rejects_malformed;
+    Alcotest.test_case "slo windows roll and judge" `Quick
+      test_slo_windows_roll_and_judge;
+    Alcotest.test_case "slo create validates" `Quick test_slo_create_validates;
   ]

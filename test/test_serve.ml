@@ -65,6 +65,7 @@ let test_proto_roundtrip () =
       Proto.Ask
         { arch = "gtx980"; stencil = "heat2d"; space = [| 512; 512 |]; time = 128 };
       Proto.Stats;
+      Proto.Metrics;
       Proto.Shutdown;
     ]
   in
@@ -80,16 +81,32 @@ let test_proto_roundtrip () =
       | Ok None -> Alcotest.fail "unexpected end of stream"
       | Error e -> Alcotest.fail e)
     requests;
-  (* a reply carrying a real index entry round-trips field-for-field *)
+  (* a reply carrying a real index entry round-trips field-for-field,
+     including the hexpulse extras (request id, server vitals) *)
   let entry = entry_of (List.hd (H.Experiments.all H.Experiments.Ci)) in
-  let reply = Proto.Answer { source = Proto.Warm; entry; latency_us = 12.5 } in
+  let vitals =
+    [ ("uptime_s", 12.25); ("index_entries", 3.0); ("requests_in_flight", 1.0) ]
+  in
+  let reply =
+    Proto.Answer
+      {
+        source = Proto.Warm;
+        entry;
+        latency_us = 12.5;
+        req_id = "r000042";
+        server = vitals;
+      }
+  in
   Proto.write_frame a (Proto.reply_to_json reply);
   (match Proto.read_frame b with
   | Ok (Some json) -> (
       match Proto.reply_of_json json with
-      | Ok (Proto.Answer { source; entry = e'; latency_us }) ->
+      | Ok (Proto.Answer { source; entry = e'; latency_us; req_id; server }) ->
           Alcotest.(check bool) "source" true (source = Proto.Warm);
           Alcotest.(check (float 0.0)) "latency" 12.5 latency_us;
+          Alcotest.(check string) "req_id" "r000042" req_id;
+          Alcotest.(check (list (pair string (float 0.0)))) "server vitals"
+            vitals server;
           Alcotest.(check string) "key" entry.Index.e_key e'.Index.e_key;
           Alcotest.(check bool) "config" true
             (config_equal entry.Index.e_config e'.Index.e_config);
@@ -99,6 +116,32 @@ let test_proto_roundtrip () =
       | Error e -> Alcotest.fail e)
   | Ok None -> Alcotest.fail "unexpected end of stream"
   | Error e -> Alcotest.fail e);
+  (* the stats reply keeps its vitals, the metrics reply its exposition *)
+  Proto.write_frame a
+    (Proto.reply_to_json
+       (Proto.Stats_reply
+          { metrics = Minijson.Obj [ ("x", Minijson.Num 1.0) ]; server = vitals }));
+  (match Proto.read_frame b with
+  | Ok (Some json) -> (
+      match Proto.reply_of_json json with
+      | Ok (Proto.Stats_reply { metrics; server }) ->
+          Alcotest.(check bool) "stats metrics kept" true
+            (Minijson.member "x" metrics <> None);
+          Alcotest.(check (list (pair string (float 0.0))))
+            "stats vitals kept" vitals server
+      | Ok _ -> Alcotest.fail "stats reply decoded to the wrong arm"
+      | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "stats reply lost");
+  let exposition = "# TYPE a counter\na_total 1\n# EOF\n" in
+  Proto.write_frame a (Proto.reply_to_json (Proto.Metrics_reply exposition));
+  (match Proto.read_frame b with
+  | Ok (Some json) -> (
+      match Proto.reply_of_json json with
+      | Ok (Proto.Metrics_reply text) ->
+          Alcotest.(check string) "exposition byte-identical" exposition text
+      | Ok _ -> Alcotest.fail "metrics reply decoded to the wrong arm"
+      | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "metrics reply lost");
   (* closing the writer is a clean EOF on the reader, not an error *)
   Unix.close a;
   match Proto.read_frame b with
@@ -221,18 +264,27 @@ let test_serve_cold_warm_writeback_and_concurrency () =
   let fd = connect socket_path in
   let cold_entry =
     match ask fd e0 with
-    | Ok (Proto.Cold, entry, _) -> entry
-    | Ok (Proto.Warm, _, _) ->
+    | Ok { Proto.source = Proto.Cold; entry; req_id; server; _ } ->
+        Alcotest.(check bool) "answers carry a request id" true (req_id <> "");
+        Alcotest.(check bool) "answers carry server vitals" true
+          (List.mem_assoc "uptime_s" server
+          && List.mem_assoc "index_entries" server
+          && List.mem_assoc "requests_in_flight" server);
+        entry
+    | Ok { Proto.source = Proto.Warm; _ } ->
         Alcotest.fail "first ask answered warm from an empty index"
     | Error msg -> Alcotest.failf "first ask failed: %s" msg
   in
   (* same connection, same question: warm now, same answer *)
   (match ask fd e0 with
-  | Ok (Proto.Warm, entry, _) ->
+  | Ok { Proto.source = Proto.Warm; entry; server; _ } ->
       Alcotest.(check bool) "warm answer identical to the cold one" true
         (config_equal cold_entry.Index.e_config entry.Index.e_config
-        && cold_entry.Index.e_talg = entry.Index.e_talg)
-  | Ok (Proto.Cold, _, _) -> Alcotest.fail "repeat ask missed the index"
+        && cold_entry.Index.e_talg = entry.Index.e_talg);
+      Alcotest.(check bool) "index_entries vital counts the write-back" true
+        (List.assoc "index_entries" server >= 1.0)
+  | Ok { Proto.source = Proto.Cold; _ } ->
+      Alcotest.fail "repeat ask missed the index"
   | Error msg -> Alcotest.failf "repeat ask failed: %s" msg);
   (* a malformed ask is an error reply, not a dead server *)
   (match
@@ -261,7 +313,7 @@ let test_serve_cold_warm_writeback_and_concurrency () =
     (fun e reply ->
       let expected = entry_of e in
       match reply with
-      | Ok ((_ : Proto.source), entry, _) ->
+      | Ok { Proto.entry; _ } ->
           Alcotest.(check bool)
             (H.Experiments.id e ^ ": served = in-process advisor")
             true
@@ -295,16 +347,368 @@ let test_serve_cold_warm_writeback_and_concurrency () =
   in
   let fd = connect socket_path in
   (match ask fd e0 with
-  | Ok (Proto.Warm, entry, _) ->
+  | Ok { Proto.source = Proto.Warm; entry; _ } ->
       Alcotest.(check bool) "reloaded answer identical" true
         (config_equal cold_entry.Index.e_config entry.Index.e_config)
-  | Ok (Proto.Cold, _, _) -> Alcotest.fail "persisted index not used"
+  | Ok { Proto.source = Proto.Cold; _ } ->
+      Alcotest.fail "persisted index not used"
   | Error msg -> Alcotest.failf "ask against reloaded index failed: %s" msg);
   Client.close fd;
   let summary2 = Domain.join srv2 in
   Sys.remove index_path;
   Alcotest.(check int) "second server answered warm" 1
     summary2.Server.warm_hits
+
+(* --- hexpulse: scrape endpoint, access log, drift monitor ------------------- *)
+
+module Metrics = Hextime_obs.Metrics
+module Openmetrics = Hextime_obs.Openmetrics
+module Ledger = Hextime_obs.Ledger
+
+(* Raw-TCP GET, same approach as `hextime metrics-verify --port`: the CI
+   image has no curl, and the endpoint speaks just enough HTTP for this. *)
+let http_get ~port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () ->
+      try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req =
+    Printf.sprintf "GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+      path
+  in
+  let (_ : int) = Unix.write_substring fd req 0 (String.length req) in
+  let buf = Buffer.create 8192 in
+  let chunk = Bytes.create 8192 in
+  let rec drain () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+  in
+  drain ();
+  Buffer.contents buf
+
+let split_http response =
+  let sep = "\r\n\r\n" in
+  let slen = String.length sep in
+  let rec find i =
+    if i + slen > String.length response then None
+    else if String.sub response i slen = sep then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> Alcotest.failf "no header/body break in %S" response
+  | Some i ->
+      ( String.sub response 0 i,
+        String.sub response (i + slen) (String.length response - i - slen) )
+
+(* The metrics frame and GET /metrics serve a valid exposition whose
+   [serve_warm_p50_us] gauge equals [Metrics.quantile] over the registry's
+   own warm histogram — the server runs in a domain of this process, so
+   both sides read the same registry. *)
+let test_http_scrape_and_quantile_roundtrip () =
+  let socket_path = fresh_path ".sock" in
+  let e0 = List.hd (H.Experiments.all H.Experiments.Ci) in
+  let http_port = Atomic.make 0 in
+  let srv =
+    Domain.spawn (fun () ->
+        Server.run ~exec:Parsweep.serial ~http_port:0
+          ~on_http_port:(fun p -> Atomic.set http_port p)
+          ~socket_path ())
+  in
+  let fd = connect socket_path in
+  (match ask fd e0 with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "cold ask failed: %s" m);
+  for _ = 1 to 4 do
+    match ask fd e0 with
+    | Ok { Proto.source = Proto.Warm; _ } -> ()
+    | Ok _ -> Alcotest.fail "repeat ask missed the index"
+    | Error m -> Alcotest.failf "warm ask failed: %s" m
+  done;
+  let frame_text =
+    match Client.metrics fd with Ok t -> t | Error m -> Alcotest.fail m
+  in
+  let rec wait_port tries =
+    let p = Atomic.get http_port in
+    if p > 0 then p
+    else if tries = 0 then Alcotest.fail "http port never reported"
+    else (
+      Unix.sleepf 0.01;
+      wait_port (tries - 1))
+  in
+  let port = wait_port 500 in
+  let headers, body = split_http (http_get ~port "/metrics") in
+  Alcotest.(check bool) "scrape is 200" true
+    (Test_util.contains headers "200 OK");
+  Alcotest.(check bool) "openmetrics content type" true
+    (Test_util.contains headers "application/openmetrics-text");
+  let miss = http_get ~port "/nope" in
+  Alcotest.(check bool) "unknown path is 404" true
+    (Test_util.contains miss "404");
+  let fd2 = connect socket_path in
+  (match Client.shutdown fd2 with Ok () -> () | Error m -> Alcotest.fail m);
+  Client.close fd2;
+  Client.close fd;
+  let summary = Domain.join srv in
+  Alcotest.(check bool) "scrapes counted (404s excluded)" true
+    (summary.Server.scrapes = 1);
+  (* both expositions validate, with every family metrics-verify requires *)
+  let require =
+    [
+      "serve_requests";
+      "serve_warm_hits";
+      "serve_cold_misses";
+      "serve_errors";
+      "serve_warm_seconds";
+      "serve_cold_seconds";
+      "serve_uptime_s";
+      "serve_index_entries";
+      "serve_drift_alarm";
+    ]
+  in
+  List.iter
+    (fun (what, text) ->
+      match Openmetrics.validate ~require text with
+      | Ok (s : Openmetrics.summary) ->
+          Alcotest.(check bool)
+            (what ^ ": non-trivial exposition")
+            true
+            (s.Openmetrics.families >= List.length require)
+      | Error m -> Alcotest.failf "%s: %s" what m)
+    [ ("frame", frame_text); ("http", body) ];
+  (* the round-trip: scraped p50 == quantile over the same histogram *)
+  let families =
+    match Openmetrics.parse body with
+    | Ok f -> f
+    | Error m -> Alcotest.fail m
+  in
+  let scraped =
+    match Openmetrics.value families "serve_warm_p50_us" with
+    | Some v -> v
+    | None -> Alcotest.fail "no serve_warm_p50_us in the scrape"
+  in
+  let hist =
+    match
+      List.assoc_opt "serve.warm_seconds"
+        (Metrics.snapshot ()).Metrics.snap_histograms
+    with
+    | Some hs -> hs
+    | None -> Alcotest.fail "warm histogram missing from the registry"
+  in
+  Alcotest.(check (float 0.0))
+    "scraped p50 == Metrics.quantile (exact: %.17g round-trips)"
+    (Metrics.quantile hist 0.5 *. 1e6)
+    scraped;
+  Alcotest.(check bool) "drift alarm gauge clean" true
+    (List.assoc_opt "serve.drift_alarm"
+       (Metrics.snapshot ()).Metrics.snap_gauges
+    = Some 0.0)
+
+let test_access_log_and_slow_attribution () =
+  let socket_path = fresh_path ".sock" in
+  let log_path = fresh_path ".jsonl" in
+  let e0 = List.hd (H.Experiments.all H.Experiments.Ci) in
+  let srv =
+    Domain.spawn (fun () ->
+        Server.run ~exec:Parsweep.serial ~access_log_path:log_path
+          ~slow_us:0.0 ~socket_path ())
+  in
+  let fd = connect socket_path in
+  (match ask fd e0 with
+  | Ok { Proto.source = Proto.Cold; _ } -> ()
+  | Ok _ -> Alcotest.fail "first ask should be cold"
+  | Error m -> Alcotest.fail m);
+  (match ask fd e0 with
+  | Ok { Proto.source = Proto.Warm; _ } -> ()
+  | Ok _ -> Alcotest.fail "second ask should be warm"
+  | Error m -> Alcotest.fail m);
+  (match
+     Client.ask fd ~arch:"gtx980" ~stencil:"no-such-stencil"
+       ~space:[| 64; 64 |] ~time:8
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown stencil answered");
+  (match Client.shutdown fd with Ok () -> () | Error m -> Alcotest.fail m);
+  Client.close fd;
+  let (_ : Server.summary) = Domain.join srv in
+  let ic = open_in log_path in
+  let rec lines acc =
+    match input_line ic with
+    | line -> lines (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let records =
+    let ls = lines [] in
+    close_in ic;
+    List.map
+      (fun l ->
+        match Minijson.parse l with
+        | Ok j -> j
+        | Error m -> Alcotest.failf "unparseable access-log line %S: %s" l m)
+      ls
+  in
+  Sys.remove log_path;
+  Alcotest.(check int) "one record per answered request" 3
+    (List.length records);
+  let source_of r =
+    match Minijson.member "source" r with
+    | Some (Minijson.Str s) -> s
+    | _ -> Alcotest.fail "access-log record without a source"
+  in
+  List.iter
+    (fun r ->
+      (match Minijson.member "req_id" r with
+      | Some (Minijson.Str id) ->
+          Alcotest.(check bool) "req_id non-empty" true (id <> "")
+      | _ -> Alcotest.fail "access-log record without a req_id");
+      match Minijson.member "latency_us" r with
+      | Some (Minijson.Num _) -> ()
+      | _ -> Alcotest.fail "access-log record without a latency")
+    records;
+  Alcotest.(check (list string)) "sources in request order"
+    [ "cold"; "warm"; "error" ] (List.map source_of records);
+  (* slow_us = 0 makes every cold solve a slow query: the cold record must
+     carry the flag and the Section-5 attribution dump *)
+  let cold = List.hd records in
+  Alcotest.(check bool) "cold record flagged slow" true
+    (Minijson.member "slow" cold = Some (Minijson.Bool true));
+  (match Minijson.member "attribution" cold with
+  | Some (Minijson.Obj fields) ->
+      Alcotest.(check bool) "attribution names compute" true
+        (List.mem_assoc "compute" fields)
+  | _ -> Alcotest.fail "slow cold record without attribution");
+  let error_r = List.nth records 2 in
+  match Minijson.member "error" error_r with
+  | Some (Minijson.Str msg) ->
+      Alcotest.(check bool) "error record names the stencil" true
+        (Test_util.contains msg "no-such-stencil")
+  | _ -> Alcotest.fail "error record without an error field"
+
+(* The drift monitor.  A clean index audits in-band and the alarm stays
+   down; an index whose served Talg was perturbed away from the model's
+   prediction trips the alarm, counts out-of-band audits and writes audit
+   ledger records. *)
+let run_audited ~index_path ~ledger_path ~asks =
+  let socket_path = fresh_path ".sock" in
+  let srv =
+    Domain.spawn (fun () ->
+        Server.run ~index_path ~exec:Parsweep.serial ~audit_rate:1
+          ~ledger_path ~socket_path ())
+  in
+  let fd = connect socket_path in
+  List.iter
+    (fun e ->
+      match ask fd e with
+      | Ok { Proto.source = Proto.Warm; _ } -> ()
+      | Ok _ -> Alcotest.fail "audited ask missed the prebuilt index"
+      | Error m -> Alcotest.failf "audited ask failed: %s" m)
+    asks;
+  (match Client.shutdown fd with Ok () -> () | Error m -> Alcotest.fail m);
+  Client.close fd;
+  Domain.join srv
+
+let audit_records ~ledger_path =
+  match Ledger.load ~path:ledger_path with
+  | Error m -> Alcotest.fail m
+  | Ok loaded ->
+      Alcotest.(check int) "ledger intact" 0 loaded.Ledger.corrupt_lines;
+      Ledger.filter ~kind:"audit" loaded.Ledger.entries
+
+let test_drift_monitor_clean_and_injected () =
+  let experiments = H.Experiments.all H.Experiments.Ci in
+  let e0 = List.hd experiments in
+  let entry = entry_of e0 in
+  (* clean: the true arg-min entry audits in-band, the alarm stays down *)
+  let index_path = fresh_path ".json" in
+  let ledger_path = fresh_path ".jsonl" in
+  let index = Index.create () in
+  Index.add index entry;
+  (match Index.save index ~path:index_path with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let clean = run_audited ~index_path ~ledger_path ~asks:[ e0; e0; e0 ] in
+  Alcotest.(check bool) "clean run audited" true (clean.Server.audits >= 3);
+  Alcotest.(check int) "clean run all in band" 0
+    clean.Server.audits_out_of_band;
+  Alcotest.(check bool) "clean run: no alarm" false clean.Server.drift_alarm;
+  Alcotest.(check bool) "clean gauge down" true
+    (List.assoc_opt "serve.drift_alarm"
+       (Metrics.snapshot ()).Metrics.snap_gauges
+    = Some 0.0);
+  let clean_audits = audit_records ~ledger_path in
+  Alcotest.(check bool) "clean audit records written" true
+    (List.length clean_audits >= 3);
+  List.iter
+    (fun r ->
+      Alcotest.(check (option (float 0.0))) "in_band = 1" (Some 1.0)
+        (Ledger.metric r "in_band"))
+    clean_audits;
+  Sys.remove index_path;
+  Sys.remove ledger_path;
+  (* injected drift: serve a Talg the model no longer predicts for that
+     configuration — every audit lands out of band and latches the alarm *)
+  let drifted_path = fresh_path ".json" in
+  let drifted_ledger = fresh_path ".jsonl" in
+  let drifted = Index.create () in
+  Index.add drifted { entry with Index.e_talg = entry.Index.e_talg *. 2.0 };
+  (match Index.save drifted ~path:drifted_path with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let summary =
+    run_audited ~index_path:drifted_path ~ledger_path:drifted_ledger
+      ~asks:[ e0; e0 ]
+  in
+  Alcotest.(check bool) "drift run audited" true (summary.Server.audits >= 2);
+  Alcotest.(check bool) "audits fell out of band" true
+    (summary.Server.audits_out_of_band >= 2);
+  Alcotest.(check bool) "drift alarm latched" true summary.Server.drift_alarm;
+  Alcotest.(check bool) "drift gauge up" true
+    (List.assoc_opt "serve.drift_alarm"
+       (Metrics.snapshot ()).Metrics.snap_gauges
+    = Some 1.0);
+  let audits = audit_records ~ledger_path:drifted_ledger in
+  Alcotest.(check bool) "audit ledger records written" true
+    (List.length audits >= 2);
+  List.iter
+    (fun r ->
+      Alcotest.(check (option (float 0.0))) "in_band = 0" (Some 0.0)
+        (Ledger.metric r "in_band");
+      (match Ledger.metric r "rel_err" with
+      | Some _ -> ()
+      | None -> Alcotest.fail "audit record without rel_err");
+      match List.assoc_opt "req_id" r.Ledger.labels with
+      | Some id -> Alcotest.(check bool) "audit labels req_id" true (id <> "")
+      | None -> Alcotest.fail "audit record without a req_id label")
+    audits;
+  Sys.remove drifted_path;
+  Sys.remove drifted_ledger;
+  (* the advisor-level verdict agrees: the perturbed Talg is out of band,
+     the pristine one is in band with zero relative error *)
+  let arch = e0.H.Experiments.arch in
+  let problem = e0.H.Experiments.problem in
+  (match
+     Advisor.audit arch problem ~config:entry.Index.e_config
+       ~talg:entry.Index.e_talg
+   with
+  | Ok a ->
+      Alcotest.(check bool) "pristine entry in band" true a.Advisor.au_in_band;
+      Alcotest.(check bool) "pristine entry is the arg-min" true
+        a.Advisor.au_argmin_match;
+      Alcotest.(check (float 1e-12)) "zero relative error" 0.0
+        a.Advisor.au_rel_err
+  | Error m -> Alcotest.fail m);
+  match
+    Advisor.audit arch problem ~config:entry.Index.e_config
+      ~talg:(entry.Index.e_talg *. 2.0)
+  with
+  | Ok a ->
+      Alcotest.(check bool) "perturbed entry out of band" false
+        a.Advisor.au_in_band
+  | Error m -> Alcotest.fail m
 
 let suite =
   [
@@ -317,4 +721,10 @@ let suite =
       `Quick test_cold_path_matches_exhaustive_argmin;
     Alcotest.test_case "serve: cold, warm, write-back, concurrent clients"
       `Quick test_serve_cold_warm_writeback_and_concurrency;
+    Alcotest.test_case "hexpulse: scrape endpoint, quantile round-trip"
+      `Quick test_http_scrape_and_quantile_roundtrip;
+    Alcotest.test_case "hexpulse: access log and slow attribution" `Quick
+      test_access_log_and_slow_attribution;
+    Alcotest.test_case "hexpulse: drift monitor, clean and injected" `Quick
+      test_drift_monitor_clean_and_injected;
   ]
