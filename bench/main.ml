@@ -1158,43 +1158,59 @@ let () =
     | Ok fd -> fd
     | Error e -> failwith e
   in
+  (* tail latencies are gate inputs (bench-compare holds warm p99 under
+     1 ms) but a single-shot p99 is hostage to container noise, so each
+     serve figure is the median of 3 independent rounds over the same
+     warm connection *)
+  let median3 a b c = a +. b +. c -. min a (min b c) -. max a (max b c) in
   let asks = 2000 in
-  let lat = Array.make asks 0.0 in
-  let serve_t0 = Unix.gettimeofday () in
-  for i = 0 to asks - 1 do
-    let a = Unix.gettimeofday () in
-    (match
-       Serve.Client.ask fd ~arch:"gtx980" ~stencil:"heat2d"
-         ~space:[| 512; 512 |] ~time:128
-     with
-    | Ok { Serve.Proto.source = Serve.Proto.Warm; _ } -> ()
-    | Ok _ -> failwith "bench: warm ask answered cold"
-    | Error e -> failwith e);
-    lat.(i) <- (Unix.gettimeofday () -. a) *. 1e6
-  done;
-  let serve_elapsed = Unix.gettimeofday () -. serve_t0 in
-  let serve_rps = float_of_int asks /. serve_elapsed in
-  Array.sort compare lat;
-  let pct p =
-    lat.(min (asks - 1) (int_of_float (ceil (p *. float_of_int asks)) - 1))
+  let ask_round () =
+    let lat = Array.make asks 0.0 in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to asks - 1 do
+      let a = Unix.gettimeofday () in
+      (match
+         Serve.Client.ask fd ~arch:"gtx980" ~stencil:"heat2d"
+           ~space:[| 512; 512 |] ~time:128
+       with
+      | Ok { Serve.Proto.source = Serve.Proto.Warm; _ } -> ()
+      | Ok _ -> failwith "bench: warm ask answered cold"
+      | Error e -> failwith e);
+      lat.(i) <- (Unix.gettimeofday () -. a) *. 1e6
+    done;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Array.sort compare lat;
+    let pct p =
+      lat.(min (asks - 1) (int_of_float (ceil (p *. float_of_int asks)) - 1))
+    in
+    (float_of_int asks /. elapsed, pct 0.50, pct 0.99)
   in
-  let serve_p50 = pct 0.50 in
-  let serve_p99 = pct 0.99 in
+  let (rps1, p50_1, p99_1) = ask_round () in
+  let (rps2, p50_2, p99_2) = ask_round () in
+  let (rps3, p50_3, p99_3) = ask_round () in
+  let serve_rps = median3 rps1 rps2 rps3 in
+  let serve_p50 = median3 p50_1 p50_2 p50_3 in
+  let serve_p99 = median3 p99_1 p99_2 p99_3 in
   (* one full OpenMetrics exposition per round-trip: render + frame cost of
      the hexpulse scrape path (the metrics frame serves the same payload
      GET /metrics does) *)
   let scrapes = 64 in
-  let scrape_lat = Array.make scrapes 0.0 in
-  for i = 0 to scrapes - 1 do
-    let a = Unix.gettimeofday () in
-    (match Serve.Client.metrics fd with
-    | Ok text when String.length text > 0 -> ()
-    | Ok _ -> failwith "bench: empty exposition"
-    | Error e -> failwith e);
-    scrape_lat.(i) <- (Unix.gettimeofday () -. a) *. 1e6
-  done;
-  Array.sort compare scrape_lat;
-  let serve_scrape_us = scrape_lat.(scrapes / 2) in
+  let scrape_round () =
+    let scrape_lat = Array.make scrapes 0.0 in
+    for i = 0 to scrapes - 1 do
+      let a = Unix.gettimeofday () in
+      (match Serve.Client.metrics fd with
+      | Ok text when String.length text > 0 -> ()
+      | Ok _ -> failwith "bench: empty exposition"
+      | Error e -> failwith e);
+      scrape_lat.(i) <- (Unix.gettimeofday () -. a) *. 1e6
+    done;
+    Array.sort compare scrape_lat;
+    scrape_lat.(scrapes / 2)
+  in
+  let serve_scrape_us =
+    median3 (scrape_round ()) (scrape_round ()) (scrape_round ())
+  in
   (match Serve.Client.shutdown fd with Ok () -> () | Error e -> failwith e);
   Serve.Client.close fd;
   ignore (Domain.join srv : Serve.Server.summary);
@@ -1217,11 +1233,14 @@ let () =
     domains_pps par_jobs (domains_pps /. fork_pps);
   Printf.printf "price               %10.1f ns/kernel\n" price_ns;
   Printf.printf "eventsim            %10.3e simulated cycles/sec\n" es_cps;
-  Printf.printf "serve, warm asks    %10.1f requests/sec (%d asks, 1 client)\n"
+  Printf.printf
+    "serve, warm asks    %10.1f requests/sec (%d asks x 3 rounds, 1 client)\n"
     serve_rps asks;
-  Printf.printf "  warm p50 / p99    %10.1f / %.1f us round-trip\n" serve_p50
-    serve_p99;
-  Printf.printf "  metrics scrape    %10.1f us median (%d scrapes)\n"
+  Printf.printf
+    "  warm p50 / p99    %10.1f / %.1f us round-trip (median of 3 rounds)\n"
+    serve_p50 serve_p99;
+  Printf.printf
+    "  metrics scrape    %10.1f us median (%d scrapes x 3 rounds)\n"
     serve_scrape_us scrapes;
   let json =
     Minijson.Obj

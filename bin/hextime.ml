@@ -2026,9 +2026,30 @@ let history_cmd =
     Arg.(
       value
       & opt
-          (enum [ ("table", `Table); ("markdown", `Markdown); ("json", `Json) ])
+          (enum
+             [
+               ("table", `Table);
+               ("markdown", `Markdown);
+               ("json", `Json);
+               ("csv", `Csv);
+             ])
           `Table
-      & info [ "format" ] ~docv:"table|markdown|json" ~doc:"Output format.")
+      & info [ "format" ] ~docv:"table|markdown|json|csv"
+          ~doc:
+            "Output format.  $(b,csv) emits RFC-4180 rows with full-seconds \
+             ISO8601 timestamps and raw (unscaled) metric values, for \
+             spreadsheets and external trend tooling.")
+  in
+  let since =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "since" ] ~docv:"ISO8601|REV"
+          ~doc:
+            "Only entries from this point on: an ISO8601 date/time \
+             ($(b,2026-08-01), $(b,2026-08-01T12:30:00), UTC) keeps \
+             entries stamped at or after it; a git rev keeps the first \
+             entry recorded at that rev and everything after.")
   in
   let columns =
     Arg.(
@@ -2041,10 +2062,10 @@ let history_cmd =
              cold_sweep_points_per_sec).  A column renders only if some \
              entry carries it.")
   in
-  let run ledger kind last format columns =
+  let run ledger kind last format columns since =
     match Obs.Ledger.load ~path:ledger with
     | Error msg -> die "history: %s" msg
-    | Ok { Obs.Ledger.entries; corrupt_lines; unknown_schema } ->
+    | Ok { Obs.Ledger.entries; corrupt_lines; unknown_schema } -> (
         if corrupt_lines > 0 || unknown_schema > 0 then
           Format.eprintf
             "hexwatch: %s: skipped %d corrupt line(s) and %d record(s) with \
@@ -2052,16 +2073,26 @@ let history_cmd =
             ledger corrupt_lines unknown_schema;
         let entries = Obs.Ledger.filter ?kind entries in
         let entries =
-          if last > 0 then Obs.Ledger.latest last entries else entries
+          match since with
+          | None -> Ok entries
+          | Some spec -> H.History.since spec entries
         in
-        if entries = [] then
-          Format.eprintf "hexwatch: %s: no matching entries@." ledger;
-        let columns = Option.map (String.split_on_char ',') columns in
-        (match format with
-        | `Table -> print_string (H.History.render ?columns entries)
-        | `Markdown -> print_string (H.History.markdown ?columns entries)
-        | `Json -> print_endline (Minijson.render (H.History.json entries)));
-        `Ok ()
+        match entries with
+        | Error msg -> die "history: %s" msg
+        | Ok entries ->
+            let entries =
+              if last > 0 then Obs.Ledger.latest last entries else entries
+            in
+            if entries = [] then
+              Format.eprintf "hexwatch: %s: no matching entries@." ledger;
+            let columns = Option.map (String.split_on_char ',') columns in
+            (match format with
+            | `Table -> print_string (H.History.render ?columns entries)
+            | `Markdown -> print_string (H.History.markdown ?columns entries)
+            | `Json ->
+                print_endline (Minijson.render (H.History.json entries))
+            | `Csv -> print_string (H.History.csv ?columns entries));
+            `Ok ())
   in
   Cmd.v
     (Cmd.info "history"
@@ -2070,7 +2101,299 @@ let history_cmd =
           recorded run (validate, campaign, tune, bench), oldest first, \
           with the accuracy and throughput metrics as columns.  Corrupt \
           ledger lines are skipped with a count on stderr, never fatal.")
-    Term.(ret (const run $ ledger_arg $ kind $ last $ format $ columns))
+    Term.(
+      ret (const run $ ledger_arg $ kind $ last $ format $ columns $ since))
+
+(* --- watch (hexlens regression observatory) --------------------------------- *)
+
+let watch_cmd =
+  let ci =
+    Arg.(
+      value & flag
+      & info [ "ci" ]
+          ~doc:
+            "Gate mode: exit non-zero if any regression alert fires.  \
+             Improvements (good-direction changepoints) never fail the \
+             gate.")
+  in
+  let min_samples =
+    Arg.(
+      value
+      & opt int Obs.Alert.default_spec.Obs.Alert.min_samples
+      & info [ "min-samples" ] ~docv:"N"
+          ~doc:"Series shorter than N are shown but never judged.")
+  in
+  let ph_lambda =
+    Arg.(
+      value
+      & opt float Obs.Alert.default_spec.Obs.Alert.ph_lambda
+      & info [ "ph-lambda" ] ~docv:"L"
+          ~doc:
+            "Page–Hinkley firing threshold, in winsorised robust z-units \
+             accumulated over the series.")
+  in
+  let ewma_limit =
+    Arg.(
+      value
+      & opt float Obs.Alert.default_spec.Obs.Alert.ewma_limit
+      & info [ "ewma-limit" ] ~docv:"Z"
+          ~doc:"|EWMA| of the robust z-scores that fires the slow-drift \
+                detector.")
+  in
+  let rotate_mb =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rotate-mb" ] ~docv:"MB"
+          ~doc:
+            "Before scanning, rotate the ledger aside (to \
+             $(i,FILE.YYYYMMDDTHHMMSSZ)) if it exceeds MB megabytes.")
+  in
+  let rotate_days =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rotate-days" ] ~docv:"D"
+          ~doc:
+            "Before scanning, rotate the ledger aside if its first record \
+             is older than D days (judged from the record timestamps, not \
+             the file mtime).")
+  in
+  let compact =
+    Arg.(
+      value & flag
+      & info [ "compact" ]
+          ~doc:
+            "Before scanning, rewrite the ledger keeping only the latest \
+             record per (kind, label-set) identity (req_id excluded).  \
+             Lossy for trends — use after rotation or once the window has \
+             been mined.")
+  in
+  let run ledger no_ledger ci min_samples ph_lambda ewma_limit rotate_mb
+      rotate_days compact =
+    let spec =
+      { Obs.Alert.default_spec with min_samples; ph_lambda; ewma_limit }
+    in
+    let lifecycle =
+      let ( let* ) = Result.bind in
+      let* () =
+        if rotate_mb = None && rotate_days = None then Ok ()
+        else
+          let max_bytes =
+            Option.map (fun mb -> int_of_float (mb *. 1048576.0)) rotate_mb
+          in
+          let max_age_s = Option.map (fun d -> d *. 86400.0) rotate_days in
+          match Obs.Ledger.rotate ~path:ledger ?max_bytes ?max_age_s () with
+          | Ok None -> Ok ()
+          | Ok (Some dest) ->
+              Format.eprintf "hexlens: rotated %s -> %s@." ledger dest;
+              Ok ()
+          | Error msg -> Error ("rotate: " ^ msg)
+      in
+      if not compact then Ok ()
+      else if not (Sys.file_exists ledger) then Ok ()
+      else
+        match Obs.Ledger.compact ~path:ledger () with
+        | Ok (kept, dropped) ->
+            Format.eprintf "hexlens: compacted %s: kept %d, dropped %d@."
+              ledger kept dropped;
+            Ok ()
+        | Error msg -> Error ("compact: " ^ msg)
+    in
+    match lifecycle with
+    | Error msg -> die "watch: %s" msg
+    | Ok () when not (Sys.file_exists ledger) ->
+        (* a just-rotated (or never-written) ledger is an empty, quiet one *)
+        Printf.printf "hexlens: %s: no ledger — 0 series, 0 alerts\n" ledger;
+        `Ok ()
+    | Ok () -> (
+        match Obs.Ledger.load ~path:ledger with
+        | Error msg -> die "watch: %s" msg
+        | Ok { Obs.Ledger.entries; corrupt_lines; unknown_schema } ->
+            if corrupt_lines > 0 || unknown_schema > 0 then
+              Format.eprintf
+                "hexwatch: %s: skipped %d corrupt line(s) and %d record(s) \
+                 with an unknown schema version@."
+                ledger corrupt_lines unknown_schema;
+            let verdicts = Obs.Alert.scan ~spec entries in
+            let tab =
+              Tabulate.create
+                [
+                  ("series", Tabulate.Left);
+                  ("n", Tabulate.Right);
+                  ("median", Tabulate.Right);
+                  ("mad sigma", Tabulate.Right);
+                  ("last", Tabulate.Right);
+                  ("ewma z", Tabulate.Right);
+                  ("ph up", Tabulate.Right);
+                  ("ph down", Tabulate.Right);
+                  ("verdict", Tabulate.Left);
+                ]
+            in
+            let verdict_cell (v : Obs.Alert.verdict) =
+              match v.Obs.Alert.v_fired with
+              | Some f ->
+                  Printf.sprintf "%s %s %s"
+                    (if f.Obs.Alert.f_regression then "ALERT" else "improved")
+                    f.Obs.Alert.f_detector
+                    (Obs.Alert.direction_to_string f.Obs.Alert.f_direction)
+              | None ->
+                  if v.Obs.Alert.v_judged then "ok"
+                  else Printf.sprintf "thin (n<%d)" spec.Obs.Alert.min_samples
+            in
+            let tab =
+              List.fold_left
+                (fun tab (v : Obs.Alert.verdict) ->
+                  Tabulate.add_row tab
+                    [
+                      v.Obs.Alert.v_key;
+                      string_of_int v.Obs.Alert.v_n;
+                      Tabulate.float_cell v.Obs.Alert.v_median;
+                      Tabulate.float_cell v.Obs.Alert.v_mad_sigma;
+                      Tabulate.float_cell v.Obs.Alert.v_last;
+                      Printf.sprintf "%+.2f" v.Obs.Alert.v_ewma_z;
+                      Printf.sprintf "%.2f" v.Obs.Alert.v_ph_up;
+                      Printf.sprintf "%.2f" v.Obs.Alert.v_ph_down;
+                      verdict_cell v;
+                    ])
+                tab verdicts
+            in
+            if verdicts <> [] then Tabulate.print tab;
+            let judged =
+              List.length
+                (List.filter (fun v -> v.Obs.Alert.v_judged) verdicts)
+            in
+            let regressions = List.filter Obs.Alert.regression verdicts in
+            let improvements = List.filter Obs.Alert.improvement verdicts in
+            (* firing verdicts become ledger records themselves — the alert
+               trail is provenance too (Series.extract skips them on the
+               next scan, so alerts never feed back into detection) *)
+            List.iter
+              (fun v ->
+                ledger_record ~ledger ~no_ledger (Obs.Alert.to_entry ~spec v))
+              (regressions @ improvements);
+            Printf.printf
+              "hexlens: %d series (%d judged), %d regression alert(s), %d \
+               improvement(s)\n"
+              (List.length verdicts) judged
+              (List.length regressions)
+              (List.length improvements);
+            if ci && regressions <> [] then
+              die "watch --ci: %d regression alert(s) firing"
+                (List.length regressions)
+            else `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "hexlens: scan the run ledger for cross-run regressions.  Every \
+          watched metric series (bench throughput, serve latency, accuracy, \
+          audit verdicts) is judged by robust statistics — median/MAD \
+          envelope, EWMA drift, and a two-sided Page–Hinkley changepoint \
+          detector over winsorised robust z-scores — so one outlier run \
+          stays quiet while a sustained shift fires.  Firing verdicts are \
+          appended back to the ledger as $(b,alert) records (suppress with \
+          $(b,--no-ledger)); $(b,--ci) turns regressions into a failing \
+          exit for the CI trend gate.  $(b,--rotate-mb)/$(b,--rotate-days) \
+          and $(b,--compact) manage the ledger's lifecycle first.")
+    Term.(
+      ret
+        (const run $ ledger_arg $ no_ledger_arg $ ci $ min_samples $ ph_lambda
+       $ ewma_limit $ rotate_mb $ rotate_days $ compact))
+
+(* --- explain (hexlens attribution diffing) ----------------------------------- *)
+
+let explain_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            "Only consider records of this kind (typically $(b,audit)).  \
+             Default: every eligible record.")
+  in
+  let a_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "a" ] ~docv:"N"
+          ~doc:
+            "Baseline side: Nth-newest eligible record (0 = newest).  \
+             Default 1: the run before the latest.")
+  in
+  let b_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "b" ] ~docv:"N"
+          ~doc:"Comparison side: Nth-newest eligible record (default 0, \
+                the latest).")
+  in
+  let label =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "label" ] ~docv:"K=V"
+          ~doc:
+            "Only consider records carrying this label, e.g. \
+             $(b,stencil=heat2d) or $(b,key=...) to diff two runs of the \
+             same experiment.")
+  in
+  let run ledger kind a b label =
+    let label =
+      match label with
+      | None -> Ok None
+      | Some s -> (
+          match String.index_opt s '=' with
+          | Some i ->
+              Ok
+                (Some
+                   ( String.sub s 0 i,
+                     String.sub s (i + 1) (String.length s - i - 1) ))
+          | None -> Error s)
+    in
+    match label with
+    | Error s -> die "explain: --label %S is not K=V" s
+    | Ok label -> (
+        match Obs.Ledger.load ~path:ledger with
+        | Error msg -> die "explain: %s" msg
+        | Ok { Obs.Ledger.entries; _ } ->
+            let eligible =
+              List.filter H.Explain.eligible
+                (Obs.Ledger.filter ?kind ?label entries)
+            in
+            let arr = Array.of_list eligible in
+            let n = Array.length arr in
+            if n = 0 then
+              die
+                "explain: %s: no eligible records — need attr.* metrics or \
+                 arch/stencil/space/time/config labels (serve audit \
+                 records carry both)"
+                ledger
+            else if a < 0 || a >= n || b < 0 || b >= n then
+              die "explain: only %d eligible record(s); --a %d / --b %d out \
+                   of range"
+                n a b
+            else
+              let pick i = arr.(n - 1 - i) in
+              (match H.Explain.render ~a:(pick a) ~b:(pick b) with
+              | Ok text ->
+                  print_string text;
+                  `Ok ()
+              | Error msg -> die "explain: %s" msg))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "hexlens: diff two ledger records term by term through the \
+          paper's Section-5 attribution.  Answers $(i,why) a prediction \
+          moved: which component (compute, global-memory transfer, sync, \
+          launch) dominates the delta, whether the max(m', c) decision \
+          flipped between compute- and memory-bound, and whether the \
+          chosen tile changed.  Components come from the record's stored \
+          attr.* metrics (serve audits write them) or are recomputed from \
+          its provenance labels via the analytical model; when both exist \
+          they are cross-checked.")
+    Term.(ret (const run $ ledger_arg $ kind $ a_arg $ b_arg $ label))
 
 (* --- accuracy-compare (the accuracy regression gate) ------------------------ *)
 
@@ -2799,6 +3122,9 @@ let dash_cmd =
       (v "serve_audits_out_of_band_total" families)
       (v "serve_audit_inband_ratio" families)
       (v "serve_drift_alarm" families);
+    line "alerts     firing %s, fired %s time(s) this run"
+      (v "alert_firing" families)
+      (v "alert_fired_total" families);
     line "scrapes    %s http, %s access-log lines"
       (v "serve_http_scrapes_total" families)
       (v "serve_access_log_lines_total" families);
@@ -2810,9 +3136,10 @@ let dash_cmd =
     | Ok { Obs.Ledger.entries; _ } -> (
         let serve = Obs.Ledger.filter ~kind:"serve" entries in
         let audits = Obs.Ledger.filter ~kind:"audit" entries in
-        match (serve, audits) with
-        | [], [] -> Error (path ^ ": no serve or audit records")
-        | serve, audits ->
+        let alerts = Obs.Ledger.filter ~kind:"alert" entries in
+        match (serve, audits, alerts) with
+        | [], [], [] -> Error (path ^ ": no serve, audit or alert records")
+        | serve, audits, alerts ->
             let b = Buffer.create 1024 in
             let line fmt =
               Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt
@@ -2841,6 +3168,34 @@ let dash_cmd =
             if audits <> [] then
               line "audit records: %d total, %d out of band"
                 (List.length audits) oob;
+            (* hexlens panel: what `hextime watch` has concluded about the
+               trends in this same ledger *)
+            if alerts <> [] then begin
+              let regressions =
+                List.filter
+                  (fun e ->
+                    List.mem ("verdict", "regression") e.Obs.Ledger.labels)
+                  alerts
+              in
+              line "alert records: %d total, %d regression(s)"
+                (List.length alerts)
+                (List.length regressions);
+              List.iter
+                (fun e ->
+                  let l name =
+                    Option.value ~default:"-"
+                      (List.assoc_opt name e.Obs.Ledger.labels)
+                  in
+                  let stat =
+                    match Obs.Ledger.metric e "stat" with
+                    | Some v -> Printf.sprintf "%.2f" v
+                    | None -> "-"
+                  in
+                  line "  %s %s: %s %s (stat %s)"
+                    (H.History.timestamp e.Obs.Ledger.time_unix)
+                    (l "series") (l "verdict") (l "detector") stat)
+                (Obs.Ledger.latest 3 alerts)
+            end;
             Ok (Buffer.contents b))
   in
   let draw socket ledger =
@@ -2886,8 +3241,9 @@ let dash_cmd =
        ~doc:
          "One-screen serving dashboard: scrape a live $(b,hextime serve) \
           over the $(b,metrics) frame (vitals, latency quantiles, SLO \
-          windows, drift monitor) — or, when the socket is down, summarize \
-          the last serve run and audit verdicts from the hexwatch ledger.  \
+          windows, drift monitor, live hexlens alert gauges) — or, when \
+          the socket is down, summarize the last serve run, audit verdicts \
+          and hexlens alert records from the hexwatch ledger.  \
           $(b,--watch) redraws continuously.")
     Term.(ret (const run $ socket_arg $ ledger_arg $ watch))
 
@@ -2924,6 +3280,8 @@ let main_cmd =
       bench_compare_cmd;
       accuracy_compare_cmd;
       history_cmd;
+      watch_cmd;
+      explain_cmd;
       index_cmd;
       serve_cmd;
       ask_cmd;

@@ -1,0 +1,328 @@
+(* hexlens: term-by-term attribution diffing between two ledger records.
+
+   When a trend alert says "the predicted time moved", the next question
+   is *which Section-5 term moved*: compute (c), global-memory transfer
+   (m'), synchronisation, launch — and whether the max(m', c) overlap
+   decision flipped the configuration from compute- to memory-bound.
+   This module answers it from the ledger: records that carry stored
+   [attr.*] component metrics (audit records do) are diffed directly;
+   records that carry enough provenance labels (arch, stencil, space,
+   time, config) are re-run through Model.attribution, and when both are
+   possible the stored components are cross-checked against the
+   recomputation. *)
+
+module Ledger = Hextime_obs.Ledger
+module Attribution = Hextime_obs.Attribution
+module Model = Hextime_core.Model
+module Gpu = Hextime_gpu
+module Stencil = Hextime_stencil.Stencil
+module Problem = Hextime_stencil.Problem
+module Config = Hextime_tiling.Config
+module Tabulate = Hextime_prelude.Tabulate
+
+let attr_prefix = "attr."
+let pred_prefix = "pred."
+
+(* The metric fields a record must carry for its attribution to be
+   diffable offline; the serve drift monitor writes these on every audit
+   record. *)
+let attribution_metrics (pr : Model.prediction) comps =
+  List.map
+    (fun (name, v) -> (attr_prefix ^ name, v))
+    (Attribution.to_list comps)
+  @ [
+      (pred_prefix ^ "talg", pr.Model.talg);
+      (pred_prefix ^ "m_transfer", pr.Model.m_transfer);
+      (pred_prefix ^ "c_compute", pr.Model.c_compute);
+      (pred_prefix ^ "k", float_of_int pr.Model.k);
+      (pred_prefix ^ "chunks", float_of_int pr.Model.chunks);
+      (pred_prefix ^ "sm_rounds", float_of_int pr.Model.sm_rounds);
+      (pred_prefix ^ "n_wavefronts", float_of_int pr.Model.n_wavefronts);
+    ]
+
+let strip_prefix p s =
+  let lp = String.length p in
+  if String.length s > lp && String.sub s 0 lp = p then
+    Some (String.sub s lp (String.length s - lp))
+  else None
+
+let stored_components (e : Ledger.entry) =
+  List.filter_map
+    (fun (k, v) ->
+      match strip_prefix attr_prefix k with
+      | Some name -> Some (name, v)
+      | None -> None)
+    e.Ledger.metrics
+
+let pred_metric (e : Ledger.entry) name =
+  Ledger.metric e (pred_prefix ^ name)
+
+(* --- provenance-label recomputation ---------------------------------------- *)
+
+let ints_of_x s =
+  match List.map int_of_string (String.split_on_char 'x' s) with
+  | ints -> Some ints
+  | exception Failure _ -> None
+
+(* Inverse of Config.id ("tT8-tS32x32-thr256"). *)
+let config_of_id s =
+  let part prefix p =
+    match strip_prefix prefix p with
+    | Some rest -> ints_of_x rest
+    | None -> None
+  in
+  match String.split_on_char '-' s with
+  | [ tt; ts; thr ] -> (
+      match (part "tT" tt, part "tS" ts, part "thr" thr) with
+      | Some [ t_t ], Some (_ :: _ as t_s), Some (_ :: _ as threads) ->
+          Config.make ~t_t ~t_s:(Array.of_list t_s)
+            ~threads:(Array.of_list threads)
+      | _ -> Error (Printf.sprintf "unparseable config id %S" s)
+      | exception Invalid_argument msg -> Error msg)
+  | _ -> Error (Printf.sprintf "unparseable config id %S" s)
+
+let recompute (e : Ledger.entry) =
+  let label name =
+    match List.assoc_opt name e.Ledger.labels with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "record has no %S label" name)
+  in
+  let ( let* ) = Result.bind in
+  let* arch_name = label "arch" in
+  let* arch =
+    match Gpu.Arch.find arch_name with
+    | a -> Ok a
+    | exception Not_found ->
+        Error (Printf.sprintf "unknown architecture %S" arch_name)
+  in
+  let* stencil_name = label "stencil" in
+  let* stencil =
+    match Stencil.find stencil_name with
+    | st -> Ok st
+    | exception Not_found ->
+        Error (Printf.sprintf "unknown stencil %S" stencil_name)
+  in
+  let* space_s = label "space" in
+  let* space =
+    match ints_of_x space_s with
+    | Some (_ :: _ as xs) -> Ok (Array.of_list xs)
+    | _ -> Error (Printf.sprintf "unparseable space %S" space_s)
+  in
+  let* time_s = label "time" in
+  let* time =
+    match int_of_string time_s with
+    | t -> Ok t
+    | exception Failure _ -> Error (Printf.sprintf "unparseable time %S" time_s)
+  in
+  let* config_id = label "config" in
+  let* cfg = config_of_id config_id in
+  let* problem =
+    match Problem.make stencil ~space ~time with
+    | p -> Ok p
+    | exception Invalid_argument msg -> Error msg
+  in
+  let params = Microbench.params arch in
+  let citer = Microbench.citer arch stencil in
+  Model.attribution params ~citer problem cfg
+
+let recomputable e = Result.is_ok (recompute e)
+
+(* Components for one side, preferring what the record actually carries;
+   the string names the source for the report. *)
+let components_of_entry (e : Ledger.entry) =
+  match stored_components e with
+  | _ :: _ as comps -> Ok (comps, "stored attr.* metrics")
+  | [] -> (
+      match recompute e with
+      | Ok (pr, comps) ->
+          Ok
+            ( List.map
+                (fun (k, v) ->
+                  match strip_prefix attr_prefix k with
+                  | Some name -> (name, v)
+                  | None -> (k, v))
+                (List.filter
+                   (fun (k, _) -> strip_prefix attr_prefix k <> None)
+                   (attribution_metrics pr comps)),
+              "recomputed from provenance labels" )
+      | Error msg ->
+          Error
+            (Printf.sprintf
+               "record carries neither attr.* metrics nor recomputable \
+                labels (%s)"
+               msg))
+
+let eligible e =
+  stored_components e <> [] || recomputable e
+
+(* Cross-check a record's stored components against a live recomputation;
+   [None] when the record lacks one of the two sides. *)
+let verify (e : Ledger.entry) =
+  match (stored_components e, recompute e) with
+  | [], _ | _, Error _ -> None
+  | stored, Ok (pr, comps) ->
+      let fresh = Attribution.to_list comps in
+      let max_rel =
+        List.fold_left
+          (fun acc (name, v) ->
+            match List.assoc_opt name fresh with
+            | None -> acc
+            | Some f ->
+                let scale = Float.max (Float.abs f) (Float.abs pr.Model.talg) in
+                let rel =
+                  if scale = 0.0 then Float.abs (v -. f)
+                  else Float.abs (v -. f) /. scale
+                in
+                Float.max acc rel)
+          0.0 stored
+      in
+      Some max_rel
+
+(* --- term diffing ---------------------------------------------------------- *)
+
+type term_delta = {
+  t_name : string;
+  t_a : float;
+  t_b : float;
+  t_delta : float;  (* b - a *)
+}
+
+let diff ~a ~b =
+  let names =
+    List.map fst a
+    @ List.filter (fun n -> not (List.mem_assoc n a)) (List.map fst b)
+  in
+  List.map
+    (fun name ->
+      let va = Option.value ~default:0.0 (List.assoc_opt name a) in
+      let vb = Option.value ~default:0.0 (List.assoc_opt name b) in
+      { t_name = name; t_a = va; t_b = vb; t_delta = vb -. va })
+    names
+
+let dominant deltas =
+  List.fold_left
+    (fun best d ->
+      match best with
+      | Some b when Float.abs b.t_delta >= Float.abs d.t_delta -> best
+      | _ when d.t_delta <> 0.0 -> Some d
+      | _ -> best)
+    None deltas
+
+(* Which side of the model's max(m', c) overlap bound a prediction sits
+   on; the per-chunk time is whichever is larger (Equations 10/16/28). *)
+let bound_of ~m_transfer ~c_compute =
+  if m_transfer > c_compute then "memory-bound (m' > c)"
+  else "compute-bound (c >= m')"
+
+let decision_flips ~(a : Ledger.entry) ~(b : Ledger.entry) =
+  let flips = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> flips := s :: !flips) fmt in
+  (match
+     ( pred_metric a "m_transfer",
+       pred_metric a "c_compute",
+       pred_metric b "m_transfer",
+       pred_metric b "c_compute" )
+   with
+  | Some ma, Some ca, Some mb, Some cb ->
+      let ba = bound_of ~m_transfer:ma ~c_compute:ca in
+      let bb = bound_of ~m_transfer:mb ~c_compute:cb in
+      if ba <> bb then
+        note "max(m', c) decision flipped: %s -> %s" ba bb
+  | _ -> ());
+  List.iter
+    (fun scalar ->
+      match (pred_metric a scalar, pred_metric b scalar) with
+      | Some va, Some vb when va <> vb ->
+          note "%s changed: %.0f -> %.0f" scalar va vb
+      | _ -> ())
+    [ "k"; "chunks"; "sm_rounds"; "n_wavefronts" ];
+  (match
+     ( List.assoc_opt "config" a.Ledger.labels,
+       List.assoc_opt "config" b.Ledger.labels )
+   with
+  | Some ca, Some cb when ca <> cb ->
+      note "chosen tile changed: %s -> %s" ca cb
+  | _ -> ());
+  List.rev !flips
+
+(* --- report ---------------------------------------------------------------- *)
+
+let describe (e : Ledger.entry) =
+  let label name = List.assoc_opt name e.Ledger.labels in
+  let id =
+    match (label "arch", label "stencil") with
+    | Some a, Some s -> Printf.sprintf "%s/%s" a s
+    | _ -> e.Ledger.kind
+  in
+  Printf.sprintf "%s %s (rev %s, %s)" id
+    (History.timestamp e.Ledger.time_unix)
+    (if e.Ledger.git_rev = "" then "-" else e.Ledger.git_rev)
+    e.Ledger.code_version
+
+let render ~(a : Ledger.entry) ~(b : Ledger.entry) =
+  let ( let* ) = Result.bind in
+  let* ca, src_a = components_of_entry a in
+  let* cb, src_b = components_of_entry b in
+  let deltas = diff ~a:ca ~b:cb in
+  let total_abs =
+    List.fold_left (fun acc d -> acc +. Float.abs d.t_delta) 0.0 deltas
+  in
+  let buf = Buffer.create 1024 in
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
+  in
+  line "A: %s — %s" (describe a) src_a;
+  line "B: %s — %s" (describe b) src_b;
+  (match (verify a, verify b) with
+  | None, None -> ()
+  | va, vb ->
+      let show = function
+        | None -> "-"
+        | Some rel -> Printf.sprintf "%.3e" rel
+      in
+      line
+        "stored vs recomputed attribution, max relative error: A %s, B %s"
+        (show va) (show vb));
+  line "";
+  let tab =
+    Tabulate.create
+      [
+        ("term", Tabulate.Left);
+        ("A (s)", Tabulate.Right);
+        ("B (s)", Tabulate.Right);
+        ("delta (s)", Tabulate.Right);
+        ("share", Tabulate.Right);
+      ]
+  in
+  let tab =
+    List.fold_left
+      (fun tab d ->
+        Tabulate.add_row tab
+          [
+            d.t_name;
+            Printf.sprintf "%.6e" d.t_a;
+            Printf.sprintf "%.6e" d.t_b;
+            Printf.sprintf "%+.6e" d.t_delta;
+            (if total_abs = 0.0 then "-"
+             else
+               Printf.sprintf "%.1f%%"
+                 (100.0 *. Float.abs d.t_delta /. total_abs));
+          ])
+      tab deltas
+  in
+  Buffer.add_string buf (Tabulate.render tab);
+  let sum_a = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 ca in
+  let sum_b = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 cb in
+  line "";
+  line "Talg (component sum): A %.6e s, B %.6e s, delta %+.6e s (%+.1f%%)"
+    sum_a sum_b (sum_b -. sum_a)
+    (if sum_a = 0.0 then 0.0 else 100.0 *. (sum_b -. sum_a) /. sum_a);
+  (match dominant deltas with
+  | None -> line "no term moved: the two records attribute identically"
+  | Some d ->
+      line "dominant term: %s (delta %+.6e s, %.1f%% of total movement)"
+        d.t_name d.t_delta
+        (if total_abs = 0.0 then 0.0
+         else 100.0 *. Float.abs d.t_delta /. total_abs));
+  List.iter (fun f -> line "%s" f) (decision_flips ~a ~b);
+  Ok (Buffer.contents buf)

@@ -1,0 +1,86 @@
+(** hexlens: term-by-term attribution diffing between two ledger records.
+
+    [hextime watch] tells you {e that} a metric moved; [hextime explain]
+    tells you {e why}: which of the paper's Section-5 terms (compute,
+    global-memory transfer, sync, launch) accounts for the delta between
+    two runs, whether the [max(m', c)] overlap decision flipped the
+    configuration between compute- and memory-bound, and whether the
+    chosen tile itself changed.
+
+    Two sources of components per record, in preference order: stored
+    [attr.*] metrics (the serve audit path writes them via
+    {!attribution_metrics}), else a recomputation through
+    {!Hextime_core.Model.attribution} from the record's provenance labels
+    (arch, stencil, space, time, config).  When a record carries both,
+    {!verify} cross-checks them. *)
+
+val attribution_metrics :
+  Hextime_core.Model.prediction ->
+  Hextime_obs.Attribution.components ->
+  (string * float) list
+(** The [attr.<term>] component metrics plus the [pred.*] scalars
+    (talg, m_transfer, c_compute, k, chunks, sm_rounds, n_wavefronts)
+    that make a ledger record diffable offline.  Producers (the serve
+    audit path) splice this into the record's [metrics]. *)
+
+val stored_components : Hextime_obs.Ledger.entry -> (string * float) list
+(** The record's [attr.*] metrics with the prefix stripped; [[]] when it
+    carries none. *)
+
+val recompute :
+  Hextime_obs.Ledger.entry ->
+  ( Hextime_core.Model.prediction * Hextime_obs.Attribution.components,
+    string )
+  result
+(** Re-run {!Hextime_core.Model.attribution} from the record's [arch],
+    [stencil], [space] (["512x512"]), [time] and [config]
+    (["tT8-tS32x32-thr256"], the {!Hextime_tiling.Config.id} format)
+    labels, using the same microbenchmark-derived parameters the live
+    pipeline uses. *)
+
+val eligible : Hextime_obs.Ledger.entry -> bool
+(** Carries stored components or enough labels to recompute them. *)
+
+val verify : Hextime_obs.Ledger.entry -> float option
+(** Max relative error between the record's stored components and a fresh
+    recomputation (scaled by the larger of the component magnitude and
+    talg); [None] when the record lacks either side. *)
+
+type term_delta = {
+  t_name : string;
+  t_a : float;
+  t_b : float;
+  t_delta : float;  (** [t_b -. t_a] *)
+}
+
+val diff :
+  a:(string * float) list -> b:(string * float) list -> term_delta list
+(** Union of term names, A's order first; a term absent on one side
+    contributes 0. *)
+
+val dominant : term_delta list -> term_delta option
+(** The term with the largest [|t_delta|]; [None] if nothing moved. *)
+
+val bound_of : m_transfer:float -> c_compute:float -> string
+(** Which side of the model's [max(m', c)] per-chunk bound a prediction
+    sits on: ["memory-bound (m' > c)"] or ["compute-bound (c >= m')"]. *)
+
+val decision_flips :
+  a:Hextime_obs.Ledger.entry -> b:Hextime_obs.Ledger.entry -> string list
+(** Human-readable notes on discrete decisions that differ between the
+    records: the max(m', c) bound flipping, integer model quantities
+    (k, chunks, sm_rounds, n_wavefronts) changing, the chosen tile
+    ([config] label) changing.  Empty when nothing discrete moved. *)
+
+val describe : Hextime_obs.Ledger.entry -> string
+(** One-line identity: arch/stencil (or kind), timestamp, git rev, code
+    version. *)
+
+val render :
+  a:Hextime_obs.Ledger.entry ->
+  b:Hextime_obs.Ledger.entry ->
+  (string, string) result
+(** The full explain report: sources, cross-check, term table with
+    per-term share of total movement, component-sum Talg delta, dominant
+    term, decision flips.  [Error] when either side yields no
+    components. *)

@@ -71,3 +71,104 @@ let markdown ?(columns = default_columns) entries =
   Buffer.contents b
 
 let json entries = Minijson.List (List.map Ledger.to_json entries)
+
+(* --- csv ------------------------------------------------------------------- *)
+
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv ?(columns = default_columns) entries =
+  let cols = columns_of columns entries in
+  let b = Buffer.create 1024 in
+  let row cells =
+    Buffer.add_string b (String.concat "," (List.map csv_escape cells) ^ "\n")
+  in
+  row (header_cells @ cols);
+  List.iter
+    (fun e ->
+      row
+        ([
+           iso8601 e.Ledger.time_unix;
+           e.Ledger.kind;
+           e.Ledger.git_rev;
+           e.Ledger.code_version;
+         ]
+        @ List.map
+            (fun c ->
+              match Ledger.metric e c with
+              | None -> ""
+              | Some v -> Minijson.render_number v)
+            cols))
+    entries;
+  Buffer.contents b
+
+(* --- --since selection ----------------------------------------------------- *)
+
+(* "2026-08-01" / "2026-08-01T12:30:00" -> epoch seconds (UTC).  Civil-date
+   arithmetic done by hand: timegm is not in the Unix module. *)
+let parse_iso8601 s =
+  let digits_at off len =
+    if off + len > String.length s then None
+    else
+      match int_of_string (String.sub s off len) with
+      | n -> Some n
+      | exception Failure _ -> None
+  in
+  let sep off c = off < String.length s && s.[off] = c in
+  match (digits_at 0 4, sep 4 '-', digits_at 5 2, sep 7 '-', digits_at 8 2) with
+  | Some y, true, Some mo, true, Some d when mo >= 1 && mo <= 12 ->
+      let hh, mm, ss =
+        if sep 10 'T' || sep 10 ' ' then
+          ( Option.value ~default:0 (digits_at 11 2),
+            (if sep 13 ':' then Option.value ~default:0 (digits_at 14 2) else 0),
+            if sep 16 ':' then Option.value ~default:0 (digits_at 17 2) else 0 )
+        else (0, 0, 0)
+      in
+      (* days since the epoch via the standard civil-from-days inverse *)
+      let y = if mo <= 2 then y - 1 else y in
+      let era = (if y >= 0 then y else y - 399) / 400 in
+      let yoe = y - (era * 400) in
+      let mp = (mo + 9) mod 12 in
+      let doy = ((153 * mp) + 2) / 5 + d - 1 in
+      let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+      let days = (era * 146097) + doe - 719468 in
+      Some
+        (float_of_int
+           ((days * 86400) + (hh * 3600) + (mm * 60) + ss))
+  | _ -> None
+
+let since spec entries =
+  match parse_iso8601 spec with
+  | Some t0 ->
+      Ok (List.filter (fun e -> e.Ledger.time_unix >= t0) entries)
+  | None -> (
+      (* a git rev prefix: keep from the first entry stamped with it *)
+      let matches e =
+        e.Ledger.git_rev <> ""
+        && (String.length e.Ledger.git_rev >= String.length spec
+            && String.sub e.Ledger.git_rev 0 (String.length spec) = spec
+           || String.length spec >= String.length e.Ledger.git_rev
+              && String.sub spec 0 (String.length e.Ledger.git_rev)
+                 = e.Ledger.git_rev)
+      in
+      let rec drop = function
+        | [] -> None
+        | e :: _ as rest when matches e -> Some rest
+        | _ :: tl -> drop tl
+      in
+      match drop entries with
+      | Some kept -> Ok kept
+      | None ->
+          Error
+            (Printf.sprintf
+               "--since %S matches no ISO8601 date and no git rev in the \
+                ledger"
+               spec))

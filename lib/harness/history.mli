@@ -30,3 +30,22 @@ val markdown :
 val json : Hextime_obs.Ledger.entry list -> Hextime_prelude.Minijson.t
 (** The full entries (labels, metrics, groups) as a JSON array, oldest
     first. *)
+
+val iso8601 : float -> string
+(** UTC, full-seconds ["YYYY-MM-DDTHH:MM:SSZ"] (the CSV timestamp). *)
+
+val csv : ?columns:string list -> Hextime_obs.Ledger.entry list -> string
+(** The trend table as RFC-4180 CSV: header row [when,kind,rev,code,...],
+    ISO8601 timestamps, raw number rendering (no percent scaling), empty
+    cell for a missing metric. *)
+
+val since :
+  string ->
+  Hextime_obs.Ledger.entry list ->
+  (Hextime_obs.Ledger.entry list, string) result
+(** Restrict to entries at or after a point in time.  The spec is either
+    an ISO8601 date/time (["2026-08-01"], ["2026-08-01T12:30:00"],
+    interpreted UTC) — kept entries are those stamped at or after it — or
+    a git rev (prefix match either way against the entries' short revs):
+    kept entries are the first rev-matching entry and everything after
+    it.  [Error] when the spec parses as neither. *)

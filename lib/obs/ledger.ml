@@ -183,3 +183,153 @@ let metric e name = List.assoc_opt name e.metrics
 
 let group_metric e ~group name =
   Option.bind (List.assoc_opt group e.groups) (List.assoc_opt name)
+
+(* --- lifecycle: rotation and compaction ------------------------------------ *)
+
+(* Age is judged from the ledger's own first record, not the file mtime:
+   a freshly checked-out repository must not rotate a young ledger just
+   because git set the timestamps. *)
+let first_entry_time path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | "" -> scan ()
+        | line -> (
+            match Minijson.parse line with
+            | Error _ -> scan ()
+            | Ok json -> (
+                match of_json json with
+                | Error _ -> scan ()
+                | Ok e -> Some e.time_unix))
+      in
+      let r = scan () in
+      close_in_noerr ic;
+      r
+
+let rotation_stamp t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d%02d%02dT%02d%02d%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let rotate ~path ?max_bytes ?max_age_s ?now () =
+  if not (Sys.file_exists path) then Ok None
+  else
+    let now = match now with Some t -> t | None -> Unix.time () in
+    let size =
+      match Unix.stat path with
+      | { Unix.st_size; _ } -> st_size
+      | exception Unix.Unix_error _ -> 0
+    in
+    let too_big =
+      match max_bytes with Some b -> size > b | None -> false
+    in
+    let too_old =
+      match max_age_s with
+      | None -> false
+      | Some a -> (
+          match first_entry_time path with
+          | None -> false
+          | Some t0 -> now -. t0 > a)
+    in
+    if not (too_big || too_old) then Ok None
+    else begin
+      let base = path ^ "." ^ rotation_stamp now in
+      let rec fresh dest n =
+        if Sys.file_exists dest then fresh (Printf.sprintf "%s-%d" base n) (n + 1)
+        else dest
+      in
+      let dest = fresh base 1 in
+      match Sys.rename path dest with
+      | () -> Ok (Some dest)
+      | exception Sys_error msg -> Error msg
+    end
+
+(* Identity of a record for compaction: its kind plus every label except
+   the per-record ones (req_id is unique per request, so keeping it would
+   make every audit its own key and compaction a no-op). *)
+let compaction_key ?(drop_labels = [ "req_id" ]) e =
+  let labels =
+    List.filter (fun (k, _) -> not (List.mem k drop_labels)) e.labels
+  in
+  let labels =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+  in
+  e.kind ^ "|"
+  ^ String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let compact ~path ?drop_labels () =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in_noerr ic;
+      let lines = Array.of_list (List.rev !lines) in
+      (* classify each line: Some key -> compactable entry; None -> kept
+         verbatim (unknown schema we cannot re-render, or blank); corrupt
+         lines are dropped outright *)
+      let keep = Array.make (Array.length lines) false in
+      let last : (string, int) Hashtbl.t = Hashtbl.create 64 in
+      let dropped = ref 0 in
+      Array.iteri
+        (fun i line ->
+          if line = "" then ()
+          else
+            match Minijson.parse line with
+            | Error _ -> incr dropped
+            | Ok json -> (
+                match of_json json with
+                | Error _ -> incr dropped
+                | Ok e ->
+                    if e.schema <> schema_version then keep.(i) <- true
+                    else begin
+                      let key = compaction_key ?drop_labels e in
+                      (match Hashtbl.find_opt last key with
+                      | Some j ->
+                          keep.(j) <- false;
+                          incr dropped
+                      | None -> ());
+                      Hashtbl.replace last key i;
+                      keep.(i) <- true
+                    end))
+        lines;
+      let kept = ref 0 in
+      let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+      (match open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ]
+               0o644 tmp
+       with
+      | exception Sys_error msg -> Error msg
+      | oc ->
+          let r =
+            try
+              Array.iteri
+                (fun i line ->
+                  if keep.(i) then begin
+                    incr kept;
+                    output_string oc (line ^ "\n")
+                  end)
+                lines;
+              Ok ()
+            with Sys_error msg -> Error msg
+          in
+          close_out_noerr oc;
+          (match r with
+          | Error _ as e ->
+              (try Sys.remove tmp with Sys_error _ -> ());
+              e
+          | Ok () -> (
+              (* atomic swap: readers see the old or the new ledger,
+                 never a half-written one *)
+              match Sys.rename tmp path with
+              | () -> Ok (!kept, !dropped)
+              | exception Sys_error msg ->
+                  (try Sys.remove tmp with Sys_error _ -> ());
+                  Error msg)))

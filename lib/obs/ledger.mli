@@ -87,3 +87,35 @@ val metric : entry -> string -> float option
 
 val group_metric : entry -> group:string -> string -> float option
 (** Metric lookup inside a named group. *)
+
+(** {1 Lifecycle}
+
+    An append-only ledger grows without bound; [hextime watch] exposes
+    these as [--rotate-mb] / [--rotate-days] / [--compact]. *)
+
+val rotate :
+  path:string ->
+  ?max_bytes:int ->
+  ?max_age_s:float ->
+  ?now:float ->
+  unit ->
+  (string option, string) result
+(** Rename the ledger aside (to [path.YYYYMMDDTHHMMSSZ], suffixed [-N]
+    on collision) when it exceeds [max_bytes] or its {e first record} is
+    older than [max_age_s] — age is judged from the ledger's own
+    timestamps, never the file mtime, so a fresh checkout does not
+    rotate a young ledger.  Returns the rotated-to path, or [None] when
+    no threshold tripped (including a missing file).  The next {!append}
+    recreates [path] empty. *)
+
+val compact :
+  path:string -> ?drop_labels:string list -> unit -> (int * int, string) result
+(** Rewrite the ledger keeping only the {e latest} record per (kind,
+    label-set) identity, atomically (tmp file + rename).  [drop_labels]
+    (default [["req_id"]]) names labels excluded from the identity —
+    per-request ids would otherwise make every audit record unique.
+    Records with an unknown schema version are kept verbatim (their
+    identity cannot be judged); corrupt lines are dropped.  Returns
+    (kept, dropped) line counts.  Compaction is deliberately lossy: it
+    trades per-run history for one latest record per experiment, so run
+    it only when the trend window has been mined (or rotated aside). *)

@@ -1,0 +1,50 @@
+(** hexlens: per-metric, per-experiment time series over the run ledger.
+
+    The read side of the cross-run regression observatory: turn a loaded
+    {!Ledger} into ordered scalar series — one per (kind, experiment
+    group, metric) — for the {!Alert} detectors and the [hextime watch]
+    verdict table.  Extraction never reads the clock or the filesystem;
+    it is a pure fold over already-loaded entries. *)
+
+type point = {
+  p_time : float;  (** the entry's [time_unix] *)
+  p_value : float;
+  p_git_rev : string;
+  p_code_version : string;
+}
+
+type t = {
+  s_kind : string;  (** ledger record kind the points came from *)
+  s_group : string;
+      (** experiment discriminator: the first of {!group_labels} present
+          on the contributing entries, [""] when none is *)
+  s_metric : string;
+  s_points : point list;  (** oldest first, in ledger file order *)
+}
+
+val key : t -> string
+(** Stable identity ["kind/group:metric"] — the [series] label on alert
+    records and the row key of the watch table. *)
+
+val group_labels : string list
+(** Label priority for the group discriminator: ["experiment"], then
+    ["key"] (audit request digest), then ["scale"]. *)
+
+val default_watch : (string * string list) list
+(** kind -> watched metric names.  Curated to the paper's longitudinal
+    claims (accuracy, arg-min band) and the gated operational figures
+    (sweep throughput, serving latency); every extra series is
+    false-positive surface. *)
+
+val extract : ?watch:(string * string list) list -> Ledger.entry list -> t list
+(** Build every non-empty watched series, in first-appearance order.
+    Entries of kind ["alert"] are never scanned — detector output must
+    not become detector input. *)
+
+val values : t -> float array
+(** The point values, oldest first. *)
+
+val length : t -> int
+
+val last : t -> point option
+(** The newest point. *)

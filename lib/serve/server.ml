@@ -7,6 +7,10 @@ module Openmetrics = Hextime_obs.Openmetrics
 module Slo = Hextime_obs.Slo
 module Ledger = Hextime_obs.Ledger
 module Attribution = Hextime_obs.Attribution
+module Alert = Hextime_obs.Alert
+module Explain = Hextime_harness.Explain
+module Microbench = Hextime_harness.Microbench
+module Model = Hextime_core.Model
 
 (* Serving telemetry.  The latency histograms power the p50/p90/p99
    estimates Metrics.quantile exposes in snapshots — the bench additionally
@@ -293,14 +297,30 @@ let record_verdict st in_band =
   done;
   let ratio = float_of_int !inband /. float_of_int st.ring_len in
   Metrics.set inband_gauge ratio;
+  let was_firing = st.alarm in
   st.alarm <- ratio < st.drift_min_ratio;
-  Metrics.set drift_alarm_gauge (if st.alarm then 1.0 else 0.0)
+  Metrics.set drift_alarm_gauge (if st.alarm then 1.0 else 0.0);
+  (* hexlens live gauges: the drift monitor is the online alert source *)
+  Alert.live ~was_firing ~firing:st.alarm ()
 
 let audit_ledger_record st (q : audit_task) (au : Advisor.audit) =
   match st.ledger_path with
   | None -> ()
   | Some path ->
       let b01 b = if b then 1.0 else 0.0 in
+      (* attr.*/pred.* make the record diffable offline by `hextime
+         explain` (and cross-checkable against a recomputation); an
+         attribution failure degrades to a record without them *)
+      let attr =
+        let params = Microbench.params q.q_arch in
+        let citer = Microbench.citer q.q_arch q.q_problem.Problem.stencil in
+        match
+          Model.attribution params ~citer q.q_problem
+            q.q_entry.Index.e_config
+        with
+        | Ok (pr, comps) -> Explain.attribution_metrics pr comps
+        | Error _ -> []
+      in
       let entry =
         Ledger.make ~kind:"audit" ~code_version:Advisor.code_version
           ~labels:
@@ -308,20 +328,26 @@ let audit_ledger_record st (q : audit_task) (au : Advisor.audit) =
               ("req_id", q.q_req_id);
               ("arch", q.q_entry.Index.e_arch);
               ("stencil", q.q_entry.Index.e_stencil);
+              ("space",
+               String.concat "x"
+                 (Array.to_list
+                    (Array.map string_of_int q.q_problem.Problem.space)));
+              ("time", string_of_int q.q_problem.Problem.time);
               ("key", q.q_entry.Index.e_key);
               ("source", Proto.source_to_string q.q_source);
               ("config", Hextime_tiling.Config.id q.q_entry.Index.e_config);
             ]
           ~metrics:
-            [
-              ("exact_talg", au.Advisor.au_exact_talg);
-              ("config_talg", au.Advisor.au_config_talg);
-              ("served_talg", au.Advisor.au_served_talg);
-              ("rel_err", au.Advisor.au_rel_err);
-              ("in_band", b01 au.Advisor.au_in_band);
-              ("argmin_match", b01 au.Advisor.au_argmin_match);
-              ("feasible", float_of_int au.Advisor.au_feasible);
-            ]
+            ([
+               ("exact_talg", au.Advisor.au_exact_talg);
+               ("config_talg", au.Advisor.au_config_talg);
+               ("served_talg", au.Advisor.au_served_talg);
+               ("rel_err", au.Advisor.au_rel_err);
+               ("in_band", b01 au.Advisor.au_in_band);
+               ("argmin_match", b01 au.Advisor.au_argmin_match);
+               ("feasible", float_of_int au.Advisor.au_feasible);
+             ]
+            @ attr)
           ()
       in
       (match Ledger.append ~path entry with
@@ -502,13 +528,36 @@ let run ?index_path ?(exec = Parsweep.serial) ?max_requests
         (match on_http_port with Some f -> f actual | None -> ());
         Some sock
   in
-  on_ready ();
   let clients = ref [] in
   let close_client fd =
     clients := List.filter (fun c -> c <> fd) !clients;
     try Unix.close fd with Unix.Unix_error _ -> ()
   in
   let running = ref true in
+  (* Graceful shutdown: SIGINT/SIGTERM flip [running] and let the loop
+     fall through to the normal cleanup path (persist the index, flush
+     the access log, stamp a final ledger record, unlink the socket).
+     The 1s select timeout bounds the latency even if the EINTR the
+     signal causes is swallowed.  Handlers are restored on exit so
+     embedding callers (tests, the bench) keep their own disposition;
+     they are installed before [on_ready] so a caller who signals as soon
+     as the socket is up cannot hit the default disposition. *)
+  let stop_signal = ref None in
+  let install s =
+    match
+      Sys.signal s
+        (Sys.Signal_handle
+           (fun _ ->
+             stop_signal := Some s;
+             running := false))
+    with
+    | prev -> Some (s, prev)
+    | exception (Invalid_argument _ | Sys_error _) -> None
+  in
+  let saved_handlers =
+    List.filter_map install [ Sys.sigint; Sys.sigterm ]
+  in
+  on_ready ();
   let budget_left () =
     match max_requests with None -> true | Some n -> st.requests < n
   in
@@ -625,7 +674,46 @@ let run ?index_path ?(exec = Parsweep.serial) ?max_requests
            the clients never wait for *)
         run_audits st (List.rev !audit_queue @ cold_audits)
   done;
+  List.iter
+    (fun (s, prev) ->
+      try Sys.set_signal s prev with Invalid_argument _ | Sys_error _ -> ())
+    saved_handlers;
   persist st;
+  Option.iter
+    (fun a -> Access_log.maybe_flush a ~now:(Unix.gettimeofday ()))
+    st.alog;
+  (* On a signal-driven exit, leave a provenance-stamped last word in the
+     ledger: final vitals plus the full metrics snapshot, so a scraper
+     that missed the process's end can still reconstruct it. *)
+  (match (!stop_signal, st.ledger_path) with
+  | Some s, Some path ->
+      let now = Unix.gettimeofday () in
+      let name =
+        if s = Sys.sigint then "sigint"
+        else if s = Sys.sigterm then "sigterm"
+        else string_of_int s
+      in
+      let b01 b = if b then 1.0 else 0.0 in
+      let entry =
+        Ledger.make ~kind:"serve" ~code_version:Advisor.code_version
+          ~labels:[ ("shutdown", name) ]
+          ~metrics:
+            [
+              ("requests", float_of_int st.requests);
+              ("warm_hits", float_of_int st.warm_hits);
+              ("cold_misses", float_of_int st.cold_misses);
+              ("errors", float_of_int st.errors);
+              ("audits", float_of_int st.audits);
+              ("audits_out_of_band", float_of_int st.audits_oob);
+              ("drift_alarm", b01 st.alarm);
+              ("uptime_s", now -. st.t_start);
+            ]
+          ~snapshot:(stats_json st ~now) ()
+      in
+      (match Ledger.append ~path entry with
+      | Ok () -> ()
+      | Error msg -> Format.eprintf "hexserve: shutdown ledger: %s@." msg)
+  | _ -> ());
   Option.iter Access_log.close st.alog;
   List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !clients;
   (try Unix.close listener with Unix.Unix_error _ -> ());

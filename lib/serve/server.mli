@@ -63,8 +63,14 @@ val run :
   socket_path:string ->
   unit ->
   summary
-(** Serve until a [shutdown] request arrives, or until [max_requests] ask
-    requests have been answered.  [index_path] is loaded if it exists
+(** Serve until a [shutdown] request arrives, until [max_requests] ask
+    requests have been answered, or until SIGINT/SIGTERM.  All exits take
+    the same graceful path: persist the index, flush and close the access
+    log, close clients, unlink the socket.  A signal-driven exit
+    additionally appends one [kind = "serve"] record to [ledger_path]
+    (label [shutdown = sigint|sigterm]) carrying the final vitals and the
+    full metrics snapshot; the previous signal dispositions are restored
+    before [run] returns.  [index_path] is loaded if it exists
     (stale or malformed indexes are discarded with a warning) and is the
     write-back target for cold-miss answers; without it the index lives
     only in memory.  [exec] drives the cold-path batch and the audit
@@ -82,5 +88,9 @@ val run :
     rolling windows (default {!Hextime_obs.Slo.default_spec}).
     [audit_rate] [> 0] re-verifies every Nth warm answer against the
     exhaustive arg-min; [audit_cold] also audits every cold solve.
-    Verdicts append [audit] records to [ledger_path] and drive
-    [serve.drift_alarm] against [drift_min_ratio] (default [0.99]). *)
+    Verdicts append [audit] records to [ledger_path] — each carrying the
+    problem's provenance labels (arch, stencil, space, time, config) and
+    the served config's [attr.*]/[pred.*] attribution metrics, the raw
+    material for [hextime explain] — and drive [serve.drift_alarm]
+    against [drift_min_ratio] (default [0.99]); alarm transitions also
+    feed the live [alert.firing]/[alert.fired] hexlens gauges. *)

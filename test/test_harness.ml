@@ -435,6 +435,207 @@ let test_history_render () =
   | Hextime_prelude.Minijson.List [ _; _ ] -> ()
   | _ -> Alcotest.fail "json renders one element per entry"
 
+(* --- hexlens: history csv / --since ----------------------------------------- *)
+
+module Ledger = Hextime_obs.Ledger
+
+let stamped ?(kind = "validate") ?(labels = []) ?(metrics = []) ~time ~rev () =
+  {
+    (Ledger.make ~labels ~metrics ~kind ~code_version:"test-v1" ()) with
+    Ledger.time_unix = time;
+    git_rev = rev;
+  }
+
+let test_history_csv () =
+  let entries =
+    [
+      stamped ~metrics:[ ("rmse_top", 0.5) ] ~time:0.0 ~rev:"abc1234" ();
+      stamped ~kind:"bench"
+        ~metrics:[ ("cold_sweep_points_per_sec", 152345.0625) ]
+        ~time:90061.0 ~rev:"" ();
+    ]
+  in
+  match String.split_on_char '\n' (String.trim (H.History.csv entries)) with
+  | [ header; r1; r2 ] ->
+      Alcotest.(check string)
+        "header row" "when,kind,rev,code,rmse_top,cold_sweep_points_per_sec"
+        header;
+      (* ISO8601 full-second timestamps, raw (unscaled) numbers, empty
+         cells for missing metrics *)
+      Alcotest.(check string)
+        "first row" "1970-01-01T00:00:00Z,validate,abc1234,test-v1,0.5," r1;
+      Alcotest.(check string)
+        "second row" "1970-01-02T01:01:01Z,bench,,test-v1,,152345.0625" r2
+  | lines -> Alcotest.failf "expected 3 csv lines, got %d" (List.length lines)
+
+let test_history_since () =
+  let entries =
+    [
+      stamped ~time:100.0 ~rev:"aaaa111" ();
+      stamped ~time:200.0 ~rev:"bbbb222" ();
+      stamped ~time:1754000000.0 ~rev:"cccc333" ();
+    ]
+  in
+  (* an ISO8601 date keeps entries stamped at or after it *)
+  (match H.History.since "2025-01-01" entries with
+  | Ok [ e ] ->
+      Alcotest.(check string) "date spec keeps the recent entry" "cccc333"
+        e.Ledger.git_rev
+  | Ok es -> Alcotest.failf "date spec kept %d entries" (List.length es)
+  | Error msg -> Alcotest.fail msg);
+  (* the epoch date keeps everything *)
+  (match H.History.since "1970-01-01" entries with
+  | Ok es -> Alcotest.(check int) "epoch keeps all" 3 (List.length es)
+  | Error msg -> Alcotest.fail msg);
+  (* a git rev prefix keeps from its first entry onward *)
+  (match H.History.since "bbbb" entries with
+  | Ok es ->
+      Alcotest.(check (list string))
+        "rev spec keeps the tail" [ "bbbb222"; "cccc333" ]
+        (List.map (fun (e : Ledger.entry) -> e.Ledger.git_rev) es)
+  | Error msg -> Alcotest.fail msg);
+  (* neither a date nor a known rev: an error, not silence *)
+  match H.History.since "zzz" entries with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "nonsense --since spec accepted"
+
+(* --- hexlens: attribution diffing (hextime explain) -------------------------- *)
+
+module Model = Hextime_core.Model
+module Config = Hextime_tiling.Config
+
+(* The acceptance experiment: the same problem and tile priced under the
+   production constants and under a copy with L (seconds per word of
+   global traffic) doubled.  The explain diff must name the paper's
+   global-memory term as the dominant mover, and its delta must equal the
+   direct Model.attribution delta to 1e-9 relative. *)
+let explain_problem = P.make S.heat2d ~space:[| 512; 512 |] ~time:128
+
+let explain_config =
+  match Config.make ~t_t:8 ~t_s:[| 32; 32 |] ~threads:[| 256 |] with
+  | Ok c -> c
+  | Error msg -> failwith ("explain test config: " ^ msg)
+
+let explain_entry params =
+  let citer = H.Microbench.citer arch S.heat2d in
+  match Model.attribution params ~citer explain_problem explain_config with
+  | Error msg -> failwith ("explain test attribution: " ^ msg)
+  | Ok (pr, comps) ->
+      ( (pr, comps),
+        Ledger.make
+          ~labels:
+            [
+              ("arch", "gtx980");
+              ("stencil", "heat2d");
+              ("space", "512x512");
+              ("time", "128");
+              ("config", Config.id explain_config);
+            ]
+          ~metrics:(H.Explain.attribution_metrics pr comps)
+          ~kind:"audit" ~code_version:"test-v1" () )
+
+let perturbed_params () =
+  let p = H.Microbench.params arch in
+  Hextime_core.Params.of_microbenchmarks arch
+    ~l_word:(2.0 *. p.Params.l_word)
+    ~tau_sync:p.Params.tau_sync ~t_sync:p.Params.t_sync
+
+let test_explain_dominant_term () =
+  let (_, comps_a), entry_a = explain_entry (H.Microbench.params arch) in
+  let (_, comps_b), entry_b = explain_entry (perturbed_params ()) in
+  let deltas =
+    H.Explain.diff
+      ~a:(H.Explain.stored_components entry_a)
+      ~b:(H.Explain.stored_components entry_b)
+  in
+  (match H.Explain.dominant deltas with
+  | None -> Alcotest.fail "doubling L moved no term"
+  | Some d ->
+      Alcotest.(check string)
+        "dominant term is the global-memory transfer" "global_mem" d.H.Explain.t_name;
+      (* the diffed delta is exactly the Model.attribution delta *)
+      let direct =
+        (Hextime_obs.Attribution.to_list comps_b
+        |> List.assoc "global_mem")
+        -. (Hextime_obs.Attribution.to_list comps_a
+           |> List.assoc "global_mem")
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "delta matches Model.attribution to 1e-9 rel (%g vs %g)"
+           d.H.Explain.t_delta direct)
+        true
+        (Float.abs (d.H.Explain.t_delta -. direct)
+        <= 1e-9 *. Float.max (Float.abs direct) 1e-300));
+  (* the report renders and names the term *)
+  match H.Explain.render ~a:entry_a ~b:entry_b with
+  | Error msg -> Alcotest.fail msg
+  | Ok report ->
+      let contains needle hay =
+        let n = String.length needle and h = String.length hay in
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "report names the dominant term" true
+        (contains "dominant term: global_mem" report)
+
+let test_explain_recompute_verifies_stored () =
+  (* an audit-style record carrying both stored attr.* metrics and full
+     provenance labels: the recomputation must agree to 1e-9 *)
+  let _, entry = explain_entry (H.Microbench.params arch) in
+  Alcotest.(check bool) "record is eligible" true (H.Explain.eligible entry);
+  (match H.Explain.verify entry with
+  | None -> Alcotest.fail "verify found nothing to cross-check"
+  | Some rel ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stored vs recomputed max rel err %g <= 1e-9" rel)
+        true (rel <= 1e-9));
+  (* a record with labels only (no stored components) recomputes *)
+  let labels_only =
+    Ledger.make ~labels:entry.Ledger.labels ~kind:"audit"
+      ~code_version:"test-v1" ()
+  in
+  Alcotest.(check bool) "labels-only record is eligible" true
+    (H.Explain.eligible labels_only);
+  (match H.Explain.recompute labels_only with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail ("labels-only recompute: " ^ msg));
+  (* a bare record is not *)
+  let bare = Ledger.make ~kind:"bench" ~code_version:"test-v1" () in
+  Alcotest.(check bool) "bare record is not eligible" false
+    (H.Explain.eligible bare)
+
+let test_explain_decision_flips () =
+  let entry m c k =
+    Ledger.make
+      ~labels:[ ("config", "tT8-tS32x32-thr256") ]
+      ~metrics:
+        [
+          ("pred.m_transfer", m);
+          ("pred.c_compute", c);
+          ("pred.k", float_of_int k);
+        ]
+      ~kind:"audit" ~code_version:"test-v1" ()
+  in
+  (* memory-bound -> compute-bound plus a k change *)
+  let flips =
+    H.Explain.decision_flips ~a:(entry 2.0e-3 1.0e-3 4) ~b:(entry 1.0e-3 2.0e-3 5)
+  in
+  Alcotest.(check int) "two discrete decisions moved" 2 (List.length flips);
+  let joined = String.concat "\n" flips in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "bound flip reported" true
+    (contains "max(m', c) decision flipped" joined);
+  Alcotest.(check bool) "k change reported" true (contains "k changed" joined);
+  (* identical records: nothing discrete moved *)
+  Alcotest.(check int) "no flips on identical records" 0
+    (List.length
+       (H.Explain.decision_flips ~a:(entry 2.0e-3 1.0e-3 4)
+          ~b:(entry 2.0e-3 1.0e-3 4)))
+
 let suite =
   [
     Alcotest.test_case "microbench ranges (Table 3)" `Quick test_microbench_ranges;
@@ -461,4 +662,12 @@ let suite =
       test_accuracy_json_roundtrip;
     Alcotest.test_case "accuracy compare gate" `Quick test_accuracy_compare;
     Alcotest.test_case "history render" `Quick test_history_render;
+    Alcotest.test_case "history csv" `Quick test_history_csv;
+    Alcotest.test_case "history --since selection" `Quick test_history_since;
+    Alcotest.test_case "explain: perturbed L names global_mem" `Quick
+      test_explain_dominant_term;
+    Alcotest.test_case "explain: recompute cross-checks stored" `Quick
+      test_explain_recompute_verifies_stored;
+    Alcotest.test_case "explain: discrete decision flips" `Quick
+      test_explain_decision_flips;
   ]

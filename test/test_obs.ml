@@ -871,6 +871,329 @@ let test_slo_windows_roll_and_judge () =
         w.Obs.Slo.w_requests
   | [] -> Alcotest.fail "no window after the jump"
 
+(* --- hexlens: series extraction and changepoint alerts --------------------- *)
+
+module Series = Obs.Series
+module Alert = Obs.Alert
+
+(* a hand-built series: judge's input is just the ordered values *)
+let series_of ?(kind = "bench") ?(group = "ci") ?(metric = "serve_warm_p99_us")
+    vs =
+  {
+    Series.s_kind = kind;
+    s_group = group;
+    s_metric = metric;
+    s_points =
+      List.mapi
+        (fun i v ->
+          {
+            Series.p_time = float_of_int i;
+            p_value = v;
+            p_git_rev = "";
+            p_code_version = "test-v1";
+          })
+        vs;
+  }
+
+(* a stationary noisy baseline: spread ~MAD, no trend *)
+let noise8 = [ 100.0; 103.0; 97.0; 101.0; 99.0; 102.0; 98.0; 100.0 ]
+
+let test_series_extract () =
+  let bench v = mk_entry ~kind:"bench" ~labels:[ ("scale", "ci") ]
+      ~metrics:[ ("cold_sweep_points_per_sec", v); ("unwatched_metric", 1.0) ]
+      ()
+  in
+  let validate exp v =
+    mk_entry ~kind:"validate" ~labels:[ ("experiment", exp) ]
+      ~metrics:[ ("rmse_top", v) ] ()
+  in
+  let alert_rec =
+    mk_entry ~kind:"alert" ~labels:[ ("scale", "ci") ]
+      ~metrics:[ ("cold_sweep_points_per_sec", 1e9) ] ()
+  in
+  let entries =
+    [
+      bench 1.0;
+      validate "a" 0.1;
+      bench 2.0;
+      validate "b" 0.3;
+      alert_rec;
+      validate "a" 0.2;
+      bench 3.0;
+    ]
+  in
+  let ss = Series.extract entries in
+  let keys = List.map Series.key ss in
+  (* first-appearance order; per-experiment validate series do not
+     interleave; the alert record and the unwatched metric contribute
+     nothing *)
+  Alcotest.(check (list string))
+    "series keys in first-appearance order"
+    [
+      "bench/ci:cold_sweep_points_per_sec";
+      "validate/a:rmse_top";
+      "validate/b:rmse_top";
+    ]
+    keys;
+  let find k = List.find (fun s -> Series.key s = k) ss in
+  Alcotest.(check (list (float 0.0)))
+    "bench points oldest first (alert value excluded)" [ 1.0; 2.0; 3.0 ]
+    (Array.to_list (Series.values (find "bench/ci:cold_sweep_points_per_sec")));
+  Alcotest.(check (list (float 0.0)))
+    "experiment-a series keeps only its own runs" [ 0.1; 0.2 ]
+    (Array.to_list (Series.values (find "validate/a:rmse_top")));
+  match Series.last (find "validate/a:rmse_top") with
+  | Some p -> Alcotest.(check (float 0.0)) "last is newest" 0.2 p.Series.p_value
+  | None -> Alcotest.fail "non-empty series has no last point"
+
+let test_alert_quiet_on_noise () =
+  let v = Alert.judge (series_of (noise8 @ [ 101.0; 99.0 ])) in
+  Alcotest.(check bool) "judged (n >= min_samples)" true v.Alert.v_judged;
+  Alcotest.(check bool) "stationary noise stays quiet" true
+    (v.Alert.v_fired = None);
+  Alcotest.(check (float 0.5)) "median near the level" 100.0 v.Alert.v_median
+
+let test_alert_fires_on_step () =
+  (* a sustained upward step in a latency metric: regression *)
+  let v =
+    Alert.judge (series_of (noise8 @ [ 200.0; 200.0; 200.0; 200.0 ]))
+  in
+  (match v.Alert.v_fired with
+  | Some f ->
+      Alcotest.(check string) "page_hinkley fires first" "page_hinkley"
+        f.Alert.f_detector;
+      Alcotest.(check string) "direction up" "up"
+        (Alert.direction_to_string f.Alert.f_direction);
+      Alcotest.(check bool) "up is bad for a _us metric" true
+        f.Alert.f_regression;
+      Alcotest.(check bool) "stat crossed the threshold" true
+        (f.Alert.f_stat > f.Alert.f_threshold)
+  | None -> Alcotest.fail "4-point step did not fire");
+  Alcotest.(check bool) "classified as regression" true (Alert.regression v);
+  Alcotest.(check bool) "not an improvement" false (Alert.improvement v)
+
+let test_alert_single_outlier_quiet () =
+  (* one wild point is winsorised to z=4: bounded excursion, no firing *)
+  let v = Alert.judge (series_of (noise8 @ [ 5000.0 ])) in
+  Alcotest.(check bool) "judged" true v.Alert.v_judged;
+  Alcotest.(check bool) "single outlier stays quiet" true
+    (v.Alert.v_fired = None);
+  Alcotest.(check bool) "excursion bounded by the winsor cap" true
+    (v.Alert.v_ph_up <= 4.0)
+
+let test_alert_improvement_direction () =
+  (* the same magnitude of step down in a latency metric: improvement,
+     reported but never a gate failure *)
+  let v =
+    Alert.judge (series_of (noise8 @ [ 20.0; 20.0; 20.0; 20.0 ]))
+  in
+  Alcotest.(check bool) "fired" true (v.Alert.v_fired <> None);
+  Alcotest.(check bool) "down is good for a _us metric" true
+    (Alert.improvement v);
+  Alcotest.(check bool) "not a regression" false (Alert.regression v);
+  (* a throughput metric with the same step up is an improvement too *)
+  let v2 =
+    Alert.judge
+      (series_of ~metric:"serve_requests_per_sec"
+         (noise8 @ [ 200.0; 200.0; 200.0; 200.0 ]))
+  in
+  Alcotest.(check bool) "up is good for _per_sec" true (Alert.improvement v2);
+  (* an unknown metric is Neutral: either direction is a regression *)
+  let v3 =
+    Alert.judge
+      (series_of ~metric:"mystery" (noise8 @ [ 200.0; 200.0; 200.0; 200.0 ]))
+  in
+  Alcotest.(check bool) "neutral metrics regress in both directions" true
+    (Alert.regression v3)
+
+let test_alert_to_entry_and_scan_exclusion () =
+  let fired =
+    Alert.judge (series_of (noise8 @ [ 200.0; 200.0; 200.0; 200.0 ]))
+  in
+  let e = Alert.to_entry fired in
+  Alcotest.(check string) "alert kind" "alert" e.Ledger.kind;
+  Alcotest.(check string) "detector version" Alert.code_version
+    e.Ledger.code_version;
+  Alcotest.(check (option string))
+    "series label" (Some "bench/ci:serve_warm_p99_us")
+    (List.assoc_opt "series" e.Ledger.labels);
+  Alcotest.(check (option string))
+    "verdict label" (Some "regression")
+    (List.assoc_opt "verdict" e.Ledger.labels);
+  Alcotest.(check (option (float 0.0)))
+    "firing metric" (Some 1.0) (Ledger.metric e "firing");
+  (* it survives the ledger round-trip *)
+  with_ledger_file (fun path ->
+      append_exn path e;
+      match (load_exn path).Ledger.entries with
+      | [ r ] -> Alcotest.(check string) "round-trip kind" "alert" r.Ledger.kind
+      | es -> Alcotest.failf "expected 1 entry, got %d" (List.length es));
+  (* a quiet verdict has no alert record *)
+  (match Alert.to_entry (Alert.judge (series_of noise8)) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "to_entry accepted a verdict that did not fire");
+  (* scan never reads alert records back in: appending the alert to the
+     scanned window must not change a single verdict statistic *)
+  let base =
+    List.map
+      (fun v ->
+        mk_entry ~kind:"bench" ~labels:[ ("scale", "ci") ]
+          ~metrics:[ ("serve_warm_p99_us", v) ] ())
+      (noise8 @ [ 200.0; 200.0; 200.0; 200.0 ])
+  in
+  let stats v =
+    (v.Alert.v_n, v.Alert.v_ph_up, v.Alert.v_ewma_z, v.Alert.v_fired <> None)
+  in
+  let before = List.map stats (Alert.scan base) in
+  let after = List.map stats (Alert.scan (base @ [ e ])) in
+  Alcotest.(check bool) "alert records are not detector input" true
+    (before = after)
+
+(* --- ledger lifecycle: rotation and compaction ------------------------------ *)
+
+let test_ledger_rotate () =
+  with_ledger_file @@ fun path ->
+  (* under every threshold: no-op *)
+  append_exn path (mk_entry ());
+  (match Ledger.rotate ~path ~max_bytes:1_000_000 () with
+  | Ok None -> ()
+  | Ok (Some d) -> Alcotest.failf "young small ledger rotated to %s" d
+  | Error e -> Alcotest.fail e);
+  (* size trigger *)
+  (match Ledger.rotate ~path ~max_bytes:1 () with
+  | Ok (Some dest) ->
+      Alcotest.(check bool) "rotated file exists" true (Sys.file_exists dest);
+      Alcotest.(check bool) "original gone" false (Sys.file_exists path);
+      Sys.remove dest
+  | Ok None -> Alcotest.fail "oversized ledger did not rotate"
+  | Error e -> Alcotest.fail e);
+  (* a missing ledger never rotates *)
+  (match Ledger.rotate ~path ~max_bytes:1 () with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "missing file rotated"
+  | Error e -> Alcotest.fail e);
+  (* age trigger, judged from the first record's own timestamp *)
+  append_exn path { (mk_entry ()) with Ledger.time_unix = 1000.0 };
+  append_exn path (mk_entry ());
+  (match Ledger.rotate ~path ~max_age_s:3600.0 ~now:2000.0 () with
+  | Ok None -> ()
+  | Ok (Some d) -> Alcotest.failf "young ledger rotated to %s" d
+  | Error e -> Alcotest.fail e);
+  match Ledger.rotate ~path ~max_age_s:3600.0 ~now:10_000.0 () with
+  | Ok (Some dest) ->
+      Alcotest.(check bool) "age-rotated file exists" true
+        (Sys.file_exists dest);
+      Sys.remove dest
+  | Ok None -> Alcotest.fail "old ledger did not rotate"
+  | Error e -> Alcotest.fail e
+
+let test_ledger_compact () =
+  with_ledger_file @@ fun path ->
+  let validate v =
+    mk_entry ~kind:"validate" ~labels:[ ("arch", "gtx980") ]
+      ~metrics:[ ("rmse_top", v) ] ()
+  in
+  let audit req v =
+    mk_entry ~kind:"audit"
+      ~labels:[ ("req_id", req); ("key", "K") ]
+      ~metrics:[ ("rel_err", v) ] ()
+  in
+  append_exn path (validate 1.0);
+  append_exn path (mk_entry ~kind:"bench" ());
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "corrupt line\n";
+  close_out oc;
+  append_exn path (validate 2.0);
+  append_exn path (audit "a" 0.1);
+  append_exn path (audit "b" 0.2);
+  append_exn path { (mk_entry ~kind:"future" ()) with Ledger.schema = 99 };
+  (match Ledger.compact ~path () with
+  | Ok (kept, dropped) ->
+      (* kept: bench, validate(2.0), audit b, unknown-schema verbatim;
+         dropped: validate(1.0), corrupt, audit a *)
+      Alcotest.(check int) "kept lines" 4 kept;
+      Alcotest.(check int) "dropped lines" 3 dropped
+  | Error e -> Alcotest.fail e);
+  let l = load_exn path in
+  Alcotest.(check (list string))
+    "latest per identity, order preserved" [ "bench"; "validate"; "audit" ]
+    (List.map (fun (e : Ledger.entry) -> e.Ledger.kind) l.Ledger.entries);
+  Alcotest.(check int) "unknown schema kept verbatim" 1 l.Ledger.unknown_schema;
+  Alcotest.(check int) "corrupt line gone" 0 l.Ledger.corrupt_lines;
+  let validate_e =
+    List.find (fun (e : Ledger.entry) -> e.Ledger.kind = "validate")
+      l.Ledger.entries
+  in
+  Alcotest.(check (option (float 0.0)))
+    "the later duplicate won" (Some 2.0)
+    (Ledger.metric validate_e "rmse_top");
+  (* req_id is not part of the identity: one audit survives *)
+  Alcotest.(check int) "audits deduped across req_ids" 1
+    (List.length (Ledger.filter ~kind:"audit" l.Ledger.entries))
+
+let test_slo_ring_wraparound () =
+  (* the ring is reused many times across a long simulated uptime: the
+     verdict gauges and ring-wide counts must describe the *current* ring,
+     not history.  1s windows, capacity 4, 500 closed windows; every 10th
+     window takes a 10ms outlier that violates the 500us p99 objective. *)
+  let spec =
+    {
+      Obs.Slo.window_s = 1.0;
+      windows = 4;
+      p99_us = Some 500.0;
+      warm_ratio = None;
+      error_budget = 0.01;
+    }
+  in
+  let t = Obs.Slo.create ~spec ~now:0.0 () in
+  let total = 500 in
+  for w = 0 to total - 1 do
+    let base = float_of_int w in
+    Obs.Slo.observe t ~now:(base +. 0.25) ~warm:true ~error:false
+      ~latency_s:100e-6;
+    Obs.Slo.observe t ~now:(base +. 0.5) ~warm:true ~error:false
+      ~latency_s:(if w mod 10 = 9 then 0.01 else 120e-6)
+  done;
+  Obs.Slo.tick t ~now:(float_of_int total);
+  let ws = Obs.Slo.windows t in
+  Alcotest.(check int) "ring capped at capacity" 4 (List.length ws);
+  (* newest first: windows 499 498 497 496; 499 took the outlier *)
+  (match ws with
+  | newest :: rest ->
+      Alcotest.(check (float 0.0)) "newest window start" 499.0
+        newest.Obs.Slo.w_start;
+      Alcotest.(check int) "every window saw its 2 requests" 2
+        newest.Obs.Slo.w_requests;
+      Alcotest.(check bool) "outlier window violates p99" false
+        newest.Obs.Slo.w_p99_ok;
+      List.iter
+        (fun w ->
+          Alcotest.(check bool) "clean windows hold p99" true
+            w.Obs.Slo.w_p99_ok)
+        rest
+  | [] -> Alcotest.fail "empty ring after long uptime");
+  Alcotest.(check int) "violations count only the live ring" 1
+    (Obs.Slo.violated t);
+  (* gauges describe the current ring after ~125 full wraps *)
+  let snap = Metrics.snapshot () in
+  let gauge name = List.assoc_opt name snap.Metrics.snap_gauges in
+  Alcotest.(check (option (float 0.0))) "windows gauge" (Some 4.0)
+    (gauge "slo.windows");
+  Alcotest.(check (option (float 0.0))) "violated gauge" (Some 1.0)
+    (gauge "slo.windows_violated");
+  Alcotest.(check (option (float 0.0)))
+    "p99 verdict gauge tracks the last closed window" (Some 0.0)
+    (gauge "slo.p99_ok");
+  (* one more clean window: the verdict gauge flips back *)
+  Obs.Slo.observe t
+    ~now:(float_of_int total +. 0.5)
+    ~warm:true ~error:false ~latency_s:100e-6;
+  Obs.Slo.tick t ~now:(float_of_int total +. 1.5);
+  let snap = Metrics.snapshot () in
+  Alcotest.(check (option (float 0.0)))
+    "verdict gauge recovers on the next clean window" (Some 1.0)
+    (List.assoc_opt "slo.p99_ok" snap.Metrics.snap_gauges)
+
 let test_slo_create_validates () =
   (match
      Obs.Slo.create
@@ -936,4 +1259,21 @@ let suite =
     Alcotest.test_case "slo windows roll and judge" `Quick
       test_slo_windows_roll_and_judge;
     Alcotest.test_case "slo create validates" `Quick test_slo_create_validates;
+    Alcotest.test_case "hexlens series extraction" `Quick test_series_extract;
+    Alcotest.test_case "hexlens quiet on stationary noise" `Quick
+      test_alert_quiet_on_noise;
+    Alcotest.test_case "hexlens fires on a sustained step" `Quick
+      test_alert_fires_on_step;
+    Alcotest.test_case "hexlens single outlier stays quiet" `Quick
+      test_alert_single_outlier_quiet;
+    Alcotest.test_case "hexlens direction and orientation" `Quick
+      test_alert_improvement_direction;
+    Alcotest.test_case "hexlens alert records round-trip, never re-scanned"
+      `Quick test_alert_to_entry_and_scan_exclusion;
+    Alcotest.test_case "ledger rotation by size and age" `Quick
+      test_ledger_rotate;
+    Alcotest.test_case "ledger compaction keeps latest per identity" `Quick
+      test_ledger_compact;
+    Alcotest.test_case "slo ring wrap-around over long uptime" `Quick
+      test_slo_ring_wraparound;
   ]

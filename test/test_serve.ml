@@ -639,6 +639,11 @@ let test_drift_monitor_clean_and_injected () =
     (List.assoc_opt "serve.drift_alarm"
        (Metrics.snapshot ()).Metrics.snap_gauges
     = Some 0.0);
+  (* the drift monitor feeds the hexlens live alert gauge *)
+  Alcotest.(check bool) "alert.firing down on a clean run" true
+    (List.assoc_opt "alert.firing"
+       (Metrics.snapshot ()).Metrics.snap_gauges
+    = Some 0.0);
   let clean_audits = audit_records ~ledger_path in
   Alcotest.(check bool) "clean audit records written" true
     (List.length clean_audits >= 3);
@@ -670,6 +675,10 @@ let test_drift_monitor_clean_and_injected () =
     (List.assoc_opt "serve.drift_alarm"
        (Metrics.snapshot ()).Metrics.snap_gauges
     = Some 1.0);
+  Alcotest.(check bool) "alert.firing up while drifting" true
+    (List.assoc_opt "alert.firing"
+       (Metrics.snapshot ()).Metrics.snap_gauges
+    = Some 1.0);
   let audits = audit_records ~ledger_path:drifted_ledger in
   Alcotest.(check bool) "audit ledger records written" true
     (List.length audits >= 2);
@@ -680,6 +689,17 @@ let test_drift_monitor_clean_and_injected () =
       (match Ledger.metric r "rel_err" with
       | Some _ -> ()
       | None -> Alcotest.fail "audit record without rel_err");
+      (* diffable offline: hexlens explain needs components + provenance *)
+      (match (Ledger.metric r "attr.global_mem", Ledger.metric r "pred.talg")
+       with
+      | Some _, Some _ -> ()
+      | _ -> Alcotest.fail "audit record without attribution metrics");
+      (match
+         ( List.assoc_opt "space" r.Ledger.labels,
+           List.assoc_opt "time" r.Ledger.labels )
+       with
+      | Some _, Some _ -> ()
+      | _ -> Alcotest.fail "audit record without space/time labels");
       match List.assoc_opt "req_id" r.Ledger.labels with
       | Some id -> Alcotest.(check bool) "audit labels req_id" true (id <> "")
       | None -> Alcotest.fail "audit record without a req_id label")
@@ -710,6 +730,66 @@ let test_drift_monitor_clean_and_injected () =
         a.Advisor.au_in_band
   | Error m -> Alcotest.fail m
 
+(* --- graceful shutdown ------------------------------------------------------- *)
+
+let test_graceful_shutdown_on_sigterm () =
+  let e0 = List.hd (H.Experiments.all H.Experiments.Ci) in
+  let index_path = fresh_path ".json" in
+  let index = Index.create () in
+  Index.add index (entry_of e0);
+  (match Index.save index ~path:index_path with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let socket_path = fresh_path ".sock" in
+  let ledger_path = fresh_path ".jsonl" in
+  let access_log = fresh_path "-access.jsonl" in
+  let ready = Atomic.make false in
+  let srv =
+    Domain.spawn (fun () ->
+        Server.run ~index_path ~exec:Parsweep.serial ~ledger_path
+          ~access_log_path:access_log
+          ~on_ready:(fun () -> Atomic.set ready true)
+          ~socket_path ())
+  in
+  while not (Atomic.get ready) do
+    Domain.cpu_relax ()
+  done;
+  let fd = connect socket_path in
+  (match ask fd e0 with
+  | Ok { Proto.source = Proto.Warm; _ } -> ()
+  | Ok _ -> Alcotest.fail "prebuilt index answered cold"
+  | Error m -> Alcotest.fail m);
+  Client.close fd;
+  (* SIGTERM instead of a shutdown frame: the loop must fall through to
+     the same cleanup — flush the access log, stamp a final ledger
+     record, unlink the socket *)
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  let summary = Domain.join srv in
+  Alcotest.(check int) "the served request survived the signal" 1
+    summary.Server.requests;
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket_path);
+  Alcotest.(check bool) "access log flushed on signal exit" true
+    ((Unix.stat access_log).Unix.st_size > 0);
+  (match Ledger.load ~path:ledger_path with
+  | Error m -> Alcotest.fail m
+  | Ok loaded -> (
+      match Ledger.filter ~kind:"serve" loaded.Ledger.entries with
+      | [ r ] ->
+          Alcotest.(check (option string))
+            "record names the signal" (Some "sigterm")
+            (List.assoc_opt "shutdown" r.Ledger.labels);
+          Alcotest.(check (option (float 0.0)))
+            "final request count" (Some 1.0)
+            (Ledger.metric r "requests");
+          Alcotest.(check bool) "carries the full metrics snapshot" true
+            (r.Ledger.snapshot <> None)
+      | rs ->
+          Alcotest.failf "expected 1 serve shutdown record, got %d"
+            (List.length rs)));
+  Sys.remove index_path;
+  Sys.remove ledger_path;
+  Sys.remove access_log
+
 let suite =
   [
     Alcotest.test_case "proto frame round-trip" `Quick test_proto_roundtrip;
@@ -727,4 +807,6 @@ let suite =
       test_access_log_and_slow_attribution;
     Alcotest.test_case "hexpulse: drift monitor, clean and injected" `Quick
       test_drift_monitor_clean_and_injected;
+    Alcotest.test_case "graceful shutdown on SIGTERM" `Quick
+      test_graceful_shutdown_on_sigterm;
   ]
